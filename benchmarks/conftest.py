@@ -1,0 +1,30 @@
+"""Benchmark configuration: shared environments and sane single-round
+settings (each figure benchmark is a full experiment, not a microsecond
+kernel, so pytest-benchmark runs one round by default)."""
+
+import pytest
+
+from repro.workloads import SocialNetwork
+
+#: Scale for the benchmark runs: large enough for stable shapes, small
+#: enough that the whole benchmark suite completes in a few minutes.
+BENCH_USERS = 2_000
+BENCH_SEED = 2011
+
+
+@pytest.fixture(scope="session")
+def network() -> SocialNetwork:
+    return SocialNetwork(n_users=BENCH_USERS, seed=BENCH_SEED)
+
+
+@pytest.fixture
+def one_round(benchmark):
+    """A benchmark runner pinned to a single round/iteration — figure
+    experiments are deterministic in virtual time, so repetition only
+    measures the host, not the system under test."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

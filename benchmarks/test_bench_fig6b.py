@@ -1,0 +1,29 @@
+"""Benchmark: Figure 6(b) — pending transactions vs. run frequency.
+
+    pytest benchmarks/test_bench_fig6b.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench.fig6b import check_shapes, run
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_fig6b_pending_transactions(one_round):
+    measurements = one_round(
+        run,
+        pending_grid=(10, 30, 50),
+        frequencies=(1, 10, 50),
+        total=240,
+        n_users=2_000,
+    )
+    print()
+    print(measurements.render())
+    problems = check_shapes(measurements)
+    assert problems == [], problems
+
+    # The paper's dominant effect: f=1 costs roughly an order of
+    # magnitude more than f=50 at high p.
+    f1 = measurements.series["f=1"]
+    f50 = measurements.series["f=50"]
+    assert f1.y_at(50) > 5.0 * f50.y_at(50)

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 6(c) — entanglement complexity (Spoke-hub / Cycle).
+
+    pytest benchmarks/test_bench_fig6c.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench.fig6c import check_shapes, run
+
+
+@pytest.mark.benchmark(group="fig6c")
+def test_fig6c_entanglement_complexity(one_round):
+    measurements = one_round(
+        run,
+        sizes=(2, 4, 6, 8, 10),
+        frequencies=(10, 50),
+        total_transactions=120,
+        n_users=2_000,
+    )
+    print()
+    print(measurements.render())
+    problems = check_shapes(measurements)
+    assert problems == [], problems
+
+    # "The slope is very small": per-transaction-normalized time at k=10
+    # stays within 3x of k=2 for every series.
+    for name, series in measurements.series.items():
+        assert series.y_at(10) < 3.0 * series.y_at(2), name

@@ -1,0 +1,171 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These measure real host time (unlike the figure benchmarks, whose result
+is virtual time): the coordinating-set search, entangled-query grounding,
+the SPJ evaluator's index paths, and the lock manager.
+"""
+
+import pytest
+
+from repro.entangled import (
+    Atom,
+    EntangledQuery,
+    Val,
+    Var,
+    evaluate_batch,
+    find_coordinating_set,
+    ground,
+)
+from repro.entangled.grounding import Grounding
+from repro.entangled.answers import GroundAtom
+from repro.storage import (
+    Cmp,
+    CmpOp,
+    Col,
+    ColumnType,
+    Const,
+    Database,
+    LockManager,
+    LockMode,
+    SPJQuery,
+    TableRef,
+    TableSchema,
+    evaluate,
+)
+
+
+def _pair_groundings(pairs: int, options: int):
+    groundings = {}
+    for pair in range(pairs):
+        a, b = f"a{pair}", f"b{pair}"
+        groundings[a] = [
+            Grounding(a, (("i", i),),
+                      (GroundAtom("R", (f"A{pair}", i)),),
+                      (GroundAtom("R", (f"B{pair}", i)),))
+            for i in range(options)
+        ]
+        groundings[b] = [
+            Grounding(b, (("i", i),),
+                      (GroundAtom("R", (f"B{pair}", i)),),
+                      (GroundAtom("R", (f"A{pair}", i)),))
+            for i in range(options)
+        ]
+    return groundings
+
+
+@pytest.mark.benchmark(group="micro-matching")
+def test_matching_100_pairs(benchmark):
+    groundings = _pair_groundings(pairs=100, options=3)
+    result = benchmark(find_coordinating_set, groundings)
+    assert len(result.answered()) == 200
+
+
+@pytest.mark.benchmark(group="micro-matching")
+def test_matching_ring_of_10(benchmark):
+    ring = {}
+    k = 10
+    for i in range(k):
+        qid = f"m{i}"
+        ring[qid] = [Grounding(
+            qid, (("i", 0),),
+            (GroundAtom("R", ("tok", i)),),
+            (GroundAtom("R", ("tok", (i + 1) % k)),),
+        )]
+    result = benchmark(find_coordinating_set, ring)
+    assert len(result.answered()) == k
+
+
+def _flights_db(rows: int) -> Database:
+    db = Database()
+    db.create_table(TableSchema.build(
+        "Flights",
+        [("fno", ColumnType.INTEGER), ("fdate", ColumnType.TEXT),
+         ("dest", ColumnType.TEXT)],
+        primary_key=["fno"],
+        indexes=[["dest"]],
+    ))
+    db.load("Flights", [
+        (i, f"day{i % 30}", "LA" if i % 4 else "Paris") for i in range(rows)
+    ])
+    return db
+
+
+@pytest.mark.benchmark(group="micro-grounding")
+def test_grounding_indexed_1000_rows(benchmark):
+    db = _flights_db(1_000)
+    query = EntangledQuery(
+        query_id="q",
+        heads=(Atom("R", (Val("me"), Var("x"))),),
+        postconditions=(Atom("R", (Val("you"), Var("x"))),),
+        body_atoms=(Atom("Flights", (Var("x"), Var("y"), Val("Paris"))),),
+    )
+    groundings = benchmark(ground, query, db)
+    assert len(groundings) == 250
+
+
+@pytest.mark.benchmark(group="micro-spj")
+def test_spj_index_point_lookup(benchmark):
+    db = _flights_db(5_000)
+    plan = SPJQuery(
+        tables=(TableRef("Flights"),),
+        select=(Col("fdate"),),
+        select_names=("fdate",),
+        where=Cmp(CmpOp.EQ, Col("fno"), Const(4_321)),
+    )
+    rows = benchmark(evaluate, plan, db)
+    assert len(rows) == 1
+
+
+@pytest.mark.benchmark(group="micro-spj")
+def test_spj_join_with_pushdown(benchmark):
+    db = _flights_db(2_000)
+    db.create_table(TableSchema.build(
+        "Airlines",
+        [("fno", ColumnType.INTEGER), ("airline", ColumnType.TEXT)],
+        primary_key=["fno"],
+    ))
+    db.load("Airlines", [
+        (i, "United" if i % 2 else "Delta") for i in range(2_000)
+    ])
+    plan = SPJQuery(
+        tables=(TableRef("Flights", "F"), TableRef("Airlines", "A")),
+        select=(Col("F.fno"),),
+        select_names=("fno",),
+        where=Cmp(CmpOp.EQ, Col("F.fno"), Col("A.fno")),
+    )
+    rows = benchmark(evaluate, plan, db)
+    assert len(rows) == 2_000
+
+
+@pytest.mark.benchmark(group="micro-locks")
+def test_lock_manager_churn(benchmark):
+    def churn():
+        lm = LockManager()
+        for txn in range(200):
+            lm.acquire(txn, ("table", f"T{txn % 10}"), LockMode.SHARED)
+            lm.acquire(txn, ("table", f"U{txn % 7}"),
+                       LockMode.INTENTION_EXCLUSIVE)
+        for txn in range(200):
+            lm.release_all(txn)
+        return lm
+
+    lm = benchmark(churn)
+    assert lm.stats["acquired"] >= 200
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_evaluate_batch_20_queries(benchmark):
+    db = _flights_db(500)
+    queries = []
+    for pair in range(10):
+        for side, other in (("a", "b"), ("b", "a")):
+            queries.append(EntangledQuery(
+                query_id=f"{side}{pair}",
+                heads=(Atom("R", (Val(f"{side}{pair}"), Var("x"))),),
+                postconditions=(Atom("R", (Val(f"{other}{pair}"), Var("x"))),),
+                body_atoms=(
+                    Atom("Flights", (Var("x"), Var("y"), Val("Paris"))),
+                ),
+            ))
+    result = benchmark(evaluate_batch, queries, db)
+    assert len(result.answered_ids()) == 20

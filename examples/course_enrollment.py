@@ -1,0 +1,101 @@
+"""Course enrollment: coordinating on a section, with crash recovery.
+
+The paper cites course enrollment [8] as a coordination domain: two
+friends want to enroll in the same section of a course.  The entangled
+query grounds on the ``Sections`` catalog; the booking code records the
+enrollment in a separate ``Enrollment`` table.
+
+(Design note, mirroring the paper's own workloads: the tables a query
+*grounds on* are kept disjoint from the tables the booking code *writes*.
+Under Strict 2PL, entangled partners that write a table they both
+grounded on upgrade-deadlock against each other's read locks and the
+group retry repeats the conflict — the same S->X conversion deadlock
+InnoDB reports for SELECT-then-UPDATE pairs.  Appendix D's workloads
+ground on Friends/User/Flight and write only Reserve, and we follow that
+discipline here.)
+
+This example also demonstrates middle-tier crash recovery: the system
+crashes after the first pair commits, restarts from the WAL, and the
+committed enrollments survive while the still-waiting transaction is
+re-queued from the persisted dormant pool (Section 5.1).
+
+Run:  python examples/course_enrollment.py
+"""
+
+from repro import ColumnType, TableSchema, TxnPhase, Youtopia
+from repro.core import EngineConfig
+
+
+def enroll(student: str, friend: str) -> str:
+    """Enroll in any open section of CS4320 that the friend also picks."""
+    return f"""
+        BEGIN TRANSACTION WITH TIMEOUT 3 DAYS;
+        SELECT '{student}', section AS @section INTO ANSWER SameSection
+        WHERE section IN
+            (SELECT section FROM Sections
+             WHERE course='CS4320' AND open=TRUE)
+        AND ('{friend}', section) IN ANSWER SameSection
+        CHOOSE 1;
+        INSERT INTO Enrollment (student, section) VALUES ('{student}', @section);
+        COMMIT;
+    """
+
+
+def main() -> None:
+    system = Youtopia(config=EngineConfig(persist_state=True))
+    system.create_table(TableSchema.build(
+        "Sections",
+        [("course", ColumnType.TEXT), ("section", ColumnType.INTEGER),
+         ("open", ColumnType.BOOLEAN)],
+        primary_key=["section"]))
+    system.create_table(TableSchema.build(
+        "Enrollment",
+        [("student", ColumnType.TEXT), ("section", ColumnType.INTEGER)]))
+    system.load("Sections", [
+        ("CS4320", 1, True),
+        ("CS4320", 2, True),
+        ("CS2110", 3, True),
+    ])
+
+    ada = system.submit(enroll("Ada", "Grace"), "ada")
+    grace = system.submit(enroll("Grace", "Ada"), "grace")
+    barbara = system.submit(enroll("Barbara", "Katherine"), "barbara")
+
+    report = system.run_once()
+    print(f"committed: {sorted(report.committed)}; "
+          f"waiting: {sorted(report.returned_to_pool)}")
+
+    enrollment = sorted(system.query("SELECT student, section FROM Enrollment"))
+    print(f"enrollment: {enrollment}")
+
+    ada_section = system.host_variables(ada)["@section"]
+    grace_section = system.host_variables(grace)["@section"]
+    assert ada_section == grace_section, "the pair shares one section"
+    print(f"Ada and Grace coordinated into section {ada_section} and "
+          f"group-committed.")
+
+    # Crash the whole system; committed enrollments must survive and
+    # Barbara (still waiting for Katherine) must be re-queued.
+    recovered, recovery = system.crash_and_recover()
+    print(f"after crash: resubmitted={recovery.resubmitted}, "
+          f"partial groups={recovery.partial_groups}")
+    survived = sorted(recovered.query("SELECT student, section FROM Enrollment"))
+    assert survived == enrollment, "committed work survived the crash"
+    assert len(recovery.resubmitted) == 1  # Barbara
+
+    # Katherine finally shows up on the recovered system.
+    recovered.submit(enroll("Katherine", "Barbara"), "katherine")
+    final = recovered.run_once()
+    print(f"post-recovery run committed {len(final.committed)} transactions")
+    final_enrollment = sorted(
+        recovered.query("SELECT student, section FROM Enrollment"))
+    print(f"final enrollment: {final_enrollment}")
+    assert len(final_enrollment) == 4
+    by_student = dict(final_enrollment)
+    assert by_student["Barbara"] == by_student["Katherine"]
+    print("Barbara and Katherine coordinated after recovery — the dormant "
+          "pool survived the crash.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Interactive entangled transactions: a social-game trade window.
+
+The paper's Section 4 distinguishes non-interactive transactions
+(submitted whole, as in travel planning) from *interactive* ones
+"created by users online, statement by statement ... suited, for
+example, to social games" — and leaves the interactive model as future
+work.  This example exercises our implementation of that extension
+(:mod:`repro.core.interactive`).
+
+Two players haggle over an item trade: each browses inventory, then
+poses an entangled query to agree on an item, then — *based on the
+answer* — decides dynamically what to do next.  A third player gets
+bored waiting and cancels ("the user may decide to abort or issue
+another command").
+
+Run:  python examples/social_game_interactive.py
+"""
+
+from repro.core import InteractiveBroker, SessionState
+from repro.storage import ColumnType, StorageEngine, TableSchema
+
+
+def trade_query(me: str, friend: str) -> str:
+    return f"""
+        SELECT '{me}', item AS @item INTO ANSWER Trade
+        WHERE item IN (SELECT item FROM Inventory WHERE tradeable=TRUE)
+        AND ('{friend}', item) IN ANSWER Trade
+        CHOOSE 1
+    """
+
+
+def main() -> None:
+    store = StorageEngine()
+    store.create_table(TableSchema.build(
+        "Inventory",
+        [("item", ColumnType.INTEGER), ("name", ColumnType.TEXT),
+         ("tradeable", ColumnType.BOOLEAN)],
+        primary_key=["item"]))
+    store.create_table(TableSchema.build(
+        "TradeLog",
+        [("who", ColumnType.TEXT), ("item", ColumnType.INTEGER)]))
+    store.load("Inventory", [
+        (1, "golden hoe", True),
+        (2, "rainbow sheep", True),
+        (3, "ancient barn", False),
+    ])
+    broker = InteractiveBroker(store)
+
+    # Pia browses her inventory first — classical statements run
+    # immediately and return rows, like a console session.
+    pia = broker.open_session("pia")
+    rows = pia.execute(
+        "SELECT item, name FROM Inventory WHERE tradeable=TRUE").rows
+    print(f"Pia sees tradeable items: {rows}")
+
+    # She proposes a trade with Quinn; the query parks her session.
+    pia.execute(trade_query("pia", "quinn"))
+    print(f"Pia waits for Quinn (state={pia.state.value})")
+    assert broker.match_round() == 0  # nobody to match with yet
+
+    # Rey proposes a trade with a player who never shows up, gets bored,
+    # cancels, and does something else instead.
+    rey = broker.open_session("rey")
+    rey.execute(trade_query("rey", "ghost"))
+    broker.match_round()
+    assert rey.waiting
+    rey.cancel()
+    rey.execute("INSERT INTO TradeLog (who, item) VALUES ('rey', 3)")
+    assert rey.commit()
+    print("Rey gave up waiting, logged a solo action, committed alone.")
+
+    # Quinn arrives; the next matching round pairs the two sessions.
+    quinn = broker.open_session("quinn")
+    quinn.execute(trade_query("quinn", "pia"))
+    answered = broker.match_round()
+    print(f"matching round answered {answered} queries")
+    item = pia.env["@item"]
+    assert item == quinn.env["@item"]
+    print(f"Pia and Quinn agreed on item {item}")
+
+    # Statements constructed dynamically from the answer:
+    pia.execute(f"INSERT INTO TradeLog (who, item) VALUES ('pia', {item})")
+    quinn.execute("INSERT INTO TradeLog (who, item) VALUES ('quinn', @item)")
+
+    # Group commit at the session granularity: Pia waits until Quinn
+    # also requests commit (widow prevention).
+    assert pia.commit() is False
+    print(f"Pia requested commit, waits for Quinn "
+          f"(state={pia.state.value})")
+    assert quinn.commit() is True
+    assert pia.state is SessionState.COMMITTED
+    print("both sides of the trade committed atomically.")
+
+    log = sorted(
+        tuple(r.values) for r in store.db.table("TradeLog").scan())
+    print(f"trade log: {log}")
+    assert ("pia", item) in log and ("quinn", item) in log
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Reproduction of "Entangled Transactions" (Gupta et al., VLDB 2011).
+
+Entangled transactions are units of work that do not run in isolation but
+communicate with each other through *entangled queries* — coordinated
+choices of common values.  This library reproduces the full paper:
+
+* :mod:`repro.entangled` — entangled queries (the SIGMOD'11 building
+  block): intermediate representation, groundings, coordinating-set
+  search, safety analysis.
+* :mod:`repro.model` — the semantic model (Section 3 / Appendix C):
+  schedules with grounding and quasi-reads, entangled isolation,
+  oracle-serializability, Theorem 3.6.
+* :mod:`repro.core` — the execution model and prototype (Sections 4–5):
+  run-based scheduling, group commit, timeouts, recovery, the Youtopia
+  middle tier.
+* :mod:`repro.storage` — the DBMS substrate (tables, SPJ queries,
+  Strict 2PL, WAL, restart recovery).
+* :mod:`repro.sql` — the extended-SQL dialect (``SELECT ... INTO ANSWER
+  ... CHOOSE 1``, ``BEGIN TRANSACTION WITH TIMEOUT``).
+* :mod:`repro.workloads` / :mod:`repro.bench` — the social-travel
+  workloads and the Figure 6 experiment harness.
+
+See ``examples/quickstart.py`` for the full Mickey-and-Minnie scenario.
+"""
+
+from repro.core import (
+    ArrivalCountPolicy,
+    EmptyAnswerPolicy,
+    EngineConfig,
+    EntangledTransactionEngine,
+    IsolationConfig,
+    ManualPolicy,
+    TimeIntervalPolicy,
+    TxnPhase,
+    Youtopia,
+)
+from repro.entangled import (
+    Atom,
+    EntangledQuery,
+    QueryOutcome,
+    Val,
+    Var,
+    evaluate_batch,
+)
+from repro.model import (
+    IsolationLevel,
+    Schedule,
+    check_theorem_3_6,
+    is_entangled_isolated,
+    is_oracle_serializable,
+)
+from repro.sql import parse_script, parse_statement, parse_transaction
+from repro.storage import ColumnType, Database, StorageEngine, TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrivalCountPolicy",
+    "Atom",
+    "ColumnType",
+    "Database",
+    "EmptyAnswerPolicy",
+    "EngineConfig",
+    "EntangledQuery",
+    "EntangledTransactionEngine",
+    "IsolationConfig",
+    "IsolationLevel",
+    "ManualPolicy",
+    "QueryOutcome",
+    "Schedule",
+    "StorageEngine",
+    "TableSchema",
+    "TimeIntervalPolicy",
+    "TxnPhase",
+    "Val",
+    "Var",
+    "Youtopia",
+    "check_theorem_3_6",
+    "evaluate_batch",
+    "is_entangled_isolated",
+    "is_oracle_serializable",
+    "parse_script",
+    "parse_statement",
+    "parse_transaction",
+    "__version__",
+]

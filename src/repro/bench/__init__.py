@@ -1,0 +1,31 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+* :mod:`repro.bench.fig6a` — concurrent transactions (6 workloads vs.
+  connection count).
+* :mod:`repro.bench.fig6b` — pending transactions (p vs. run frequency).
+* :mod:`repro.bench.fig6c` — entanglement complexity (coordinating-set
+  size, Spoke-hub vs. Cycle).
+
+Each module has a ``run()`` returning
+:class:`~repro.sim.metrics.Measurements`, a ``check_shapes()`` verifying
+the paper's qualitative claims, and a ``main()`` for command-line use
+(``python -m repro.bench.fig6a``).
+"""
+
+from repro.bench.harness import (
+    DrainResult,
+    TravelEnv,
+    make_travel_env,
+    require_all_committed,
+    run_single_batch,
+    submit_and_drain,
+)
+
+__all__ = [
+    "DrainResult",
+    "TravelEnv",
+    "make_travel_env",
+    "require_all_committed",
+    "run_single_batch",
+    "submit_and_drain",
+]

@@ -1,0 +1,145 @@
+"""Shared experiment machinery for the Figure 6 benchmarks.
+
+Each figure module builds on two helpers here: :func:`make_travel_env`
+(fresh populated database + engine for one measurement point — fresh so
+reservations never accumulate across points) and :func:`submit_and_drain`
+(drive a submission sequence through the engine under a run policy and
+return the virtual-time total).
+
+The measured quantity is the engine's *virtual elapsed time* (see
+:mod:`repro.sim.costs`): the paper measures wall-clock seconds on MySQL;
+we measure the same workload structure under a calibrated cost model, so
+curve *shapes* (who wins, slopes, crossovers) are comparable while
+absolute seconds are model outputs.  EXPERIMENTS.md tabulates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.engine import EngineConfig, EntangledTransactionEngine
+from repro.core.policies import ArrivalCountPolicy, ManualPolicy, RunPolicy
+from repro.core.transaction import TxnPhase
+from repro.errors import BenchError
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.storage.engine import StorageEngine
+from repro.workloads.programs import WorkloadItem
+from repro.workloads.socialnet import SocialNetwork
+from repro.workloads.traveldb import TravelDatabase
+
+
+@dataclass
+class TravelEnv:
+    """A populated travel database plus the engine to run workloads on."""
+
+    network: SocialNetwork
+    travel: TravelDatabase
+    store: StorageEngine
+    engine: EntangledTransactionEngine
+
+
+def make_travel_env(
+    *,
+    n_users: int = 2_000,
+    connections: int = 100,
+    autocommit: bool = False,
+    costs: CostModel | None = None,
+    policy: RunPolicy | None = None,
+    seed: int = 2011,
+    network: SocialNetwork | None = None,
+) -> TravelEnv:
+    """Build one measurement environment.
+
+    Pass a pre-built ``network`` to share the (expensive) graph across
+    points; the database itself is always rebuilt fresh.
+    """
+    network = network or SocialNetwork(n_users=n_users, seed=seed)
+    travel = TravelDatabase(network, seed=seed)
+    store = StorageEngine()
+    travel.populate(store.db)
+    config = EngineConfig(
+        connections=connections,
+        autocommit=autocommit,
+        costs=costs if costs is not None else DEFAULT_COSTS,
+    )
+    engine = EntangledTransactionEngine(store, config, policy or ManualPolicy())
+    return TravelEnv(network, travel, store, engine)
+
+
+@dataclass
+class DrainResult:
+    """Outcome of driving one submission sequence to completion."""
+
+    elapsed: float
+    eval_time: float
+    runs: int
+    committed: int
+    timed_out: int
+    aborted: int
+    unfinished: int
+
+
+def submit_and_drain(
+    env: TravelEnv,
+    items: Sequence[WorkloadItem],
+    *,
+    tick_each: bool = True,
+    final_drain: bool = True,
+    max_runs: int = 100_000,
+) -> DrainResult:
+    """Submit every item (ticking the run policy after each arrival when
+    ``tick_each``), then drain the pool; returns virtual-time totals."""
+    engine = env.engine
+    for item in items:
+        engine.submit(item.program, client=f"u{item.uid}")
+        if tick_each:
+            engine.tick()
+    if final_drain:
+        engine.drain(max_runs=max_runs)
+    phases = [
+        engine.transaction(h).phase for h in range(1, len(items) + 1)
+    ]
+    return DrainResult(
+        elapsed=engine.total_elapsed,
+        eval_time=engine.total_eval_time,
+        runs=len(engine.run_reports),
+        committed=sum(p is TxnPhase.COMMITTED for p in phases),
+        timed_out=sum(p is TxnPhase.TIMED_OUT for p in phases),
+        aborted=sum(p is TxnPhase.ABORTED for p in phases),
+        unfinished=sum(not p.is_terminal for p in phases),
+    )
+
+
+def run_single_batch(env: TravelEnv, items: Sequence[WorkloadItem]) -> DrainResult:
+    """Submit everything, then execute (as many runs as needed to finish).
+
+    Used by Figure 6(a), whose batches are designed so everyone completes
+    in the first run.
+    """
+    engine = env.engine
+    for item in items:
+        engine.submit(item.program, client=f"u{item.uid}")
+    engine.drain()
+    phases = [
+        engine.transaction(h).phase for h in range(1, len(items) + 1)
+    ]
+    return DrainResult(
+        elapsed=engine.total_elapsed,
+        eval_time=engine.total_eval_time,
+        runs=len(engine.run_reports),
+        committed=sum(p is TxnPhase.COMMITTED for p in phases),
+        timed_out=sum(p is TxnPhase.TIMED_OUT for p in phases),
+        aborted=sum(p is TxnPhase.ABORTED for p in phases),
+        unfinished=sum(not p.is_terminal for p in phases),
+    )
+
+
+def require_all_committed(result: DrainResult, label: str) -> None:
+    """Fail loudly when a designed-to-complete workload did not commit."""
+    if result.unfinished or result.timed_out or result.aborted:
+        raise BenchError(
+            f"{label}: expected all transactions to commit, got "
+            f"{result.unfinished} unfinished, {result.timed_out} timed out, "
+            f"{result.aborted} aborted"
+        )

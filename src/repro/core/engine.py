@@ -1,0 +1,723 @@
+"""The entangled transaction engine: the paper's middle tier (Figure 5).
+
+Combines every piece of the execution model of Section 4:
+
+* a **dormant transaction pool** holding submitted-but-unscheduled work;
+* a **run-based scheduler**: each run executes a batch of transactions,
+  blocking each at its entangled queries, evaluating all pending queries
+  together, resuming answered transactions, and repeating until nobody can
+  proceed;
+* **group commit** enforcement (Section 3.3.3): a ready-to-commit
+  transaction commits only when its whole entanglement group is ready;
+* **timeouts** (Section 3.1): transactions that exceed their ``WITH
+  TIMEOUT`` budget while waiting are aborted permanently;
+* **Strict 2PL** through the storage engine's lock manager, with the
+  isolation relaxations of Section 3.3 available as configuration;
+* **stateless-middleware persistence** (Section 5.1): the dormant pool
+  and entanglement-group state are serialized into ``_youtopia_*`` tables
+  so the DBMS recovery path can rebuild the middle tier after a crash;
+* optional **virtual-time accounting** against a
+  :class:`~repro.sim.costs.CostModel` and connection pool, which is what
+  the Figure 6 benchmarks measure;
+* optional **schedule recording** for the formal model
+  (:mod:`repro.core.recorder`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.groups import GroupTracker
+from repro.core.interpreter import (
+    NullCostTap,
+    StepOutcome,
+    deliver_answer,
+    run_until_block,
+)
+from repro.core.policies import ArrivalCountPolicy, ManualPolicy, RunPolicy
+from repro.core.recorder import ScheduleRecorder
+from repro.core.transaction import EntangledTransaction, TxnPhase
+from repro.entangled.evaluator import QueryOutcome, evaluate_batch
+from repro.errors import EngineError, MiddlewareError, SafetyViolationError
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.resources import ConnectionPool
+from repro.sql.ast import TransactionProgram
+from repro.sql.parser import parse_transaction
+from repro.storage.catalog import Database
+from repro.storage.engine import StorageEngine, WouldBlock
+from repro.storage.locks import LockMode, table_resource
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType
+
+
+class EmptyAnswerPolicy(enum.Enum):
+    """What to do when an entangled query succeeds with an empty answer.
+
+    Appendix B argues an empty answer is *query success* and the
+    transaction can proceed (PROCEED, the default).  WAIT treats it like
+    a missing partner: block and retry in a later run.
+    """
+
+    PROCEED = "proceed"
+    WAIT = "wait"
+
+
+class IsolationConfig(enum.Enum):
+    """Engine-level isolation configuration (Section 4, Section 3.3.3).
+
+    FULL — group commits + Strict 2PL: full entangled isolation.
+    NO_GROUP_COMMIT — commit ready transactions individually; widowed
+        transactions become possible.
+    LOOSE_READS — release read locks right after entangled-query
+        evaluation instead of holding to commit; unrepeatable quasi-reads
+        become possible.
+    """
+
+    FULL = "full"
+    NO_GROUP_COMMIT = "no-group-commit"
+    LOOSE_READS = "loose-reads"
+
+    @property
+    def group_commit(self) -> bool:
+        return self is not IsolationConfig.NO_GROUP_COMMIT
+
+    @property
+    def strict_read_locks(self) -> bool:
+        return self is not IsolationConfig.LOOSE_READS
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for one engine instance."""
+
+    isolation: IsolationConfig = IsolationConfig.FULL
+    empty_answer: EmptyAnswerPolicy = EmptyAnswerPolicy.PROCEED
+    connections: int = 100
+    costs: CostModel | None = None
+    record_schedule: bool = False
+    persist_state: bool = False
+    #: Non-transactional execution: "the same code without enclosing it
+    #: within a transaction block" (the -Q workloads of Section 5.2.2).
+    #: Each statement commits immediately, no transaction bracket cost is
+    #: charged, and group commit does not apply.
+    autocommit: bool = False
+    #: max evaluate/resume rounds per run (defensive; the paper's runs
+    #: always converge because answered queries strictly advance programs).
+    max_rounds_per_run: int = 1_000
+
+
+@dataclass
+class RunReport:
+    """What one run did — the engine's unit of progress reporting."""
+
+    index: int
+    scheduled: int = 0
+    committed: list[int] = field(default_factory=list)
+    returned_to_pool: list[int] = field(default_factory=list)
+    timed_out: list[int] = field(default_factory=list)
+    aborted: list[int] = field(default_factory=list)
+    evaluation_rounds: int = 0
+    answered_queries: int = 0
+    elapsed: float = 0.0
+
+
+class EntangledTransactionEngine:
+    """The middle tier supporting entanglement (Figure 5)."""
+
+    POOL_TABLE = "_youtopia_pool"
+    EDGES_TABLE = "_youtopia_edges"
+    COMMITS_TABLE = "_youtopia_commits"
+
+    def __init__(
+        self,
+        store: StorageEngine | None = None,
+        config: EngineConfig | None = None,
+        policy: RunPolicy | None = None,
+    ):
+        self.store = store if store is not None else StorageEngine()
+        self.config = config or EngineConfig()
+        self.policy = policy or ManualPolicy()
+        self.clock = VirtualClock()
+        self.groups = GroupTracker()
+        self.recorder = ScheduleRecorder() if self.config.record_schedule else None
+        self._transactions: dict[int, EntangledTransaction] = {}
+        self._dormant: list[int] = []
+        self._next_handle = 1
+        self._run_index = 0
+        self.run_reports: list[RunReport] = []
+        #: total coordinator (entangled-evaluation) virtual time, for the
+        #: -Q vs -T comparison of Figure 6(a).
+        self.total_eval_time = 0.0
+        self.total_elapsed = 0.0
+        if self.recorder is not None:
+            self.store.observers.append(self._observe_storage)
+        if self.config.persist_state:
+            self._ensure_system_tables()
+
+    # -- system tables (stateless middleware, Section 5.1) ----------------------------
+
+    def _ensure_system_tables(self) -> None:
+        db = self.store.db
+        if not db.has_table(self.POOL_TABLE):
+            db.create_table(TableSchema.build(
+                self.POOL_TABLE,
+                [("handle", ColumnType.INTEGER), ("client", ColumnType.TEXT),
+                 ("program_sql", ColumnType.TEXT),
+                 ("submitted_at", ColumnType.FLOAT)],
+                primary_key=["handle"],
+            ))
+        if not db.has_table(self.EDGES_TABLE):
+            db.create_table(TableSchema.build(
+                self.EDGES_TABLE,
+                [("txn_a", ColumnType.INTEGER), ("txn_b", ColumnType.INTEGER)],
+            ))
+        if not db.has_table(self.COMMITS_TABLE):
+            db.create_table(TableSchema.build(
+                self.COMMITS_TABLE,
+                [("storage_txn", ColumnType.INTEGER),
+                 ("group_id", ColumnType.INTEGER),
+                 ("group_size", ColumnType.INTEGER)],
+            ))
+
+    def _persist_pool_add(self, txn: EntangledTransaction, sql: str) -> None:
+        if not self.config.persist_state:
+            return
+        system = self.store.begin()
+        self.store.insert(
+            system, self.POOL_TABLE,
+            (txn.handle, txn.client, sql, txn.submitted_at),
+        )
+        self.store.commit(system)
+
+    def _persist_pool_remove(self, handle: int) -> None:
+        if not self.config.persist_state:
+            return
+        system = self.store.begin()
+        schema = self.store.db.table(self.POOL_TABLE).schema
+        index = schema.column_index("handle")
+        self.store.delete_where(
+            system, self.POOL_TABLE, lambda row: row.values[index] == handle
+        )
+        self.store.commit(system)
+
+    # -- submission --------------------------------------------------------------------
+
+    def submit(
+        self,
+        program: TransactionProgram | str,
+        client: str = "client",
+        at: float | None = None,
+    ) -> int:
+        """Submit a transaction; returns its handle.
+
+        ``at`` stamps the (virtual) arrival time; by default the current
+        clock.  Arrival does not execute anything — the run policy decides
+        when the next run starts (call :meth:`tick` or :meth:`run_once`).
+        """
+        if isinstance(program, str):
+            sql_text = program
+            program = parse_transaction(program)
+        else:
+            # AST-submitted programs are rendered so persistence/recovery
+            # can round-trip them like text submissions.
+            from repro.sql.unparse import unparse_transaction
+
+            sql_text = unparse_transaction(program)
+        handle = self._next_handle
+        self._next_handle += 1
+        arrival = self.clock.now if at is None else self.clock.advance_to(at)
+        txn = EntangledTransaction(
+            handle=handle, client=client, program=program, submitted_at=arrival
+        )
+        self._transactions[handle] = txn
+        self._dormant.append(handle)
+        self.groups.register(handle)
+        self._persist_pool_add(txn, sql_text)
+        self.policy.on_arrival(self.clock.now, len(self._dormant))
+        return handle
+
+    def transaction(self, handle: int) -> EntangledTransaction:
+        try:
+            return self._transactions[handle]
+        except KeyError:
+            raise MiddlewareError(f"unknown transaction handle {handle}") from None
+
+    def phase(self, handle: int) -> TxnPhase:
+        return self.transaction(handle).phase
+
+    @property
+    def dormant_count(self) -> int:
+        return len(self._dormant)
+
+    def unfinished(self) -> list[int]:
+        return [
+            h for h, t in self._transactions.items() if not t.phase.is_terminal
+        ]
+
+    # -- the run loop (Section 4) --------------------------------------------------------
+
+    def tick(self) -> RunReport | None:
+        """Start a run if the policy wants one; returns its report."""
+        if self.policy.should_run(self.clock.now, len(self._dormant)):
+            return self.run_once()
+        return None
+
+    def run_once(self, handles: Iterable[int] | None = None) -> RunReport:
+        """Execute one run over ``handles`` (default: whole dormant pool).
+
+        Implements the walk-through of Figure 4: execute until everyone
+        blocks, evaluate all pending entangled queries together, resume
+        the answered, repeat; then group-commit the ready and return the
+        rest to the dormant pool (or time them out).
+        """
+        self._run_index += 1
+        report = RunReport(index=self._run_index)
+        self.policy.on_run_started(self.clock.now)
+
+        pool = ConnectionPool(self.config.connections)
+        cost_tap = (
+            _EngineCostTap(self.config.costs, pool)
+            if self.config.costs is not None
+            else NullCostTap()
+        )
+
+        if handles is None:
+            scheduled = list(self._dormant)
+            self._dormant = []
+        else:
+            scheduled = [h for h in handles if h in self._dormant]
+            self._dormant = [h for h in self._dormant if h not in scheduled]
+
+        # Expire transactions whose timeout lapsed while dormant.
+        batch: list[EntangledTransaction] = []
+        for handle in scheduled:
+            txn = self.transaction(handle)
+            if txn.is_expired(self.clock.now):
+                self._finalize_timeout(txn, report)
+                continue
+            batch.append(txn)
+        report.scheduled = len(batch)
+
+        for txn in batch:
+            txn.start_attempt(self.store.begin())
+            if isinstance(cost_tap, _EngineCostTap):
+                cost_tap.assign_slot(txn)
+            if self.config.costs is not None and not self.config.autocommit:
+                pool.charge(self.config.costs.txn_bracket_cost)
+
+        eval_time = 0.0
+        rounds = 0
+        lock_blocked: list[EntangledTransaction] = []
+        runnable = list(batch)
+        while rounds < self.config.max_rounds_per_run:
+            rounds += 1
+            # Phase 1: drive every runnable transaction to a stop point.
+            next_lock_blocked: list[EntangledTransaction] = []
+            for txn in runnable:
+                if txn.phase is not TxnPhase.RUNNING:
+                    continue
+                outcome = run_until_block(
+                    txn, self.store, cost_tap,
+                    autocommit=self.config.autocommit,
+                )
+                if outcome is StepOutcome.COMPLETED:
+                    txn.mark_ready()
+                elif outcome is StepOutcome.LOCK_BLOCKED:
+                    next_lock_blocked.append(txn)
+                elif outcome is StepOutcome.DEADLOCKED:
+                    self._abort_attempt(txn, retry=True, report=report,
+                                        reason="deadlock victim")
+                elif outcome is StepOutcome.ROLLED_BACK:
+                    self._abort_attempt(
+                        txn, retry=False, report=report,
+                        reason=txn.abort_reason or "explicit ROLLBACK")
+                # BLOCKED_ON_QUERY: handled by evaluation below.
+            lock_blocked = next_lock_blocked
+
+            # Phase 2: evaluate all pending entangled queries together.
+            pending = [
+                t for t in batch
+                if t.phase is TxnPhase.BLOCKED and t.pending_query is not None
+            ]
+            progressed = False
+            if pending:
+                answered, round_eval_time = self._evaluate_round(pending, report)
+                eval_time += round_eval_time
+                progressed = answered > 0
+                report.evaluation_rounds += 1
+                report.answered_queries += answered
+
+            # Phase 3: lock-blocked transactions may proceed once deadlock
+            # victims released locks; retry them next iteration.
+            runnable = [t for t in batch if t.phase is TxnPhase.RUNNING]
+            if runnable:
+                continue
+            if progressed:
+                runnable = lock_blocked
+                continue
+            if lock_blocked and self._lock_waiters_can_move(lock_blocked):
+                runnable = lock_blocked
+                continue
+            break
+
+        self._commit_phase(batch, lock_blocked, report)
+
+        # Advance the virtual clock by this run's elapsed time.
+        if self.config.costs is not None:
+            overhead = self.config.costs.run_overhead
+            retry_tax = self.config.costs.suspend_resume_cost * len(
+                report.returned_to_pool
+            )
+            report.elapsed = pool.elapsed() + eval_time + overhead + retry_tax
+            self.clock.advance(report.elapsed)
+            self.total_eval_time += eval_time
+            self.total_elapsed += report.elapsed
+        self.run_reports.append(report)
+        return report
+
+    def _lock_waiters_can_move(self, waiters: list[EntangledTransaction]) -> bool:
+        """True when some waiter's blocking resource has been freed."""
+        for txn in waiters:
+            if txn.storage_txn is None:
+                continue
+            if not self.store.locks.waiting(txn.storage_txn):
+                return True
+        return False
+
+    def _evaluate_round(
+        self, pending: list[EntangledTransaction], report: RunReport
+    ) -> tuple[int, float]:
+        """Evaluate the pending queries as one batch; deliver answers.
+
+        Returns (number answered, coordinator virtual time).
+        """
+        # Acquire grounding read locks per owner transaction.  A query
+        # whose locks cannot be granted sits out this round.
+        evaluable: list[EntangledTransaction] = []
+        for txn in pending:
+            assert txn.pending_query is not None and txn.storage_txn is not None
+            try:
+                for table in sorted(txn.pending_query.database_relations()):
+                    self.store.lock_table_shared(txn.storage_txn, table)
+            except WouldBlock:
+                txn.stats.lock_waits += 1
+                continue
+            evaluable.append(txn)
+        if not evaluable:
+            return 0, 0.0
+
+        by_query_id = {t.query_id(): t for t in evaluable}
+        queries = [t.pending_query for t in evaluable]
+        try:
+            result = evaluate_batch(queries, self.store.db)
+        except SafetyViolationError as exc:
+            # An ANSWER arity clash poisons the whole batch ("queries that
+            # directly cause safety violations are not answered"): abort
+            # every participant so the system keeps running.
+            for txn in evaluable:
+                self._abort_attempt(
+                    txn, retry=False, report=report,
+                    reason=f"safety violation: {exc}")
+            return 0, 0.0
+
+        # Record grounding reads for the formal model.
+        if self.recorder is not None:
+            for qid, tables in sorted(result.grounding_reads.items()):
+                txn = by_query_id[qid]
+                for table in tables:
+                    self.recorder.on_grounding_read(txn.storage_txn, table)
+
+        # Coordinator cost: base + per-grounding + per-answer.
+        eval_time = 0.0
+        if self.config.costs is not None:
+            costs = self.config.costs
+            eval_time = (
+                costs.entangled_eval_base
+                + costs.entangled_eval_per_grounding
+                * sum(result.groundings_per_query.values())
+                + costs.entangled_answer_cost * len(result.answers)
+            )
+
+        # Group the answered queries by entanglement component so each
+        # component becomes one entanglement operation.
+        answered_txns = [
+            by_query_id[qid] for qid in result.answered_ids()
+        ]
+        if answered_txns:
+            self._record_entanglements(answered_txns, result)
+        answered = 0
+        for txn in evaluable:
+            outcome = result.outcome(txn.query_id())
+            if outcome is QueryOutcome.ANSWERED:
+                deliver_answer(txn, result.answer(txn.query_id()))
+                answered += 1
+                if not self.config.isolation.strict_read_locks:
+                    # LOOSE_READS ablation: give up read locks right after
+                    # evaluation (re-admits unrepeatable quasi-reads).
+                    self.store.release_read_locks(txn.storage_txn)
+                if self.config.autocommit:
+                    # Non-transactional: the grounding locks are released
+                    # immediately; the next statement gets a fresh txn.
+                    self.store.commit(txn.storage_txn)
+                    txn.storage_txn = self.store.begin()
+            elif outcome is QueryOutcome.EMPTY:
+                if self.config.empty_answer is EmptyAnswerPolicy.PROCEED:
+                    if self.recorder is not None:
+                        # Degenerate single-party entanglement closes the
+                        # grounding window in the recorded schedule.
+                        self.recorder.on_entangle({txn.storage_txn: ()})
+                    deliver_answer(txn, None)
+                    answered += 1
+                    if self.config.autocommit:
+                        self.store.commit(txn.storage_txn)
+                        txn.storage_txn = self.store.begin()
+            elif outcome is QueryOutcome.UNSAFE:
+                self._abort_attempt(txn, retry=False, report=report,
+                                    reason="safety violation")
+            # WAIT: stays blocked; retried next round/run.
+        return answered, eval_time
+
+    def _record_entanglements(self, answered, result) -> None:
+        """Update group state (and the model schedule) for this round.
+
+        Queries answered together in one coordinating-set component form
+        one entanglement operation; we recover the components from the
+        chosen groundings' answer-relation links.
+        """
+        # Build components: txns whose chosen groundings share ground
+        # atoms (head satisfying another's postcondition) are partners.
+        by_handle = {t.handle: t for t in answered}
+        chosen = {
+            t.handle: result.match.chosen[t.query_id()] for t in answered
+        }
+        adjacency: dict[int, set[int]] = {t.handle: set() for t in answered}
+        heads_index: dict = {}
+        for handle, grounding in chosen.items():
+            for atom in grounding.heads:
+                heads_index.setdefault(atom, set()).add(handle)
+        for handle, grounding in chosen.items():
+            for atom in grounding.postconditions:
+                for provider in heads_index.get(atom, ()):
+                    if provider != handle:
+                        adjacency[handle].add(provider)
+                        adjacency[provider].add(handle)
+        seen: set[int] = set()
+        for handle in sorted(adjacency):
+            if handle in seen:
+                continue
+            component = []
+            stack = [handle]
+            seen.add(handle)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in sorted(adjacency[node]):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            members = sorted(component)
+            self.groups.entangle(*members)
+            for member in members:
+                by_handle[member].partners.update(set(members) - {member})
+            if self.recorder is not None:
+                payload = {
+                    by_handle[m].storage_txn: tuple(
+                        str(a) for a in chosen[m].heads
+                    )
+                    for m in members
+                }
+                self.recorder.on_entangle(payload)
+
+    # -- commit / abort machinery -----------------------------------------------------------
+
+    def _commit_phase(
+        self,
+        batch: list[EntangledTransaction],
+        lock_blocked: list[EntangledTransaction],
+        report: RunReport,
+    ) -> None:
+        """End of run: group-commit the ready, recycle the rest."""
+        in_run = {t.handle for t in batch}
+        ready = [t for t in batch if t.phase is TxnPhase.READY_TO_COMMIT]
+
+        if self.config.autocommit:
+            # Everything already committed statement by statement; the
+            # trailing (empty) storage transaction just needs closing.
+            commit_set = list(ready)
+        elif self.config.isolation.group_commit:
+            committable: list[EntangledTransaction] = []
+            for txn in ready:
+                group = self.groups.group_of(txn.handle)
+                members = [
+                    self.transaction(h) for h in group if h in in_run
+                ]
+                # Every group member must be ready; members outside the
+                # run (should not happen — groups form within runs) block
+                # the commit conservatively.
+                if all(m.phase is TxnPhase.READY_TO_COMMIT for m in members) and \
+                        group <= in_run:
+                    committable.append(txn)
+            commit_set = committable
+        else:
+            commit_set = list(ready)
+
+        for txn in commit_set:
+            self._commit_transaction(txn, report)
+
+        for txn in batch:
+            if txn.phase in (TxnPhase.COMMITTED, TxnPhase.ABORTED,
+                             TxnPhase.TIMED_OUT, TxnPhase.DORMANT):
+                continue
+            # READY (group incomplete), BLOCKED, or lock-blocked RUNNING:
+            # abort this attempt and retry later — unless expired.
+            self._abort_attempt(txn, retry=True, report=report,
+                                reason="run ended without commit")
+
+        # Entanglement links are attempt-local: committed members are
+        # terminal and everyone else restarts from scratch, so this run's
+        # links must not constrain future runs.
+        for txn in batch:
+            self.groups.forget(txn.handle)
+            if not txn.phase.is_terminal:
+                self.groups.register(txn.handle)
+
+    def _commit_transaction(self, txn: EntangledTransaction, report: RunReport) -> None:
+        assert txn.storage_txn is not None
+        if self.config.persist_state:
+            group = sorted(self.groups.group_of(txn.handle))
+            group_storage = [
+                self.transaction(h).storage_txn for h in group
+            ]
+            group_id = min(s for s in group_storage if s is not None)
+            self.store.insert(
+                txn.storage_txn,
+                self.COMMITS_TABLE,
+                (txn.storage_txn, group_id, len(group)),
+            )
+            # Remove the dormant-pool row *inside* the user transaction so
+            # commit and pool removal are atomic: a crash can never leave
+            # a committed transaction still queued for re-execution.
+            schema = self.store.db.table(self.POOL_TABLE).schema
+            index = schema.column_index("handle")
+            handle = txn.handle
+            self.store.delete_where(
+                txn.storage_txn, self.POOL_TABLE,
+                lambda row: row.values[index] == handle,
+            )
+        self.store.commit(txn.storage_txn)
+        if self.recorder is not None:
+            self.recorder.on_commit(txn.storage_txn)
+        txn.mark_committed()
+        report.committed.append(txn.handle)
+
+    def _abort_attempt(
+        self,
+        txn: EntangledTransaction,
+        *,
+        retry: bool,
+        report: RunReport,
+        reason: str,
+    ) -> None:
+        """Roll back the storage transaction; retry or finalize.
+
+        Entanglement-group links are *not* removed here: the commit phase
+        needs them to see that an aborted member poisons its whole group
+        (widow prevention).  Links are cleaned up at the end of the run.
+        """
+        if txn.storage_txn is not None:
+            self.store.abort(txn.storage_txn)
+            if self.recorder is not None:
+                self.recorder.on_abort(txn.storage_txn)
+        if not retry:
+            txn.mark_aborted(reason)
+            report.aborted.append(txn.handle)
+            self._persist_pool_remove(txn.handle)
+            return
+        if txn.is_expired(self.clock.now):
+            self._finalize_timeout(txn, report)
+            return
+        txn.reset_for_retry()
+        self._dormant.append(txn.handle)
+        report.returned_to_pool.append(txn.handle)
+
+    def _finalize_timeout(self, txn: EntangledTransaction, report: RunReport) -> None:
+        txn.mark_timed_out()
+        report.timed_out.append(txn.handle)
+        self._persist_pool_remove(txn.handle)
+
+    # -- draining -----------------------------------------------------------------------------
+
+    def drain(self, max_runs: int = 10_000) -> list[RunReport]:
+        """Run until the dormant pool empties or stops making progress.
+
+        Transactions that can never find partners keep cycling dormant
+        until their timeouts expire; with no timeout they would cycle
+        forever, so when a full run commits nothing and returns everyone
+        to the pool, draining stops (the caller can inspect
+        :meth:`unfinished`).
+        """
+        reports = []
+        for _ in range(max_runs):
+            if not self._dormant:
+                break
+            before = set(self._dormant)
+            report = self.run_once()
+            reports.append(report)
+            after = set(self._dormant)
+            if before == after and not report.committed and not report.timed_out:
+                break
+        return reports
+
+    # -- model bridge ---------------------------------------------------------------------------
+
+    def recorded_schedule(self):
+        if self.recorder is None:
+            raise EngineError("engine was not configured with record_schedule")
+        return self.recorder.schedule()
+
+    def _observe_storage(self, storage_txn: int, kind: str, table: str) -> None:
+        if self.recorder is None:
+            return
+        if kind == "commit":
+            self.recorder.on_commit(storage_txn)
+            return
+        if kind == "abort":
+            self.recorder.on_abort(storage_txn)
+            return
+        if table.startswith("_youtopia"):
+            return  # middleware bookkeeping is not part of the model
+        if kind == "read":
+            self.recorder.on_read(storage_txn, table)
+        else:
+            self.recorder.on_write(storage_txn, table)
+
+
+class _EngineCostTap:
+    """Charges interpreter work to connection slots."""
+
+    def __init__(self, costs: CostModel, pool: ConnectionPool):
+        self.costs = costs
+        self.pool = pool
+        self._slots: dict[int, int] = {}
+
+    def assign_slot(self, txn: EntangledTransaction) -> None:
+        self._slots[txn.handle] = self.pool.charge(0.0)
+
+    def _slot(self, txn: EntangledTransaction) -> int:
+        if txn.handle not in self._slots:
+            self._slots[txn.handle] = self.pool.charge(0.0)
+        return self._slots[txn.handle]
+
+    def charge_statement(self, txn: EntangledTransaction, is_write: bool) -> None:
+        cost = (
+            self.costs.write_statement_cost
+            if is_write
+            else self.costs.statement_cost
+        )
+        self.pool.charge_slot(self._slot(txn), cost)
+
+    def charge_entangled_submit(self, txn: EntangledTransaction) -> None:
+        self.pool.charge_slot(self._slot(txn), self.costs.entangled_submit_cost)

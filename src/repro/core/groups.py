@@ -1,0 +1,95 @@
+"""Entanglement groups and the group-commit constraint (Sections 3.3.3, 3.4).
+
+"Widowed transactions can be avoided by enforcing group commits: if two
+transactions entangle, both must either commit or abort.  This pairwise
+requirement induces a requirement on groups of transactions that have
+entangled with each other directly or transitively: all transactions in
+such a group must either commit or abort."
+
+:class:`GroupTracker` maintains that transitive closure.  It stores the
+actual entanglement *edges* (not just a union-find) so that removing a
+transaction — when a failed attempt is reset for retry — removes exactly
+the links contributed by that transaction, including any bridging links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GroupTracker:
+    """Entanglement-edge store with transitive group queries."""
+
+    _members: set[int] = field(default_factory=set)
+    _edges: set[frozenset[int]] = field(default_factory=set)
+
+    def register(self, handle: int) -> None:
+        """Ensure a singleton group exists for ``handle``."""
+        self._members.add(handle)
+
+    def entangle(self, *handles: int) -> None:
+        """Record that these transactions entangled together (one
+        entanglement operation links all its participants pairwise)."""
+        for handle in handles:
+            self._members.add(handle)
+        ordered = sorted(handles)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if a != b:
+                    self._edges.add(frozenset((a, b)))
+
+    def group_of(self, handle: int) -> frozenset[int]:
+        """All transactions entangled directly or transitively with
+        ``handle``, including itself."""
+        if handle not in self._members:
+            return frozenset((handle,))
+        adjacency: dict[int, set[int]] = {m: set() for m in self._members}
+        for edge in self._edges:
+            a, b = tuple(edge)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        seen = {handle}
+        stack = [handle]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return frozenset(seen)
+
+    def same_group(self, a: int, b: int) -> bool:
+        return b in self.group_of(a)
+
+    def groups(self) -> list[frozenset[int]]:
+        """All groups (singletons included), sorted by smallest member."""
+        remaining = set(self._members)
+        out = []
+        while remaining:
+            seed = min(remaining)
+            group = self.group_of(seed)
+            out.append(group)
+            remaining -= group
+        return sorted(out, key=min)
+
+    def partners_of(self, handle: int) -> frozenset[int]:
+        """Directly entangled partners (one hop)."""
+        partners = set()
+        for edge in self._edges:
+            if handle in edge:
+                partners.update(edge - {handle})
+        return frozenset(partners)
+
+    def forget(self, handle: int) -> None:
+        """Drop a transaction and every link it contributed (retry reset)."""
+        self._members.discard(handle)
+        self._edges = {e for e in self._edges if handle not in e}
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All entanglement edges (for persistence), sorted."""
+        return sorted(tuple(sorted(e)) for e in self._edges)
+
+    def clear(self) -> None:
+        self._members.clear()
+        self._edges.clear()

@@ -1,0 +1,278 @@
+"""Interactive entangled transactions (the Section 4 extension).
+
+"Interactive transactions are created by users online, statement by
+statement.  Subsequent statements are constructed dynamically, based on
+the result of earlier operations.  An interactive user may be willing to
+wait a few minutes for his or her entangled query to find partners and
+return results.  If results are not forthcoming, then the user may
+decide to abort or issue another command.  This interactive model is
+suited, for example, to social games."
+
+The paper implements only the non-interactive model and leaves this as
+future work; we provide it as an extension.  An
+:class:`InteractiveSession` executes statements immediately as the user
+types them.  An entangled query does not block the client: it parks the
+session in a *waiting* state; :meth:`InteractiveBroker.match_round`
+evaluates all waiting queries together (the interactive analogue of a
+run's evaluation phase) and resumes sessions whose queries were
+answered.  An impatient user may :meth:`~InteractiveSession.cancel` the
+pending query and issue different statements instead — the paper's
+"decide to abort or issue another command".
+
+Interactive sessions commit individually but still respect widow
+prevention: a session that received entangled answers can only commit
+once every session it entangled with has also requested commit (the
+group-commit rule applied at the session granularity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.groups import GroupTracker
+from repro.entangled.answers import QueryAnswer
+from repro.entangled.evaluator import QueryOutcome, evaluate_batch
+from repro.errors import EngineError, MiddlewareError
+from repro.sql.ast import EntangledSelectStmt, SelectStmt, Statement
+from repro.sql.compiler import compile_entangled, compile_select
+from repro.sql.parser import parse_statement
+from repro.storage.engine import StorageEngine, WouldBlock
+from repro.storage.types import SQLValue
+
+
+class SessionState(enum.Enum):
+    OPEN = "open"
+    WAITING = "waiting"            # blocked on an entangled query
+    COMMIT_PENDING = "commit-pending"  # wants to commit, group not ready
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class StatementResult:
+    """What one interactive statement produced."""
+
+    rows: list[tuple["SQLValue | None", ...]] = field(default_factory=list)
+    pending: bool = False          # True when an entangled query now waits
+    answer: QueryAnswer | None = None
+
+
+class InteractiveSession:
+    """One user's statement-by-statement entangled transaction."""
+
+    def __init__(self, broker: "InteractiveBroker", session_id: int,
+                 client: str):
+        self.broker = broker
+        self.session_id = session_id
+        self.client = client
+        self.state = SessionState.OPEN
+        self.env: dict[str, "SQLValue | None"] = {}
+        self.storage_txn = broker.store.begin()
+        self._pending_stmt: EntangledSelectStmt | None = None
+        self._pending_query = None
+        self._query_counter = 0
+
+    # -- statement execution -------------------------------------------------------
+
+    def execute(self, sql: str) -> StatementResult:
+        """Execute one statement; entangled queries park the session."""
+        self._require(SessionState.OPEN)
+        stmt = parse_statement(sql)
+        return self._execute_parsed(stmt)
+
+    def _execute_parsed(self, stmt: Statement) -> StatementResult:
+        from repro.core.interpreter import _execute_classical
+        from repro.core.transaction import EntangledTransaction
+
+        if isinstance(stmt, EntangledSelectStmt):
+            self._query_counter += 1
+            query_id = f"s{self.session_id}q{self._query_counter}"
+            query = compile_entangled(
+                stmt, self.broker.store.db, self.env, query_id)
+            self._pending_stmt = stmt
+            self._pending_query = query
+            self.state = SessionState.WAITING
+            self.broker._enqueue(self)
+            return StatementResult(pending=True)
+
+        # Reuse the batch interpreter's classical execution by adapting
+        # the session into the transaction shape it expects.
+        carrier = EntangledTransaction(
+            handle=self.session_id, client=self.client,
+            program=_EMPTY_PROGRAM)
+        carrier.env = self.env
+        carrier.storage_txn = self.storage_txn
+        from repro.core.interpreter import NullCostTap
+
+        if isinstance(stmt, SelectStmt):
+            compiled = compile_select(stmt, self.broker.store.db, self.env)
+            rows = self.broker.store.query(self.storage_txn, compiled.plan)
+            first = rows[0] if rows else None
+            for var, index in compiled.bindings:
+                self.env[var] = None if first is None else first[index]
+            return StatementResult(rows=rows)
+        _execute_classical(carrier, stmt, self.broker.store, NullCostTap())
+        return StatementResult()
+
+    # -- waiting-state controls -------------------------------------------------------
+
+    @property
+    def waiting(self) -> bool:
+        return self.state is SessionState.WAITING
+
+    def cancel(self) -> None:
+        """Give up on the pending entangled query; the session stays open
+        and the user may issue other commands (paper: "the user may
+        decide to abort or issue another command")."""
+        self._require(SessionState.WAITING)
+        self.broker._dequeue(self)
+        self._pending_stmt = None
+        self._pending_query = None
+        self.state = SessionState.OPEN
+
+    def _deliver(self, answer: QueryAnswer | None) -> None:
+        assert self._pending_query is not None
+        if answer is not None:
+            for var, head_index, position in self._pending_query.var_bindings:
+                atom = answer.tuples[head_index]
+                self.env[var] = atom.values[position]
+        else:
+            for var, _h, _p in self._pending_query.var_bindings:
+                self.env[var] = None
+        self._pending_stmt = None
+        self._pending_query = None
+        self.state = SessionState.OPEN
+
+    # -- termination ------------------------------------------------------------------
+
+    def commit(self) -> bool:
+        """Request commit.  Returns True when committed now; False when
+        the session waits for its entanglement group (widow prevention)."""
+        self._require(SessionState.OPEN)
+        self.state = SessionState.COMMIT_PENDING
+        self.broker._try_group_commit(self)
+        return self.state is SessionState.COMMITTED
+
+    def abort(self) -> None:
+        if self.state in (SessionState.COMMITTED, SessionState.ABORTED):
+            raise MiddlewareError(
+                f"session {self.session_id} already {self.state.value}")
+        self.broker._dequeue(self)
+        self.broker.store.abort(self.storage_txn)
+        self.state = SessionState.ABORTED
+        self.broker._on_abort(self)
+
+    def _require(self, expected: SessionState) -> None:
+        if self.state is not expected:
+            raise MiddlewareError(
+                f"session {self.session_id} is {self.state.value}, "
+                f"needs {expected.value}")
+
+
+class InteractiveBroker:
+    """Coordinates entangled queries across interactive sessions."""
+
+    def __init__(self, store: StorageEngine | None = None):
+        self.store = store if store is not None else StorageEngine()
+        self.groups = GroupTracker()
+        self._sessions: dict[int, InteractiveSession] = {}
+        self._waiting: dict[int, InteractiveSession] = {}
+        self._next_id = 1
+
+    def open_session(self, client: str = "client") -> InteractiveSession:
+        session = InteractiveSession(self, self._next_id, client)
+        self._next_id += 1
+        self._sessions[session.session_id] = session
+        self.groups.register(session.session_id)
+        return session
+
+    # -- matching ---------------------------------------------------------------------
+
+    def match_round(self) -> int:
+        """Evaluate all waiting queries together; returns #answered.
+
+        The interactive analogue of a run's evaluation phase: queries
+        whose partners have arrived are answered and their sessions
+        resume; the rest keep waiting.
+        """
+        waiting = [s for s in self._waiting.values() if s.waiting]
+        if not waiting:
+            return 0
+        # Grounding read locks, exactly as the batch engine takes them.
+        evaluable = []
+        for session in waiting:
+            try:
+                for table in sorted(session._pending_query.database_relations()):
+                    self.store.lock_table_shared(session.storage_txn, table)
+            except WouldBlock:
+                continue
+            evaluable.append(session)
+        if not evaluable:
+            return 0
+        queries = [s._pending_query for s in evaluable]
+        result = evaluate_batch(queries, self.store.db)
+        answered = 0
+        by_query = {s._pending_query.query_id: s for s in evaluable}
+        # Entangled partners share a group for widow prevention.
+        components: dict[Any, list[int]] = {}
+        for qid in result.answered_ids():
+            session = by_query[qid]
+            grounding = result.match.chosen[qid]
+            for atom in grounding.heads:
+                components.setdefault(atom, []).append(session.session_id)
+        for qid, session in sorted(by_query.items()):
+            outcome = result.outcome(qid)
+            if outcome is QueryOutcome.ANSWERED:
+                grounding = result.match.chosen[qid]
+                for atom in grounding.postconditions:
+                    for provider in components.get(atom, ()):
+                        if provider != session.session_id:
+                            self.groups.entangle(session.session_id, provider)
+                session._deliver(result.answer(qid))
+                self._waiting.pop(session.session_id, None)
+                answered += 1
+            elif outcome is QueryOutcome.EMPTY:
+                session._deliver(None)
+                self._waiting.pop(session.session_id, None)
+                answered += 1
+        return answered
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _enqueue(self, session: InteractiveSession) -> None:
+        self._waiting[session.session_id] = session
+
+    def _dequeue(self, session: InteractiveSession) -> None:
+        self._waiting.pop(session.session_id, None)
+
+    def _try_group_commit(self, session: InteractiveSession) -> None:
+        """Commit the whole group once every member requested commit."""
+        group = self.groups.group_of(session.session_id)
+        members = [self._sessions[sid] for sid in sorted(group)
+                   if sid in self._sessions]
+        if not all(m.state is SessionState.COMMIT_PENDING for m in members):
+            return
+        for member in members:
+            self.store.commit(member.storage_txn)
+            member.state = SessionState.COMMITTED
+        for member in members:
+            self.groups.forget(member.session_id)
+
+    def _on_abort(self, session: InteractiveSession) -> None:
+        """Widow prevention: aborting a session aborts its whole group."""
+        group = self.groups.group_of(session.session_id) - {session.session_id}
+        self.groups.forget(session.session_id)
+        for sid in sorted(group):
+            member = self._sessions.get(sid)
+            if member is None or member.state in (
+                    SessionState.COMMITTED, SessionState.ABORTED):
+                continue
+            member.abort()
+
+
+# Adapter plumbing for reusing the batch interpreter.
+from repro.sql.ast import TransactionProgram as _TP
+
+_EMPTY_PROGRAM = _TP((), None)

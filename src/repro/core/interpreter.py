@@ -1,0 +1,213 @@
+"""Statement-by-statement interpreter for transaction programs.
+
+Executes a transaction's statements against the storage engine until the
+program blocks on an entangled query, rolls back, or completes.  Calls to
+evaluate an entangled query are blocking (Section 3.1): the interpreter
+compiles the query against the *current* host-variable environment —
+which is why a second entangled query can use values bound by the first,
+as in Figure 2 — and hands control back to the scheduler.
+
+All costs are charged to the supplied :class:`CostTap`, which the engine
+wires to the virtual clock's connection accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.entangled.answers import QueryAnswer
+from repro.errors import (
+    CompileError,
+    DeadlockError,
+    EngineError,
+    ReproError,
+    StorageError,
+    TransactionAborted,
+)
+from repro.sql.ast import (
+    DeleteStmt,
+    EntangledSelectStmt,
+    InsertStmt,
+    RollbackStmt,
+    SelectStmt,
+    SetStmt,
+    UpdateStmt,
+)
+from repro.sql.compiler import (
+    compile_delete,
+    compile_entangled,
+    compile_insert,
+    compile_select,
+    compile_update,
+    inline_hostvars,
+)
+from repro.storage.engine import StorageEngine, WouldBlock
+from repro.storage.expressions import is_satisfied
+from repro.core.transaction import EntangledTransaction
+
+
+class StepOutcome(enum.Enum):
+    """Why the interpreter returned control."""
+
+    BLOCKED_ON_QUERY = "blocked-on-query"
+    LOCK_BLOCKED = "lock-blocked"
+    ROLLED_BACK = "rolled-back"
+    DEADLOCKED = "deadlocked"
+    COMPLETED = "completed"
+
+
+class CostTap(Protocol):
+    """Receives virtual-time charges as the interpreter works."""
+
+    def charge_statement(self, txn: EntangledTransaction, is_write: bool) -> None:
+        ...  # pragma: no cover - protocol
+
+    def charge_entangled_submit(self, txn: EntangledTransaction) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class NullCostTap:
+    """Charges nothing (unit tests, interactive use)."""
+
+    def charge_statement(self, txn, is_write):
+        pass
+
+    def charge_entangled_submit(self, txn):
+        pass
+
+
+def run_until_block(
+    txn: EntangledTransaction,
+    store: StorageEngine,
+    costs: CostTap | None = None,
+    *,
+    autocommit: bool = False,
+) -> StepOutcome:
+    """Execute statements from ``txn.pc`` until a stopping point.
+
+    On BLOCKED_ON_QUERY the transaction's ``pending_query`` holds the
+    compiled IR; ``txn.pc`` still points at the entangled statement (it
+    advances on :meth:`~repro.core.transaction.EntangledTransaction.resume`).
+    On LOCK_BLOCKED the pc also stays on the blocked statement so the
+    scheduler can retry it after lock release.
+
+    With ``autocommit=True`` (the paper's non-transactional -Q workloads)
+    every classical statement commits its own storage transaction and a
+    fresh one is begun for the next statement.
+    """
+    costs = costs or NullCostTap()
+    if txn.storage_txn is None:
+        raise EngineError(f"transaction {txn.handle} has no storage transaction")
+    statements = txn.program.statements
+    while txn.pc < len(statements):
+        stmt = statements[txn.pc]
+        try:
+            if isinstance(stmt, EntangledSelectStmt):
+                txn.entangled_ordinal += 1
+                query = compile_entangled(stmt, store.db, txn.env, txn.query_id())
+                txn.block_on(stmt, query)
+                costs.charge_entangled_submit(txn)
+                return StepOutcome.BLOCKED_ON_QUERY
+            _execute_classical(txn, stmt, store, costs)
+        except WouldBlock:
+            txn.stats.lock_waits += 1
+            return StepOutcome.LOCK_BLOCKED
+        except DeadlockError:
+            txn.stats.deadlocks += 1
+            return StepOutcome.DEADLOCKED
+        except TransactionAborted as exc:
+            txn.abort_reason = exc.reason
+            return StepOutcome.ROLLED_BACK
+        except ReproError as exc:
+            # Statement failure (constraint violation, type error, missing
+            # table, ...): the transaction aborts, as "an error is thrown
+            # and must be handled by the application code" (Section 3.1).
+            txn.abort_reason = f"statement error: {exc}"
+            return StepOutcome.ROLLED_BACK
+        txn.pc += 1
+        txn.stats.statements_executed += 1
+        if autocommit:
+            store.commit(txn.storage_txn)
+            txn.storage_txn = store.begin()
+    return StepOutcome.COMPLETED
+
+
+def _execute_classical(
+    txn: EntangledTransaction,
+    stmt,
+    store: StorageEngine,
+    costs: CostTap,
+) -> None:
+    """Execute one classical statement; raises TransactionAborted for
+    ROLLBACK."""
+    assert txn.storage_txn is not None
+    if isinstance(stmt, RollbackStmt):
+        raise TransactionAborted("explicit ROLLBACK", reason="rollback")
+    if isinstance(stmt, SelectStmt):
+        compiled = compile_select(stmt, store.db, txn.env)
+        rows = store.query(txn.storage_txn, compiled.plan)
+        costs.charge_statement(txn, is_write=False)
+        first = rows[0] if rows else None
+        for var, index in compiled.bindings:
+            txn.env[var] = None if first is None else first[index]
+        return
+    if isinstance(stmt, InsertStmt):
+        compiled = compile_insert(stmt, store.db, txn.env)
+        store.insert(txn.storage_txn, compiled.table, list(compiled.values))
+        costs.charge_statement(txn, is_write=True)
+        return
+    if isinstance(stmt, UpdateStmt):
+        compiled = compile_update(stmt, store.db, txn.env)
+        schema = store.db.table(compiled.table).schema
+
+        def matches(row):
+            env = dict(zip(schema.column_names, row.values))
+            return is_satisfied(compiled.predicate, env)
+
+        def new_values(row):
+            env = dict(zip(schema.column_names, row.values))
+            out = list(row.values)
+            for column, expr in compiled.assignments:
+                out[schema.column_index(column)] = expr.eval(env)
+            return out
+
+        store.update_where(txn.storage_txn, compiled.table, matches, new_values)
+        costs.charge_statement(txn, is_write=True)
+        return
+    if isinstance(stmt, DeleteStmt):
+        compiled = compile_delete(stmt, store.db, txn.env)
+        schema = store.db.table(compiled.table).schema
+
+        def matches_delete(row):
+            env = dict(zip(schema.column_names, row.values))
+            return is_satisfied(compiled.predicate, env)
+
+        store.delete_where(txn.storage_txn, compiled.table, matches_delete)
+        costs.charge_statement(txn, is_write=True)
+        return
+    if isinstance(stmt, SetStmt):
+        value = inline_hostvars(stmt.expr, txn.env).eval({})
+        txn.env[f"@{stmt.var}"] = value
+        return
+    raise EngineError(f"unsupported statement type {type(stmt).__name__}")
+
+
+def deliver_answer(txn: EntangledTransaction, answer: QueryAnswer | None) -> None:
+    """Bind a received entangled answer into the host environment.
+
+    ``None`` models the Appendix-B "empty answer" success case: all ``AS
+    @var`` bindings become NULL and the transaction proceeds.
+    """
+    if txn.pending_query is None or txn.pending_stmt is None:
+        raise EngineError(f"transaction {txn.handle} has no pending query")
+    if answer is not None:
+        for var, head_index, position in txn.pending_query.var_bindings:
+            atom = answer.tuples[head_index]
+            txn.env[var] = atom.values[position]
+        txn.stats.entangled_queries_answered += 1
+    else:
+        for var, _head_index, _position in txn.pending_query.var_bindings:
+            txn.env[var] = None
+    txn.resume()

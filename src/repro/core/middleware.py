@@ -1,0 +1,154 @@
+"""The Youtopia-style client API (Section 5.1, Figure 5).
+
+"The prototype ... provides an API for clients to manage and query the
+database, with the added functionality of answering entangled queries and
+managing entangled transactions.  Youtopia users submit transactions
+(entangled and classical) through a front-end interface."
+
+:class:`Youtopia` is that front end: named clients submit SQL text (or
+parsed programs), poll status, and read results; classical read-only
+queries can be executed directly.  It owns an
+:class:`~repro.core.engine.EntangledTransactionEngine` and exposes the
+pieces a deployment needs (catalog setup, run control, crash/restart for
+tests and demos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.engine import (
+    EngineConfig,
+    EntangledTransactionEngine,
+    RunReport,
+)
+from repro.core.policies import ManualPolicy, RunPolicy
+from repro.core.recovery import EntangledRecoveryReport, recover_entangled
+from repro.core.transaction import TxnPhase
+from repro.errors import MiddlewareError
+from repro.sql.ast import SelectStmt, TransactionProgram
+from repro.sql.compiler import compile_select
+from repro.sql.parser import parse_statement
+from repro.storage.engine import StorageEngine
+from repro.storage.schema import TableSchema
+from repro.storage.types import SQLValue
+
+
+@dataclass
+class TransactionTicket:
+    """The client-visible view of a submitted transaction."""
+
+    handle: int
+    client: str
+    phase: TxnPhase
+    attempts: int
+    abort_reason: str
+
+    @property
+    def done(self) -> bool:
+        return self.phase.is_terminal
+
+    @property
+    def succeeded(self) -> bool:
+        return self.phase is TxnPhase.COMMITTED
+
+
+class Youtopia:
+    """The middle tier supporting entanglement, as a client-facing API."""
+
+    def __init__(
+        self,
+        store: StorageEngine | None = None,
+        config: EngineConfig | None = None,
+        policy: RunPolicy | None = None,
+    ):
+        self.engine = EntangledTransactionEngine(store, config, policy)
+
+    # -- catalog management ---------------------------------------------------------
+
+    @property
+    def store(self) -> StorageEngine:
+        return self.engine.store
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.store.create_table(schema)
+
+    def load(self, table: str, rows: Iterable[Sequence]) -> int:
+        return self.store.load(table, rows)
+
+    # -- transaction submission --------------------------------------------------------
+
+    def submit(
+        self,
+        program: str | TransactionProgram,
+        client: str = "client",
+        at: float | None = None,
+    ) -> int:
+        """Submit an entangled or classical transaction; returns a handle."""
+        return self.engine.submit(program, client=client, at=at)
+
+    def ticket(self, handle: int) -> TransactionTicket:
+        txn = self.engine.transaction(handle)
+        return TransactionTicket(
+            handle=txn.handle,
+            client=txn.client,
+            phase=txn.phase,
+            attempts=txn.stats.attempts,
+            abort_reason=txn.abort_reason,
+        )
+
+    def host_variables(self, handle: int) -> dict[str, "SQLValue | None"]:
+        """The final host-variable environment of a committed transaction
+        (what the client's ``AS @var`` bindings captured)."""
+        txn = self.engine.transaction(handle)
+        if txn.phase is not TxnPhase.COMMITTED:
+            raise MiddlewareError(
+                f"transaction {handle} is {txn.phase.value}, not committed"
+            )
+        return dict(txn.env)
+
+    # -- run control --------------------------------------------------------------------
+
+    def run_once(self) -> RunReport:
+        return self.engine.run_once()
+
+    def tick(self) -> RunReport | None:
+        return self.engine.tick()
+
+    def drain(self, max_runs: int = 10_000) -> list[RunReport]:
+        return self.engine.drain(max_runs)
+
+    # -- direct (auto-commit) queries ------------------------------------------------------
+
+    def query(self, sql: str) -> list[tuple["SQLValue | None", ...]]:
+        """Execute a read-only classical SELECT in its own transaction."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise MiddlewareError("Youtopia.query only accepts SELECT")
+        compiled = compile_select(stmt, self.store.db, {})
+        txn = self.store.begin()
+        try:
+            return self.store.query(txn, compiled.plan)
+        finally:
+            self.store.commit(txn)
+
+    # -- crash / restart (for demos and tests) ---------------------------------------------
+
+    def crash_and_recover(
+        self,
+        config: EngineConfig | None = None,
+        policy: RunPolicy | None = None,
+    ) -> tuple["Youtopia", EntangledRecoveryReport]:
+        """Simulate a crash and entanglement-aware restart.
+
+        Returns a new :class:`Youtopia` over the recovered database plus
+        the recovery report; the old instance must not be used afterwards.
+        """
+        crashed = self.store.crash()
+        engine, report = recover_entangled(
+            crashed, config or self.engine.config, policy
+        )
+        replacement = Youtopia.__new__(Youtopia)
+        replacement.engine = engine
+        return replacement, report

@@ -1,0 +1,83 @@
+"""Bridge from the execution engine to the formal model.
+
+The engine can record every data operation it performs as a formal-model
+schedule (Appendix C.1): normal reads and writes at table granularity,
+grounding reads during entangled-query evaluation, entanglement
+operations with their delivered answers, and commit/abort terminals.
+
+Each *attempt* of an entangled transaction is recorded as its own model
+transaction — identified by its storage-transaction id, which is unique
+per attempt — because the model requires exactly one terminal operation
+per transaction, and a retried transaction aborts its first attempt
+before starting another.
+
+Tests use the recorder to assert system-level guarantees mechanically:
+schedules produced under full isolation are entangled-isolated
+(Definition C.5) and therefore oracle-serializable (Theorem 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.ops import A, C, E, Op, R, RG, W
+from repro.model.schedule import Schedule
+
+
+@dataclass
+class ScheduleRecorder:
+    """Accumulates model operations in engine execution order."""
+
+    ops: list[Op] = field(default_factory=list)
+    _next_eid: int = 1
+    #: storage txns that performed at least one op (for trimming).
+    _touched: set[int] = field(default_factory=set)
+    _terminated: set[int] = field(default_factory=set)
+
+    def on_read(self, storage_txn: int, table: str) -> None:
+        self.ops.append(R(storage_txn, table))
+        self._touched.add(storage_txn)
+
+    def on_write(self, storage_txn: int, table: str) -> None:
+        self.ops.append(W(storage_txn, table))
+        self._touched.add(storage_txn)
+
+    def on_grounding_read(self, storage_txn: int, table: str) -> None:
+        self.ops.append(RG(storage_txn, table))
+        self._touched.add(storage_txn)
+
+    def on_entangle(
+        self, participants: dict[int, Any]
+    ) -> int:
+        """Record an entanglement; ``participants`` maps storage txn ->
+        delivered answer payload.  Returns the entanglement id."""
+        eid = self._next_eid
+        self._next_eid += 1
+        self.ops.append(E(eid, *participants.keys(), answers=participants))
+        self._touched.update(participants.keys())
+        return eid
+
+    def on_commit(self, storage_txn: int) -> None:
+        if storage_txn not in self._terminated:
+            self.ops.append(C(storage_txn))
+            self._terminated.add(storage_txn)
+            self._touched.add(storage_txn)
+
+    def on_abort(self, storage_txn: int) -> None:
+        if storage_txn not in self._terminated:
+            self.ops.append(A(storage_txn))
+            self._terminated.add(storage_txn)
+            self._touched.add(storage_txn)
+
+    def schedule(self) -> Schedule:
+        """The recorded schedule, validated against Appendix C.1.
+
+        Transactions still in flight (no terminal yet) are closed with an
+        abort, mirroring how a crash would resolve them; this keeps the
+        history complete as the model requires.
+        """
+        ops = list(self.ops)
+        for txn in sorted(self._touched - self._terminated):
+            ops.append(A(txn))
+        return Schedule(tuple(ops))

@@ -1,0 +1,61 @@
+"""Entangled queries: the building block of entangled transactions.
+
+Implements the mechanism of Gupta et al., "Entangled queries: enabling
+declarative data-driven coordination" (SIGMOD 2011), as summarized in
+Section 2 and Appendix A of the entangled-transactions paper: the
+Datalog-like intermediate representation ``{C} H <- B``, groundings and
+valuations, the coordinating-set search, safety analysis, and the
+success/failure classification of Appendix B.
+"""
+
+from repro.entangled.answers import (
+    AnswerRelationSet,
+    AnswerTuple,
+    GroundAtom,
+    QueryAnswer,
+)
+from repro.entangled.evaluator import (
+    EvaluationResult,
+    QueryOutcome,
+    evaluate_batch,
+)
+from repro.entangled.grounding import Grounding, compile_body, ground
+from repro.entangled.ir import (
+    Atom,
+    EntangledQuery,
+    Term,
+    Val,
+    Var,
+    check_arity_consistency,
+)
+from repro.entangled.matching import (
+    MatchResult,
+    find_coordinating_set,
+    prune_unsupported,
+)
+from repro.entangled.safety import SafetyReport, analyze, assert_safe
+
+__all__ = [
+    "AnswerRelationSet",
+    "AnswerTuple",
+    "Atom",
+    "EntangledQuery",
+    "EvaluationResult",
+    "GroundAtom",
+    "Grounding",
+    "MatchResult",
+    "QueryAnswer",
+    "QueryOutcome",
+    "SafetyReport",
+    "Term",
+    "Val",
+    "Var",
+    "analyze",
+    "assert_safe",
+    "check_arity_consistency",
+    "compile_body",
+    "evaluate_batch",
+    "find_coordinating_set",
+    "ground",
+    "prune_unsupported",
+]

@@ -1,0 +1,246 @@
+"""Valuations and groundings of entangled queries (Appendix A).
+
+"If q is a query in the intermediate representation and the current
+database is D, a valuation is simply an assignment of a value from D to
+each variable of q.  Every valuation of a query is associated with a
+grounding, which is q itself with the variables replaced by constants."
+
+Grounding evaluates the body ``B`` — the portion of the WHERE clause that
+does not refer to ANSWER relations — against the database.  We compile the
+body atoms into a select-project-join query over the storage layer and
+read each result row as a valuation.  The bodies of groundings are
+discarded afterwards, exactly as in Figure 7(b).
+
+The tables touched during grounding are reported to an observer: those are
+the *grounding reads* (``RG``) of the formal model, which induce
+quasi-reads on entanglement partners (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.entangled.answers import GroundAtom
+from repro.entangled.ir import Atom, EntangledQuery, Val, Var
+from repro.errors import EntangledQueryError
+from repro.storage.expressions import And, Cmp, CmpOp, Col, Const, Expr, conjoin
+from repro.storage.query import SPJQuery, TableProvider, TableRef, evaluate
+from repro.storage.types import SQLValue
+
+
+@dataclass(frozen=True)
+class Grounding:
+    """A grounding of one query: its valuation plus instantiated H and C.
+
+    Ground atoms are hashable, so matching can index them directly.
+    """
+
+    query_id: str
+    valuation: tuple[tuple[str, "SQLValue | None"], ...]
+    heads: tuple[GroundAtom, ...]
+    postconditions: tuple[GroundAtom, ...]
+
+    def valuation_dict(self) -> dict[str, "SQLValue | None"]:
+        return dict(self.valuation)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        c = ", ".join(str(a) for a in self.postconditions)
+        h = " ∧ ".join(str(a) for a in self.heads)
+        return f"{{{c}}} {h}"
+
+
+def compile_body(query: EntangledQuery) -> SPJQuery:
+    """Compile the body atoms + residual predicate into an SPJ plan.
+
+    Each body atom becomes a FROM item with alias ``_b<i>``; constant terms
+    become equality conjuncts, repeated variables become join conjuncts,
+    and each variable is selected once (first occurrence wins).
+    """
+    if not query.body_atoms:
+        raise EntangledQueryError(
+            f"query {query.query_id!r} has an empty body; grounding "
+            f"requires at least one database atom"
+        )
+    tables = []
+    conjuncts: list[Expr] = []
+    first_occurrence: dict[str, Col] = {}
+    for i, atom in enumerate(query.body_atoms):
+        alias = f"_b{i}"
+        tables.append(TableRef(atom.relation, alias))
+        for position, term in enumerate(atom.terms):
+            column = Col(f"{alias}.__col{position}")
+            if isinstance(term, Val):
+                conjuncts.append(Cmp(CmpOp.EQ, column, Const(term.value)))
+            else:
+                if term.name in first_occurrence:
+                    conjuncts.append(
+                        Cmp(CmpOp.EQ, column, first_occurrence[term.name])
+                    )
+                else:
+                    first_occurrence[term.name] = column
+    if query.body_predicate is not None:
+        conjuncts.append(_rewrite_vars(query.body_predicate, first_occurrence))
+    variables = sorted(first_occurrence)
+    return SPJQuery(
+        tables=tuple(tables),
+        select=tuple(first_occurrence[v] for v in variables),
+        select_names=tuple(variables),
+        where=conjoin(conjuncts),
+        distinct=True,
+    )
+
+
+def _rewrite_vars(expr: Expr, mapping: Mapping[str, Col]) -> Expr:
+    """Replace variable references in the residual predicate with the
+    positional columns chosen by :func:`compile_body`."""
+    from repro.storage.expressions import (
+        Arith,
+        InList,
+        IsNull,
+        Not,
+        Or,
+        substitute,
+    )
+
+    if isinstance(expr, Col):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _rewrite_vars(expr.left, mapping), _rewrite_vars(expr.right, mapping))
+    if isinstance(expr, And):
+        return And(_rewrite_vars(expr.left, mapping), _rewrite_vars(expr.right, mapping))
+    if isinstance(expr, Or):
+        return Or(_rewrite_vars(expr.left, mapping), _rewrite_vars(expr.right, mapping))
+    if isinstance(expr, Not):
+        return Not(_rewrite_vars(expr.operand, mapping))
+    if isinstance(expr, IsNull):
+        return IsNull(_rewrite_vars(expr.operand, mapping), expr.negated)
+    if isinstance(expr, Arith):
+        return Arith(expr.op, _rewrite_vars(expr.left, mapping), _rewrite_vars(expr.right, mapping))
+    if isinstance(expr, InList):
+        return InList(
+            _rewrite_vars(expr.operand, mapping),
+            tuple(_rewrite_vars(o, mapping) for o in expr.options),
+        )
+    raise EntangledQueryError(f"unsupported body predicate node {type(expr).__name__}")
+
+
+class _PositionalView:
+    """Expose a table provider whose column names are ``__col<i>``.
+
+    The IR is positional (atoms don't know column names), so the compiled
+    body refers to columns by position; this adapter maps those names back
+    to the real table columns.
+    """
+
+    def __init__(self, provider: TableProvider):
+        self._provider = provider
+
+    def table(self, name: str):
+        real = self._provider.table(name)
+        return _PositionalTable(real)
+
+
+class _PositionalTable:
+    """A read-only positional facade over a storage table."""
+
+    def __init__(self, table):
+        self._table = table
+        schema = table.schema
+        # Positional alias schema reusing the real schema object is not
+        # possible (frozen dataclass); we translate names on access instead.
+        self.schema = _PositionalSchema(schema)
+
+    def scan(self):
+        return self._table.scan()
+
+    def lookup_pk(self, key):
+        return self._table.lookup_pk(key)
+
+    def lookup_index(self, column_names, key):
+        real_names = [self.schema.real_name(c) for c in column_names]
+        return self._table.lookup_index(real_names, key)
+
+
+class _PositionalSchema:
+    """Schema facade translating ``__col<i>`` names to real columns."""
+
+    def __init__(self, schema):
+        self._schema = schema
+        self.primary_key = tuple(
+            f"__col{schema.column_index(c)}" for c in schema.primary_key
+        )
+        self.indexes = tuple(
+            tuple(f"__col{schema.column_index(c)}" for c in ix)
+            for ix in schema.indexes
+        )
+        self.column_names = tuple(f"__col{i}" for i in range(schema.arity))
+
+    def real_name(self, positional: str) -> str:
+        index = int(positional.removeprefix("__col"))
+        return self._schema.columns[index].name
+
+    def column_index(self, name: str) -> int:
+        return int(name.removeprefix("__col"))
+
+    def has_column(self, name: str) -> bool:
+        if not name.startswith("__col"):
+            return False
+        try:
+            return 0 <= int(name.removeprefix("__col")) < self._schema.arity
+        except ValueError:
+            return False
+
+
+def ground(
+    query: EntangledQuery,
+    provider: TableProvider,
+    *,
+    params: Mapping[str, "SQLValue | None"] | None = None,
+    read_observer: Callable[[str], None] | None = None,
+) -> list[Grounding]:
+    """Compute all groundings of ``query`` on the current database.
+
+    ``params`` supplies host-variable values referenced by the body
+    predicate (``@var``).  ``read_observer`` receives each database table
+    read — the grounding reads of the formal model.
+
+    Groundings are returned in a deterministic (sorted) order, which makes
+    the whole evaluation pipeline deterministic as Appendix C.1 assumes.
+    """
+    plan = compile_body(query)
+    rows = evaluate(
+        plan,
+        _PositionalView(provider),
+        params=params,
+        read_observer=read_observer,
+    )
+    names = plan.select_names
+    groundings = []
+    for row in rows:
+        valuation = dict(zip(names, row))
+        if params:
+            # Host variables may appear in heads/postconditions as Vars too.
+            for key, value in params.items():
+                valuation.setdefault(key, value)
+        groundings.append(
+            Grounding(
+                query_id=query.query_id,
+                valuation=tuple(sorted(valuation.items())),
+                heads=tuple(a.ground(valuation) for a in query.heads),
+                postconditions=tuple(
+                    a.ground(valuation) for a in query.postconditions
+                ),
+            )
+        )
+    groundings.sort(key=_grounding_key)
+    return groundings
+
+
+def _grounding_key(grounding: Grounding):
+    return tuple(
+        (name, type(value).__name__, str(value))
+        for name, value in grounding.valuation
+    )

@@ -1,0 +1,248 @@
+"""Coordinating-set search over groundings (Appendix A, "Finding the answers").
+
+Evaluation "is a search for a subset G' ⊆ G such that G' contains at most
+one grounding of each query and the groundings in G' can all mutually
+satisfy each other's postconditions" — i.e. the union of the chosen heads
+contains every chosen postcondition.
+
+The search proceeds in three phases:
+
+1. **Support pruning** (arc-consistency): discard groundings with a
+   postcondition atom no remaining grounding can supply.  A grounding of
+   query *q* may be supported by its own heads or by groundings of any
+   query other than *q* (two groundings of the same query can never be
+   chosen together, because of CHOOSE 1).
+2. **Component split**: queries are partitioned by potential support
+   links; each connected component is solved independently.
+3. **Exact backtracking per component**, maximizing the number of answered
+   queries with deterministic tie-breaking (query-id order, then grounding
+   order).  A node budget guards against pathological inputs; when
+   exceeded, a deterministic greedy pass over the pruned groundings is
+   used instead.
+
+Everything is deterministic: the same queries on the same database always
+produce the same coordinating set (the determinism assumption of Appendix
+C.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.entangled.answers import AnswerRelationSet, GroundAtom
+from repro.entangled.grounding import Grounding
+
+
+@dataclass
+class MatchResult:
+    """Outcome of a coordinating-set search.
+
+    Attributes:
+        chosen: query id -> its chosen grounding (answered queries only).
+        answers: the materialized ANSWER relations (union of chosen heads).
+        search_nodes: backtracking nodes explored (for benchmarks).
+        used_greedy_fallback: True when the node budget was exhausted.
+    """
+
+    chosen: dict[str, Grounding] = field(default_factory=dict)
+    answers: AnswerRelationSet = field(default_factory=AnswerRelationSet)
+    search_nodes: int = 0
+    used_greedy_fallback: bool = False
+
+    def answered(self) -> set[str]:
+        return set(self.chosen)
+
+    def is_valid(self) -> bool:
+        """Re-check the mutual-satisfaction property (used by tests)."""
+        heads: set[GroundAtom] = set()
+        for grounding in self.chosen.values():
+            heads.update(grounding.heads)
+        for grounding in self.chosen.values():
+            if not all(atom in heads for atom in grounding.postconditions):
+                return False
+        return True
+
+
+def prune_unsupported(
+    groundings_by_query: Mapping[str, Sequence[Grounding]],
+) -> dict[str, list[Grounding]]:
+    """Iteratively remove groundings with unsatisfiable postconditions.
+
+    Greatest-fixpoint computation: keep a grounding only while every one
+    of its postcondition atoms is offered by itself or by some surviving
+    grounding of a *different* query.
+    """
+    surviving: dict[str, list[Grounding]] = {
+        qid: list(gs) for qid, gs in groundings_by_query.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        # Atom -> set of query ids offering it among surviving groundings.
+        offers: dict[GroundAtom, set[str]] = defaultdict(set)
+        for qid, groundings in surviving.items():
+            for grounding in groundings:
+                for atom in grounding.heads:
+                    offers[atom].add(qid)
+        for qid in sorted(surviving):
+            kept = []
+            for grounding in surviving[qid]:
+                own_heads = set(grounding.heads)
+                ok = True
+                for atom in grounding.postconditions:
+                    if atom in own_heads:
+                        continue
+                    if offers.get(atom, set()) - {qid}:
+                        continue
+                    ok = False
+                    break
+                if ok:
+                    kept.append(grounding)
+                else:
+                    changed = True
+            surviving[qid] = kept
+    return surviving
+
+
+def _components(
+    surviving: Mapping[str, Sequence[Grounding]],
+) -> list[list[str]]:
+    """Partition query ids into support-connected components."""
+    heads_of: dict[str, set[GroundAtom]] = {}
+    posts_of: dict[str, set[GroundAtom]] = {}
+    for qid, groundings in surviving.items():
+        heads_of[qid] = {a for g in groundings for a in g.heads}
+        posts_of[qid] = {a for g in groundings for a in g.postconditions}
+
+    adjacency: dict[str, set[str]] = {qid: set() for qid in surviving}
+    by_head: dict[GroundAtom, set[str]] = defaultdict(set)
+    for qid, heads in heads_of.items():
+        for atom in heads:
+            by_head[atom].add(qid)
+    for qid, posts in posts_of.items():
+        for atom in posts:
+            for other in by_head.get(atom, ()):
+                if other != qid:
+                    adjacency[qid].add(other)
+                    adjacency[other].add(qid)
+
+    seen: set[str] = set()
+    components: list[list[str]] = []
+    for qid in sorted(surviving):
+        if qid in seen:
+            continue
+        stack, component = [qid], []
+        seen.add(qid)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in sorted(adjacency[node]):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+def _solve_component(
+    component: Sequence[str],
+    surviving: Mapping[str, Sequence[Grounding]],
+    node_budget: int,
+) -> tuple[dict[str, Grounding], int, bool]:
+    """Exact search for the best selection within one component.
+
+    Returns (best selection, nodes used, fell_back).  "Best" = answers the
+    most queries; ties broken by preferring earlier groundings for earlier
+    query ids (both orders are deterministic).
+    """
+    order = sorted(component)
+    best: dict[str, Grounding] = {}
+    nodes = 0
+    fell_back = False
+
+    def satisfied(selection: dict[str, Grounding]) -> bool:
+        heads: set[GroundAtom] = set()
+        for grounding in selection.values():
+            heads.update(grounding.heads)
+        return all(
+            atom in heads
+            for grounding in selection.values()
+            for atom in grounding.postconditions
+        )
+
+    def recurse(index: int, selection: dict[str, Grounding]) -> None:
+        nonlocal best, nodes, fell_back
+        if fell_back:
+            return
+        nodes += 1
+        if nodes > node_budget:
+            fell_back = True
+            return
+        if index == len(order):
+            if satisfied(selection) and len(selection) > len(best):
+                best = dict(selection)
+            return
+        # Upper-bound prune: even answering everyone left can't beat best.
+        if len(selection) + (len(order) - index) <= len(best):
+            return
+        qid = order[index]
+        for grounding in surviving[qid]:
+            selection[qid] = grounding
+            recurse(index + 1, selection)
+            del selection[qid]
+        # Also try leaving this query unanswered.
+        recurse(index + 1, selection)
+
+    recurse(0, {})
+    if fell_back:
+        greedy = _greedy_component(order, surviving)
+        if len(greedy) > len(best):
+            best = greedy
+    return best, nodes, fell_back
+
+
+def _greedy_component(
+    order: Sequence[str],
+    surviving: Mapping[str, Sequence[Grounding]],
+) -> dict[str, Grounding]:
+    """Deterministic greedy fallback: take each query's first grounding,
+    then repeatedly drop members whose postconditions are unmet."""
+    selection = {
+        qid: surviving[qid][0] for qid in order if surviving[qid]
+    }
+    while True:
+        heads: set[GroundAtom] = set()
+        for grounding in selection.values():
+            heads.update(grounding.heads)
+        bad = [
+            qid
+            for qid, grounding in sorted(selection.items())
+            if not all(atom in heads for atom in grounding.postconditions)
+        ]
+        if not bad:
+            return selection
+        del selection[bad[0]]
+
+
+def find_coordinating_set(
+    groundings_by_query: Mapping[str, Sequence[Grounding]],
+    *,
+    node_budget: int = 200_000,
+) -> MatchResult:
+    """Find a maximum coordinating set over the given groundings."""
+    result = MatchResult()
+    surviving = prune_unsupported(groundings_by_query)
+    for component in _components(surviving):
+        if not any(surviving[qid] for qid in component):
+            continue
+        selection, nodes, fell_back = _solve_component(
+            component, surviving, node_budget
+        )
+        result.search_nodes += nodes
+        result.used_greedy_fallback |= fell_back
+        result.chosen.update(selection)
+    for grounding in result.chosen.values():
+        result.answers.add_all(grounding.heads)
+    return result

@@ -1,0 +1,126 @@
+"""Safety analysis for entangled query batches.
+
+The paper treats safety as a property inherited from the entangled-queries
+work [6]: "the algorithm in [6] requires all query sets to satisfy a
+property called safety, and queries that directly cause safety violations
+are not answered" (Appendix A).  The defining requirement stated in
+Appendix B is that the success/failure criterion "should be independent of
+the underlying database".
+
+We implement safety as the following database-independent checks, each of
+which the evaluator applies before touching any data:
+
+1. **Range restriction** — every head/postcondition variable occurs in the
+   body (enforced at IR construction).
+2. **Arity consistency** — an ANSWER relation must be used with a single
+   arity across the batch (violations raise; they poison the batch).
+3. **Template matchability (fixpoint)** — for each query, every
+   postcondition atom must unify (template level: relation, arity,
+   constant positions) with the head atom of some query that *itself
+   survives the same check*.  The transitive closure matters: in a ring
+   of queries, all are matchable only when the whole ring is present.
+   Own heads count only when template-identical to the postcondition
+   (CHOOSE 1 contributes a single grounding's heads, so merely-unifiable
+   own templates cannot self-feed).  Queries failing this cannot
+   participate in any combined query, so per Appendix B they *fail* and
+   their transactions must wait — a database-independent criterion, as
+   the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.entangled.ir import Atom, EntangledQuery, check_arity_consistency
+from repro.errors import SafetyViolationError
+
+
+@dataclass
+class SafetyReport:
+    """Classification of a batch before evaluation.
+
+    Attributes:
+        matchable: queries for which a combined query can be formulated
+            (every postcondition template-unifies with some head in the
+            batch) — these proceed to grounding/matching.
+        unmatchable: queries with at least one postcondition no head in the
+            batch can unify with — per Appendix B these have *failed* and
+            their transactions must wait for partners.
+        unsafe: queries rejected by the safety rules (arity inconsistency
+            is raised instead, as it poisons the whole batch; self-loops
+            land here).
+    """
+
+    matchable: list[str] = field(default_factory=list)
+    unmatchable: list[str] = field(default_factory=list)
+    unsafe: list[str] = field(default_factory=list)
+
+
+def analyze(queries: Sequence[EntangledQuery]) -> SafetyReport:
+    """Run the safety analysis over a batch of queries.
+
+    Raises :class:`SafetyViolationError` for batch-poisoning violations
+    (ANSWER arity clashes).  Individual self-loop queries are quarantined
+    in ``unsafe`` rather than failing the batch.
+    """
+    try:
+        check_arity_consistency(queries)
+    except Exception as exc:
+        raise SafetyViolationError(str(exc)) from exc
+
+    report = SafetyReport()
+
+    # Matchability is a *fixpoint*: a combined query including q exists
+    # only when every postcondition of q unifies with the head of a query
+    # that itself survives — dependencies are transitive (a ring of
+    # queries is only matchable when the whole ring is present).  Start
+    # from all queries and iteratively drop unsupported ones.
+    #
+    # Self-support subtlety: because of CHOOSE 1, a query contributes the
+    # heads of a *single* grounding.  Its own head can therefore feed a
+    # postcondition only when the two atoms are template-identical (then
+    # any grounding self-satisfies trivially).  Merely *unifiable* own
+    # templates — e.g. head (me, ?partner) against postcondition
+    # (?partner, me) — would require a second grounding and must not
+    # count; such queries wait for a real partner.
+    surviving: dict[str, EntangledQuery] = {q.query_id: q for q in queries}
+    changed = True
+    while changed:
+        changed = False
+        for qid in sorted(surviving):
+            query = surviving[qid]
+            for post in query.postconditions:
+                supported = any(
+                    post.unifies_with(h)
+                    for other_id, other in surviving.items()
+                    if other_id != qid
+                    for h in other.heads
+                ) or any(post == h for h in query.heads)
+                if not supported:
+                    del surviving[qid]
+                    changed = True
+                    break
+
+    for query in queries:
+        if query.query_id in surviving:
+            report.matchable.append(query.query_id)
+        else:
+            report.unmatchable.append(query.query_id)
+    return report
+
+
+def assert_safe(queries: Sequence[EntangledQuery]) -> SafetyReport:
+    """Like :func:`analyze` but raises if any query is unsafe.
+
+    With the current rules the only batch-poisoning violation is ANSWER
+    arity inconsistency, which :func:`analyze` already raises for; the
+    ``unsafe`` bucket is retained for future rules (e.g. the full
+    combined-query termination analysis of [6]).
+    """
+    report = analyze(queries)
+    if report.unsafe:
+        raise SafetyViolationError(
+            f"queries {report.unsafe} violate safety"
+        )
+    return report

@@ -1,0 +1,190 @@
+"""Exception hierarchy for the entangled-transactions reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without also catching programming errors.
+The hierarchy mirrors the layering of the system: storage errors, SQL
+frontend errors, entangled-query evaluation errors, formal-model errors, and
+execution-engine errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the storage engine."""
+
+
+class SchemaError(StorageError):
+    """A schema definition or schema usage is invalid."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not match the declared column type."""
+
+
+class UnknownTableError(StorageError):
+    """A referenced table does not exist in the catalog."""
+
+
+class UnknownColumnError(StorageError):
+    """A referenced column does not exist in a table schema."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert violates a primary-key or unique constraint."""
+
+
+class IntegrityError(StorageError):
+    """A declared integrity constraint would be violated."""
+
+
+class TransactionStateError(StorageError):
+    """A transactional operation was used in an illegal state."""
+
+
+class LockError(StorageError):
+    """Base class for lock-manager failures."""
+
+
+class DeadlockError(LockError):
+    """The waits-for graph contains a cycle involving the requester."""
+
+
+class LockTimeoutError(LockError):
+    """A lock request could not be granted within its budget."""
+
+
+class LockUpgradeError(LockError):
+    """An illegal lock conversion was requested."""
+
+
+class WALError(StorageError):
+    """The write-ahead log was used incorrectly or is corrupt."""
+
+
+class RecoveryError(StorageError):
+    """Restart recovery could not bring the database to a clean state."""
+
+
+# ---------------------------------------------------------------------------
+# SQL frontend
+# ---------------------------------------------------------------------------
+
+
+class SQLError(ReproError):
+    """Base class for SQL frontend failures."""
+
+
+class LexError(SQLError):
+    """The tokenizer met an unexpected character."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The parser met an unexpected token."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class CompileError(SQLError):
+    """A parsed statement could not be compiled against the catalog."""
+
+
+# ---------------------------------------------------------------------------
+# Entangled queries
+# ---------------------------------------------------------------------------
+
+
+class EntangledQueryError(ReproError):
+    """Base class for entangled-query evaluation failures."""
+
+
+class RangeRestrictionError(EntangledQueryError):
+    """A head or postcondition variable does not appear in the body.
+
+    The intermediate representation requires range restriction (Appendix A
+    of the paper): every variable of ``H`` or ``C`` must occur in ``B``.
+    """
+
+
+class SafetyViolationError(EntangledQueryError):
+    """The query set violates the safety property of the evaluation
+    algorithm and must not be answered (Appendix A / B)."""
+
+
+class AnswerRelationError(EntangledQueryError):
+    """An ANSWER relation was used inconsistently (arity/name clashes)."""
+
+
+# ---------------------------------------------------------------------------
+# Formal model
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for formal-model failures."""
+
+
+class InvalidScheduleError(ModelError):
+    """A schedule violates the validity constraints of Appendix C.1."""
+
+
+class OracleError(ModelError):
+    """An oracle was constructed or used incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# Execution engine
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine failures."""
+
+
+class TransactionAborted(EngineError):
+    """Raised inside a transaction program when the engine aborts it."""
+
+    def __init__(self, message: str = "transaction aborted", *, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason or message
+
+
+class EntanglementTimeout(EngineError):
+    """An entangled transaction exceeded its WITH TIMEOUT budget while
+    waiting for partners (Section 3.1)."""
+
+
+class GroupCommitViolation(EngineError):
+    """A commit/abort decision would break the group-commit invariant."""
+
+
+class MiddlewareError(EngineError):
+    """The middle tier was used incorrectly (unknown handles, etc.)."""
+
+
+# ---------------------------------------------------------------------------
+# Workloads / bench
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""
+
+
+class BenchError(ReproError):
+    """A benchmark harness failure."""

@@ -1,0 +1,113 @@
+"""The formal model of entangled transactions (Section 3 + Appendix C).
+
+Schedules with grounding reads, quasi-reads and entanglement operations;
+validity constraints; conflict graphs; the entangled anomalies (widowed
+transactions, unrepeatable quasi-reads); anomaly-based entangled isolation
+and its relaxed levels; query oracles; oracle-serializability; and a
+mechanical checker for Theorem 3.6.
+"""
+
+from repro.model.anomalies import (
+    Anomaly,
+    AnomalyKind,
+    find_all_anomalies,
+    find_conflict_cycles,
+    find_dirty_reads,
+    find_read_from_aborted,
+    find_unrepeatable_quasi_reads,
+    find_unrepeatable_reads,
+    find_widowed_transactions,
+)
+from repro.model.conflicts import (
+    ConflictEdge,
+    conflict_edges,
+    conflict_graph,
+    find_cycle,
+    has_cycle,
+    topological_orders,
+)
+from repro.model.executor import (
+    ExecutionResult,
+    SerialExecutionResult,
+    default_write_fn,
+    execute_schedule,
+    execute_serialized,
+)
+from repro.model.isolation import (
+    IsolationCheck,
+    IsolationLevel,
+    Requirement,
+    check_isolation,
+    is_entangled_isolated,
+)
+from repro.model.ops import A, C, E, O, Op, OpKind, R, RG, RQ, RV, W
+from repro.model.oracle import (
+    Oracle,
+    RecordedOracle,
+    oracle_serialization_template,
+)
+from repro.model.quasi import (
+    expand_quasi_reads,
+    has_explicit_quasi_reads,
+    strip_quasi_reads,
+)
+from repro.model.schedule import Schedule, validity_violations
+from repro.model.serializability import (
+    SerializabilityResult,
+    TheoremCheck,
+    check_theorem_3_6,
+    find_serialization_order,
+    is_oracle_serializable,
+)
+
+__all__ = [
+    "A",
+    "Anomaly",
+    "AnomalyKind",
+    "C",
+    "ConflictEdge",
+    "E",
+    "ExecutionResult",
+    "IsolationCheck",
+    "IsolationLevel",
+    "O",
+    "Op",
+    "OpKind",
+    "Oracle",
+    "R",
+    "RG",
+    "RQ",
+    "RV",
+    "RecordedOracle",
+    "Requirement",
+    "Schedule",
+    "SerialExecutionResult",
+    "SerializabilityResult",
+    "TheoremCheck",
+    "W",
+    "check_isolation",
+    "check_theorem_3_6",
+    "conflict_edges",
+    "conflict_graph",
+    "default_write_fn",
+    "execute_schedule",
+    "execute_serialized",
+    "expand_quasi_reads",
+    "find_all_anomalies",
+    "find_conflict_cycles",
+    "find_cycle",
+    "find_dirty_reads",
+    "find_read_from_aborted",
+    "find_serialization_order",
+    "find_unrepeatable_quasi_reads",
+    "find_unrepeatable_reads",
+    "find_widowed_transactions",
+    "has_cycle",
+    "has_explicit_quasi_reads",
+    "is_entangled_isolated",
+    "is_oracle_serializable",
+    "oracle_serialization_template",
+    "strip_quasi_reads",
+    "topological_orders",
+    "validity_violations",
+]

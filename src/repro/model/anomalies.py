@@ -1,0 +1,291 @@
+"""Anomaly detectors for entangled transaction schedules (Section 3.3.1,
+Appendix C.2).
+
+The entangled-specific anomalies:
+
+* **Widowed transaction** — two transactions entangle and one aborts while
+  the other commits (Figure 3a; Requirement C.4).
+* **Unrepeatable quasi-read** — two reads of the same object by one
+  transaction, at least one of them a quasi-read, with the object changing
+  in between (Figure 3b).  After quasi-expansion these surface as conflict
+  cycles, but a direct witness-producing detector is valuable for
+  diagnostics and for defining relaxed isolation levels.
+
+The classical anomalies needed by Requirements C.2/C.3 and by the relaxed
+isolation levels:
+
+* **Read-from-aborted** (Requirement C.3) — ``W_i(x) ... R_j(x)`` with *i*
+  aborting and *j* committing.
+* **Dirty read** — reading another transaction's write before it
+  terminates (stricter than C.3; used by relaxed-level definitions).
+* **Unrepeatable read** — classical two-reads-with-intervening-write.
+* **Conflict-graph cycle** (Requirement C.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.model.conflicts import find_cycle
+from repro.model.ops import Op, OpKind
+from repro.model.quasi import expand_quasi_reads, has_explicit_quasi_reads
+from repro.model.schedule import Schedule
+
+
+class AnomalyKind(enum.Enum):
+    WIDOWED_TRANSACTION = "widowed-transaction"
+    UNREPEATABLE_QUASI_READ = "unrepeatable-quasi-read"
+    READ_FROM_ABORTED = "read-from-aborted"
+    DIRTY_READ = "dirty-read"
+    UNREPEATABLE_READ = "unrepeatable-read"
+    CONFLICT_CYCLE = "conflict-cycle"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A detected anomaly with its witnessing transactions/objects."""
+
+    kind: AnomalyKind
+    txns: tuple[int, ...]
+    obj: str | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" on {self.obj}" if self.obj else ""
+        return f"{self.kind.value}{where} involving {list(self.txns)}: {self.detail}"
+
+
+def find_widowed_transactions(schedule: Schedule) -> list[Anomaly]:
+    """Requirement C.4 violations: entangled pair with one abort + one commit."""
+    committed = schedule.committed()
+    aborted = schedule.aborted()
+    anomalies = []
+    for op in schedule.entanglements():
+        dead = sorted(op.participants & aborted)
+        alive = sorted(op.participants & committed)
+        if dead and alive:
+            anomalies.append(
+                Anomaly(
+                    AnomalyKind.WIDOWED_TRANSACTION,
+                    tuple(alive + dead),
+                    detail=(
+                        f"entanglement E{op.eid}: {alive} committed while "
+                        f"{dead} aborted — the committed side is widowed"
+                    ),
+                )
+            )
+    return anomalies
+
+
+def find_unrepeatable_quasi_reads(schedule: Schedule) -> list[Anomaly]:
+    """Unrepeatable quasi-reads (Figure 3b pattern).
+
+    Witness: transaction *t* reads object *x* twice — at least one read a
+    quasi-read — and some other transaction writes *x* between the two.
+    Only committed transactions matter, consistent with the conflict-graph
+    formalization.
+    """
+    if not has_explicit_quasi_reads(schedule):
+        schedule = expand_quasi_reads(schedule)
+    committed = schedule.committed()
+    anomalies = []
+    ops = list(schedule.ops)
+    for i, first in enumerate(ops):
+        if not first.kind.is_read or first.txn not in committed:
+            continue
+        for j in range(i + 1, len(ops)):
+            second = ops[j]
+            if (
+                second.txn == first.txn
+                and second.kind.is_read
+                and second.obj == first.obj
+                and (
+                    first.kind is OpKind.QUASI_READ
+                    or second.kind is OpKind.QUASI_READ
+                )
+            ):
+                writer = _intervening_writer(ops, i, j, first.obj, first.txn, committed)
+                if writer is not None:
+                    anomalies.append(
+                        Anomaly(
+                            AnomalyKind.UNREPEATABLE_QUASI_READ,
+                            (first.txn, writer),
+                            obj=first.obj,
+                            detail=(
+                                f"{first.kind.value} then {second.kind.value} "
+                                f"by {first.txn} with write by {writer} between"
+                            ),
+                        )
+                    )
+    return _dedup(anomalies)
+
+
+def find_unrepeatable_reads(schedule: Schedule) -> list[Anomaly]:
+    """Classical unrepeatable reads (both reads are normal reads)."""
+    committed = schedule.committed()
+    anomalies = []
+    ops = list(schedule.ops)
+    for i, first in enumerate(ops):
+        if first.kind is not OpKind.READ or first.txn not in committed:
+            continue
+        for j in range(i + 1, len(ops)):
+            second = ops[j]
+            if (
+                second.txn == first.txn
+                and second.kind is OpKind.READ
+                and second.obj == first.obj
+            ):
+                writer = _intervening_writer(ops, i, j, first.obj, first.txn, committed)
+                if writer is not None:
+                    anomalies.append(
+                        Anomaly(
+                            AnomalyKind.UNREPEATABLE_READ,
+                            (first.txn, writer),
+                            obj=first.obj,
+                            detail=f"two reads by {first.txn}, write by {writer} between",
+                        )
+                    )
+    return _dedup(anomalies)
+
+
+def find_read_from_aborted(schedule: Schedule) -> list[Anomaly]:
+    """Requirement C.3 violations: ``W_i(x) ... R_j(x)``, i aborts, j commits.
+
+    The paper's formulation is deliberately *positional*, not
+    value-based: the forbidden pattern is the write appearing anywhere
+    before the read, even after the aborter has rolled back.  This
+    conservatism is load-bearing for Theorem 3.6 — when aborted writes to
+    one object interleave (``W_i(x) W_k(x) A_i A_k``), rollback order can
+    leave ``x`` holding an aborted value even after both aborts, so a
+    later committed read is only safe if no aborted write *ever* preceded
+    it.  (Our hypothesis suite finds exactly this counterexample if the
+    window is narrowed to end at the abort.)
+
+    The read may be any read kind — a quasi-read of aborted data is just
+    as inconsistent.
+    """
+    if not has_explicit_quasi_reads(schedule):
+        schedule = expand_quasi_reads(schedule)
+    committed = schedule.committed()
+    aborted = schedule.aborted()
+    anomalies = []
+    ops = list(schedule.ops)
+    for i, write in enumerate(ops):
+        if write.kind is not OpKind.WRITE or write.txn not in aborted:
+            continue
+        for j in range(i + 1, len(ops)):
+            read = ops[j]
+            if (
+                read.kind.is_read
+                and read.obj == write.obj
+                and read.txn != write.txn
+                and read.txn in committed
+            ):
+                anomalies.append(
+                    Anomaly(
+                        AnomalyKind.READ_FROM_ABORTED,
+                        (write.txn, read.txn),
+                        obj=write.obj,
+                        detail=(
+                            f"{read.kind.value}{read.txn}({read.obj}) follows "
+                            f"a write of aborted transaction {write.txn}"
+                        ),
+                    )
+                )
+    return _dedup(anomalies)
+
+
+def find_dirty_reads(schedule: Schedule) -> list[Anomaly]:
+    """Reads of data written by a still-active transaction (any outcome)."""
+    if not has_explicit_quasi_reads(schedule):
+        schedule = expand_quasi_reads(schedule)
+    anomalies = []
+    ops = list(schedule.ops)
+    for i, write in enumerate(ops):
+        if write.kind is not OpKind.WRITE:
+            continue
+        end = len(ops)
+        for k in range(i + 1, len(ops)):
+            if ops[k].kind in (OpKind.COMMIT, OpKind.ABORT) and ops[k].txn == write.txn:
+                end = k
+                break
+        for j in range(i + 1, end):
+            read = ops[j]
+            if read.kind.is_read and read.obj == write.obj and read.txn != write.txn:
+                anomalies.append(
+                    Anomaly(
+                        AnomalyKind.DIRTY_READ,
+                        (write.txn, read.txn),
+                        obj=write.obj,
+                        detail=(
+                            f"{read.txn} read {read.obj} while writer "
+                            f"{write.txn} was still active"
+                        ),
+                    )
+                )
+    return _dedup(anomalies)
+
+
+def find_conflict_cycles(schedule: Schedule) -> list[Anomaly]:
+    """Requirement C.2 violations, reported as a single witness cycle."""
+    cycle = find_cycle(schedule)
+    if cycle is None:
+        return []
+    return [
+        Anomaly(
+            AnomalyKind.CONFLICT_CYCLE,
+            tuple(cycle),
+            detail=f"conflict cycle {cycle}",
+        )
+    ]
+
+
+def find_all_anomalies(schedule: Schedule) -> list[Anomaly]:
+    """Every anomaly of every kind, for diagnostics and level checks."""
+    expanded = (
+        schedule
+        if has_explicit_quasi_reads(schedule)
+        else expand_quasi_reads(schedule)
+    )
+    return (
+        find_conflict_cycles(expanded)
+        + find_read_from_aborted(expanded)
+        + find_widowed_transactions(expanded)
+        + find_unrepeatable_quasi_reads(expanded)
+        + find_unrepeatable_reads(expanded)
+        + find_dirty_reads(expanded)
+    )
+
+
+def _intervening_writer(
+    ops: list[Op],
+    start: int,
+    end: int,
+    obj: str,
+    reader: int,
+    committed: set[int],
+) -> int | None:
+    """A committed transaction writing ``obj`` strictly between the reads."""
+    for k in range(start + 1, end):
+        op = ops[k]
+        if (
+            op.kind is OpKind.WRITE
+            and op.obj == obj
+            and op.txn != reader
+            and op.txn in committed
+        ):
+            return op.txn
+    return None
+
+
+def _dedup(anomalies: Iterable[Anomaly]) -> list[Anomaly]:
+    seen = set()
+    unique = []
+    for anomaly in anomalies:
+        key = (anomaly.kind, anomaly.txns, anomaly.obj)
+        if key not in seen:
+            seen.add(key)
+            unique.append(anomaly)
+    return unique

@@ -1,0 +1,228 @@
+"""Concrete execution semantics for abstract schedules.
+
+The formal model treats reads, writes and entanglements abstractly; to
+*test* statements like Theorem 3.6 we need a concrete interpretation under
+which the standard determinism assumption holds ("if a transaction sees
+the same values for its reads and entangled query answers ... it will
+produce the same writes", Appendix C.4).  This module supplies one:
+
+* The database is a mapping from object names to integers (default 0).
+* ``R_i(x)`` appends ``("R", x, value)`` to *i*'s observation log.
+* ``W_i(x)`` writes a value computed by the transaction's *write
+  function* — a deterministic function of the observation log so far —
+  and appends ``("W", x, value)``.
+* ``RG_i(x)`` records a grounding observation (kept separately per
+  entanglement window).
+* ``E^k`` computes, for every participant, the *combined answer*: the
+  sorted tuple of every participant's grounding observations.  This models
+  entangled query answering — the answer depends exactly on what the
+  groundings saw — and is recorded as ``Ans_k`` for oracle construction.
+* ``A_i`` undoes *i*'s writes (restoring previous values, newest first).
+
+The final database of a schedule execution is defined as the paper
+defines it: "the final database produced reflects exactly the writes of
+all the committed transactions in σ, in the order in which these writes
+occurred in σ" — replayed from the initial database, so aborted
+transactions leave no residue.
+
+Serial oracle execution (:func:`execute_serialized`) replays committed
+transactions one at a time with a :class:`~repro.model.oracle.Oracle`
+supplying entangled answers, performing *validating reads* at each oracle
+call: the current database value of every object the transaction grounded
+on in σ is compared with what the grounding saw in σ.  A mismatch means
+the oracle answer is not valid in the sense of Definition 3.3 and the
+execution is flagged invalid (Definition 3.4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ModelError
+from repro.model.ops import Op, OpKind
+from repro.model.oracle import Oracle, RecordedOracle
+from repro.model.schedule import Schedule
+
+#: Observation log entry: ("R"|"W"|"ANS", detail...).
+Observation = tuple
+#: txn write function: (observations, obj, write_index) -> int value.
+WriteFn = Callable[[Sequence[Observation], str, int], int]
+
+
+def default_write_fn(observations: Sequence[Observation], obj: str, index: int) -> int:
+    """A deterministic, collision-resistant-enough default write value.
+
+    Uses crc32 over a canonical rendering (Python's ``hash`` is salted per
+    process and would break determinism across runs).
+    """
+    payload = repr((tuple(observations), obj, index)).encode()
+    return zlib.crc32(payload)
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one schedule execution."""
+
+    final_db: dict[str, int]
+    answers: dict[int, dict[int, Any]] = field(default_factory=dict)
+    observations: dict[int, list[Observation]] = field(default_factory=dict)
+    #: (eid, txn) -> tuple of (obj, value) grounding observations in σ.
+    groundings: dict[tuple[int, int], tuple[tuple[str, int], ...]] = field(
+        default_factory=dict
+    )
+    #: committed writes in schedule order: (txn, obj, value).
+    committed_writes: list[tuple[int, str, int]] = field(default_factory=list)
+
+    def oracle(self) -> RecordedOracle:
+        """The Appendix C.3.1 oracle for this execution."""
+        return RecordedOracle.from_answers(self.answers)
+
+
+def execute_schedule(
+    schedule: Schedule,
+    initial_db: Mapping[str, int] | None = None,
+    write_fns: Mapping[int, WriteFn] | None = None,
+) -> ExecutionResult:
+    """Execute an abstract schedule under the concrete semantics."""
+    db: dict[str, int] = dict(initial_db or {})
+    write_fns = dict(write_fns or {})
+    observations: dict[int, list[Observation]] = {}
+    write_counts: dict[int, int] = {}
+    undo: dict[int, list[tuple[str, int | None]]] = {}
+    pending_grounds: dict[int, list[tuple[str, int]]] = {}
+    answers: dict[int, dict[int, Any]] = {}
+    groundings: dict[tuple[int, int], tuple[tuple[str, int], ...]] = {}
+    writes_in_order: list[tuple[int, str, int]] = []
+
+    def obs(txn: int) -> list[Observation]:
+        return observations.setdefault(txn, [])
+
+    for op in schedule.ops:
+        if op.kind is OpKind.READ:
+            obs(op.txn).append(("R", op.obj, db.get(op.obj, 0)))
+        elif op.kind is OpKind.QUASI_READ:
+            # Information flow is already captured by the entanglement
+            # answer; quasi-reads have no separate concrete effect.
+            continue
+        elif op.kind is OpKind.GROUNDING_READ:
+            pending_grounds.setdefault(op.txn, []).append(
+                (op.obj, db.get(op.obj, 0))
+            )
+        elif op.kind is OpKind.ENTANGLE:
+            combined = tuple(
+                (txn, tuple(sorted(pending_grounds.get(txn, ()))))
+                for txn in sorted(op.participants)
+            )
+            answers[op.eid] = {}
+            for txn in sorted(op.participants):
+                answers[op.eid][txn] = combined
+                groundings[(op.eid, txn)] = tuple(
+                    sorted(pending_grounds.get(txn, ()))
+                )
+                obs(txn).append(("ANS", op.eid, combined))
+                pending_grounds[txn] = []
+        elif op.kind is OpKind.WRITE:
+            fn = write_fns.get(op.txn, default_write_fn)
+            index = write_counts.get(op.txn, 0)
+            write_counts[op.txn] = index + 1
+            value = fn(obs(op.txn), op.obj, index)
+            undo.setdefault(op.txn, []).append((op.obj, db.get(op.obj)))
+            db[op.obj] = value
+            obs(op.txn).append(("W", op.obj, value))
+            writes_in_order.append((op.txn, op.obj, value))
+        elif op.kind is OpKind.ABORT:
+            for obj, previous in reversed(undo.get(op.txn, [])):
+                if previous is None:
+                    db.pop(obj, None)
+                else:
+                    db[obj] = previous
+            undo[op.txn] = []
+            pending_grounds[op.txn] = []
+        elif op.kind is OpKind.COMMIT:
+            undo[op.txn] = []
+        else:
+            raise ModelError(f"cannot execute operation kind {op.kind}")
+
+    committed = schedule.committed()
+    committed_writes = [
+        (txn, obj, value) for (txn, obj, value) in writes_in_order if txn in committed
+    ]
+    final_db = dict(initial_db or {})
+    for _txn, obj, value in committed_writes:
+        final_db[obj] = value
+
+    return ExecutionResult(
+        final_db=final_db,
+        answers=answers,
+        observations=observations,
+        groundings=groundings,
+        committed_writes=committed_writes,
+    )
+
+
+@dataclass
+class SerialExecutionResult:
+    """Outcome of an oracle-serialized execution."""
+
+    final_db: dict[str, int]
+    valid: bool
+    invalid_reason: str = ""
+
+
+def execute_serialized(
+    schedule: Schedule,
+    order: Sequence[int],
+    oracle: Oracle,
+    sigma_result: ExecutionResult,
+    initial_db: Mapping[str, int] | None = None,
+    write_fns: Mapping[int, WriteFn] | None = None,
+) -> SerialExecutionResult:
+    """Execute committed transactions serially alongside ``oracle``.
+
+    ``sigma_result`` supplies the grounding observations recorded when σ
+    executed; at each oracle call the corresponding *validating reads*
+    check that those observations are still what the current database
+    holds (Definition 3.3 validity).  The execution is still carried to
+    completion when invalid, so callers can inspect the divergence.
+    """
+    db: dict[str, int] = dict(initial_db or {})
+    write_fns = dict(write_fns or {})
+    valid = True
+    invalid_reason = ""
+    committed = schedule.committed()
+
+    for txn in order:
+        if txn not in committed:
+            raise ModelError(f"serial order contains non-committed txn {txn}")
+        observations: list[Observation] = []
+        write_index = 0
+        for op in schedule.projection(txn):
+            if op.kind is OpKind.READ:
+                observations.append(("R", op.obj, db.get(op.obj, 0)))
+            elif op.kind in (OpKind.GROUNDING_READ, OpKind.QUASI_READ):
+                continue  # dropped in os(σ); validated at the oracle call
+            elif op.kind is OpKind.ENTANGLE:
+                recorded = sigma_result.groundings.get((op.eid, txn), ())
+                for obj, seen_value in recorded:
+                    current = db.get(obj, 0)
+                    if current != seen_value and valid:
+                        valid = False
+                        invalid_reason = (
+                            f"validating read: txn {txn} grounded on "
+                            f"{obj}={seen_value} in σ but the database now "
+                            f"holds {obj}={current} (E{op.eid})"
+                        )
+                observations.append(("ANS", op.eid, oracle.answer(op.eid, txn)))
+            elif op.kind is OpKind.WRITE:
+                fn = write_fns.get(txn, default_write_fn)
+                value = fn(observations, op.obj, write_index)
+                write_index += 1
+                db[op.obj] = value
+                observations.append(("W", op.obj, value))
+            elif op.kind is OpKind.COMMIT:
+                pass
+            elif op.kind is OpKind.ABORT:  # pragma: no cover - defensive
+                raise ModelError("committed projection cannot contain ABORT")
+    return SerialExecutionResult(db, valid, invalid_reason)

@@ -1,0 +1,96 @@
+"""Entangled isolation and isolation levels (Definition C.5, Section 3.3).
+
+A schedule is **entangled-isolated** when it satisfies:
+
+* Requirement C.2 — acyclic conflict graph (with quasi-reads explicit),
+* Requirement C.3 — no committed transaction reads an aborted write,
+* Requirement C.4 — no widowed transactions.
+
+"As in the classical case, it is possible to relax this definition to
+admit lower isolation levels by permitting a specific subset of the above
+anomalies to occur" (Section 3.3.1).  The levels below are the relaxations
+the execution model of Section 4 exposes; each is simply a subset of the
+three requirements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model.anomalies import (
+    Anomaly,
+    find_conflict_cycles,
+    find_read_from_aborted,
+    find_widowed_transactions,
+)
+from repro.model.quasi import expand_quasi_reads, has_explicit_quasi_reads
+from repro.model.schedule import Schedule
+
+
+class Requirement(enum.Enum):
+    NO_CYCLES = "C.2: acyclic conflict graph"
+    NO_READ_FROM_ABORTED = "C.3: no read-from-aborted"
+    NO_WIDOWS = "C.4: no widowed transactions"
+
+
+class IsolationLevel(enum.Enum):
+    """Isolation levels for entangled transactions.
+
+    FULL_ENTANGLED is Definition C.5.  NO_GROUP_COMMIT drops the widow
+    requirement (the system stops enforcing group commit).  LOOSE_READS
+    drops the cycle requirement (read locks released before commit, so
+    unrepeatable (quasi-)reads may occur).  MINIMAL keeps only the
+    read-from-aborted prohibition.
+    """
+
+    FULL_ENTANGLED = frozenset(
+        {Requirement.NO_CYCLES, Requirement.NO_READ_FROM_ABORTED, Requirement.NO_WIDOWS}
+    )
+    NO_GROUP_COMMIT = frozenset(
+        {Requirement.NO_CYCLES, Requirement.NO_READ_FROM_ABORTED}
+    )
+    LOOSE_READS = frozenset(
+        {Requirement.NO_READ_FROM_ABORTED, Requirement.NO_WIDOWS}
+    )
+    MINIMAL = frozenset({Requirement.NO_READ_FROM_ABORTED})
+
+    @property
+    def requirements(self) -> frozenset[Requirement]:
+        return self.value
+
+
+@dataclass
+class IsolationCheck:
+    """Outcome of checking a schedule against an isolation level."""
+
+    level: IsolationLevel
+    violations: list[Anomaly] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_isolation(
+    schedule: Schedule, level: IsolationLevel = IsolationLevel.FULL_ENTANGLED
+) -> IsolationCheck:
+    """Check a schedule against an isolation level's requirements."""
+    expanded = (
+        schedule
+        if has_explicit_quasi_reads(schedule)
+        else expand_quasi_reads(schedule)
+    )
+    check = IsolationCheck(level)
+    if Requirement.NO_CYCLES in level.requirements:
+        check.violations.extend(find_conflict_cycles(expanded))
+    if Requirement.NO_READ_FROM_ABORTED in level.requirements:
+        check.violations.extend(find_read_from_aborted(expanded))
+    if Requirement.NO_WIDOWS in level.requirements:
+        check.violations.extend(find_widowed_transactions(expanded))
+    return check
+
+
+def is_entangled_isolated(schedule: Schedule) -> bool:
+    """Definition C.5: Requirements C.2 + C.3 + C.4 all hold."""
+    return check_isolation(schedule, IsolationLevel.FULL_ENTANGLED).ok

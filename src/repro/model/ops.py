@@ -1,0 +1,155 @@
+"""Schedule operations for the formal model (Appendix C.1).
+
+A schedule is a sequence of read, write, abort, commit and entangle
+operations.  Reads come in three flavours:
+
+* ``R`` — a normal read by the transaction itself.
+* ``RG`` — a *grounding read*: performed by the system on behalf of the
+  transaction while grounding its entangled query, but attributed to the
+  transaction because it represents information flow into it.
+* ``RQ`` — a *quasi-read*: the simultaneous implicit read a transaction
+  performs on every object its entanglement partners grounded on
+  (Section 3.3.1).  Quasi-reads are not written by hand; they are derived
+  by :func:`repro.model.quasi.expand_quasi_reads`.
+
+``E`` operations carry a unique entanglement id and the set of
+participating transactions (the paper's ``E^k_{i,j}`` notation), plus —
+for executable schedules — the answers delivered to each participant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import InvalidScheduleError
+
+
+class OpKind(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+    GROUNDING_READ = "RG"
+    QUASI_READ = "RQ"
+    ENTANGLE = "E"
+    COMMIT = "C"
+    ABORT = "A"
+    #: Oracle call in an oracle-serialization (Appendix C.3.2), written
+    #: ``O^k_l`` in the paper.
+    ORACLE_CALL = "O"
+    #: Validating read introduced by the proof of Theorem 3.6 (C.4).
+    VALIDATING_READ = "RV"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (
+            OpKind.READ,
+            OpKind.GROUNDING_READ,
+            OpKind.QUASI_READ,
+            OpKind.VALIDATING_READ,
+        )
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedule operation.
+
+    Attributes:
+        kind: the operation kind.
+        txn: owning transaction id (for ENTANGLE, a representative is not
+            meaningful — use ``participants``; ``txn`` is set to the
+            smallest participant for ordering stability).
+        obj: the object read/written (None for E/C/A and oracle calls).
+        eid: entanglement-operation id (ENTANGLE, ORACLE_CALL only).
+        participants: transaction ids receiving answers (ENTANGLE only).
+        answers: per-transaction answer payloads recorded at this
+            entanglement (executable schedules; opaque to the model).
+    """
+
+    kind: OpKind
+    txn: int
+    obj: str | None = None
+    eid: int | None = None
+    participants: frozenset[int] = frozenset()
+    answers: tuple[tuple[int, Any], ...] = ()
+
+    def __post_init__(self):
+        if self.kind in (OpKind.READ, OpKind.WRITE, OpKind.GROUNDING_READ,
+                         OpKind.QUASI_READ, OpKind.VALIDATING_READ):
+            if self.obj is None:
+                raise InvalidScheduleError(f"{self.kind.value} requires an object")
+        if self.kind is OpKind.ENTANGLE:
+            if self.eid is None or not self.participants:
+                raise InvalidScheduleError(
+                    "ENTANGLE requires an eid and non-empty participants"
+                )
+        if self.kind is OpKind.ORACLE_CALL and self.eid is None:
+            raise InvalidScheduleError("ORACLE_CALL requires an eid")
+
+    def answers_map(self) -> dict[int, Any]:
+        return dict(self.answers)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is OpKind.ENTANGLE:
+            parts = ",".join(str(t) for t in sorted(self.participants))
+            return f"E{self.eid}_{{{parts}}}"
+        if self.kind is OpKind.ORACLE_CALL:
+            return f"O{self.eid}_{self.txn}"
+        if self.obj is not None:
+            return f"{self.kind.value}{self.txn}({self.obj})"
+        return f"{self.kind.value}{self.txn}"
+
+
+# -- concise constructors (used heavily in tests, mirroring paper notation) --
+
+
+def R(txn: int, obj: str) -> Op:
+    """Normal read ``R_txn(obj)``."""
+    return Op(OpKind.READ, txn, obj)
+
+
+def W(txn: int, obj: str) -> Op:
+    """Write ``W_txn(obj)``."""
+    return Op(OpKind.WRITE, txn, obj)
+
+
+def RG(txn: int, obj: str) -> Op:
+    """Grounding read ``RG_txn(obj)``."""
+    return Op(OpKind.GROUNDING_READ, txn, obj)
+
+
+def RQ(txn: int, obj: str) -> Op:
+    """Quasi-read ``RQ_txn(obj)`` (normally derived, not hand-written)."""
+    return Op(OpKind.QUASI_READ, txn, obj)
+
+
+def E(eid: int, *participants: int, answers: Mapping[int, Any] | None = None) -> Op:
+    """Entanglement ``E^eid_{participants}``."""
+    answer_items = tuple(sorted((answers or {}).items()))
+    return Op(
+        OpKind.ENTANGLE,
+        min(participants),
+        eid=eid,
+        participants=frozenset(participants),
+        answers=answer_items,
+    )
+
+
+def C(txn: int) -> Op:
+    """Commit ``C_txn``."""
+    return Op(OpKind.COMMIT, txn)
+
+
+def A(txn: int) -> Op:
+    """Abort ``A_txn``."""
+    return Op(OpKind.ABORT, txn)
+
+
+def O(eid: int, txn: int) -> Op:
+    """Oracle call ``O^eid_txn`` (oracle-serializations only)."""
+    return Op(OpKind.ORACLE_CALL, txn, eid=eid)
+
+
+def RV(txn: int, obj: str) -> Op:
+    """Validating read ``RV_txn(obj)`` (proof device, Appendix C.4)."""
+    return Op(OpKind.VALIDATING_READ, txn, obj)

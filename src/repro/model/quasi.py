@@ -1,0 +1,75 @@
+"""Quasi-read expansion (Section 3.3.1, Appendix C.2.1).
+
+"Whenever a transaction performs a grounding read on an object, all of its
+partners in the subsequent entanglement operation are considered to
+perform a simultaneous quasi-read on the same object."
+
+:func:`expand_quasi_reads` rewrites a schedule so these implicit reads are
+explicit: immediately after each grounding read ``RG_i(x)``, a quasi-read
+``RQ_j(x)`` is inserted for every partner *j* of the entanglement operation
+that closes *i*'s grounding window.  Placement directly after the RG models
+the paper's "simultaneous" brackets — since every derived op is a read,
+relative order within the bracket cannot create conflicts, so adjacency is
+an adequate encoding.
+
+"In the pathological case where a transaction performs a grounding read
+but there is no subsequent entanglement operation (i.e. the transaction
+aborts instead), no quasi-reads are associated with that grounding read."
+"""
+
+from __future__ import annotations
+
+from repro.model.ops import Op, OpKind, RQ
+from repro.model.schedule import Schedule
+
+
+def expand_quasi_reads(schedule: Schedule) -> Schedule:
+    """Return a schedule with all quasi-reads made explicit.
+
+    Idempotent: already-present quasi-reads are preserved, and no
+    duplicates are added for them.
+    """
+    ops = list(schedule.ops)
+
+    # For each grounding read, find the entanglement that closes the
+    # window, i.e. the first subsequent ENTANGLE involving the reader
+    # (or None if the reader aborts first).
+    partners_for_rg: dict[int, frozenset[int]] = {}
+    for index, op in enumerate(ops):
+        if op.kind is not OpKind.GROUNDING_READ:
+            continue
+        for later in ops[index + 1:]:
+            if later.kind is OpKind.ENTANGLE and op.txn in later.participants:
+                partners_for_rg[index] = later.participants - {op.txn}
+                break
+            if later.kind is OpKind.ABORT and later.txn == op.txn:
+                break
+
+    expanded: list[Op] = []
+    for index, op in enumerate(ops):
+        expanded.append(op)
+        partners = partners_for_rg.get(index)
+        if not partners:
+            continue
+        # Insert the partners' simultaneous quasi-reads right after the RG,
+        # skipping any that are already explicit at this position.
+        existing_here = {
+            (nxt.txn, nxt.obj)
+            for nxt in ops[index + 1: index + 1 + len(partners)]
+            if nxt.kind is OpKind.QUASI_READ
+        }
+        for partner in sorted(partners):
+            if (partner, op.obj) not in existing_here:
+                expanded.append(RQ(partner, op.obj))
+    return Schedule(tuple(expanded))
+
+
+def strip_quasi_reads(schedule: Schedule) -> Schedule:
+    """Remove explicit quasi-reads (inverse of :func:`expand_quasi_reads`)."""
+    return Schedule(
+        tuple(op for op in schedule.ops if op.kind is not OpKind.QUASI_READ)
+    )
+
+
+def has_explicit_quasi_reads(schedule: Schedule) -> bool:
+    return any(op.kind is OpKind.QUASI_READ for op in schedule.ops)

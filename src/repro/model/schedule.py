@@ -1,0 +1,204 @@
+"""Schedules and the validity constraints of Appendix C.1.
+
+A *valid* schedule (Definition C.1) satisfies:
+
+1. Every transaction contains **exactly one** of {A_i, C_i} — complete
+   schedules (histories) only.
+2. The abort/commit is the transaction's **last** operation.
+3. A grounding read ``RG_i(x)`` must be followed (eventually) by an
+   entanglement operation involving *i* or by ``A_i``.
+4. Between a grounding read by *i* and the next entanglement/abort by
+   *i*, transaction *i* performs only further grounding reads — the
+   evaluation call is blocking.
+
+The module also provides the helpers every other model component builds
+on: per-transaction projections, committed/aborted sets, and entanglement
+lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvalidScheduleError
+from repro.model.ops import Op, OpKind
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable operation sequence with Appendix C.1 validation.
+
+    Construct with ``validate=False`` (via :meth:`unchecked`) only for
+    intermediate artifacts such as oracle-serialization templates, which
+    deliberately drop grounding reads.
+    """
+
+    ops: tuple[Op, ...]
+
+    def __post_init__(self):
+        problems = validity_violations(self.ops)
+        if problems:
+            raise InvalidScheduleError("; ".join(problems))
+
+    @staticmethod
+    def unchecked(ops: Iterable[Op]) -> "Schedule":
+        """Bypass validation (oracle-serialization templates)."""
+        sched = object.__new__(Schedule)
+        object.__setattr__(sched, "ops", tuple(ops))
+        return sched
+
+    # -- iteration ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, index: int) -> Op:
+        return self.ops[index]
+
+    # -- transaction views ----------------------------------------------------------
+
+    def transactions(self) -> list[int]:
+        txns: set[int] = set()
+        for op in self.ops:
+            if op.kind is OpKind.ENTANGLE:
+                txns.update(op.participants)
+            else:
+                txns.add(op.txn)
+        return sorted(txns)
+
+    def committed(self) -> set[int]:
+        return {op.txn for op in self.ops if op.kind is OpKind.COMMIT}
+
+    def aborted(self) -> set[int]:
+        return {op.txn for op in self.ops if op.kind is OpKind.ABORT}
+
+    def projection(self, txn: int) -> list[Op]:
+        """All operations belonging to ``txn`` (entanglements included when
+        ``txn`` participates), in schedule order."""
+        mine = []
+        for op in self.ops:
+            if op.kind is OpKind.ENTANGLE:
+                if txn in op.participants:
+                    mine.append(op)
+            elif op.txn == txn:
+                mine.append(op)
+        return mine
+
+    def entanglements(self) -> list[Op]:
+        return [op for op in self.ops if op.kind is OpKind.ENTANGLE]
+
+    def entanglement(self, eid: int) -> Op:
+        for op in self.ops:
+            if op.kind is OpKind.ENTANGLE and op.eid == eid:
+                return op
+        raise InvalidScheduleError(f"no entanglement operation with id {eid}")
+
+    def objects(self) -> list[str]:
+        return sorted({op.obj for op in self.ops if op.obj is not None})
+
+    def entangled_groups(self) -> list[frozenset[int]]:
+        """Transitive closure of 'entangled with' over the schedule —
+        the groups that group commit must treat atomically (Section 3.3.3).
+        """
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        for txn in self.transactions():
+            find(txn)
+        for op in self.entanglements():
+            members = sorted(op.participants)
+            for other in members[1:]:
+                union(members[0], other)
+        groups: dict[int, set[int]] = {}
+        for txn in self.transactions():
+            groups.setdefault(find(txn), set()).add(txn)
+        return [frozenset(g) for g in sorted(groups.values(), key=min)]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " ".join(str(op) for op in self.ops)
+
+
+def validity_violations(ops: Sequence[Op]) -> list[str]:
+    """All Appendix C.1 validity violations in ``ops`` (empty = valid)."""
+    problems: list[str] = []
+    txns: set[int] = set()
+    for op in ops:
+        if op.kind is OpKind.ENTANGLE:
+            txns.update(op.participants)
+        else:
+            txns.add(op.txn)
+
+    # (1) exactly one terminal op; (2) it must come last.
+    for txn in sorted(txns):
+        terminals = [
+            (i, op)
+            for i, op in enumerate(ops)
+            if op.kind in (OpKind.COMMIT, OpKind.ABORT) and op.txn == txn
+        ]
+        if len(terminals) != 1:
+            problems.append(
+                f"transaction {txn} has {len(terminals)} terminal operations "
+                f"(exactly one of A/C required)"
+            )
+            continue
+        terminal_pos = terminals[0][0]
+        for i, op in enumerate(ops):
+            if i <= terminal_pos:
+                continue
+            involved = (
+                txn in op.participants
+                if op.kind is OpKind.ENTANGLE
+                else op.txn == txn
+            )
+            if involved:
+                problems.append(
+                    f"transaction {txn} acts after its terminal operation"
+                )
+                break
+
+    # (3) + (4): grounding-read windows.
+    pending_ground: dict[int, bool] = {}
+    for i, op in enumerate(ops):
+        if op.kind is OpKind.GROUNDING_READ:
+            pending_ground[op.txn] = True
+        elif op.kind is OpKind.ENTANGLE:
+            for txn in op.participants:
+                pending_ground[txn] = False
+        elif op.kind is OpKind.ABORT:
+            pending_ground[op.txn] = False
+        elif op.kind in (OpKind.READ, OpKind.WRITE, OpKind.QUASI_READ):
+            if op.kind is OpKind.QUASI_READ:
+                continue  # derived ops are simultaneous with their RG
+            if pending_ground.get(op.txn):
+                problems.append(
+                    f"transaction {op.txn} performs {op.kind.value}({op.obj}) "
+                    f"while blocked on an entangled query (constraint 4)"
+                )
+        elif op.kind is OpKind.COMMIT:
+            if pending_ground.get(op.txn):
+                problems.append(
+                    f"transaction {op.txn} commits with a pending grounding "
+                    f"read (constraint 3: needs entangle or abort)"
+                )
+    for txn, pending in sorted(pending_ground.items()):
+        if pending:
+            problems.append(
+                f"transaction {txn} ends with a dangling grounding read "
+                f"(constraint 3)"
+            )
+    return problems

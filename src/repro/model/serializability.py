@@ -1,0 +1,134 @@
+"""Oracle-serializability (Definition C.7) and the Theorem 3.6 checker.
+
+A schedule σ is **oracle-serializable** when some total order of its
+committed transactions exists such that executing them serially alongside
+the σ-oracle is a *valid* execution producing the same final database as
+σ itself.  Definition C.7 quantifies over all starting databases; the
+checker here evaluates a given database (property-based tests supply many
+random databases, approximating the universal quantifier — and Theorem
+3.6's proof shows the serialization order never depends on the database).
+
+**Theorem 3.6** — any entangled-isolated schedule is oracle-serializable,
+with a serialization order consistent with the conflict graph.
+:func:`check_theorem_3_6` verifies both halves mechanically for a concrete
+schedule/database pair; the hypothesis suite runs it over randomized
+inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.model.conflicts import topological_orders
+from repro.model.executor import (
+    ExecutionResult,
+    SerialExecutionResult,
+    WriteFn,
+    execute_schedule,
+    execute_serialized,
+)
+from repro.model.isolation import is_entangled_isolated
+from repro.model.schedule import Schedule
+
+
+@dataclass
+class SerializabilityResult:
+    """The verdict for one schedule/database pair."""
+
+    serializable: bool
+    order: list[int] | None = None
+    sigma_result: ExecutionResult | None = None
+    serial_result: SerialExecutionResult | None = None
+    tried_orders: int = 0
+
+
+def find_serialization_order(
+    schedule: Schedule,
+    initial_db: Mapping[str, int] | None = None,
+    write_fns: Mapping[int, WriteFn] | None = None,
+    *,
+    orders: Sequence[Sequence[int]] | None = None,
+    max_orders: int = 5_000,
+) -> SerializabilityResult:
+    """Search for an order witnessing oracle-serializability.
+
+    ``orders`` overrides the candidate orders; by default, topological
+    orders of the conflict graph are tried first (per Theorem 3.6 they
+    should suffice for isolated schedules), then — for non-isolated
+    schedules whose graph is cyclic — all permutations up to
+    ``max_orders``.
+    """
+    sigma = execute_schedule(schedule, initial_db, write_fns)
+    oracle = sigma.oracle()
+    committed = sorted(schedule.committed())
+
+    if orders is None:
+        candidates = topological_orders(schedule, limit=max_orders)
+        if not candidates:
+            candidates = [
+                list(p) for p in itertools.islice(
+                    itertools.permutations(committed), max_orders
+                )
+            ]
+    else:
+        candidates = [list(o) for o in orders]
+
+    tried = 0
+    for order in candidates:
+        tried += 1
+        serial = execute_serialized(
+            schedule, order, oracle, sigma, initial_db, write_fns
+        )
+        if serial.valid and serial.final_db == sigma.final_db:
+            return SerializabilityResult(
+                True, order, sigma, serial, tried_orders=tried
+            )
+    return SerializabilityResult(False, None, sigma, None, tried_orders=tried)
+
+
+def is_oracle_serializable(
+    schedule: Schedule,
+    initial_db: Mapping[str, int] | None = None,
+    write_fns: Mapping[int, WriteFn] | None = None,
+) -> bool:
+    return find_serialization_order(schedule, initial_db, write_fns).serializable
+
+
+@dataclass
+class TheoremCheck:
+    """Outcome of mechanically checking Theorem 3.6 on one instance."""
+
+    entangled_isolated: bool
+    serializability: SerializabilityResult | None = None
+
+    @property
+    def holds(self) -> bool:
+        """The implication: isolated ⇒ serializable (vacuous otherwise)."""
+        if not self.entangled_isolated:
+            return True
+        assert self.serializability is not None
+        return self.serializability.serializable
+
+
+def check_theorem_3_6(
+    schedule: Schedule,
+    initial_db: Mapping[str, int] | None = None,
+    write_fns: Mapping[int, WriteFn] | None = None,
+) -> TheoremCheck:
+    """Verify Theorem 3.6 for a concrete schedule and database.
+
+    For entangled-isolated schedules, only conflict-graph-consistent
+    (topological) orders are tried — exactly the orders the proof uses.
+    """
+    isolated = is_entangled_isolated(schedule)
+    if not isolated:
+        return TheoremCheck(False)
+    result = find_serialization_order(
+        schedule,
+        initial_db,
+        write_fns,
+        orders=topological_orders(schedule, limit=512),
+    )
+    return TheoremCheck(True, result)

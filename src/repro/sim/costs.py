@@ -1,0 +1,71 @@
+"""The cost model behind the virtual clock.
+
+Calibration targets the paper's Figure 6 magnitudes: 10,000 transactions
+over 10–100 MySQL connections complete in roughly 160s down to 20s, with
+the entangled workloads marginally above the classical ones by about the
+entangled-query evaluation cost.  The constants below reproduce those
+relative magnitudes; EXPERIMENTS.md records paper-vs-measured for every
+series.
+
+Costs are *per logical operation*, charged by the engine as it executes:
+
+* each classical statement costs ``statement_cost`` (reads) or
+  ``write_statement_cost`` (inserts/updates/deletes) of connection time;
+* an entangled query costs ``entangled_submit_cost`` from its own
+  transaction plus, at evaluation time, ``entangled_eval_base`` +
+  ``entangled_eval_per_grounding`` × groundings on the coordinator;
+* each run costs ``run_overhead`` plus ``suspend_resume_cost`` for every
+  transaction it suspends and later retries (the abort/restart tax that
+  makes high run frequencies expensive in Figure 6b);
+* transactions occupy one of ``connections`` equal slots; a run's elapsed
+  connection time is the max over slots of the per-slot work (transactions
+  are assigned round-robin, matching the paper's uniform batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs, in seconds, calibrated to Figure 6."""
+
+    #: connection time per classical read statement (SELECT).
+    statement_cost: float = 0.0045
+    #: connection time per classical write statement (INSERT/UPDATE/DELETE).
+    write_statement_cost: float = 0.0065
+    #: connection time a transaction spends submitting an entangled query.
+    entangled_submit_cost: float = 0.0012
+    #: coordinator time per evaluation round (batch fixed cost).
+    entangled_eval_base: float = 0.004
+    #: coordinator time per grounding considered during matching.
+    entangled_eval_per_grounding: float = 0.0006
+    #: coordinator time per answered query (answer materialization).
+    entangled_answer_cost: float = 0.0008
+    #: fixed scheduler cost to start/stop one run.
+    run_overhead: float = 0.030
+    #: cost to suspend, abort and later re-execute one pending transaction.
+    suspend_resume_cost: float = 0.0035
+    #: per-transaction begin/commit bracket cost (the transactional tax
+    #: that separates the -T from the -Q workloads in Figure 6a).
+    txn_bracket_cost: float = 0.0035
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Uniformly scale all costs (used to match paper magnitudes when
+        running reduced-size workloads)."""
+        return CostModel(
+            statement_cost=self.statement_cost * factor,
+            write_statement_cost=self.write_statement_cost * factor,
+            entangled_submit_cost=self.entangled_submit_cost * factor,
+            entangled_eval_base=self.entangled_eval_base * factor,
+            entangled_eval_per_grounding=self.entangled_eval_per_grounding * factor,
+            entangled_answer_cost=self.entangled_answer_cost * factor,
+            run_overhead=self.run_overhead * factor,
+            suspend_resume_cost=self.suspend_resume_cost * factor,
+            txn_bracket_cost=self.txn_bracket_cost * factor,
+        )
+
+
+#: The default calibration used by the benchmark harness.
+DEFAULT_COSTS = CostModel()

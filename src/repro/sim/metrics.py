@@ -1,0 +1,96 @@
+"""Measurement collection for experiments.
+
+A :class:`MetricSeries` collects (x, y) points for one curve of a figure;
+a :class:`Measurements` object groups the named series of a whole
+experiment and renders them the way the paper reports them (one row per
+x, one column per series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass
+class MetricSeries:
+    """One named curve: ordered (x, y) points."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+
+@dataclass
+class Measurements:
+    """All series of one experiment, plus identifying metadata."""
+
+    experiment: str
+    x_label: str
+    y_label: str
+    series: dict[str, MetricSeries] = field(default_factory=dict)
+
+    def series_named(self, name: str) -> MetricSeries:
+        if name not in self.series:
+            self.series[name] = MetricSeries(name)
+        return self.series[name]
+
+    def add(self, series: str, x: float, y: float) -> None:
+        self.series_named(series).add(x, y)
+
+    def xs(self) -> list[float]:
+        xs: list[float] = []
+        for series in self.series.values():
+            for x in series.xs():
+                if x not in xs:
+                    xs.append(x)
+        return sorted(xs)
+
+    def to_rows(self) -> list[list[str]]:
+        """Rows for printing: header then one row per x value."""
+        names = sorted(self.series)
+        header = [self.x_label] + names
+        rows = [header]
+        for x in self.xs():
+            row = [_fmt(x)]
+            for name in names:
+                try:
+                    row.append(_fmt(self.series[name].y_at(x)))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """A fixed-width table, like the paper's figure data."""
+        rows = self.to_rows()
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(len(rows[0]))
+        ]
+        lines = [f"# {self.experiment}  ({self.y_label})"]
+        for r, row in enumerate(rows):
+            line = "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            lines.append(line)
+            if r == 0:
+                lines.append("-" * len(line))
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.2f}"

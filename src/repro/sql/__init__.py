@@ -1,0 +1,78 @@
+"""Extended-SQL frontend: the surface syntax of Sections 2 and 3.1.
+
+Lexer, recursive-descent parser and compiler for the paper's dialect —
+standard SQL plus ``SELECT ... INTO ANSWER ... CHOOSE 1`` entangled
+queries, ``BEGIN TRANSACTION WITH TIMEOUT``, and ``@host`` variables.
+"""
+
+from repro.sql.ast import (
+    DeleteStmt,
+    EntangledSelectStmt,
+    InAnswer,
+    InSelect,
+    InsertStmt,
+    RollbackStmt,
+    SelectItem,
+    SelectStmt,
+    SetStmt,
+    Statement,
+    TableSource,
+    TransactionProgram,
+    UpdateStmt,
+)
+from repro.sql.compiler import (
+    CompiledDelete,
+    CompiledInsert,
+    CompiledSelect,
+    CompiledUpdate,
+    compile_delete,
+    compile_entangled,
+    compile_insert,
+    compile_select,
+    compile_update,
+    inline_hostvars,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import Parser, parse_script, parse_statement, parse_transaction
+from repro.sql.tokens import Token, TokenType
+from repro.sql.unparse import (
+    unparse_expr,
+    unparse_statement,
+    unparse_transaction,
+)
+
+__all__ = [
+    "CompiledDelete",
+    "CompiledInsert",
+    "CompiledSelect",
+    "CompiledUpdate",
+    "DeleteStmt",
+    "EntangledSelectStmt",
+    "InAnswer",
+    "InSelect",
+    "InsertStmt",
+    "Parser",
+    "RollbackStmt",
+    "SelectItem",
+    "SelectStmt",
+    "SetStmt",
+    "Statement",
+    "TableSource",
+    "Token",
+    "TokenType",
+    "TransactionProgram",
+    "UpdateStmt",
+    "compile_delete",
+    "compile_entangled",
+    "compile_insert",
+    "compile_select",
+    "compile_update",
+    "inline_hostvars",
+    "parse_script",
+    "parse_statement",
+    "parse_transaction",
+    "tokenize",
+    "unparse_expr",
+    "unparse_statement",
+    "unparse_transaction",
+]

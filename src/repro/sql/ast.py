@@ -1,0 +1,189 @@
+"""AST for the extended-SQL dialect (Sections 2 and 3.1).
+
+The statement forms cover everything the paper's listings use: classical
+SELECT/INSERT/UPDATE/DELETE, ``SET @var = expr``, the entangled
+``SELECT ... INTO ANSWER ... CHOOSE 1``, and the transaction brackets
+``BEGIN TRANSACTION [WITH TIMEOUT d] ... COMMIT`` with optional
+``ROLLBACK``.
+
+Expressions reuse :mod:`repro.storage.expressions` plus two SQL-level
+nodes that only exist before compilation: ``InSelect`` (tuple-IN-subquery)
+and ``InAnswer`` (tuple-IN-ANSWER — the entanglement postcondition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.storage.expressions import Expr
+
+
+# ---------------------------------------------------------------------------
+# Pre-compilation expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InSelect(Expr):
+    """``(item, ...) IN (SELECT cols FROM ... WHERE ...)``.
+
+    In an entangled query's WHERE clause this contributes body atoms; in a
+    classical statement it is evaluated as a semi-join.
+    """
+
+    items: tuple[Expr, ...]
+    subquery: "SelectStmt"
+
+    def columns(self) -> set[str]:
+        cols: set[str] = set()
+        for item in self.items:
+            cols |= item.columns()
+        return cols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(i) for i in self.items)
+        return f"(({inner}) IN ({self.subquery}))"
+
+
+@dataclass(frozen=True)
+class InAnswer(Expr):
+    """``(item, ...) IN ANSWER Name`` — an entanglement postcondition."""
+
+    items: tuple[Expr, ...]
+    answer_relation: str
+
+    def columns(self) -> set[str]:
+        cols: set[str] = set()
+        for item in self.items:
+            cols |= item.columns()
+        return cols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(i) for i in self.items)
+        return f"(({inner}) IN ANSWER {self.answer_relation})"
+
+
+# ---------------------------------------------------------------------------
+# Select items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a SELECT list.
+
+    ``bind_var`` carries an ``AS @name`` binding (Section 3.1's mechanism
+    for extracting answer values into host variables).  A bare host
+    variable in the select list of a classical SELECT (``SELECT @uid,
+    @hometown FROM User ...``, Appendix D) is represented by
+    ``expr=None, bind_var=name`` — it binds from the *column named like
+    the variable* (the MySQL-ism the paper's workloads rely on).
+    """
+
+    expr: Expr | None
+    bind_var: str | None = None
+    alias: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class TableSource:
+    """A FROM item: ``name [AS] alias``."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    """Classical SELECT (select-project-join + DISTINCT/LIMIT)."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableSource, ...] = ()
+    where: Expr | None = None
+    distinct: bool = False
+    limit: int | None = None
+    star: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cols = "*" if self.star else ", ".join(
+            str(i.expr) if i.expr is not None else f"@{i.bind_var}"
+            for i in self.items
+        )
+        tables = ", ".join(
+            t.name if not t.alias else f"{t.name} {t.alias}" for t in self.tables
+        )
+        out = f"SELECT {cols}"
+        if tables:
+            out += f" FROM {tables}"
+        if self.where is not None:
+            out += f" WHERE {self.where}"
+        return out
+
+
+@dataclass(frozen=True)
+class EntangledSelectStmt(Statement):
+    """``SELECT items INTO ANSWER R [, ANSWER R2] WHERE ... CHOOSE n``."""
+
+    items: tuple[SelectItem, ...]
+    answer_relations: tuple[str, ...]
+    where: Expr | None
+    choose: int = 1
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    table: str
+    columns: tuple[str, ...]      # empty = full-row positional insert
+    values: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class SetStmt(Statement):
+    """``SET @var = expr``."""
+
+    var: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class RollbackStmt(Statement):
+    """Explicit ROLLBACK inside a transaction body."""
+
+
+@dataclass(frozen=True)
+class TransactionProgram:
+    """A full ``BEGIN TRANSACTION ... COMMIT`` unit (Section 3.1 syntax).
+
+    ``timeout_seconds`` is None when no WITH TIMEOUT clause was given.
+    """
+
+    statements: tuple[Statement, ...]
+    timeout_seconds: float | None = None
+
+    def entangled_count(self) -> int:
+        return sum(
+            1 for s in self.statements if isinstance(s, EntangledSelectStmt)
+        )

@@ -1,0 +1,724 @@
+"""Compile SQL ASTs to storage plans and entangled-query IR.
+
+Two jobs:
+
+* **Classical statements** compile against the catalog into
+  :class:`~repro.storage.query.SPJQuery` plans (SELECT) or row-operation
+  plans (INSERT/UPDATE/DELETE), with host variables inlined as constants
+  from the current environment — statements execute one at a time inside a
+  transaction, so the environment is known at compile time.
+
+* **Entangled SELECT statements** compile into the intermediate
+  representation ``{C} H <- B`` of Appendix A.  The translation follows
+  the paper: the SELECT-INTO clause becomes the head ``H``; ``... IN
+  ANSWER R`` conditions become the postcondition ``C``; ``... IN (SELECT
+  ...)`` conditions contribute the body ``B`` (atoms over database
+  relations); remaining comparisons become the residual body predicate.
+  Variables are unified with a union-find over column occurrences, outer
+  names, and constants, so that e.g. ``fno, fdate IN (SELECT fno, fdate
+  FROM Flights WHERE dest='LA')`` makes ``fno``/``fdate`` variables bound
+  by the ``Flights`` atom with ``dest`` fixed to ``'LA'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.entangled.ir import Atom, EntangledQuery, Val, Var
+from repro.errors import CompileError, UnknownColumnError
+from repro.sql.ast import (
+    DeleteStmt,
+    EntangledSelectStmt,
+    InAnswer,
+    InSelect,
+    InsertStmt,
+    SelectItem,
+    SelectStmt,
+    TableSource,
+    UpdateStmt,
+)
+from repro.storage.catalog import Database
+from repro.storage.expressions import (
+    And,
+    Arith,
+    Cmp,
+    CmpOp,
+    Col,
+    Const,
+    Expr,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    conjoin,
+    split_conjuncts,
+)
+from repro.storage.query import SPJQuery, TableRef
+from repro.storage.types import SQLValue
+
+#: Host-variable environment: "@name" -> value.
+Env = Mapping[str, "SQLValue | None"]
+
+
+# ---------------------------------------------------------------------------
+# Host-variable inlining
+# ---------------------------------------------------------------------------
+
+
+def inline_hostvars(expr: Expr, env: Env) -> Expr:
+    """Replace every ``@name`` reference with its current value.
+
+    Unbound host variables are a compile error — the paper's programs
+    always SET or bind a variable before use.
+    """
+    if isinstance(expr, Col):
+        if expr.name.startswith("@"):
+            if expr.name not in env:
+                raise CompileError(f"unbound host variable {expr.name}")
+            return Const(env[expr.name])
+        return expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, inline_hostvars(expr.left, env), inline_hostvars(expr.right, env))
+    if isinstance(expr, And):
+        return And(inline_hostvars(expr.left, env), inline_hostvars(expr.right, env))
+    if isinstance(expr, Or):
+        return Or(inline_hostvars(expr.left, env), inline_hostvars(expr.right, env))
+    if isinstance(expr, Not):
+        return Not(inline_hostvars(expr.operand, env))
+    if isinstance(expr, IsNull):
+        return IsNull(inline_hostvars(expr.operand, env), expr.negated)
+    if isinstance(expr, Arith):
+        return Arith(expr.op, inline_hostvars(expr.left, env), inline_hostvars(expr.right, env))
+    if isinstance(expr, InList):
+        return InList(
+            inline_hostvars(expr.operand, env),
+            tuple(inline_hostvars(o, env) for o in expr.options),
+        )
+    if isinstance(expr, InSelect):
+        return InSelect(
+            tuple(inline_hostvars(i, env) for i in expr.items),
+            _inline_select(expr.subquery, env),
+        )
+    if isinstance(expr, InAnswer):
+        return InAnswer(
+            tuple(inline_hostvars(i, env) for i in expr.items),
+            expr.answer_relation,
+        )
+    raise CompileError(f"cannot inline into {type(expr).__name__}")
+
+
+def _inline_select(stmt: SelectStmt, env: Env) -> SelectStmt:
+    items = tuple(
+        SelectItem(
+            None if item.expr is None else inline_hostvars(item.expr, env),
+            item.bind_var,
+            item.alias,
+        )
+        for item in stmt.items
+    )
+    where = None if stmt.where is None else inline_hostvars(stmt.where, env)
+    return SelectStmt(items, stmt.tables, where, stmt.distinct, stmt.limit, stmt.star)
+
+
+# ---------------------------------------------------------------------------
+# Classical SELECT
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledSelect:
+    """An executable classical SELECT: the SPJ plan plus the host-variable
+    bindings to apply to the first result row (``AS @var`` / bare ``@var``
+    select items), as ``(var name, output index)`` pairs."""
+
+    plan: SPJQuery
+    bindings: tuple[tuple[str, int], ...] = ()
+
+
+def compile_select(stmt: SelectStmt, db: Database, env: Env) -> CompiledSelect:
+    """Compile a classical SELECT against the catalog."""
+    stmt = _inline_select(stmt, env)
+    if not stmt.tables and not stmt.star:
+        # Table-less SELECT (constant row) — allowed for convenience.
+        select = tuple(item.expr or Const(None) for item in stmt.items)
+        names = tuple(
+            item.alias or f"c{i}" for i, item in enumerate(stmt.items)
+        )
+        plan = SPJQuery((), select, names, None, stmt.distinct, stmt.limit)
+        bindings = tuple(
+            (f"@{item.bind_var}", i)
+            for i, item in enumerate(stmt.items)
+            if item.bind_var
+        )
+        return CompiledSelect(plan, bindings)
+
+    refs = tuple(
+        TableRef(source.name, source.alias or source.name)
+        for source in stmt.tables
+    )
+    schemas = {ref.alias: db.table(ref.name).schema for ref in refs}
+
+    def resolve_bare(column: str) -> str:
+        owners = [alias for alias, schema in schemas.items()
+                  if schema.has_column(column)]
+        if not owners:
+            raise UnknownColumnError(f"no table provides column {column!r}")
+        if len(owners) > 1:
+            raise CompileError(
+                f"column {column!r} is ambiguous across {sorted(owners)}"
+            )
+        return f"{owners[0]}.{column}"
+
+    select: list[Expr] = []
+    names: list[str] = []
+    bindings: list[tuple[str, int]] = []
+    if stmt.star:
+        for ref in refs:
+            for column in schemas[ref.alias].column_names:
+                select.append(Col(f"{ref.alias}.{column}"))
+                names.append(f"{ref.alias}.{column}")
+    else:
+        for i, item in enumerate(stmt.items):
+            if item.expr is None:
+                # Bare @var: bind from the like-named column.
+                assert item.bind_var is not None
+                qualified = resolve_bare(item.bind_var)
+                select.append(Col(qualified))
+                names.append(item.bind_var)
+                bindings.append((f"@{item.bind_var}", i))
+                continue
+            expr = _qualify(item.expr, schemas, resolve_bare)
+            select.append(expr)
+            names.append(item.alias or f"c{i}")
+            if item.bind_var:
+                bindings.append((f"@{item.bind_var}", i))
+
+    where = None
+    if stmt.where is not None:
+        where = _qualify(
+            _rewrite_classical_insubqueries(stmt.where, db, env),
+            schemas,
+            resolve_bare,
+        )
+    plan = SPJQuery(refs, tuple(select), tuple(names), where,
+                    stmt.distinct, stmt.limit)
+    return CompiledSelect(plan, tuple(bindings))
+
+
+def _qualify(expr: Expr, schemas, resolve_bare) -> Expr:
+    """Qualify bare column references so the evaluator resolves them even
+    when names collide across joined tables."""
+    if isinstance(expr, Col):
+        if "." in expr.name or expr.name.startswith("@"):
+            return expr
+        return Col(resolve_bare(expr.name))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _qualify(expr.left, schemas, resolve_bare),
+                   _qualify(expr.right, schemas, resolve_bare))
+    if isinstance(expr, And):
+        return And(_qualify(expr.left, schemas, resolve_bare),
+                   _qualify(expr.right, schemas, resolve_bare))
+    if isinstance(expr, Or):
+        return Or(_qualify(expr.left, schemas, resolve_bare),
+                  _qualify(expr.right, schemas, resolve_bare))
+    if isinstance(expr, Not):
+        return Not(_qualify(expr.operand, schemas, resolve_bare))
+    if isinstance(expr, IsNull):
+        return IsNull(_qualify(expr.operand, schemas, resolve_bare), expr.negated)
+    if isinstance(expr, Arith):
+        return Arith(expr.op, _qualify(expr.left, schemas, resolve_bare),
+                     _qualify(expr.right, schemas, resolve_bare))
+    if isinstance(expr, InList):
+        return InList(
+            _qualify(expr.operand, schemas, resolve_bare),
+            tuple(_qualify(o, schemas, resolve_bare) for o in expr.options),
+        )
+    raise CompileError(
+        f"unsupported expression in classical statement: {type(expr).__name__}"
+    )
+
+
+def _rewrite_classical_insubqueries(expr: Expr, db: Database, env: Env) -> Expr:
+    """Rewrite ``IN (SELECT ...)`` in classical WHERE clauses.
+
+    The subquery is uncorrelated in this dialect, so it is evaluated
+    eagerly and replaced by a literal membership test.
+    """
+    if isinstance(expr, InSelect):
+        from repro.storage.query import evaluate
+
+        compiled = compile_select(expr.subquery, db, env)
+        rows = evaluate(compiled.plan, db)
+        if len(expr.items) == 1:
+            return InList(
+                expr.items[0], tuple(Const(row[0]) for row in rows)
+            )
+        # Tuple membership: expand into a disjunction of conjunctions.
+        disjuncts: list[Expr] = []
+        for row in rows:
+            parts = [
+                Cmp(CmpOp.EQ, item, Const(value))
+                for item, value in zip(expr.items, row)
+            ]
+            combined = conjoin(parts)
+            if combined is not None:
+                disjuncts.append(combined)
+        if not disjuncts:
+            return Const(False)
+        out = disjuncts[0]
+        for d in disjuncts[1:]:
+            out = Or(out, d)
+        return out
+    if isinstance(expr, And):
+        return And(_rewrite_classical_insubqueries(expr.left, db, env),
+                   _rewrite_classical_insubqueries(expr.right, db, env))
+    if isinstance(expr, Or):
+        return Or(_rewrite_classical_insubqueries(expr.left, db, env),
+                  _rewrite_classical_insubqueries(expr.right, db, env))
+    if isinstance(expr, Not):
+        return Not(_rewrite_classical_insubqueries(expr.operand, db, env))
+    if isinstance(expr, InAnswer):
+        raise CompileError(
+            "IN ANSWER is only allowed in entangled SELECT ... INTO ANSWER"
+        )
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Entangled SELECT -> IR
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    """Union-find over term slots, tracking an optional constant per class."""
+
+    def __init__(self):
+        self._parent: dict = {}
+        self._constant: dict = {}
+
+    def find(self, slot):
+        self._parent.setdefault(slot, slot)
+        root = slot
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[slot] != root:
+            self._parent[slot], slot = root, self._parent[slot]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        ca, cb = self._constant.get(ra), self._constant.get(rb)
+        if ca is not None and cb is not None and ca != cb:
+            raise CompileError(
+                f"contradictory constants {ca[0]!r} and {cb[0]!r} unified"
+            )
+        # Deterministic root choice: smaller repr wins.
+        root, child = sorted((ra, rb), key=repr)
+        self._parent[child] = root
+        merged = ca if ca is not None else cb
+        if merged is not None:
+            self._constant[root] = merged
+            self._constant.pop(child, None)
+
+    def bind_constant(self, slot, value) -> None:
+        root = self.find(slot)
+        existing = self._constant.get(root)
+        if existing is not None and existing[0] != value:
+            raise CompileError(
+                f"slot bound to both {existing[0]!r} and {value!r}"
+            )
+        self._constant[root] = (value,)
+
+    def constant_of(self, slot):
+        return self._constant.get(self.find(slot))
+
+
+@dataclass
+class _EntangledContext:
+    """Working state for one entangled-query compilation."""
+
+    db: Database
+    env: Env
+    uf: _UnionFind = field(default_factory=_UnionFind)
+    #: (alias, relation, [slot per column]) for each body atom.
+    body_atoms: list[tuple[str, str, list]] = field(default_factory=list)
+    residual: list[Expr] = field(default_factory=list)
+    used_aliases: set[str] = field(default_factory=set)
+    #: slots for bare outer names ("fno") shared across the statement.
+    outer_name_slots: dict[str, tuple] = field(default_factory=dict)
+
+    def outer_slot(self, name: str):
+        if name not in self.outer_name_slots:
+            self.outer_name_slots[name] = ("name", name)
+        return self.outer_name_slots[name]
+
+    def fresh_alias(self, base: str) -> str:
+        alias = base
+        counter = 0
+        while alias in self.used_aliases:
+            counter += 1
+            alias = f"{base}_{counter}"
+        self.used_aliases.add(alias)
+        return alias
+
+
+def compile_entangled(
+    stmt: EntangledSelectStmt,
+    db: Database,
+    env: Env,
+    query_id: str,
+) -> EntangledQuery:
+    """Compile an entangled SELECT into IR (see module docstring)."""
+    ctx = _EntangledContext(db, env)
+    postcondition_specs: list[tuple[tuple[Expr, ...], str]] = []
+
+    for conjunct in split_conjuncts(stmt.where):
+        conjunct = inline_hostvars(conjunct, env)
+        if isinstance(conjunct, InSelect):
+            _absorb_in_select(ctx, conjunct)
+        elif isinstance(conjunct, InAnswer):
+            postcondition_specs.append((conjunct.items, conjunct.answer_relation))
+        else:
+            ctx.residual.append(conjunct)
+
+    # Build the head: one atom per INTO ANSWER relation, all carrying the
+    # same tuple (the grammar permits multiple ANSWER targets).
+    head_terms = []
+    var_bindings: list[tuple[str, int, int]] = []
+    for position, item in enumerate(stmt.items):
+        expr = item.expr
+        if expr is None:
+            # A bare @var item in an entangled SELECT is the variable's
+            # current *value* (Figure 2: "SELECT 'Mickey', hid,
+            # @ArrivalDay, @StayLength INTO ANSWER HotelRes").  This
+            # differs from classical SELECT, where a bare @var binds from
+            # the like-named column (Appendix D).
+            assert item.bind_var is not None
+            expr = Col(f"@{item.bind_var}")
+            item = SelectItem(expr=expr, bind_var=None, alias=None)
+        term = _expr_to_term(ctx, inline_hostvars(expr, env))
+        head_terms.append(term)
+        if item.bind_var:
+            for head_index in range(len(stmt.answer_relations)):
+                var_bindings.append((f"@{item.bind_var}", head_index, position))
+    heads = tuple(
+        Atom(relation, tuple(head_terms)) for relation in stmt.answer_relations
+    )
+
+    postconditions = []
+    for items, relation in postcondition_specs:
+        terms = tuple(_expr_to_term(ctx, item) for item in items)
+        postconditions.append(Atom(relation, terms))
+
+    body_atoms = tuple(
+        Atom(relation, tuple(_slot_to_term(ctx, slot) for slot in slots))
+        for _alias, relation, slots in ctx.body_atoms
+    )
+    body_predicate = conjoin(
+        _residual_to_vars(ctx, conj) for conj in ctx.residual
+    )
+    return EntangledQuery(
+        query_id=query_id,
+        heads=heads,
+        postconditions=tuple(postconditions),
+        body_atoms=body_atoms,
+        body_predicate=body_predicate,
+        choose=stmt.choose,
+        var_bindings=tuple(var_bindings),
+    )
+
+
+def _absorb_in_select(ctx: _EntangledContext, node: InSelect) -> None:
+    """Fold one ``(items) IN (SELECT ...)`` into body atoms + unification."""
+    sub = node.subquery
+    if sub.star:
+        raise CompileError("SELECT * is not allowed inside entangled IN (...)")
+    alias_map: dict[str, tuple[str, object]] = {}
+    for source in sub.tables:
+        schema = ctx.db.table(source.name).schema
+        alias = ctx.fresh_alias(source.alias or source.name)
+        slots = [("col", alias, column) for column in schema.column_names]
+        ctx.body_atoms.append((alias, source.name, slots))
+        alias_map[source.alias or source.name] = (alias, schema)
+
+    def resolve(column: str):
+        """Resolve a column reference inside the subquery to its slot."""
+        if "." in column:
+            prefix, bare = column.split(".", 1)
+            if prefix not in alias_map:
+                raise UnknownColumnError(
+                    f"unknown alias {prefix!r} in entangled subquery"
+                )
+            alias, schema = alias_map[prefix]
+            if not schema.has_column(bare):
+                raise UnknownColumnError(
+                    f"no column {bare!r} in {prefix!r}"
+                )
+            return ("col", alias, bare)
+        owners = [
+            (alias, schema)
+            for alias, schema in alias_map.values()
+            if schema.has_column(column)
+        ]
+        if not owners:
+            raise UnknownColumnError(
+                f"no subquery table provides column {column!r}"
+            )
+        if len(owners) > 1:
+            # The paper's own listings use bare columns that occur in two
+            # joined tables when an equality join has already identified
+            # them (Minnie's "SELECT fno, fdate FROM Flights F, Airlines A
+            # WHERE ... F.fno = A.fno").  Accept the ambiguity when every
+            # candidate slot is in the same union-find class.
+            slots = [("col", alias, column) for alias, _schema in owners]
+            roots = {ctx.uf.find(slot) for slot in slots}
+            if len(roots) > 1:
+                raise CompileError(
+                    f"column {column!r} is ambiguous in entangled subquery"
+                )
+            return slots[0]
+        return ("col", owners[0][0], column)
+
+    # Subquery WHERE: equalities feed unification; the rest is residual.
+    for conjunct in split_conjuncts(sub.where):
+        if isinstance(conjunct, Cmp) and conjunct.op is CmpOp.EQ:
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, Col) and isinstance(right, Col):
+                ctx.uf.union(resolve(left.name), resolve(right.name))
+                continue
+            if isinstance(left, Col) and isinstance(right, Const):
+                ctx.uf.bind_constant(resolve(left.name), right.value)
+                continue
+            if isinstance(left, Const) and isinstance(right, Col):
+                ctx.uf.bind_constant(resolve(right.name), left.value)
+                continue
+        ctx.residual.append(_rebind_subquery_columns(conjunct, resolve))
+
+    # Unify the outer items with the subquery's select columns.
+    if len(node.items) != len(sub.items):
+        raise CompileError(
+            f"IN tuple arity {len(node.items)} does not match subquery "
+            f"select arity {len(sub.items)}"
+        )
+    for outer, inner in zip(node.items, sub.items):
+        if inner.expr is None or not isinstance(inner.expr, Col):
+            raise CompileError(
+                "entangled subquery select items must be column references"
+            )
+        inner_slot = resolve(inner.expr.name)
+        if isinstance(outer, Const):
+            ctx.uf.bind_constant(inner_slot, outer.value)
+        elif isinstance(outer, Col):
+            ctx.uf.union(ctx.outer_slot(outer.name), inner_slot)
+        else:
+            raise CompileError(
+                "IN tuple items must be columns, constants or host variables"
+            )
+
+
+def _rebind_subquery_columns(expr: Expr, resolve) -> Expr:
+    """Rewrite subquery column refs to canonical slot names for residuals."""
+    if isinstance(expr, Col):
+        slot = resolve(expr.name)
+        return Col(_slot_name(slot))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _rebind_subquery_columns(expr.left, resolve),
+                   _rebind_subquery_columns(expr.right, resolve))
+    if isinstance(expr, And):
+        return And(_rebind_subquery_columns(expr.left, resolve),
+                   _rebind_subquery_columns(expr.right, resolve))
+    if isinstance(expr, Or):
+        return Or(_rebind_subquery_columns(expr.left, resolve),
+                  _rebind_subquery_columns(expr.right, resolve))
+    if isinstance(expr, Not):
+        return Not(_rebind_subquery_columns(expr.operand, resolve))
+    if isinstance(expr, IsNull):
+        return IsNull(_rebind_subquery_columns(expr.operand, resolve), expr.negated)
+    if isinstance(expr, Arith):
+        return Arith(expr.op, _rebind_subquery_columns(expr.left, resolve),
+                     _rebind_subquery_columns(expr.right, resolve))
+    if isinstance(expr, InList):
+        return InList(
+            _rebind_subquery_columns(expr.operand, resolve),
+            tuple(_rebind_subquery_columns(o, resolve) for o in expr.options),
+        )
+    raise CompileError(
+        f"unsupported predicate in entangled subquery: {type(expr).__name__}"
+    )
+
+
+def _slot_name(slot) -> str:
+    """The canonical variable name for a slot (pre-unification)."""
+    if slot[0] == "name":
+        return slot[1]
+    return f"{slot[1]}_{slot[2]}"
+
+
+def _canonical_var(ctx: _EntangledContext, slot) -> str:
+    """The variable name of a slot's class: prefer outer names."""
+    root = ctx.uf.find(slot)
+    members = [s for s in ctx.uf._parent if ctx.uf.find(s) == root]
+    outer = sorted(s[1] for s in members if s[0] == "name")
+    if outer:
+        return outer[0]
+    cols = sorted(_slot_name(s) for s in members if s[0] == "col")
+    if cols:
+        return cols[0]
+    return _slot_name(slot)  # pragma: no cover - defensive
+
+
+def _slot_to_term(ctx: _EntangledContext, slot):
+    constant = ctx.uf.constant_of(slot)
+    if constant is not None:
+        return Val(constant[0])
+    return Var(_canonical_var(ctx, slot))
+
+
+def _expr_to_term(ctx: _EntangledContext, expr: Expr):
+    """Convert a head/postcondition item to an IR term."""
+    if isinstance(expr, Const):
+        return Val(expr.value)
+    if isinstance(expr, Col):
+        if expr.name.startswith("@"):
+            raise CompileError(f"unbound host variable {expr.name}")
+        slot = ctx.outer_slot(expr.name)
+        return _slot_to_term(ctx, slot)
+    raise CompileError(
+        "entangled head/postcondition items must be columns, constants or "
+        "host variables"
+    )
+
+
+def _residual_to_vars(ctx: _EntangledContext, expr: Expr) -> Expr:
+    """Rewrite residual predicates to use canonical variable names."""
+    if isinstance(expr, Col):
+        if expr.name.startswith("@"):
+            raise CompileError(f"unbound host variable {expr.name}")
+        # Either an outer name or an already-canonical subquery slot name.
+        if ("name", expr.name) in ctx.uf._parent or expr.name in ctx.outer_name_slots:
+            slot = ctx.outer_slot(expr.name)
+        else:
+            slot = _find_slot_by_name(ctx, expr.name)
+        constant = ctx.uf.constant_of(slot)
+        if constant is not None:
+            return Const(constant[0])
+        return Col(_canonical_var(ctx, slot))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _residual_to_vars(ctx, expr.left),
+                   _residual_to_vars(ctx, expr.right))
+    if isinstance(expr, And):
+        return And(_residual_to_vars(ctx, expr.left),
+                   _residual_to_vars(ctx, expr.right))
+    if isinstance(expr, Or):
+        return Or(_residual_to_vars(ctx, expr.left),
+                  _residual_to_vars(ctx, expr.right))
+    if isinstance(expr, Not):
+        return Not(_residual_to_vars(ctx, expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(_residual_to_vars(ctx, expr.operand), expr.negated)
+    if isinstance(expr, Arith):
+        return Arith(expr.op, _residual_to_vars(ctx, expr.left),
+                     _residual_to_vars(ctx, expr.right))
+    if isinstance(expr, InList):
+        return InList(
+            _residual_to_vars(ctx, expr.operand),
+            tuple(_residual_to_vars(ctx, o) for o in expr.options),
+        )
+    raise CompileError(
+        f"unsupported residual predicate: {type(expr).__name__}"
+    )
+
+
+def _find_slot_by_name(ctx: _EntangledContext, name: str):
+    for _alias, _relation, slots in ctx.body_atoms:
+        for slot in slots:
+            if _slot_name(slot) == name:
+                return slot
+    raise UnknownColumnError(
+        f"predicate references unknown name {name!r} in entangled query"
+    )
+
+
+# ---------------------------------------------------------------------------
+# INSERT / UPDATE / DELETE
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledInsert:
+    """Full-row positional values, ready for the storage engine."""
+
+    table: str
+    values: tuple["SQLValue | None", ...]
+
+
+def compile_insert(stmt: InsertStmt, db: Database, env: Env) -> CompiledInsert:
+    schema = db.table(stmt.table).schema
+    values = [_eval_const(inline_hostvars(v, env)) for v in stmt.values]
+    if stmt.columns:
+        if len(stmt.columns) != len(values):
+            raise CompileError(
+                f"INSERT column/value count mismatch on {stmt.table!r}"
+            )
+        by_column = dict(zip(stmt.columns, values))
+        row = [by_column.get(c.name) for c in schema.columns]
+    else:
+        if len(values) != schema.arity:
+            raise CompileError(
+                f"INSERT into {stmt.table!r} expects {schema.arity} values, "
+                f"got {len(values)}"
+            )
+        row = values
+    return CompiledInsert(stmt.table, tuple(row))
+
+
+@dataclass(frozen=True)
+class CompiledUpdate:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    predicate: Expr | None
+
+
+def compile_update(stmt: UpdateStmt, db: Database, env: Env) -> CompiledUpdate:
+    db.table(stmt.table)  # existence check
+    assignments = tuple(
+        (column, inline_hostvars(value, env))
+        for column, value in stmt.assignments
+    )
+    predicate = None
+    if stmt.where is not None:
+        predicate = inline_hostvars(stmt.where, env)
+    return CompiledUpdate(stmt.table, assignments, predicate)
+
+
+@dataclass(frozen=True)
+class CompiledDelete:
+    table: str
+    predicate: Expr | None
+
+
+def compile_delete(stmt: DeleteStmt, db: Database, env: Env) -> CompiledDelete:
+    db.table(stmt.table)
+    predicate = None
+    if stmt.where is not None:
+        predicate = inline_hostvars(stmt.where, env)
+    return CompiledDelete(stmt.table, predicate)
+
+
+def _eval_const(expr: Expr):
+    """Evaluate a host-var-free expression to a constant."""
+    try:
+        return expr.eval({})
+    except Exception as exc:
+        raise CompileError(f"expected a constant expression, got {expr}") from exc

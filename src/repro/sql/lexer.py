@@ -1,0 +1,120 @@
+"""Tokenizer for the extended-SQL dialect.
+
+Handles the syntax used throughout the paper: single- or double-quoted
+string literals (with backslash and doubled-quote escapes), ``--`` line
+comments, host variables ``@name``, qualified identifiers, and numeric
+literals (integers and decimals).  Also accepts the Unicode "smart"
+quotes that the paper's typesetting uses in some listings, normalizing
+them to plain quotes, so examples can be pasted verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+_QUOTE_PAIRS = {
+    "'": "'",
+    '"': '"',
+    "‘": "’",  # ' '
+    "“": "”",  # " "
+    "`": "'",            # the paper writes `125' in one listing
+}
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_OPERATORS = "=<>+-/"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`LexError` on unexpected input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch in _QUOTE_PAIRS:
+            closer = _QUOTE_PAIRS[ch]
+            value, i = _read_string(text, i + 1, closer, ch)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch == "@":
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            name = text[start + 1: i]
+            if not name:
+                raise LexError("'@' must be followed by a variable name", start)
+            tokens.append(Token(TokenType.HOSTVAR, name, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        two = text[i: i + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            canonical = "<>" if two == "!=" else two
+            tokens.append(Token(TokenType.OPERATOR, canonical, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        simple = {
+            ",": TokenType.COMMA,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ".": TokenType.DOT,
+            ";": TokenType.SEMICOLON,
+            "*": TokenType.STAR,
+        }.get(ch)
+        if simple is not None:
+            tokens.append(Token(simple, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int, closer: str, opener: str) -> tuple[str, int]:
+    """Read a quoted string starting after the opening quote.
+
+    Doubling the closing quote escapes it (SQL style).  Returns the
+    string value and the index after the closing quote.
+    """
+    out: list[str] = []
+    i = start
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == closer:
+            if i + 1 < n and text[i + 1] == closer:
+                out.append(closer)
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise LexError(f"unterminated string starting with {opener!r}", start - 1)

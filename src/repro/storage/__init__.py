@@ -1,0 +1,84 @@
+"""Storage substrate: the DBMS the entangled middle tier runs on.
+
+This package stands in for MySQL 5.5/InnoDB in the paper's prototype
+(Section 5.1).  It provides typed heap tables with indexes, a
+select-project-join evaluator, a Strict-2PL lock manager with deadlock
+detection, a write-ahead log, classical ACID transactions, and
+ARIES-style restart recovery.
+"""
+
+from repro.storage.catalog import Database
+from repro.storage.engine import StorageEngine, TxnStatus, WouldBlock
+from repro.storage.expressions import (
+    And,
+    Arith,
+    ArithOp,
+    Cmp,
+    CmpOp,
+    Col,
+    Const,
+    Expr,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    conjoin,
+    is_satisfied,
+    split_conjuncts,
+    substitute,
+)
+from repro.storage.locks import LockManager, LockMode, LockOutcome, table_resource
+from repro.storage.query import SPJQuery, TableRef, evaluate, evaluate_single
+from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.row import Row, RowId
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import HashIndex, Table
+from repro.storage.types import ColumnType, SQLValue, coerce, infer_type, parse_date
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "And",
+    "Arith",
+    "ArithOp",
+    "Cmp",
+    "CmpOp",
+    "Col",
+    "Column",
+    "ColumnType",
+    "Const",
+    "Database",
+    "Expr",
+    "HashIndex",
+    "InList",
+    "IsNull",
+    "LockManager",
+    "LockMode",
+    "LockOutcome",
+    "LogRecord",
+    "LogRecordType",
+    "Not",
+    "Or",
+    "RecoveryReport",
+    "Row",
+    "RowId",
+    "SPJQuery",
+    "SQLValue",
+    "StorageEngine",
+    "Table",
+    "TableRef",
+    "TableSchema",
+    "TxnStatus",
+    "WouldBlock",
+    "WriteAheadLog",
+    "coerce",
+    "conjoin",
+    "evaluate",
+    "evaluate_single",
+    "infer_type",
+    "is_satisfied",
+    "parse_date",
+    "recover",
+    "split_conjuncts",
+    "substitute",
+    "table_resource",
+]

@@ -1,0 +1,323 @@
+"""The transactional storage engine.
+
+:class:`StorageEngine` is the substrate the entangled middle tier runs on —
+the role MySQL/InnoDB plays for the paper's prototype (Section 5.1).  It
+combines the catalog, the Strict-2PL lock manager, and the write-ahead log
+into classical ACID transactions:
+
+* ``begin`` / ``commit`` / ``abort`` with undo on abort,
+* reads through the SPJ evaluator under table-granularity S locks,
+* writes under X locks (row for updates/deletes, table for inserts —
+  a simple phantom guard),
+* WAL records for every mutation with the write-ahead rule enforced on
+  commit,
+* cooperative blocking: conflicting lock requests raise
+  :class:`WouldBlock` so a scheduler can suspend the transaction instead
+  of blocking a thread.
+
+The engine is single-threaded by design; concurrency is supplied by the
+run-based scheduler interleaving transaction programs, and by the
+discrete-event simulator when measuring performance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import (
+    StorageError,
+    TransactionStateError,
+)
+from repro.storage.catalog import Database
+from repro.storage.locks import LockManager, LockMode, LockOutcome, table_resource
+from repro.storage.query import SPJQuery, evaluate
+from repro.storage.row import Row, RowId, ValueTuple
+from repro.storage.schema import TableSchema
+from repro.storage.types import SQLValue
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+
+class WouldBlock(StorageError):
+    """A lock request conflicted; the caller should suspend and retry.
+
+    Attributes:
+        resource: the contended resource.
+    """
+
+    def __init__(self, txn: int, resource):
+        super().__init__(f"transaction {txn} must wait for {resource!r}")
+        self.txn = txn
+        self.resource = resource
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _UndoEntry:
+    """One logical undo action, applied in reverse order on abort."""
+
+    kind: LogRecordType
+    table: str
+    rid: int
+    before: ValueTuple | None
+    after: ValueTuple | None
+
+
+@dataclass
+class TxnContext:
+    """Book-keeping for one storage-level transaction."""
+
+    txn_id: int
+    status: TxnStatus = TxnStatus.ACTIVE
+    undo: list[_UndoEntry] = field(default_factory=list)
+    reads: list[str] = field(default_factory=list)
+    writes: list[RowId] = field(default_factory=list)
+
+
+class StorageEngine:
+    """Classical ACID transactions over a :class:`Database`."""
+
+    def __init__(self, db: Database | None = None, *, locking: bool = True):
+        self.db = db if db is not None else Database()
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self.locking = locking
+        self._contexts: dict[int, TxnContext] = {}
+        self._next_txn = 1
+        #: observers: callbacks invoked on (txn, "read"/"write", table) —
+        #: the formal-model recorder and cost model hook in here.
+        self.observers: list[Callable[[int, str, str], None]] = []
+
+    # -- DDL / loading (non-transactional, as in the paper's setup phase) ---------
+
+    def create_table(self, schema: TableSchema):
+        return self.db.create_table(schema)
+
+    def load(self, table: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-load through a system transaction so the data is WAL-logged
+        (and therefore survives crash recovery)."""
+        txn = self.begin()
+        count = 0
+        for values in rows:
+            self.insert(txn, table, values)
+            count += 1
+        self.commit(txn)
+        return count
+
+    # -- transaction lifecycle ------------------------------------------------------
+
+    def begin(self) -> int:
+        txn = self._next_txn
+        self._next_txn += 1
+        self._contexts[txn] = TxnContext(txn)
+        self.wal.append(LogRecordType.BEGIN, txn)
+        return txn
+
+    def _context(self, txn: int) -> TxnContext:
+        try:
+            ctx = self._contexts[txn]
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn}") from None
+        if ctx.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {txn} is {ctx.status.value}, not active"
+            )
+        return ctx
+
+    def commit(self, txn: int) -> list[int]:
+        """Commit: flush WAL through the COMMIT record, release locks.
+
+        Returns transactions woken by lock release.
+        """
+        ctx = self._context(txn)
+        record = self.wal.append(LogRecordType.COMMIT, txn)
+        self.wal.flush(record.lsn)  # write-ahead rule: commit is durable
+        ctx.status = TxnStatus.COMMITTED
+        self._notify(txn, "commit", "")
+        return self.locks.release_all(txn) if self.locking else []
+
+    def abort(self, txn: int) -> list[int]:
+        """Abort: undo all changes in reverse order, release locks."""
+        ctx = self._context(txn)
+        for entry in reversed(ctx.undo):
+            table = self.db.table(entry.table)
+            if entry.kind is LogRecordType.INSERT:
+                table.delete(entry.rid)
+            elif entry.kind is LogRecordType.DELETE:
+                assert entry.before is not None
+                table.insert_with_rid(entry.rid, entry.before)
+            elif entry.kind is LogRecordType.UPDATE:
+                assert entry.before is not None
+                table.update(entry.rid, entry.before)
+        self.wal.append(LogRecordType.ABORT, txn)
+        ctx.status = TxnStatus.ABORTED
+        self._notify(txn, "abort", "")
+        return self.locks.release_all(txn) if self.locking else []
+
+    def status(self, txn: int) -> TxnStatus:
+        try:
+            return self._contexts[txn].status
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn}") from None
+
+    def context(self, txn: int) -> TxnContext:
+        """Expose read/write sets for the model recorder (any status)."""
+        try:
+            return self._contexts[txn]
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn}") from None
+
+    # -- locking helpers --------------------------------------------------------------
+
+    def _lock(self, txn: int, resource, mode: LockMode) -> None:
+        if not self.locking:
+            return
+        outcome = self.locks.acquire(txn, resource, mode)
+        if outcome is LockOutcome.WAIT:
+            raise WouldBlock(txn, resource)
+
+    def lock_table_shared(self, txn: int, table: str) -> None:
+        """Take (or raise WouldBlock for) a table S lock — used directly by
+        the entangled coordinator for grounding reads."""
+        self._context(txn)
+        self._lock(txn, table_resource(table), LockMode.SHARED)
+
+    def release_read_locks(self, txn: int) -> list[int]:
+        """Ablation hook: early release of S locks (non-strict reads)."""
+        self._context(txn)
+        return self.locks.release_shared(txn)
+
+    # -- reads ------------------------------------------------------------------------
+
+    def query(
+        self,
+        txn: int,
+        query: SPJQuery,
+        params: Mapping[str, "SQLValue | None"] | None = None,
+    ) -> list[tuple["SQLValue | None", ...]]:
+        """Run an SPJ query inside ``txn`` under table S locks."""
+        ctx = self._context(txn)
+        # Lock before evaluating: gather tables first so a WouldBlock leaves
+        # no partial evaluation behind.
+        for ref in query.tables:
+            self._lock(txn, table_resource(ref.name), LockMode.SHARED)
+
+        def observe(table_name: str) -> None:
+            ctx.reads.append(table_name)
+            self._notify(txn, "read", table_name)
+
+        return evaluate(query, self.db, params, read_observer=observe)
+
+    def read_table(self, txn: int, table: str) -> list[Row]:
+        """Full-table read (used by tests and the recovery manager)."""
+        ctx = self._context(txn)
+        self._lock(txn, table_resource(table), LockMode.SHARED)
+        ctx.reads.append(table)
+        self._notify(txn, "read", table)
+        return list(self.db.table(table).scan())
+
+    # -- writes -----------------------------------------------------------------------
+
+    def insert(self, txn: int, table_name: str, values: Sequence[Any]) -> Row:
+        ctx = self._context(txn)
+        # IX on the table (conflicts with scans — phantom guard — but not
+        # with other writers), then X on the new row.
+        self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
+        table = self.db.table(table_name)
+        row = table.insert(values)
+        self._lock(txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE)
+        self.wal.append(
+            LogRecordType.INSERT, txn, table_name, row.rid, None, row.values
+        )
+        ctx.undo.append(_UndoEntry(LogRecordType.INSERT, table_name, row.rid, None, row.values))
+        ctx.writes.append(RowId(table_name, row.rid))
+        self._notify(txn, "write", table_name)
+        return row
+
+    def update(
+        self, txn: int, table_name: str, rid: int, values: Sequence[Any]
+    ) -> tuple[Row, Row]:
+        ctx = self._context(txn)
+        self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
+        self._lock(txn, RowId(table_name, rid), LockMode.EXCLUSIVE)
+        table = self.db.table(table_name)
+        old, new = table.update(rid, values)
+        self.wal.append(
+            LogRecordType.UPDATE, txn, table_name, rid, old.values, new.values
+        )
+        ctx.undo.append(_UndoEntry(LogRecordType.UPDATE, table_name, rid, old.values, new.values))
+        ctx.writes.append(RowId(table_name, rid))
+        self._notify(txn, "write", table_name)
+        return old, new
+
+    def delete(self, txn: int, table_name: str, rid: int) -> Row:
+        ctx = self._context(txn)
+        self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
+        self._lock(txn, RowId(table_name, rid), LockMode.EXCLUSIVE)
+        table = self.db.table(table_name)
+        old = table.delete(rid)
+        self.wal.append(
+            LogRecordType.DELETE, txn, table_name, rid, old.values, None
+        )
+        ctx.undo.append(_UndoEntry(LogRecordType.DELETE, table_name, rid, old.values, None))
+        ctx.writes.append(RowId(table_name, rid))
+        self._notify(txn, "write", table_name)
+        return old
+
+    def update_where(
+        self,
+        txn: int,
+        table_name: str,
+        predicate: Callable[[Row], bool],
+        new_values: Callable[[Row], Sequence[Any]],
+    ) -> int:
+        """Update all rows matching ``predicate``; returns rows changed."""
+        self._lock(txn, table_resource(table_name), LockMode.EXCLUSIVE)
+        table = self.db.table(table_name)
+        changed = 0
+        for row in list(table.scan()):
+            if predicate(row):
+                self.update(txn, table_name, row.rid, list(new_values(row)))
+                changed += 1
+        return changed
+
+    def delete_where(
+        self, txn: int, table_name: str, predicate: Callable[[Row], bool]
+    ) -> int:
+        """Delete all rows matching ``predicate``; returns rows removed."""
+        self._lock(txn, table_resource(table_name), LockMode.EXCLUSIVE)
+        table = self.db.table(table_name)
+        removed = 0
+        for row in list(table.scan()):
+            if predicate(row):
+                self.delete(txn, table_name, row.rid)
+                removed += 1
+        return removed
+
+    # -- crash simulation ---------------------------------------------------------------
+
+    def crash(self) -> "StorageEngine":
+        """Simulate a crash: volatile state (tables, locks, contexts) is
+        lost; the flushed WAL prefix survives.  Returns a fresh engine on
+        an empty database with the surviving log, ready for
+        :func:`repro.storage.recovery.recover`.
+        """
+        self.wal.truncate_to_flushed()
+        survivor = StorageEngine(Database(self.db.name), locking=self.locking)
+        for schema in self.db.schemas():
+            survivor.db.create_table(schema)
+        survivor.wal = self.wal
+        survivor._next_txn = self._next_txn
+        return survivor
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _notify(self, txn: int, kind: str, table: str) -> None:
+        for observer in self.observers:
+            observer(txn, kind, table)

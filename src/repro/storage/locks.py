@@ -1,0 +1,269 @@
+"""Lock manager: shared/exclusive locks, Strict 2PL, deadlock detection.
+
+The paper's prototype enforces full entangled isolation with Strict 2PL
+implemented "using the lock manager of the DBMS" (Section 5.1).  This is
+that lock manager.  It supports:
+
+* **Modes** — shared (S) and exclusive (X), with S->X upgrade.
+* **Granularity** — arbitrary hashable resources; the engine locks
+  ``("table", name)`` for scans/grounding reads and ``RowId`` for row ops.
+  Table X-locks conflict with row locks on that table via simple
+  hierarchical containment.
+* **Strict 2PL** — locks are only released by :meth:`release_all` at
+  commit/abort.  For the isolation-relaxation ablation (Section 3.3.3), the
+  engine may call :meth:`release_shared` early, re-admitting unrepeatable
+  quasi-reads.
+* **Deadlock detection** — a waits-for graph is maintained; a request that
+  would close a cycle raises :class:`DeadlockError` immediately (the
+  requester is the victim), matching the immediate-abort policy the
+  run-based scheduler wants.
+
+The manager is *cooperative*: it never blocks a thread.  A conflicting
+request returns :data:`LockOutcome.WAIT` after enqueueing the waiter; the
+scheduler decides whether to suspend or abort the transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.errors import DeadlockError, LockError
+
+#: A lockable resource.  The engine uses ("table", name) and RowId values.
+Resource = Hashable
+
+
+class LockMode(enum.Enum):
+    """S/X plus intention-exclusive for multigranularity locking.
+
+    The engine's protocol: readers (scans, grounding reads) take table S;
+    writers take table IX plus row X.  IX is compatible with IX (row-level
+    writers of different rows proceed concurrently, as in InnoDB) but
+    conflicts with S and X — so a scan excludes concurrent inserts into
+    the scanned table, which is the phantom protection Strict 2PL needs
+    for repeatable (quasi-)reads (Section 3.3.3).
+    """
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+    INTENTION_EXCLUSIVE = "IX"
+
+    def compatible(self, other: "LockMode") -> bool:
+        both = {self, other}
+        if both == {LockMode.SHARED}:
+            return True
+        if both == {LockMode.INTENTION_EXCLUSIVE}:
+            return True
+        return False
+
+
+class LockOutcome(enum.Enum):
+    GRANTED = "granted"
+    WAIT = "wait"
+
+
+@dataclass
+class _LockState:
+    """Per-resource lock state: holders by mode plus FIFO wait queue."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+def table_resource(table_name: str) -> tuple[str, str]:
+    """The canonical resource for a whole-table lock."""
+    return ("table", table_name)
+
+
+class LockManager:
+    """A cooperative S/X lock manager with deadlock detection."""
+
+    def __init__(self):
+        self._locks: dict[Resource, _LockState] = defaultdict(_LockState)
+        self._held: dict[int, set[Resource]] = defaultdict(set)
+        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        #: statistics for benchmarks and tests
+        self.stats = {"acquired": 0, "waits": 0, "deadlocks": 0, "upgrades": 0}
+
+    # -- introspection -------------------------------------------------------------
+
+    def holders(self, resource: Resource) -> dict[int, LockMode]:
+        return dict(self._locks[resource].holders)
+
+    def holds(self, txn: int, resource: Resource, mode: LockMode | None = None) -> bool:
+        held = self._locks[resource].holders.get(txn)
+        if held is None:
+            return False
+        if mode is None or held is mode:
+            return True
+        # X implies everything; S and IX imply only themselves.
+        return held is LockMode.EXCLUSIVE
+
+    def held_resources(self, txn: int) -> frozenset[Resource]:
+        return frozenset(self._held.get(txn, ()))
+
+    def waiting(self, txn: int) -> bool:
+        return any(
+            waiter == txn
+            for state in self._locks.values()
+            for waiter, _ in state.queue
+        )
+
+    # -- acquisition ---------------------------------------------------------------
+
+    def acquire(self, txn: int, resource: Resource, mode: LockMode) -> LockOutcome:
+        """Request ``mode`` on ``resource`` for transaction ``txn``.
+
+        Returns GRANTED when the lock is held on return.  Returns WAIT when
+        the request conflicts; the waiter is queued and the waits-for edges
+        are recorded.  Raises :class:`DeadlockError` (and leaves no residue)
+        when granting-by-waiting would create a waits-for cycle.
+        """
+        state = self._locks[resource]
+        current = state.holders.get(txn)
+
+        if current is not None:
+            if current is LockMode.EXCLUSIVE or current is mode:
+                return LockOutcome.GRANTED  # already sufficient
+            # Any other combination (S->X, IX->X, S<->IX) is a conversion;
+            # we conservatively convert to X, requiring sole ownership.
+            others = [t for t in state.holders if t != txn]
+            if not others:
+                state.holders[txn] = LockMode.EXCLUSIVE
+                self.stats["upgrades"] += 1
+                return LockOutcome.GRANTED
+            self._enqueue(txn, resource, LockMode.EXCLUSIVE, blockers=others)
+            return LockOutcome.WAIT
+
+        blockers = self._blockers(txn, resource, mode)
+        if not blockers and not self._must_queue_behind(txn, state, mode):
+            state.holders[txn] = mode
+            self._held[txn].add(resource)
+            self.stats["acquired"] += 1
+            return LockOutcome.GRANTED
+
+        queue_blockers = blockers or [w for w, _ in state.queue if w != txn]
+        self._enqueue(txn, resource, mode, blockers=queue_blockers)
+        return LockOutcome.WAIT
+
+    def _must_queue_behind(self, txn: int, state: _LockState, mode: LockMode) -> bool:
+        """FIFO fairness: a new S request queues behind a waiting X."""
+        return any(
+            waiting_mode is LockMode.EXCLUSIVE and waiter != txn
+            for waiter, waiting_mode in state.queue
+        )
+
+    def _blockers(self, txn: int, resource: Resource, mode: LockMode) -> list[int]:
+        """Holders that conflict with ``mode`` on ``resource``.
+
+        The multigranularity protocol (readers: table S; writers: table IX
+        + row X) makes conflicts local to each resource — table/row
+        containment is resolved by the IX-vs-S conflict at the table
+        granule, so no hierarchical walk is needed here.
+        """
+        state = self._locks[resource]
+        return sorted(
+            holder
+            for holder, held_mode in state.holders.items()
+            if holder != txn and not held_mode.compatible(mode)
+        )
+
+    def _enqueue(
+        self, txn: int, resource: Resource, mode: LockMode, blockers: Iterable[int]
+    ) -> None:
+        blockers = [b for b in set(blockers) if b != txn]
+        self._check_deadlock(txn, blockers)
+        state = self._locks[resource]
+        if (txn, mode) not in state.queue:
+            state.queue.append((txn, mode))
+        self._waits_for[txn].update(blockers)
+        self.stats["waits"] += 1
+
+    def _check_deadlock(self, txn: int, new_edges: Iterable[int]) -> None:
+        """DFS over waits-for (with the tentative edges) looking for a path
+        back to ``txn``; raise and record when found."""
+        stack = list(new_edges)
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == txn:
+                self.stats["deadlocks"] += 1
+                raise DeadlockError(
+                    f"transaction {txn} would deadlock (cycle via waits-for graph)"
+                )
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+
+    # -- release -------------------------------------------------------------------
+
+    def release_all(self, txn: int) -> list[int]:
+        """Release every lock and queued request of ``txn`` (commit/abort).
+
+        Returns transaction ids whose queued requests became grantable and
+        were granted — the scheduler uses this to wake suspended work.
+        """
+        for resource in list(self._held.pop(txn, ())):
+            state = self._locks[resource]
+            state.holders.pop(txn, None)
+        for resource, state in list(self._locks.items()):
+            state.queue = [(w, m) for (w, m) in state.queue if w != txn]
+            if not state.holders and not state.queue:
+                del self._locks[resource]
+        self._waits_for.pop(txn, None)
+        for edges in self._waits_for.values():
+            edges.discard(txn)
+        return self._promote_waiters()
+
+    def release_shared(self, txn: int) -> list[int]:
+        """Early release of all S locks held by ``txn`` (isolation-relaxation
+        ablation; Section 3.3.3 'altering the length of time locks are held')."""
+        for resource in list(self._held.get(txn, ())):
+            state = self._locks[resource]
+            if state.holders.get(txn) is LockMode.SHARED:
+                del state.holders[txn]
+                self._held[txn].discard(resource)
+        return self._promote_waiters()
+
+    def _promote_waiters(self) -> list[int]:
+        """Grant queued requests that no longer conflict, FIFO per resource."""
+        woken: list[int] = []
+        progress = True
+        while progress:
+            progress = False
+            for resource, state in list(self._locks.items()):
+                while state.queue:
+                    waiter, mode = state.queue[0]
+                    if self._blockers(waiter, resource, mode):
+                        break
+                    state.queue.pop(0)
+                    held = state.holders.get(waiter)
+                    if held is not None and held is not mode:
+                        state.holders[waiter] = LockMode.EXCLUSIVE
+                        self.stats["upgrades"] += 1
+                    elif held is None:
+                        state.holders[waiter] = mode
+                        self._held[waiter].add(resource)
+                        self.stats["acquired"] += 1
+                    self._waits_for.pop(waiter, None)
+                    woken.append(waiter)
+                    progress = True
+        return woken
+
+
+def _parent_resource(resource: Resource):
+    """The containing table resource for a row resource, else None.
+
+    Exposed for diagnostics; the conflict rules themselves are local per
+    resource under the multigranularity protocol.
+    """
+    # Import here to avoid a cycle at module load.
+    from repro.storage.row import RowId
+
+    if isinstance(resource, RowId):
+        return table_resource(resource.table)
+    return None

@@ -1,0 +1,263 @@
+"""Select-project-join evaluation over the storage substrate.
+
+The paper restricts entangled WHERE clauses to select-project-join queries
+(Section 2); the classical statements in the workloads are also SPJ plus
+INSERT.  This module provides :class:`SPJQuery` — a declarative SPJ plan —
+and an evaluator that runs it against a :class:`repro.storage.catalog.Database`
+(or any object exposing ``table(name)``).
+
+Evaluation is a straightforward nested-loop join with two optimizations
+that matter for the benchmark workloads: equality predicates against
+constants are pushed down to index lookups when the table has a matching
+index, and join predicates between the next table and already-bound columns
+use index lookups when available.
+
+The evaluator reports every table it touched through an optional
+``read_observer`` callback — this is how the engine layer records
+grounding reads for the formal model and takes read locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
+
+from repro.errors import CompileError, UnknownColumnError
+from repro.storage.expressions import (
+    Cmp,
+    CmpOp,
+    Col,
+    Const,
+    Expr,
+    conjoin,
+    is_satisfied,
+    split_conjuncts,
+)
+from repro.storage.row import Row
+from repro.storage.table import Table
+from repro.storage.types import SQLValue
+
+
+class TableProvider(Protocol):
+    """Anything that can resolve a table name to a :class:`Table`."""
+
+    def table(self, name: str) -> Table:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause item: table name plus alias (alias defaults to name)."""
+
+    name: str
+    alias: str = ""
+
+    def __post_init__(self):
+        if not self.alias:
+            object.__setattr__(self, "alias", self.name)
+
+
+@dataclass(frozen=True)
+class SPJQuery:
+    """A select-project-join query plan.
+
+    Attributes:
+        tables: FROM items, joined in order.
+        where: predicate over qualified column names, or None.
+        select: output expressions (must be provided; ``*`` is expanded by
+            the SQL compiler before reaching this layer).
+        select_names: output column names, parallel to ``select``.
+        distinct: drop duplicate output rows.
+        limit: keep at most this many output rows (None = no limit).
+    """
+
+    tables: tuple[TableRef, ...]
+    select: tuple[Expr, ...]
+    select_names: tuple[str, ...]
+    where: Expr | None = None
+    distinct: bool = False
+    limit: int | None = None
+
+    def __post_init__(self):
+        if len(self.select) != len(self.select_names):
+            raise CompileError("select expressions and names must align")
+        aliases = [t.alias for t in self.tables]
+        if len(set(aliases)) != len(aliases):
+            raise CompileError(f"duplicate FROM aliases: {aliases}")
+
+
+#: Called with each table name the evaluator reads.
+ReadObserver = Callable[[str], None]
+
+
+def _env_for(
+    ref: TableRef,
+    row: Row,
+    table: Table,
+    base: dict[str, "SQLValue | None"],
+    ambiguous: set[str],
+) -> dict[str, "SQLValue | None"]:
+    """Extend ``base`` with the bindings contributed by ``row``."""
+    env = dict(base)
+    for col, value in zip(table.schema.column_names, row.values):
+        env[f"{ref.alias}.{col}"] = value
+        if col not in ambiguous:
+            env[col] = value
+    return env
+
+
+def _constant_eq_conjuncts(
+    conjuncts: Sequence[Expr],
+    ref: TableRef,
+    table: Table,
+    outer: Mapping[str, "SQLValue | None"],
+) -> tuple[dict[str, "SQLValue | None"], list[Expr]]:
+    """Split conjuncts into index-usable ``col = const`` bindings vs. rest.
+
+    A conjunct is index-usable for ``ref`` when it is an equality between a
+    column of ``ref`` and an expression fully evaluable from ``outer``
+    (constants, host variables, columns of earlier tables).
+    """
+    bindings: dict[str, "SQLValue | None"] = {}
+    residual: list[Expr] = []
+    for conj in conjuncts:
+        usable = False
+        if isinstance(conj, Cmp) and conj.op is CmpOp.EQ:
+            for col_side, other in ((conj.left, conj.right), (conj.right, conj.left)):
+                column = _own_column(col_side, ref, table)
+                if column is None:
+                    continue
+                try:
+                    value = other.eval(outer)
+                except UnknownColumnError:
+                    continue
+                if value is not None and column not in bindings:
+                    bindings[column] = value
+                    usable = True
+                    break
+        if not usable:
+            residual.append(conj)
+    return bindings, residual
+
+
+def _own_column(expr: Expr, ref: TableRef, table: Table) -> str | None:
+    """Return the bare column name when ``expr`` names a column of ``ref``."""
+    if not isinstance(expr, Col):
+        return None
+    name = expr.name
+    if "." in name:
+        alias, bare = name.split(".", 1)
+        if alias != ref.alias:
+            return None
+        name = bare
+    return name if table.schema.has_column(name) else None
+
+
+def _candidate_rows(
+    table: Table,
+    bindings: Mapping[str, "SQLValue | None"],
+) -> Iterable[Row]:
+    """Choose the cheapest access path for the given equality bindings."""
+    if bindings:
+        # Primary key point lookup.
+        pk = table.schema.primary_key
+        if pk and all(c in bindings for c in pk):
+            row = table.lookup_pk(tuple(bindings[c] for c in pk))
+            rows = [row] if row is not None else []
+            # Residual equality columns still need checking; the caller's
+            # predicate re-check covers that.
+            return rows
+        # Any declared secondary index fully covered by the bindings.
+        for cols in table.schema.indexes:
+            if all(c in bindings for c in cols):
+                return table.lookup_index(cols, tuple(bindings[c] for c in cols))
+    return table.scan()
+
+
+def evaluate(
+    query: SPJQuery,
+    provider: TableProvider,
+    params: Mapping[str, "SQLValue | None"] | None = None,
+    read_observer: ReadObserver | None = None,
+) -> list[tuple["SQLValue | None", ...]]:
+    """Evaluate an SPJ query, returning output tuples in deterministic order.
+
+    ``params`` supplies host-variable bindings (keys like ``"@x"``).
+    ``read_observer`` is invoked once per referenced table, before rows are
+    produced — the transactional engine uses this to take locks.
+    """
+    tables = [provider.table(ref.name) for ref in query.tables]
+    if read_observer is not None:
+        for ref in query.tables:
+            read_observer(ref.name)
+
+    # Column names occurring in more than one table must stay qualified.
+    seen: set[str] = set()
+    ambiguous: set[str] = set()
+    for table in tables:
+        for col in table.schema.column_names:
+            if col in seen:
+                ambiguous.add(col)
+            seen.add(col)
+
+    base_env: dict[str, "SQLValue | None"] = dict(params or {})
+    conjuncts = split_conjuncts(query.where)
+    results: list[tuple["SQLValue | None", ...]] = []
+    dedup: set[tuple["SQLValue | None", ...]] = set()
+
+    def recurse(position: int, env: dict[str, "SQLValue | None"], pending: list[Expr]) -> bool:
+        """Depth-first join; returns False once the LIMIT is reached."""
+        if position == len(tables):
+            if not all(is_satisfied(conj, env) for conj in pending):
+                return True
+            output = tuple(expr.eval(env) for expr in query.select)
+            if query.distinct:
+                if output in dedup:
+                    return True
+                dedup.add(output)
+            results.append(output)
+            return query.limit is None or len(results) < query.limit
+
+        ref, table = query.tables[position], tables[position]
+        bindings, residual = _constant_eq_conjuncts(pending, ref, table, env)
+
+        # Conjuncts that can now be fully evaluated are checked at this
+        # level; the rest are deferred deeper.
+        for row in _candidate_rows(table, bindings):
+            env2 = _env_for(ref, row, table, env, ambiguous)
+            deeper: list[Expr] = []
+            ok = True
+            for conj in pending:
+                try:
+                    if not is_satisfied(conj, env2):
+                        ok = False
+                        break
+                except UnknownColumnError:
+                    deeper.append(conj)
+            if not ok:
+                continue
+            if not recurse(position + 1, env2, deeper):
+                return False
+        return True
+
+    recurse(0, base_env, conjuncts)
+    return results
+
+
+def evaluate_single(
+    query: SPJQuery,
+    provider: TableProvider,
+    params: Mapping[str, "SQLValue | None"] | None = None,
+    read_observer: ReadObserver | None = None,
+) -> tuple["SQLValue | None", ...] | None:
+    """Evaluate and return the first row, or None when empty."""
+    limited = SPJQuery(
+        tables=query.tables,
+        select=query.select,
+        select_names=query.select_names,
+        where=query.where,
+        distinct=query.distinct,
+        limit=1,
+    )
+    rows = evaluate(limited, provider, params, read_observer)
+    return rows[0] if rows else None

@@ -1,0 +1,52 @@
+"""Row representation for the storage substrate.
+
+Rows are stored as immutable value tuples keyed by a stable row id (rid).
+Row ids are assigned by the owning table and never reused, which gives the
+lock manager and the write-ahead log a stable name for each record — the
+same role InnoDB's implicit row ids play for the paper's prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.types import SQLValue
+
+#: A canonical, schema-validated tuple of column values.
+ValueTuple = tuple["SQLValue | None", ...]
+
+
+@dataclass(frozen=True)
+class Row:
+    """A stored row: a stable row id plus its current value tuple.
+
+    Attributes:
+        rid: table-unique, never-reused row identifier.
+        values: the value tuple, in schema column order.
+    """
+
+    rid: int
+    values: ValueTuple
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> "SQLValue | None":
+        return self.values[index]
+
+
+@dataclass(frozen=True)
+class RowId:
+    """A fully qualified record name: ``(table, rid)``.
+
+    This is the locking and logging granule for row-level operations.
+    """
+
+    table: str
+    rid: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}#{self.rid}"

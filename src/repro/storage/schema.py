@@ -1,0 +1,157 @@
+"""Table schemas for the storage substrate.
+
+A :class:`TableSchema` is an ordered list of :class:`Column` definitions
+plus an optional primary key and any number of secondary (non-unique) index
+declarations.  Schemas are immutable once constructed; the catalog treats
+them as value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+from repro.storage.types import ColumnType, SQLValue, coerce
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Attributes:
+        name: column name, unique within the table.
+        type: declared :class:`ColumnType`.
+        nullable: whether NULL (``None``) is allowed.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An immutable table schema.
+
+    Attributes:
+        name: table name.
+        columns: ordered column definitions.
+        primary_key: names of the primary-key columns (may be empty, in
+            which case the table is a heap with no uniqueness constraint —
+            matching e.g. the paper's ``Friends`` relation).
+        indexes: tuples of column names to maintain secondary hash
+            indexes over (non-unique).
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    indexes: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid table name {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        for key_col in self.primary_key:
+            if key_col not in names:
+                raise SchemaError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+        for index in self.indexes:
+            for col in index:
+                if col not in names:
+                    raise SchemaError(
+                        f"index column {col!r} not in table {self.name!r}"
+                    )
+
+    # -- convenience constructors -------------------------------------------------
+
+    @staticmethod
+    def build(
+        name: str,
+        columns: Sequence[tuple[str, ColumnType] | tuple[str, ColumnType, bool]],
+        primary_key: Iterable[str] = (),
+        indexes: Iterable[Iterable[str]] = (),
+    ) -> "TableSchema":
+        """Build a schema from terse ``(name, type[, nullable])`` tuples."""
+        cols = []
+        for spec in columns:
+            if len(spec) == 2:
+                cols.append(Column(spec[0], spec[1]))
+            else:
+                cols.append(Column(spec[0], spec[1], spec[2]))
+        return TableSchema(
+            name=name,
+            columns=tuple(cols),
+            primary_key=tuple(primary_key),
+            indexes=tuple(tuple(ix) for ix in indexes),
+        )
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise UnknownColumnError(f"no column {name!r} in table {self.name!r}")
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise UnknownColumnError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    # -- row validation -----------------------------------------------------------
+
+    def validate_row(self, values: Sequence[Any]) -> tuple[SQLValue | None, ...]:
+        """Coerce and validate a full row of positional values.
+
+        Returns the canonical value tuple.  Raises
+        :class:`TypeMismatchError` for type errors and :class:`SchemaError`
+        for arity or nullability problems.
+        """
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        out = []
+        for col, value in zip(self.columns, values):
+            coerced = coerce(value, col.type)
+            if coerced is None and not col.nullable:
+                raise TypeMismatchError(
+                    f"column {self.name}.{col.name} is NOT NULL"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def key_of(self, values: Sequence[SQLValue | None]) -> tuple[SQLValue | None, ...] | None:
+        """Extract the primary-key tuple from a validated row, or None if
+        the table has no primary key."""
+        if not self.primary_key:
+            return None
+        return tuple(values[self.column_index(c)] for c in self.primary_key)
+
+    def row_dict(self, values: Sequence[SQLValue | None]) -> dict[str, SQLValue | None]:
+        """Return the row as a ``{column: value}`` mapping."""
+        return dict(zip(self.column_names, values))

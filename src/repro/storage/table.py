@@ -1,0 +1,213 @@
+"""Heap tables with primary-key and secondary hash indexes.
+
+A :class:`Table` owns its rows, assigns row ids, and keeps its indexes in
+sync on every mutation.  It is deliberately unaware of transactions: the
+:mod:`repro.storage.engine` layer mediates all access, installs undo
+records, and takes locks before calling into the table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage.row import Row, ValueTuple
+from repro.storage.schema import TableSchema
+from repro.storage.types import SQLValue
+
+
+class HashIndex:
+    """A non-unique hash index over a subset of columns.
+
+    Maps the indexed key tuple to the set of rids that currently carry it.
+    """
+
+    def __init__(self, column_names: Sequence[str], schema: TableSchema):
+        self.column_names = tuple(column_names)
+        self._positions = tuple(schema.column_index(c) for c in self.column_names)
+        self._buckets: dict[tuple, set[int]] = {}
+
+    def key_for(self, values: ValueTuple) -> tuple:
+        return tuple(values[p] for p in self._positions)
+
+    def add(self, rid: int, values: ValueTuple) -> None:
+        self._buckets.setdefault(self.key_for(values), set()).add(rid)
+
+    def remove(self, rid: int, values: ValueTuple) -> None:
+        key = self.key_for(values)
+        bucket = self._buckets.get(key)
+        if bucket is None or rid not in bucket:
+            raise StorageError(f"index corruption: rid {rid} missing for key {key!r}")
+        bucket.discard(rid)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key: tuple) -> frozenset[int]:
+        return frozenset(self._buckets.get(key, frozenset()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class Table:
+    """A heap table with optional primary key and secondary indexes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_rid = 1
+        self._pk_index: dict[tuple, int] = {}
+        self._secondary: list[HashIndex] = [
+            HashIndex(cols, schema) for cols in schema.indexes
+        ]
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._rows
+
+    def rids(self) -> list[int]:
+        """All live row ids (sorted, so scans are deterministic)."""
+        return sorted(self._rows)
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, rid: int) -> Row:
+        try:
+            return self._rows[rid]
+        except KeyError:
+            raise StorageError(f"no row {rid} in table {self.name!r}") from None
+
+    def scan(self) -> Iterator[Row]:
+        """Yield all rows in rid order (deterministic)."""
+        for rid in sorted(self._rows):
+            yield self._rows[rid]
+
+    def lookup_pk(self, key: tuple) -> Row | None:
+        rid = self._pk_index.get(key)
+        return self._rows[rid] if rid is not None else None
+
+    def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
+        """Lookup via a matching secondary index; falls back to a scan.
+
+        The fallback keeps callers correct when no index was declared, at a
+        linear cost — the query layer prefers indexes when available.
+        """
+        wanted = tuple(column_names)
+        for index in self._secondary:
+            if index.column_names == wanted:
+                return [self._rows[rid] for rid in sorted(index.lookup(key))]
+        positions = [self.schema.column_index(c) for c in wanted]
+        return [
+            row
+            for row in self.scan()
+            if tuple(row.values[p] for p in positions) == key
+        ]
+
+    def has_index(self, column_names: Sequence[str]) -> bool:
+        wanted = tuple(column_names)
+        return any(ix.column_names == wanted for ix in self._secondary)
+
+    # -- mutations ----------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> Row:
+        """Validate and insert a row, returning the stored :class:`Row`.
+
+        Raises :class:`DuplicateKeyError` when the primary key is taken.
+        """
+        canonical = self.schema.validate_row(values)
+        key = self.schema.key_of(canonical)
+        if key is not None and key in self._pk_index:
+            raise DuplicateKeyError(
+                f"duplicate primary key {key!r} in table {self.name!r}"
+            )
+        rid = self._next_rid
+        self._next_rid += 1
+        row = Row(rid, canonical)
+        self._rows[rid] = row
+        if key is not None:
+            self._pk_index[key] = rid
+        for index in self._secondary:
+            index.add(rid, canonical)
+        return row
+
+    def insert_with_rid(self, rid: int, values: Sequence[Any]) -> Row:
+        """Re-insert a row under a specific rid (undo/redo path only)."""
+        if rid in self._rows:
+            raise StorageError(f"rid {rid} already present in {self.name!r}")
+        canonical = self.schema.validate_row(values)
+        key = self.schema.key_of(canonical)
+        if key is not None and key in self._pk_index:
+            raise DuplicateKeyError(
+                f"duplicate primary key {key!r} in table {self.name!r}"
+            )
+        row = Row(rid, canonical)
+        self._rows[rid] = row
+        self._next_rid = max(self._next_rid, rid + 1)
+        if key is not None:
+            self._pk_index[key] = rid
+        for index in self._secondary:
+            index.add(rid, canonical)
+        return row
+
+    def update(self, rid: int, values: Sequence[Any]) -> tuple[Row, Row]:
+        """Replace the values of row ``rid``; returns ``(old, new)`` rows."""
+        old = self.get(rid)
+        canonical = self.schema.validate_row(values)
+        new_key = self.schema.key_of(canonical)
+        old_key = self.schema.key_of(old.values)
+        if new_key != old_key and new_key is not None and new_key in self._pk_index:
+            raise DuplicateKeyError(
+                f"update would duplicate primary key {new_key!r} in {self.name!r}"
+            )
+        new = Row(rid, canonical)
+        self._rows[rid] = new
+        if old_key != new_key:
+            if old_key is not None:
+                del self._pk_index[old_key]
+            if new_key is not None:
+                self._pk_index[new_key] = rid
+        for index in self._secondary:
+            index.remove(rid, old.values)
+            index.add(rid, canonical)
+        return old, new
+
+    def delete(self, rid: int) -> Row:
+        """Remove row ``rid``; returns the deleted row."""
+        old = self.get(rid)
+        del self._rows[rid]
+        key = self.schema.key_of(old.values)
+        if key is not None:
+            del self._pk_index[key]
+        for index in self._secondary:
+            index.remove(rid, old.values)
+        return old
+
+    # -- whole-table helpers --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all rows (rid counter is preserved: rids are never reused)."""
+        self._rows.clear()
+        self._pk_index.clear()
+        for index in self._secondary:
+            index._buckets.clear()
+
+    def snapshot(self) -> list[tuple[int, ValueTuple]]:
+        """A deterministic, deep-enough copy of the table contents."""
+        return [(rid, self._rows[rid].values) for rid in sorted(self._rows)]
+
+    def restore(self, snapshot: Iterable[tuple[int, ValueTuple]]) -> None:
+        """Restore contents from a :meth:`snapshot` (recovery path)."""
+        self.clear()
+        max_rid = 0
+        for rid, values in snapshot:
+            self.insert_with_rid(rid, values)
+            max_rid = max(max_rid, rid)
+        self._next_rid = max(self._next_rid, max_rid + 1)

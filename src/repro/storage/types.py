@@ -1,0 +1,113 @@
+"""Column types and value coercion for the storage substrate.
+
+The paper's prototype runs over MySQL; the workloads use integers, strings
+and dates.  We provide a small, strict type system: ``INTEGER``, ``FLOAT``,
+``TEXT``, ``BOOLEAN`` and ``DATE``.  ``NULL`` is represented by ``None`` and
+is permitted only in nullable columns.  Dates are stored as
+:class:`datetime.date`; the coercer accepts ISO strings for convenience,
+mirroring SQL literals such as ``'2011-05-06'``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+#: Python value types a column may hold (besides None for NULL).
+SQLValue = int | float | str | bool | datetime.date
+
+
+class ColumnType(enum.Enum):
+    """The declared type of a column."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def parse_date(value: str) -> datetime.date:
+    """Parse an ISO ``YYYY-MM-DD`` date literal.
+
+    Raises :class:`TypeMismatchError` on malformed input so storage callers
+    see a uniform error type.
+    """
+    try:
+        return datetime.date.fromisoformat(value)
+    except ValueError as exc:
+        raise TypeMismatchError(f"invalid DATE literal {value!r}: {exc}") from exc
+
+
+def coerce(value: Any, column_type: ColumnType) -> SQLValue | None:
+    """Coerce ``value`` to ``column_type``, raising on mismatch.
+
+    ``None`` passes through (nullability is checked at the schema level).
+    The coercions are deliberately narrow: ints are accepted for FLOAT
+    columns, ISO strings for DATE columns, and nothing else is converted
+    implicitly.  bool is *not* accepted for INTEGER (despite being an int
+    subclass) to avoid silent surprises.
+    """
+    if value is None:
+        return None
+    if column_type is ColumnType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"expected INTEGER, got {value!r}")
+        return value
+    if column_type is ColumnType.FLOAT:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"expected FLOAT, got {value!r}")
+        return float(value)
+    if column_type is ColumnType.TEXT:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"expected TEXT, got {value!r}")
+        return value
+    if column_type is ColumnType.BOOLEAN:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(f"expected BOOLEAN, got {value!r}")
+        return value
+    if column_type is ColumnType.DATE:
+        if isinstance(value, datetime.date) and not isinstance(value, datetime.datetime):
+            return value
+        if isinstance(value, str):
+            return parse_date(value)
+        raise TypeMismatchError(f"expected DATE, got {value!r}")
+    raise TypeMismatchError(f"unknown column type {column_type!r}")  # pragma: no cover
+
+
+def infer_type(value: SQLValue) -> ColumnType:
+    """Infer the :class:`ColumnType` of a Python value.
+
+    Used by the workload generators when building schemas from sample rows.
+    """
+    if isinstance(value, bool):
+        return ColumnType.BOOLEAN
+    if isinstance(value, int):
+        return ColumnType.INTEGER
+    if isinstance(value, float):
+        return ColumnType.FLOAT
+    if isinstance(value, str):
+        return ColumnType.TEXT
+    if isinstance(value, datetime.date):
+        return ColumnType.DATE
+    raise TypeMismatchError(f"cannot infer a column type for {value!r}")
+
+
+def comparable(left: SQLValue | None, right: SQLValue | None) -> bool:
+    """Return True when two values may be compared with ``<``/``>``.
+
+    NULLs compare with nothing; mixed numeric comparisons are fine; all
+    other cross-type comparisons are rejected by the expression evaluator.
+    """
+    if left is None or right is None:
+        return False
+    numeric = (int, float)
+    if isinstance(left, numeric) and not isinstance(left, bool):
+        return isinstance(right, numeric) and not isinstance(right, bool)
+    return type(left) is type(right)

@@ -1,0 +1,145 @@
+"""Write-ahead log for the storage substrate.
+
+The paper's middleware is stateless: "All relevant system state is
+serialized and stored in the database ... This allows us to leverage the
+recovery algorithms implemented in the DBMS" (Section 5.1).  Our DBMS-side
+recovery therefore needs a real log.  The log here records *logical* row
+operations (insert/update/delete with before/after images), plus
+transaction begin/commit/abort and checkpoints.
+
+Durability is simulated: the log survives a :class:`~repro.storage.engine.
+StorageEngine` crash while the in-memory tables do not.  A ``flushed``
+watermark models the volatile log tail — records beyond it are lost on
+crash, which lets tests exercise the commit-not-durable path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import WALError
+from repro.storage.row import ValueTuple
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = "BEGIN"
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    CHECKPOINT = "CHECKPOINT"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A single WAL record.
+
+    ``before``/``after`` carry the value tuples needed to undo/redo the
+    operation; unused fields are None.  ``lsn`` is assigned by the log.
+    """
+
+    lsn: int
+    type: LogRecordType
+    txn: int
+    table: str | None = None
+    rid: int | None = None
+    before: ValueTuple | None = None
+    after: ValueTuple | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        target = f" {self.table}#{self.rid}" if self.table else ""
+        return f"[{self.lsn}] {self.type.value} T{self.txn}{target}"
+
+
+class WriteAheadLog:
+    """An append-only, LSN-stamped log with an explicit flush watermark."""
+
+    def __init__(self):
+        self._records: list[LogRecord] = []
+        self._flushed_lsn = 0
+        self._next_lsn = 1
+
+    # -- appending -----------------------------------------------------------------
+
+    def append(
+        self,
+        type: LogRecordType,
+        txn: int,
+        table: str | None = None,
+        rid: int | None = None,
+        before: ValueTuple | None = None,
+        after: ValueTuple | None = None,
+    ) -> LogRecord:
+        record = LogRecord(self._next_lsn, type, txn, table, rid, before, after)
+        self._records.append(record)
+        self._next_lsn += 1
+        return record
+
+    def flush(self, upto_lsn: int | None = None) -> None:
+        """Force the log to stable storage up to ``upto_lsn`` (default all).
+
+        Commit durability requires the COMMIT record to be flushed before
+        the engine acknowledges the commit (write-ahead rule).
+        """
+        target = self._records[-1].lsn if self._records else 0
+        if upto_lsn is not None:
+            if upto_lsn > target:
+                raise WALError(f"cannot flush to unwritten LSN {upto_lsn}")
+            target = upto_lsn
+        self._flushed_lsn = max(self._flushed_lsn, target)
+
+    # -- reading -------------------------------------------------------------------
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        return self._records[-1].lsn if self._records else 0
+
+    def records(self, durable_only: bool = False) -> Iterator[LogRecord]:
+        """Iterate records in LSN order; optionally only the flushed prefix."""
+        for record in self._records:
+            if durable_only and record.lsn > self._flushed_lsn:
+                return
+            yield record
+
+    def truncate_to_flushed(self) -> int:
+        """Simulate a crash: drop the volatile tail.  Returns #records lost."""
+        kept = [r for r in self._records if r.lsn <= self._flushed_lsn]
+        lost = len(self._records) - len(kept)
+        self._records = kept
+        return lost
+
+    def committed_txns(self, durable_only: bool = True) -> set[int]:
+        return {
+            r.txn
+            for r in self.records(durable_only)
+            if r.type is LogRecordType.COMMIT
+        }
+
+    def aborted_txns(self, durable_only: bool = True) -> set[int]:
+        return {
+            r.txn
+            for r in self.records(durable_only)
+            if r.type is LogRecordType.ABORT
+        }
+
+    def active_txns_at_end(self, durable_only: bool = True) -> set[int]:
+        """Transactions with a BEGIN but no COMMIT/ABORT in the (durable)
+        log — the loser set for restart recovery."""
+        begun: set[int] = set()
+        ended: set[int] = set()
+        for record in self.records(durable_only):
+            if record.type is LogRecordType.BEGIN:
+                begun.add(record.txn)
+            elif record.type in (LogRecordType.COMMIT, LogRecordType.ABORT):
+                ended.add(record.txn)
+        return begun - ended
+
+    def __len__(self) -> int:
+        return len(self._records)

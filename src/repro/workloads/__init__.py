@@ -1,0 +1,60 @@
+"""Workload generation: the social-travel scenario of Section 5.2.
+
+A synthetic Slashdot-like social network (the SNAP trace is unavailable
+offline — see DESIGN.md), the Appendix D travel schema and population,
+the six NoSocial/Social/Entangled × {-T, -Q} workloads, the
+pending-transaction batch designs of Figure 6(b), and the Spoke-hub and
+Cycle coordination structures of Figure 6(c).
+"""
+
+from repro.workloads.batches import (
+    PendingBatchPlan,
+    build_pending_plan,
+    paired_batch,
+)
+from repro.workloads.programs import (
+    DEFAULT_TIMEOUT,
+    WorkloadItem,
+    WorkloadKind,
+    entangled_program,
+    generate_workload,
+    nosocial_program,
+    social_program,
+)
+from repro.workloads.socialnet import SocialNetwork
+from repro.workloads.structures import (
+    StructureKind,
+    cycle_structure,
+    generate_structures,
+    spoke_hub_structure,
+)
+from repro.workloads.traveldb import (
+    AIRPORTS,
+    TravelDatabase,
+    example_schema,
+    figure1_rows,
+    travel_schema,
+)
+
+__all__ = [
+    "AIRPORTS",
+    "DEFAULT_TIMEOUT",
+    "PendingBatchPlan",
+    "SocialNetwork",
+    "StructureKind",
+    "TravelDatabase",
+    "WorkloadItem",
+    "WorkloadKind",
+    "build_pending_plan",
+    "cycle_structure",
+    "entangled_program",
+    "example_schema",
+    "figure1_rows",
+    "generate_structures",
+    "generate_workload",
+    "nosocial_program",
+    "paired_batch",
+    "social_program",
+    "spoke_hub_structure",
+    "travel_schema",
+]

@@ -1,0 +1,105 @@
+"""Batch designers for the Figure 6 experiments.
+
+Figure 6(a) needs batches where *every* entangled transaction finds its
+partner within the same run.  Figure 6(b) needs batches engineered so
+that every run leaves exactly ``p`` transactions without partners: "This
+was achieved by submitting the transactions in carefully designed batches
+to ensure that each run contained p transactions without coordination
+partners" (Section 5.2.2).
+
+The pending-batch design here: ``p`` *orphan* transactions whose partners
+are withheld are submitted first; they are re-scheduled (and re-aborted)
+in every subsequent run.  Paired transactions then flow through in the
+normal way, ``f`` arrivals per run.  After the last pair, the withheld
+partners are released so the orphans too run to completion — "All
+experiments involved 10000 transactions which were run to completion."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.workloads.programs import WorkloadItem, WorkloadKind, entangled_program
+from repro.workloads.traveldb import TravelDatabase
+
+
+@dataclass(frozen=True)
+class PendingBatchPlan:
+    """The submission sequence for one Figure 6(b) configuration.
+
+    Attributes:
+        leading: the ``p`` orphans, submitted before everything else.
+        flow: the paired transactions, submitted in order.
+        trailing: the withheld partners of the orphans, submitted last.
+    """
+
+    leading: tuple[WorkloadItem, ...]
+    flow: tuple[WorkloadItem, ...]
+    trailing: tuple[WorkloadItem, ...]
+
+    def total(self) -> int:
+        return len(self.leading) + len(self.flow) + len(self.trailing)
+
+    def all_items(self) -> list[WorkloadItem]:
+        return list(self.leading) + list(self.flow) + list(self.trailing)
+
+
+def build_pending_plan(
+    travel: TravelDatabase,
+    *,
+    pending: int,
+    total: int,
+    timeout: str | None = "365 DAYS",
+) -> PendingBatchPlan:
+    """Design a Figure 6(b) submission sequence.
+
+    ``pending`` = p (orphans in the system at the end of each run);
+    ``total`` = overall transaction count including orphans and their
+    eventual partners.  Long timeouts keep orphans cycling rather than
+    expiring, as in the paper (their experiment completes everything).
+    """
+    if total < 2 * pending + 2:
+        raise WorkloadError(
+            f"total={total} too small for pending={pending}"
+        )
+    flow_count = total - 2 * pending
+    if flow_count % 2:
+        flow_count -= 1  # keep pairs aligned; sizes stay as documented
+    pair_budget = pending + flow_count // 2
+    pairs = travel.same_hometown_pairs(pair_budget)
+    orphan_pairs = pairs[:pending]
+    flow_pairs = pairs[pending:]
+
+    def both(a: int, b: int) -> tuple[WorkloadItem, WorkloadItem]:
+        dest_a = travel.shared_hometown_destination(a)
+        dest_b = travel.shared_hometown_destination(b)
+        item_a = WorkloadItem(WorkloadKind.ENTANGLED_T, a, entangled_program(
+            a, b, dest_a, dest_b, timeout=timeout))
+        item_b = WorkloadItem(WorkloadKind.ENTANGLED_T, b, entangled_program(
+            b, a, dest_b, dest_a, timeout=timeout))
+        return item_a, item_b
+
+    leading: list[WorkloadItem] = []
+    trailing: list[WorkloadItem] = []
+    for a, b in orphan_pairs:
+        item_a, item_b = both(a, b)
+        leading.append(item_a)     # orphan: partner withheld
+        trailing.append(item_b)    # the withheld partner, released last
+    flow: list[WorkloadItem] = []
+    for a, b in flow_pairs:
+        item_a, item_b = both(a, b)
+        flow.append(item_a)
+        flow.append(item_b)
+    return PendingBatchPlan(tuple(leading), tuple(flow), tuple(trailing))
+
+
+def paired_batch(
+    travel: TravelDatabase,
+    count: int,
+    kind: WorkloadKind = WorkloadKind.ENTANGLED_T,
+) -> list[WorkloadItem]:
+    """A Figure 6(a)-style batch: every transaction pairs up in-run."""
+    from repro.workloads.programs import generate_workload
+
+    return generate_workload(kind, travel, count)

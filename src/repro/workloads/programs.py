@@ -1,0 +1,174 @@
+"""The six workloads of Section 5.2.2 (SQL templates from Appendix D).
+
+Three transaction shapes, each in a transactional (``-T``) and a
+non-transactional (``-Q``) variant:
+
+* **NoSocial** — individual travel booking: look up the hometown, find a
+  flight, reserve it.
+* **Social** — the same booking plus a query for friends in the same
+  hometown who might be flying ("additional to the normal flight
+  reservation").
+* **Entangled** — coordinate with one specific friend through an
+  entangled query before booking.
+
+The -Q variants use the same statement sequence; the engine runs them
+with ``autocommit=True`` ("the same code without enclosing it within a
+transaction block").  Program text is produced (not ASTs) so the
+persistence/recovery path can round-trip every workload transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.workloads.traveldb import TravelDatabase
+
+
+class WorkloadKind(enum.Enum):
+    NOSOCIAL_T = "NoSocial-T"
+    SOCIAL_T = "Social-T"
+    ENTANGLED_T = "Entangled-T"
+    NOSOCIAL_Q = "NoSocial-Q"
+    SOCIAL_Q = "Social-Q"
+    ENTANGLED_Q = "Entangled-Q"
+
+    @property
+    def transactional(self) -> bool:
+        return self.value.endswith("-T")
+
+    @property
+    def entangled(self) -> bool:
+        return self.value.startswith("Entangled")
+
+
+#: Default timeout for entangled workload transactions, from the paper's
+#: listings ("WITH TIMEOUT 2 DAYS").
+DEFAULT_TIMEOUT = "2 DAYS"
+
+
+def nosocial_program(uid: int, destination: str, *, transactional: bool = True) -> str:
+    """The No-Social workload of Appendix D (individual booking)."""
+    body = f"""
+SELECT @uid, @hometown FROM User WHERE uid={uid};
+SELECT @fid FROM Flight WHERE source=@hometown
+    AND destination='{destination}';
+INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);
+""".strip()
+    return _wrap(body, transactional, timeout=None)
+
+
+def social_program(uid: int, destination: str, *, transactional: bool = True) -> str:
+    """The Social workload: booking + same-hometown friend lookup."""
+    body = f"""
+SELECT @uid, @hometown FROM User WHERE uid={uid};
+SELECT uid2 FROM Friends, User as u1, User as u2
+    WHERE Friends.uid1=@uid
+    AND Friends.uid2=u2.uid
+    AND u1.uid=@uid
+    AND u1.hometown=u2.hometown
+    LIMIT 1;
+SELECT @fid FROM Flight WHERE source=@hometown
+    AND destination='{destination}';
+INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);
+""".strip()
+    return _wrap(body, transactional, timeout=None)
+
+
+def entangled_program(
+    uid: int,
+    friend: int,
+    destination: str,
+    friend_destination: str,
+    *,
+    transactional: bool = True,
+    timeout: str | None = DEFAULT_TIMEOUT,
+) -> str:
+    """The Entangled workload of Appendix D.
+
+    ``uid`` coordinates with ``friend``: the query contributes
+    ``(uid, destination)`` to ANSWER Reserve and requires
+    ``(friend, friend_destination)`` from the friend's transaction.  The
+    body grounds on the friendship and the shared hometown, exactly as
+    the paper's listing.
+    """
+    body = f"""
+SELECT @hometown FROM User WHERE uid={uid};
+SELECT {uid} AS @uid, '{destination}' AS @destination
+INTO ANSWER Reserve
+WHERE ({uid}, {friend}) IN
+    (SELECT uid1, uid2 FROM
+        Friends, User as u1, User as u2
+        WHERE Friends.uid1={uid}
+        AND Friends.uid2={friend}
+        AND u1.uid={uid}
+        AND u2.uid={friend}
+        AND u1.hometown=u2.hometown)
+AND ({friend}, '{friend_destination}') IN ANSWER Reserve
+CHOOSE 1;
+SELECT @fid FROM Flight WHERE source=@hometown
+    AND destination=@destination;
+INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);
+""".strip()
+    return _wrap(body, transactional, timeout=timeout)
+
+
+def _wrap(body: str, transactional: bool, timeout: str | None) -> str:
+    """Enclose a statement sequence in the transaction brackets.
+
+    The engine needs BEGIN/COMMIT brackets to delimit the program even in
+    autocommit mode; the -Q/-T distinction is the engine's ``autocommit``
+    configuration, matching the paper's description of running the same
+    code with and without a transaction block.
+    """
+    header = "BEGIN TRANSACTION"
+    if timeout:
+        header += f" WITH TIMEOUT {timeout}"
+    return f"{header};\n{body}\nCOMMIT;\n"
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One generated transaction: its program text and its owner."""
+
+    kind: WorkloadKind
+    uid: int
+    program: str
+
+
+def generate_workload(
+    kind: WorkloadKind,
+    travel: TravelDatabase,
+    count: int,
+) -> list[WorkloadItem]:
+    """Generate ``count`` transactions of one workload.
+
+    Entangled workloads come in mutually-referencing friend pairs (both
+    directions submitted), "generated to ensure that all transactions
+    within a single run would be able to coordinate" (Section 5.2.2), so
+    ``count`` must be even for them.
+    """
+    transactional = kind.transactional
+    items: list[WorkloadItem] = []
+    if kind.entangled:
+        if count % 2:
+            raise ValueError(f"entangled workloads need an even count, got {count}")
+        pairs = travel.same_hometown_pairs(count // 2, allow_reuse=True)
+        for a, b in pairs:
+            dest_a = travel.shared_hometown_destination(a)
+            dest_b = travel.shared_hometown_destination(b)
+            items.append(WorkloadItem(kind, a, entangled_program(
+                a, b, dest_a, dest_b, transactional=transactional)))
+            items.append(WorkloadItem(kind, b, entangled_program(
+                b, a, dest_b, dest_a, transactional=transactional)))
+        return items
+    users = travel.network.users()
+    for i in range(count):
+        uid = users[i % len(users)]
+        destination = travel.shared_hometown_destination(uid)
+        if kind in (WorkloadKind.NOSOCIAL_T, WorkloadKind.NOSOCIAL_Q):
+            program = nosocial_program(uid, destination, transactional=transactional)
+        else:
+            program = social_program(uid, destination, transactional=transactional)
+        items.append(WorkloadItem(kind, uid, program))
+    return items

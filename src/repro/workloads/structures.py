@@ -1,0 +1,150 @@
+"""Complex coordination structures for Figure 6(c).
+
+"In the Spoke-hub structure, a single transaction with multiple entangled
+queries entangles with a different partner on each query.  The Cyclic
+structure is even more complex and involves a cyclic set of entanglement
+dependencies between a set of entangled transactions."
+
+A *structure instance* of size ``k`` (the coordinating-set size on the
+figure's x-axis) is:
+
+* **Spoke-hub** — one hub transaction with ``k-1`` entangled queries,
+  each coordinating pairwise with one of ``k-1`` spoke transactions (one
+  query each).  The hub blocks at query *i* until spoke *i* has arrived
+  and answered, so hubs exercise multi-round evaluation within a run.
+* **Cycle** — ``k`` transactions, each with one entangled query whose
+  postcondition names the next member's contribution; the whole ring can
+  only be answered as a single coordinating set of size ``k``.
+
+Both use a dedicated ANSWER relation ``Coord(uid, token)``; tokens are
+structure-unique so instances never cross-talk.  Around each query sits
+the usual booking code (a SELECT and an INSERT) so statement costs stay
+comparable with the travel workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.programs import DEFAULT_TIMEOUT, WorkloadItem, WorkloadKind
+from repro.workloads.traveldb import TravelDatabase
+
+
+class StructureKind(enum.Enum):
+    SPOKE_HUB = "Spoke-hub"
+    CYCLE = "Cycle"
+
+
+def _coordination_query(
+    uid: int, partner: int, token: str, *, own_token: str | None = None
+) -> str:
+    """One entangled query: contribute (uid, own_token), require
+    (partner, token).  Grounds on the User table so the grounding-read
+    machinery (and its locks) is exercised exactly like the Appendix D
+    query."""
+    own = own_token if own_token is not None else token
+    return f"""
+SELECT {uid} AS @uid, '{own}' INTO ANSWER Coord
+WHERE uid IN (SELECT uid FROM User WHERE uid={uid})
+AND ({partner}, '{token}') IN ANSWER Coord
+CHOOSE 1;
+""".strip()
+
+
+def _booking_code(uid: int, destination: str) -> str:
+    return f"""
+SELECT @fid FROM Flight WHERE source=@hometown
+    AND destination='{destination}';
+INSERT INTO Reserve (uid, fid) VALUES ({uid}, @fid);
+""".strip()
+
+
+def _prologue(uid: int) -> str:
+    return f"SELECT @hometown FROM User WHERE uid={uid};"
+
+
+def _wrap(body: str, timeout: str = DEFAULT_TIMEOUT) -> str:
+    return f"BEGIN TRANSACTION WITH TIMEOUT {timeout};\n{body}\nCOMMIT;\n"
+
+
+def spoke_hub_structure(
+    travel: TravelDatabase, k: int, structure_id: int
+) -> list[WorkloadItem]:
+    """One spoke-hub instance of coordinating-set size ``k``.
+
+    Returns k transactions: the hub (k-1 entangled queries) followed by
+    the k-1 spokes.
+    """
+    if k < 2:
+        raise WorkloadError("spoke-hub needs k >= 2")
+    hub, spokes = travel.network.sample_star(k - 1)
+    destination = travel.shared_hometown_destination(hub)
+    tag = f"s{structure_id}"
+
+    hub_parts = [_prologue(hub)]
+    for i, spoke in enumerate(spokes):
+        hub_parts.append(_coordination_query(
+            hub, spoke, token=f"{tag}q{i}",
+        ))
+    hub_parts.append(_booking_code(hub, destination))
+    items = [WorkloadItem(
+        WorkloadKind.ENTANGLED_T, hub, _wrap("\n".join(hub_parts))
+    )]
+
+    for i, spoke in enumerate(spokes):
+        spoke_dest = travel.shared_hometown_destination(spoke)
+        body = "\n".join([
+            _prologue(spoke),
+            _coordination_query(spoke, hub, token=f"{tag}q{i}"),
+            _booking_code(spoke, spoke_dest),
+        ])
+        items.append(WorkloadItem(WorkloadKind.ENTANGLED_T, spoke, _wrap(body)))
+    return items
+
+
+def cycle_structure(
+    travel: TravelDatabase, k: int, structure_id: int
+) -> list[WorkloadItem]:
+    """One cyclic instance: k transactions in a ring of dependencies."""
+    if k < 2:
+        raise WorkloadError("cycle needs k >= 2")
+    users = travel.network.users()
+    start = (structure_id * k) % max(1, len(users) - k)
+    members = users[start: start + k]
+    if len(members) < k:
+        raise WorkloadError("network too small for the requested cycle")
+    tag = f"c{structure_id}"
+    items = []
+    for i, uid in enumerate(members):
+        successor = members[(i + 1) % k]
+        destination = travel.shared_hometown_destination(uid)
+        body = "\n".join([
+            _prologue(uid),
+            # Contribute my own token; require my successor's.
+            _coordination_query(
+                uid, successor, token=f"{tag}m{(i + 1) % k}",
+                own_token=f"{tag}m{i}",
+            ),
+            _booking_code(uid, destination),
+        ])
+        items.append(WorkloadItem(WorkloadKind.ENTANGLED_T, uid, _wrap(body)))
+    return items
+
+
+def generate_structures(
+    travel: TravelDatabase,
+    kind: StructureKind,
+    k: int,
+    instances: int,
+) -> list[WorkloadItem]:
+    """``instances`` structure instances of size ``k``, concatenated in
+    submission order (hub/ring members interleaved per instance)."""
+    items: list[WorkloadItem] = []
+    for index in range(instances):
+        if kind is StructureKind.SPOKE_HUB:
+            items.extend(spoke_hub_structure(travel, k, index))
+        else:
+            items.extend(cycle_structure(travel, k, index))
+    return items

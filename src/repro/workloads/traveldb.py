@@ -1,0 +1,191 @@
+"""The travel database of the experiments (Appendix D schema).
+
+    Reserve(uid, fid)
+    Friends(uid1, uid2)
+    Flight(source, destination, fid)
+    User(uid, hometown)
+
+plus the ``Flights``/``Airlines``/``Hotels`` tables of the running
+Mickey-and-Minnie example (Figures 1 and 2), so the examples and the
+benchmarks share one population helper.
+
+Hometowns and destinations are drawn from a fixed airport-code list; the
+flight network guarantees every (hometown, destination) pair the workload
+can request has at least one flight, mirroring the paper's setup where
+every generated transaction can complete.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.catalog import Database
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType
+from repro.workloads.socialnet import SocialNetwork
+
+#: Airport codes used for hometowns and destinations ('FAT', 'CAT' and
+#: 'PHF' appear in the paper's Appendix D listings).
+AIRPORTS = (
+    "FAT", "CAT", "PHF", "LAX", "JFK", "SFO", "SEA", "ORD", "AUS", "BOS",
+    "DEN", "MIA", "PDX", "PHX", "SLC", "IAD",
+)
+
+
+def travel_schema() -> list[TableSchema]:
+    """All table schemas of the Appendix D workload database."""
+    return [
+        TableSchema.build(
+            "User",
+            [("uid", ColumnType.INTEGER), ("hometown", ColumnType.TEXT)],
+            primary_key=["uid"],
+        ),
+        TableSchema.build(
+            "Friends",
+            [("uid1", ColumnType.INTEGER), ("uid2", ColumnType.INTEGER)],
+            indexes=[["uid1"], ["uid1", "uid2"]],
+        ),
+        TableSchema.build(
+            "Flight",
+            [("source", ColumnType.TEXT), ("destination", ColumnType.TEXT),
+             ("fid", ColumnType.INTEGER)],
+            primary_key=["fid"],
+            indexes=[["source", "destination"], ["source"]],
+        ),
+        TableSchema.build(
+            "Reserve",
+            [("uid", ColumnType.INTEGER), ("fid", ColumnType.INTEGER)],
+            indexes=[["uid"]],
+        ),
+    ]
+
+
+def example_schema() -> list[TableSchema]:
+    """Schemas for the running example (Figures 1 and 2)."""
+    return [
+        TableSchema.build(
+            "Flights",
+            [("fno", ColumnType.INTEGER), ("fdate", ColumnType.TEXT),
+             ("dest", ColumnType.TEXT)],
+            primary_key=["fno"],
+            indexes=[["dest"]],
+        ),
+        TableSchema.build(
+            "Airlines",
+            [("fno", ColumnType.INTEGER), ("airline", ColumnType.TEXT)],
+            primary_key=["fno"],
+        ),
+        TableSchema.build(
+            "Hotels",
+            [("hid", ColumnType.INTEGER), ("location", ColumnType.TEXT)],
+            primary_key=["hid"],
+            indexes=[["location"]],
+        ),
+    ]
+
+
+def figure1_rows() -> dict[str, list[tuple]]:
+    """The exact database of Figure 1(a)."""
+    return {
+        "Flights": [
+            (122, "May 3", "LA"),
+            (123, "May 4", "LA"),
+            (124, "May 3", "LA"),
+            (235, "May 5", "Paris"),
+        ],
+        "Airlines": [
+            (122, "United"),
+            (123, "United"),
+            (124, "USAir"),
+            (235, "Delta"),
+        ],
+    }
+
+
+@dataclass
+class TravelDatabase:
+    """A populated Appendix D database bound to a social network."""
+
+    network: SocialNetwork
+    flights_per_route: int = 2
+    seed: int = 2011
+
+    def hometown_of(self, uid: int) -> str:
+        """Deterministic hometown assignment (uid-hash into AIRPORTS)."""
+        return AIRPORTS[uid % len(AIRPORTS)]
+
+    def populate(self, db: Database) -> None:
+        """Create and fill the workload tables in ``db``."""
+        for schema in travel_schema():
+            if not db.has_table(schema.name):
+                db.create_table(schema)
+        users = self.network.users()
+        db.load("User", [(uid, self.hometown_of(uid)) for uid in users])
+        db.load("Friends", self.network.friend_edges())
+        rng = random.Random(self.seed)
+        fid = 1
+        rows = []
+        for source in AIRPORTS:
+            for destination in AIRPORTS:
+                if source == destination:
+                    continue
+                for _ in range(self.flights_per_route):
+                    rows.append((source, destination, fid))
+                    fid += 1
+        rng.shuffle(rows)
+        db.load("Flight", rows)
+
+    def shared_hometown_destination(self, uid: int) -> str:
+        """A destination distinct from the user's hometown (deterministic)."""
+        hometown = self.hometown_of(uid)
+        index = (uid * 7) % len(AIRPORTS)
+        destination = AIRPORTS[index]
+        if destination == hometown:
+            destination = AIRPORTS[(index + 1) % len(AIRPORTS)]
+        return destination
+
+    def same_hometown_pairs(
+        self, count: int, *, allow_reuse: bool = False
+    ) -> list[tuple[int, int]]:
+        """``count`` friend pairs whose members share a hometown.
+
+        The Entangled workload's query (Appendix D) grounds on
+        ``u1.hometown = u2.hometown``, so only such pairs can actually
+        coordinate; the paper's batches were "generated to ensure that all
+        transactions within a single run would be able to coordinate".
+
+        By default the pairs are user-disjoint (each user coordinates at
+        most once) and the generator raises when the graph is too small.
+        With ``allow_reuse=True`` the disjoint pair list is recycled
+        round-robin instead — appropriate for throughput workloads (a
+        user may book several coordinated trips) but *not* for the
+        Figure 6(b) pending design, whose orphans must stay partner-less.
+        """
+        from repro.errors import WorkloadError
+
+        rng = random.Random(self.seed + 1)
+        edges = [
+            (a, b)
+            for a, b in self.network.friend_edges()
+            if a < b and self.hometown_of(a) == self.hometown_of(b)
+        ]
+        rng.shuffle(edges)
+        pairs: list[tuple[int, int]] = []
+        used: set[int] = set()
+        for a, b in edges:
+            if a in used or b in used:
+                continue
+            pairs.append((a, b))
+            used.update((a, b))
+            if len(pairs) == count:
+                return pairs
+        if allow_reuse and pairs:
+            full = list(pairs)
+            while len(pairs) < count:
+                pairs.append(full[(len(pairs) - len(full)) % len(full)])
+            return pairs
+        raise WorkloadError(
+            f"network has only {len(pairs)} disjoint same-hometown friend "
+            f"pairs; {count} requested (grow n_users)"
+        )

@@ -1,0 +1,46 @@
+"""Shared fixtures: the Figure 1 database and small travel environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import Database, StorageEngine
+from repro.workloads import (
+    SocialNetwork,
+    TravelDatabase,
+    example_schema,
+    figure1_rows,
+    travel_schema,
+)
+
+
+@pytest.fixture
+def figure1_db() -> Database:
+    """The exact flight database of Figure 1(a), plus Hotels."""
+    db = Database("figure1")
+    for schema in example_schema():
+        db.create_table(schema)
+    for table, rows in figure1_rows().items():
+        db.load(table, rows)
+    db.load("Hotels", [(7, "LA"), (9, "LA"), (11, "Paris")])
+    return db
+
+
+@pytest.fixture
+def figure1_store(figure1_db) -> StorageEngine:
+    return StorageEngine(figure1_db)
+
+
+@pytest.fixture(scope="session")
+def small_network() -> SocialNetwork:
+    """A small deterministic social graph shared across tests."""
+    return SocialNetwork(n_users=300, attachment=4, seed=7)
+
+
+@pytest.fixture
+def travel_env(small_network):
+    """A populated Appendix D database on a fresh storage engine."""
+    travel = TravelDatabase(small_network, seed=7)
+    store = StorageEngine()
+    travel.populate(store.db)
+    return travel, store

@@ -1,0 +1,77 @@
+"""Unit tests for the engine-to-model schedule recorder."""
+
+import pytest
+
+from repro.core.recorder import ScheduleRecorder
+from repro.errors import InvalidScheduleError
+from repro.model import OpKind, is_entangled_isolated
+
+
+class TestScheduleRecorder:
+    def test_basic_recording(self):
+        recorder = ScheduleRecorder()
+        recorder.on_read(1, "T")
+        recorder.on_write(1, "U")
+        recorder.on_commit(1)
+        schedule = recorder.schedule()
+        assert [op.kind for op in schedule.ops] == [
+            OpKind.READ, OpKind.WRITE, OpKind.COMMIT,
+        ]
+
+    def test_entanglement_ids_increment(self):
+        recorder = ScheduleRecorder()
+        recorder.on_grounding_read(1, "T")
+        recorder.on_grounding_read(2, "T")
+        first = recorder.on_entangle({1: "a", 2: "b"})
+        recorder.on_grounding_read(1, "U")
+        recorder.on_grounding_read(2, "U")
+        second = recorder.on_entangle({1: "c", 2: "d"})
+        assert second == first + 1
+        recorder.on_commit(1)
+        recorder.on_commit(2)
+        schedule = recorder.schedule()
+        assert len(schedule.entanglements()) == 2
+
+    def test_unterminated_transactions_closed_with_abort(self):
+        recorder = ScheduleRecorder()
+        recorder.on_read(1, "T")
+        recorder.on_grounding_read(2, "T")  # dangling grounding window
+        schedule = recorder.schedule()
+        assert schedule.aborted() == {1, 2}
+
+    def test_duplicate_terminals_ignored(self):
+        recorder = ScheduleRecorder()
+        recorder.on_read(1, "T")
+        recorder.on_commit(1)
+        recorder.on_commit(1)  # storage + engine both notify
+        schedule = recorder.schedule()
+        assert sum(op.kind is OpKind.COMMIT for op in schedule.ops) == 1
+
+    def test_answers_recorded_on_entanglement(self):
+        recorder = ScheduleRecorder()
+        recorder.on_grounding_read(1, "T")
+        recorder.on_grounding_read(2, "T")
+        recorder.on_entangle({1: ("x",), 2: ("y",)})
+        recorder.on_commit(1)
+        recorder.on_commit(2)
+        entangle = recorder.schedule().entanglements()[0]
+        assert entangle.answers_map() == {1: ("x",), 2: ("y",)}
+
+    def test_recorded_schedule_checks_validity(self):
+        recorder = ScheduleRecorder()
+        recorder.on_grounding_read(1, "T")
+        recorder.on_write(1, "U")  # write inside a grounding window
+        recorder.on_commit(1)
+        with pytest.raises(InvalidScheduleError):
+            recorder.schedule()
+
+    def test_full_entangled_round_is_isolated(self):
+        recorder = ScheduleRecorder()
+        recorder.on_grounding_read(1, "T")
+        recorder.on_grounding_read(2, "T")
+        recorder.on_entangle({1: "a", 2: "b"})
+        recorder.on_write(1, "Out")
+        recorder.on_write(2, "Out2")
+        recorder.on_commit(1)
+        recorder.on_commit(2)
+        assert is_entangled_isolated(recorder.schedule())

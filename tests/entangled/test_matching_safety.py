@@ -1,0 +1,302 @@
+"""Unit + property tests for coordinating-set search and safety analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entangled import (
+    Atom,
+    EntangledQuery,
+    GroundAtom,
+    Val,
+    Var,
+    analyze,
+    assert_safe,
+    evaluate_batch,
+    find_coordinating_set,
+    prune_unsupported,
+)
+from repro.entangled.evaluator import QueryOutcome
+from repro.entangled.grounding import Grounding
+from repro.errors import SafetyViolationError
+
+
+def g(query_id, heads, posts, tag=0):
+    """Terse grounding builder over ANSWER relation R."""
+    return Grounding(
+        query_id=query_id,
+        valuation=(("tag", tag),),
+        heads=tuple(GroundAtom("R", h) for h in heads),
+        postconditions=tuple(GroundAtom("R", p) for p in posts),
+    )
+
+
+class TestMatching:
+    def test_mutual_pair(self):
+        result = find_coordinating_set({
+            "a": [g("a", [("A", 1)], [("B", 1)])],
+            "b": [g("b", [("B", 1)], [("A", 1)])],
+        })
+        assert result.answered() == {"a", "b"}
+        assert result.is_valid()
+
+    def test_figure1_nondeterministic_choice_is_consistent(self):
+        # Two viable flights; the matcher must pick the same one for both.
+        result = find_coordinating_set({
+            "mickey": [
+                g("mickey", [("M", f)], [("N", f)], tag=f) for f in (122, 123, 124)
+            ],
+            "minnie": [
+                g("minnie", [("N", f)], [("M", f)], tag=f) for f in (122, 123)
+            ],
+        })
+        assert result.answered() == {"mickey", "minnie"}
+        chosen_m = result.chosen["mickey"].heads[0].values[1]
+        chosen_n = result.chosen["minnie"].heads[0].values[1]
+        assert chosen_m == chosen_n and chosen_m in (122, 123)
+
+    def test_no_partner_unanswered(self):
+        result = find_coordinating_set({
+            "a": [g("a", [("A", 1)], [("B", 1)])],
+        })
+        assert result.answered() == set()
+
+    def test_empty_postconditions_always_answered(self):
+        result = find_coordinating_set({
+            "solo": [g("solo", [("S", 1)], [])],
+        })
+        assert result.answered() == {"solo"}
+
+    def test_maximizes_answered_queries(self):
+        # c can pair with a or b; either way two queries are answered, and
+        # the third must stay unanswered — never zero.
+        result = find_coordinating_set({
+            "a": [g("a", [("A", 1)], [("C", 1)])],
+            "b": [g("b", [("B", 1)], [("C", 1)])],
+            "c": [
+                g("c", [("C", 1)], [("A", 1)], tag=1),
+                g("c", [("C", 1)], [("B", 1)], tag=2),
+            ],
+        })
+        assert len(result.answered()) == 3  # C(1) satisfies both a and b
+        assert result.is_valid()
+
+    def test_ring_all_or_nothing(self):
+        ring = {
+            "a": [g("a", [("A", 1)], [("B", 1)])],
+            "b": [g("b", [("B", 1)], [("C", 1)])],
+            "c": [g("c", [("C", 1)], [("A", 1)])],
+        }
+        result = find_coordinating_set(ring)
+        assert result.answered() == {"a", "b", "c"}
+        broken = dict(ring)
+        del broken["c"]
+        assert find_coordinating_set(broken).answered() == set()
+
+    def test_choose_one_single_grounding_per_query(self):
+        result = find_coordinating_set({
+            "a": [
+                g("a", [("A", 1)], [("B", 1)], tag=1),
+                g("a", [("A", 2)], [("B", 2)], tag=2),
+            ],
+            "b": [
+                g("b", [("B", 1)], [("A", 1)], tag=1),
+                g("b", [("B", 2)], [("A", 2)], tag=2),
+            ],
+        })
+        assert len(result.chosen) == 2
+        assert result.is_valid()
+
+    def test_deterministic_across_calls(self):
+        inputs = {
+            "a": [g("a", [("A", i)], [("B", i)], tag=i) for i in range(4)],
+            "b": [g("b", [("B", i)], [("A", i)], tag=i) for i in range(4)],
+        }
+        first = find_coordinating_set(inputs)
+        second = find_coordinating_set(inputs)
+        assert first.chosen == second.chosen
+
+    def test_prune_unsupported_fixpoint(self):
+        surviving = prune_unsupported({
+            "a": [g("a", [("A", 1)], [("B", 1)])],
+            "b": [g("b", [("B", 1)], [("Z", 9)])],  # Z(9) unobtainable
+        })
+        assert surviving["b"] == []
+        assert surviving["a"] == []  # cascades: b's head vanished
+
+    def test_greedy_fallback_on_budget(self):
+        inputs = {
+            "a": [g("a", [("A", i)], [("B", i)], tag=i) for i in range(6)],
+            "b": [g("b", [("B", i)], [("A", i)], tag=i) for i in range(6)],
+        }
+        result = find_coordinating_set(inputs, node_budget=3)
+        assert result.used_greedy_fallback
+        assert result.is_valid()
+
+
+class TestSafety:
+    def make_query(self, qid, head_name, post_name):
+        return EntangledQuery(
+            query_id=qid,
+            heads=(Atom("R", (Val(head_name), Var("x"))),),
+            postconditions=(Atom("R", (Val(post_name), Var("x"))),),
+            body_atoms=(Atom("T", (Var("x"),)),),
+        )
+
+    def test_mutual_pair_matchable(self):
+        report = analyze([
+            self.make_query("a", "A", "B"),
+            self.make_query("b", "B", "A"),
+        ])
+        assert report.matchable == ["a", "b"]
+
+    def test_missing_partner_unmatchable(self):
+        report = analyze([self.make_query("a", "A", "B")])
+        assert report.unmatchable == ["a"]
+
+    def test_fixpoint_cascade(self):
+        # a needs b; b needs the absent c: both must be unmatchable.
+        report = analyze([
+            self.make_query("a", "A", "B"),
+            self.make_query("b", "B", "C"),
+        ])
+        assert sorted(report.unmatchable) == ["a", "b"]
+
+    def test_ring_matchable_only_when_complete(self):
+        full = [
+            self.make_query("a", "A", "B"),
+            self.make_query("b", "B", "C"),
+            self.make_query("c", "C", "A"),
+        ]
+        assert analyze(full).matchable == ["a", "b", "c"]
+        assert analyze(full[:2]).unmatchable == ["a", "b"]
+
+    def test_identical_self_template_is_matchable(self):
+        # Head and postcondition are template-identical: any grounding
+        # self-satisfies, so the query is matchable alone.
+        query = EntangledQuery(
+            query_id="self",
+            heads=(Atom("R", (Val("A"), Var("x"))),),
+            postconditions=(Atom("R", (Val("A"), Var("x"))),),
+            body_atoms=(Atom("T", (Var("x"),)),),
+        )
+        assert analyze([query]).matchable == ["self"]
+
+    def test_merely_unifiable_own_template_waits(self):
+        # Head (me, ?x) vs postcondition (?x, me): unifiable but not
+        # identical — CHOOSE 1 cannot self-feed it, so the query waits.
+        query = EntangledQuery(
+            query_id="dave",
+            heads=(Atom("R", (Val("Dave"), Var("x"))),),
+            postconditions=(Atom("R", (Var("x"), Val("Dave"))),),
+            body_atoms=(Atom("T", (Var("x"),)),),
+        )
+        report = analyze([query])
+        assert report.unmatchable == ["dave"]
+        assert_safe([query])  # waiting is not a safety violation
+
+    def test_ground_self_supply_is_fine(self):
+        query = EntangledQuery(
+            query_id="ground-self",
+            heads=(Atom("R", (Val("A"), Val(1))),),
+            postconditions=(Atom("R", (Val("A"), Val(1))),),
+            body_atoms=(Atom("T", (Var("x"),)),),
+        )
+        assert analyze([query]).matchable == ["ground-self"]
+
+    def test_arity_clash_poisons_batch(self):
+        a = EntangledQuery(
+            "a", (Atom("R", (Var("x"),)),), (), (Atom("T", (Var("x"),)),))
+        b = EntangledQuery(
+            "b", (Atom("R", (Var("x"), Var("x"))),), (),
+            (Atom("T", (Var("x"),)),))
+        with pytest.raises(SafetyViolationError):
+            analyze([a, b])
+
+    def test_matchability_monotone_under_additions(self):
+        # Adding queries can only grow the matchable set.
+        a = self.make_query("a", "A", "B")
+        b = self.make_query("b", "B", "A")
+        alone = set(analyze([a]).matchable)
+        together = set(analyze([a, b]).matchable)
+        assert alone <= together
+
+
+class TestEvaluatorOutcomes:
+    def test_figure1_end_to_end(self, figure1_db):
+        from tests.entangled.test_ir_grounding import mickey_query, minnie_query
+
+        result = evaluate_batch([mickey_query(), minnie_query()], figure1_db)
+        assert result.outcome("mickey") is QueryOutcome.ANSWERED
+        assert result.outcome("minnie") is QueryOutcome.ANSWERED
+        m = result.answer("mickey").first().values
+        n = result.answer("minnie").first().values
+        assert m[1] == n[1] and m[1] in (122, 123)
+        assert result.grounding_reads["minnie"] == ["Airlines", "Flights"]
+
+    def test_wait_outcome_no_grounding_reads(self, figure1_db):
+        from tests.entangled.test_ir_grounding import mickey_query
+
+        result = evaluate_batch([mickey_query()], figure1_db)
+        assert result.outcome("mickey") is QueryOutcome.WAIT
+        # Unmatchable queries are never grounded (Appendix B: the failure
+        # criterion is database-independent).
+        assert "mickey" not in result.grounding_reads
+
+    def test_empty_outcome_when_grounding_empty(self, figure1_db):
+        nowhere = EntangledQuery(
+            query_id="mickey",
+            heads=(Atom("R", (Val("Mickey"), Var("x"))),),
+            postconditions=(Atom("R", (Val("Minnie"), Var("x"))),),
+            body_atoms=(Atom("Flights", (Var("x"), Var("y"), Val("Nowhere"))),),
+        )
+        partner = EntangledQuery(
+            query_id="minnie",
+            heads=(Atom("R", (Val("Minnie"), Var("x"))),),
+            postconditions=(Atom("R", (Val("Mickey"), Var("x"))),),
+            body_atoms=(Atom("Flights", (Var("x"), Var("y"), Val("Nowhere"))),),
+        )
+        result = evaluate_batch([nowhere, partner], figure1_db)
+        assert result.outcome("mickey") is QueryOutcome.EMPTY
+        assert result.outcome("minnie") is QueryOutcome.EMPTY
+
+    def test_determinism(self, figure1_db):
+        from tests.entangled.test_ir_grounding import mickey_query, minnie_query
+
+        first = evaluate_batch([mickey_query(), minnie_query()], figure1_db)
+        second = evaluate_batch([mickey_query(), minnie_query()], figure1_db)
+        assert first.answer("mickey") == second.answer("mickey")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pair_count=st.integers(1, 5),
+    options=st.integers(1, 3),
+    drop=st.data(),
+)
+def test_property_coordinating_sets_are_always_valid(pair_count, options, drop):
+    """Random pairwise instances: the chosen set always mutually satisfies,
+    and complete pairs are always answered."""
+    groundings = {}
+    for pair in range(pair_count):
+        a, b = f"a{pair}", f"b{pair}"
+        groundings[a] = [
+            g(a, [(f"A{pair}", i)], [(f"B{pair}", i)], tag=i)
+            for i in range(options)
+        ]
+        groundings[b] = [
+            g(b, [(f"B{pair}", i)], [(f"A{pair}", i)], tag=i)
+            for i in range(options)
+        ]
+    # Randomly orphan some queries by dropping their partners.
+    orphaned = drop.draw(st.sets(st.integers(0, pair_count - 1)))
+    for pair in orphaned:
+        del groundings[f"b{pair}"]
+    result = find_coordinating_set(groundings)
+    assert result.is_valid()
+    for pair in range(pair_count):
+        if pair not in orphaned:
+            assert f"a{pair}" in result.answered()
+            assert f"b{pair}" in result.answered()
+        else:
+            assert f"a{pair}" not in result.answered()

@@ -1,0 +1,225 @@
+"""Unit tests for conflict graphs, anomaly detectors and isolation levels.
+
+The Figure 3 scenarios are encoded exactly: (a) the widowed transaction,
+(b) Donald's write making Mickey's quasi-read unrepeatable.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.model import (
+    A,
+    AnomalyKind,
+    C,
+    E,
+    IsolationLevel,
+    R,
+    RG,
+    Schedule,
+    W,
+    check_isolation,
+    conflict_edges,
+    conflict_graph,
+    find_all_anomalies,
+    find_conflict_cycles,
+    find_cycle,
+    find_dirty_reads,
+    find_read_from_aborted,
+    find_unrepeatable_quasi_reads,
+    find_unrepeatable_reads,
+    find_widowed_transactions,
+    has_cycle,
+    is_entangled_isolated,
+    topological_orders,
+)
+
+# Figure 3(a): Mickey (1) and Minnie (2) entangle on flight and hotel;
+# Minnie aborts during the room booking, widowing Mickey.
+FIGURE_3A = Schedule((
+    RG(1, "Flights"), RG(2, "Flights"), E(1, 1, 2),
+    W(1, "Ticket1"), W(2, "Ticket2"),
+    RG(1, "Hotels"), RG(2, "Hotels"), E(2, 1, 2),
+    W(1, "Room1"),
+    A(2),
+    C(1),
+))
+
+# Figure 3(b): Minnie (2) grounds on Flights and Airlines, Mickey (1)
+# grounds on Flights only; they entangle; Donald (3) inserts a United
+# flight; Mickey then reads Airlines himself.
+FIGURE_3B = Schedule((
+    RG(1, "Flights"),
+    RG(2, "Flights"), RG(2, "Airlines"),
+    E(1, 1, 2),
+    W(3, "Airlines"), C(3),
+    R(1, "Airlines"),
+    W(1, "Booking1"), W(2, "Booking2"),
+    C(1), C(2),
+))
+
+
+class TestConflictGraph:
+    def test_paper_example_edges(self):
+        sched = Schedule((RG(1, "x"), RG(2, "y"), R(3, "z"), E(1, 1, 2),
+                          W(1, "z"), W(2, "w"), C(1), C(2), C(3)))
+        edges = conflict_edges(sched)
+        # R3(z) before W1(z): edge 3 -> 1 (the only conflict).
+        assert [(e.src, e.dst, e.obj) for e in edges] == [(3, 1, "z")]
+
+    def test_only_committed_transactions(self):
+        sched = Schedule((W(1, "x"), R(2, "x"), A(1), C(2)))
+        graph = conflict_graph(sched)
+        assert set(graph.nodes) == {2}
+        assert not list(graph.edges)
+
+    def test_quasi_reads_create_conflicts(self):
+        graph = conflict_graph(FIGURE_3B)
+        # Mickey's quasi-read of Airlines precedes Donald's write (1 -> 3)
+        # and Donald's write precedes Mickey's real read (3 -> 1).
+        assert graph.has_edge(1, 3) and graph.has_edge(3, 1)
+
+    def test_cycle_detection(self):
+        assert has_cycle(FIGURE_3B)
+        cycle = find_cycle(FIGURE_3B)
+        assert set(cycle) == {1, 3}
+
+    def test_topological_orders_acyclic(self):
+        sched = Schedule((R(1, "x"), W(2, "x"), C(1), C(2)))
+        orders = topological_orders(sched)
+        assert [1, 2] in orders
+        assert all(order.index(1) < order.index(2) for order in orders)
+
+    def test_topological_orders_empty_for_cycles(self):
+        assert topological_orders(FIGURE_3B) == []
+
+
+class TestWidowedTransactions:
+    def test_figure_3a_detected(self):
+        anomalies = find_widowed_transactions(FIGURE_3A)
+        assert len(anomalies) == 2  # both entanglement ops are widowed
+        assert all(a.kind is AnomalyKind.WIDOWED_TRANSACTION for a in anomalies)
+        assert anomalies[0].txns == (1, 2)
+
+    def test_group_abort_is_fine(self):
+        sched = Schedule((
+            RG(1, "f"), RG(2, "f"), E(1, 1, 2), A(1), A(2),
+        ))
+        assert find_widowed_transactions(sched) == []
+
+    def test_group_commit_is_fine(self):
+        sched = Schedule((
+            RG(1, "f"), RG(2, "f"), E(1, 1, 2), C(1), C(2),
+        ))
+        assert find_widowed_transactions(sched) == []
+
+
+class TestUnrepeatableQuasiReads:
+    def test_figure_3b_detected(self):
+        anomalies = find_unrepeatable_quasi_reads(FIGURE_3B)
+        assert len(anomalies) == 1
+        anomaly = anomalies[0]
+        assert anomaly.obj == "Airlines"
+        assert set(anomaly.txns) == {1, 3}
+
+    def test_not_classical_unrepeatable(self):
+        # "Mickey does not perform a classical unrepeatable read, because
+        # he only reads Airlines once."
+        assert find_unrepeatable_reads(FIGURE_3B) == []
+
+    def test_no_write_no_anomaly(self):
+        sched = Schedule((
+            RG(1, "Flights"), RG(2, "Airlines"), E(1, 1, 2),
+            R(1, "Airlines"),
+            C(1), C(2),
+        ))
+        assert find_unrepeatable_quasi_reads(sched) == []
+
+    def test_classical_unrepeatable_read(self):
+        sched = Schedule((
+            R(1, "x"), W(2, "x"), C(2), R(1, "x"), C(1),
+        ))
+        anomalies = find_unrepeatable_reads(sched)
+        assert len(anomalies) == 1
+
+
+class TestReadFromAborted:
+    def test_detected(self):
+        sched = Schedule((W(1, "x"), R(2, "x"), A(1), C(2)))
+        anomalies = find_read_from_aborted(sched)
+        assert len(anomalies) == 1
+        assert anomalies[0].txns == (1, 2)
+
+    def test_read_after_rollback_still_flagged(self):
+        # Requirement C.3 is positional: W_i(x) ... R_j(x) is forbidden
+        # even when the abort precedes the read (rollback interleavings
+        # can leave aborted values behind; see the detector docstring).
+        sched = Schedule((W(1, "x"), A(1), R(2, "x"), C(2)))
+        assert len(find_read_from_aborted(sched)) == 1
+
+    def test_read_before_aborted_write_is_fine(self):
+        sched = Schedule((R(2, "x"), W(1, "x"), A(1), C(2)))
+        assert find_read_from_aborted(sched) == []
+
+    def test_reader_aborts_too(self):
+        sched = Schedule((W(1, "x"), R(2, "x"), A(1), A(2)))
+        assert find_read_from_aborted(sched) == []
+
+    def test_dirty_read_of_committed_writer_detected_separately(self):
+        sched = Schedule((W(1, "x"), R(2, "x"), C(1), C(2)))
+        assert find_read_from_aborted(sched) == []
+        assert len(find_dirty_reads(sched)) == 1
+
+
+class TestEntangledIsolation:
+    def test_figure_3a_not_isolated(self):
+        assert not is_entangled_isolated(FIGURE_3A)
+
+    def test_figure_3b_not_isolated(self):
+        assert not is_entangled_isolated(FIGURE_3B)
+
+    def test_paper_example_isolated(self):
+        sched = Schedule((RG(1, "x"), RG(2, "y"), R(3, "z"), E(1, 1, 2),
+                          W(1, "z"), W(2, "w"), C(1), C(2), C(3)))
+        assert is_entangled_isolated(sched)
+
+    def test_serial_schedules_isolated(self):
+        sched = Schedule((R(1, "x"), W(1, "y"), C(1), R(2, "y"), W(2, "x"), C(2)))
+        assert is_entangled_isolated(sched)
+
+
+class TestIsolationLevels:
+    def test_full_catches_everything(self):
+        check = check_isolation(FIGURE_3A, IsolationLevel.FULL_ENTANGLED)
+        assert not check.ok
+        kinds = {a.kind for a in check.violations}
+        assert AnomalyKind.WIDOWED_TRANSACTION in kinds
+
+    def test_no_group_commit_permits_widows(self):
+        check = check_isolation(FIGURE_3A, IsolationLevel.NO_GROUP_COMMIT)
+        assert check.ok  # 3a has no cycle/read-from-aborted, only widows
+
+    def test_loose_reads_permits_quasi_cycles(self):
+        check = check_isolation(FIGURE_3B, IsolationLevel.LOOSE_READS)
+        assert check.ok
+
+    def test_full_catches_quasi_cycle(self):
+        check = check_isolation(FIGURE_3B, IsolationLevel.FULL_ENTANGLED)
+        assert not check.ok
+        kinds = {a.kind for a in check.violations}
+        assert AnomalyKind.CONFLICT_CYCLE in kinds
+
+    def test_minimal_still_rejects_read_from_aborted(self):
+        sched = Schedule((W(1, "x"), R(2, "x"), A(1), C(2)))
+        check = check_isolation(sched, IsolationLevel.MINIMAL)
+        assert not check.ok
+
+
+class TestFindAll:
+    def test_figure_3b_summary(self):
+        kinds = {a.kind for a in find_all_anomalies(FIGURE_3B)}
+        assert AnomalyKind.CONFLICT_CYCLE in kinds
+        assert AnomalyKind.UNREPEATABLE_QUASI_READ in kinds
+
+    def test_clean_schedule_empty(self):
+        sched = Schedule((R(1, "x"), C(1), W(2, "x"), C(2)))
+        assert find_all_anomalies(sched) == []

@@ -1,0 +1,160 @@
+"""Unit tests for schedules, validity constraints, and quasi-read expansion."""
+
+import pytest
+
+from repro.errors import InvalidScheduleError
+from repro.model import (
+    A,
+    C,
+    E,
+    Op,
+    OpKind,
+    R,
+    RG,
+    RQ,
+    Schedule,
+    W,
+    expand_quasi_reads,
+    has_explicit_quasi_reads,
+    strip_quasi_reads,
+    validity_violations,
+)
+
+#: The paper's example schedule (Appendix C.1):
+#: RG1(x) RG2(y) R3(z) E1_{1,2} W1(z) W2(w) C1 C2 C3
+PAPER = (RG(1, "x"), RG(2, "y"), R(3, "z"), E(1, 1, 2),
+         W(1, "z"), W(2, "w"), C(1), C(2), C(3))
+
+
+class TestValidity:
+    def test_paper_example_is_valid(self):
+        assert validity_violations(PAPER) == []
+        Schedule(PAPER)  # does not raise
+
+    def test_missing_terminal(self):
+        problems = validity_violations((R(1, "x"),))
+        assert any("terminal" in p for p in problems)
+
+    def test_double_terminal(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule((R(1, "x"), C(1), C(1)))
+
+    def test_both_commit_and_abort(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule((R(1, "x"), C(1), A(1)))
+
+    def test_action_after_terminal(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule((C(1), W(1, "x")))
+
+    def test_dangling_grounding_read(self):
+        # Constraint 3: RG must be followed by E or abort.
+        with pytest.raises(InvalidScheduleError):
+            Schedule((RG(1, "x"), C(1)))
+
+    def test_grounding_window_blocks_other_ops(self):
+        # Constraint 4: only more grounding reads until entanglement.
+        with pytest.raises(InvalidScheduleError):
+            Schedule((RG(1, "x"), W(1, "y"), E(1, 1, 2), C(1), RG(2, "z"),
+                      E(2, 2, 1), C(2)))
+
+    def test_grounding_then_abort_is_fine(self):
+        Schedule((RG(1, "x"), A(1)))
+
+    def test_multiple_grounding_reads_allowed(self):
+        Schedule((RG(1, "x"), RG(1, "y"), RG(2, "x"), E(1, 1, 2), C(1), C(2)))
+
+    def test_entangle_requires_participants(self):
+        with pytest.raises(InvalidScheduleError):
+            Op(OpKind.ENTANGLE, 1, eid=1, participants=frozenset())
+
+    def test_reads_require_object(self):
+        with pytest.raises(InvalidScheduleError):
+            Op(OpKind.READ, 1)
+
+
+class TestScheduleViews:
+    def test_transactions(self):
+        assert Schedule(PAPER).transactions() == [1, 2, 3]
+
+    def test_committed_aborted(self):
+        sched = Schedule((RG(1, "x"), A(1), R(2, "y"), C(2)))
+        assert sched.committed() == {2}
+        assert sched.aborted() == {1}
+
+    def test_projection_includes_entanglements(self):
+        sched = Schedule(PAPER)
+        ops1 = sched.projection(1)
+        assert [op.kind for op in ops1] == [
+            OpKind.GROUNDING_READ, OpKind.ENTANGLE, OpKind.WRITE, OpKind.COMMIT,
+        ]
+
+    def test_entangled_groups_transitive(self):
+        sched = Schedule((
+            RG(1, "x"), RG(2, "x"), E(1, 1, 2),
+            RG(2, "y"), RG(3, "y"), E(2, 2, 3),
+            R(4, "z"),
+            C(1), C(2), C(3), C(4),
+        ))
+        groups = sched.entangled_groups()
+        assert frozenset({1, 2, 3}) in groups
+        assert frozenset({4}) in groups
+
+    def test_entanglement_lookup(self):
+        sched = Schedule(PAPER)
+        assert sched.entanglement(1).participants == frozenset({1, 2})
+        with pytest.raises(InvalidScheduleError):
+            sched.entanglement(99)
+
+
+class TestQuasiExpansion:
+    def test_paper_example_expansion(self):
+        # (RG1(x) RQ2(x)) (RG2(y) RQ1(y)) R3(z) E1 W1(z) W2(w) C1 C2 C3
+        expanded = expand_quasi_reads(Schedule(PAPER))
+        assert str(expanded) == (
+            "RG1(x) RQ2(x) RG2(y) RQ1(y) R3(z) E1_{1,2} "
+            "W1(z) W2(w) C1 C2 C3"
+        )
+
+    def test_idempotent(self):
+        once = expand_quasi_reads(Schedule(PAPER))
+        twice = expand_quasi_reads(once)
+        assert list(once.ops) == list(twice.ops)
+
+    def test_no_quasi_reads_on_abort(self):
+        # "In the pathological case where a transaction performs a
+        # grounding read but ... aborts instead, no quasi-reads are
+        # associated with that grounding read."
+        sched = Schedule((RG(1, "x"), A(1), R(2, "y"), C(2)))
+        expanded = expand_quasi_reads(sched)
+        assert not has_explicit_quasi_reads(expanded)
+
+    def test_strip_roundtrip(self):
+        expanded = expand_quasi_reads(Schedule(PAPER))
+        stripped = strip_quasi_reads(expanded)
+        assert list(stripped.ops) == list(PAPER)
+
+    def test_three_party_entanglement(self):
+        sched = Schedule((
+            RG(1, "x"), RG(2, "y"), RG(3, "z"), E(1, 1, 2, 3),
+            C(1), C(2), C(3),
+        ))
+        expanded = expand_quasi_reads(sched)
+        quasi = [op for op in expanded if op.kind is OpKind.QUASI_READ]
+        # Each of the 3 grounding reads induces 2 partner quasi-reads.
+        assert len(quasi) == 6
+
+    def test_window_scoping(self):
+        # A grounding read belongs to the *next* entanglement of its
+        # transaction, not a later one.
+        sched = Schedule((
+            RG(1, "x"), RG(2, "x"), E(1, 1, 2),
+            RG(1, "y"), RG(3, "y"), E(2, 1, 3),
+            C(1), C(2), C(3),
+        ))
+        expanded = expand_quasi_reads(sched)
+        quasi = [(op.txn, op.obj) for op in expanded
+                 if op.kind is OpKind.QUASI_READ]
+        assert (2, "x") in quasi and (1, "x") in quasi
+        assert (3, "y") in quasi and (1, "y") in quasi
+        assert (3, "x") not in quasi  # 3 was not in the first entanglement

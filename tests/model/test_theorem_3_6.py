@@ -1,0 +1,178 @@
+"""Theorem 3.6: any entangled-isolated schedule is oracle-serializable.
+
+Concrete instances plus a hypothesis property suite over randomized
+schedules and databases.  The random generator produces *valid* schedules
+by construction (interleaving per-transaction programs and closing
+grounding windows); isolation is then a property of the draw, and the
+theorem is checked as an implication: isolated ⇒ serializable along a
+conflict-graph-consistent order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    A,
+    C,
+    E,
+    Op,
+    R,
+    RG,
+    Schedule,
+    W,
+    check_theorem_3_6,
+    is_entangled_isolated,
+)
+
+OBJECTS = ("x", "y", "z")
+
+
+class TestConcreteInstances:
+    DB = {"x": 1, "y": 2, "z": 3, "w": 4}
+
+    @pytest.mark.parametrize("schedule", [
+        # The paper's example.
+        Schedule((RG(1, "x"), RG(2, "y"), R(3, "z"), E(1, 1, 2),
+                  W(1, "z"), W(2, "w"), C(1), C(2), C(3))),
+        # Two sequential entanglements (Figure 2 shape, two partners).
+        Schedule((RG(1, "x"), RG(2, "x"), E(1, 1, 2),
+                  W(1, "a"), W(2, "b"),
+                  RG(1, "y"), RG(2, "y"), E(2, 1, 2),
+                  W(1, "c"), W(2, "d"), C(1), C(2))),
+        # Entangled pair plus an independent classical transaction.
+        Schedule((R(3, "w"), W(3, "w"),
+                  RG(1, "x"), RG(2, "y"), E(1, 1, 2),
+                  W(1, "z"), C(3), W(2, "z"), C(1), C(2))),
+        # Three-party entanglement.
+        Schedule((RG(1, "x"), RG(2, "y"), RG(3, "z"), E(1, 1, 2, 3),
+                  W(1, "a"), W(2, "b"), W(3, "c"), C(1), C(2), C(3))),
+        # An aborted transaction whose writes nobody read.
+        Schedule((W(4, "q"), A(4),
+                  RG(1, "x"), RG(2, "y"), E(1, 1, 2), C(1), C(2))),
+    ])
+    def test_isolated_implies_serializable(self, schedule):
+        assert is_entangled_isolated(schedule)
+        result = check_theorem_3_6(schedule, self.DB)
+        assert result.holds
+        assert result.serializability.serializable
+
+    def test_non_isolated_is_vacuous(self):
+        widowed = Schedule((RG(1, "x"), RG(2, "x"), E(1, 1, 2),
+                            W(1, "t"), A(2), C(1)))
+        assert not is_entangled_isolated(widowed)
+        assert check_theorem_3_6(widowed, self.DB).holds  # vacuously
+
+
+# ---------------------------------------------------------------------------
+# Randomized schedule generation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def entangled_programs(draw):
+    """Per-transaction action lists: reads, writes, and ground+entangle
+    checkpoints (encoded as ("G", objs))."""
+    n_txns = draw(st.integers(2, 4))
+    programs = []
+    for _ in range(n_txns):
+        length = draw(st.integers(1, 4))
+        actions = []
+        for _ in range(length):
+            kind = draw(st.sampled_from(["R", "W", "G"]))
+            obj = draw(st.sampled_from(OBJECTS))
+            actions.append((kind, obj))
+        commits = draw(st.booleans())
+        programs.append((actions, commits))
+    return programs
+
+
+@st.composite
+def valid_schedules(draw):
+    """Interleave programs into a valid schedule.
+
+    Grounding checkpoints of different transactions that are
+    simultaneously pending may be closed by one shared entanglement
+    operation — this is how entangled pairs/groups arise.
+    """
+    programs = draw(entangled_programs())
+    cursors = {i + 1: 0 for i in range(len(programs))}
+    pending_ground: dict[int, bool] = {}
+    ops: list[Op] = []
+    eid = 0
+    alive = set(cursors)
+    while alive:
+        txn = draw(st.sampled_from(sorted(alive)))
+        actions, commits = programs[txn - 1]
+        cursor = cursors[txn]
+        if cursor >= len(actions):
+            # Terminal: close any pending ground with abort.
+            if pending_ground.get(txn):
+                ops.append(A(txn))
+            elif commits:
+                ops.append(C(txn))
+            else:
+                ops.append(A(txn))
+            pending_ground[txn] = False
+            alive.discard(txn)
+            continue
+        kind, obj = actions[cursor]
+        if pending_ground.get(txn):
+            # Must entangle (possibly with other pending grounders) or
+            # keep grounding; draw the choice.
+            if kind == "G" and draw(st.booleans()):
+                ops.append(RG(txn, obj))
+                cursors[txn] += 1
+                continue
+            partners = [
+                other for other, pending in sorted(pending_ground.items())
+                if pending and other != txn
+            ]
+            chosen = [txn]
+            if partners and draw(st.booleans()):
+                chosen.append(draw(st.sampled_from(partners)))
+            eid += 1
+            ops.append(E(eid, *chosen))
+            for member in chosen:
+                pending_ground[member] = False
+            continue
+        if kind == "R":
+            ops.append(R(txn, obj))
+        elif kind == "W":
+            ops.append(W(txn, obj))
+        else:
+            ops.append(RG(txn, obj))
+            pending_ground[txn] = True
+        cursors[txn] += 1
+    return Schedule(tuple(ops))
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=valid_schedules(), db_seed=st.integers(0, 5))
+def test_property_theorem_3_6(schedule, db_seed):
+    """Isolated ⇒ oracle-serializable, over random schedules and databases."""
+    initial_db = {obj: db_seed * 10 + i for i, obj in enumerate(OBJECTS)}
+    result = check_theorem_3_6(schedule, initial_db)
+    assert result.holds, (
+        f"Theorem 3.6 violated for {schedule} on {initial_db}"
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule=valid_schedules())
+def test_property_generator_produces_valid_schedules(schedule):
+    """The generator's output always satisfies Appendix C.1."""
+    from repro.model import validity_violations
+
+    assert validity_violations(schedule.ops) == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule=valid_schedules())
+def test_property_quasi_expansion_preserves_validity(schedule):
+    from repro.model import expand_quasi_reads, validity_violations
+
+    expanded = expand_quasi_reads(schedule)
+    assert validity_violations(expanded.ops) == []

@@ -1,0 +1,112 @@
+"""Tests for the simulation substrate: clock, connection pool, metrics."""
+
+import pytest
+
+from repro.errors import BenchError
+from repro.sim import ConnectionPool, CostModel, Measurements, VirtualClock
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to_monotone(self):
+        clock = VirtualClock(now=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+
+class TestConnectionPool:
+    def test_round_robin_balancing(self):
+        pool = ConnectionPool(4)
+        for _ in range(8):
+            pool.charge(1.0)
+        assert pool.elapsed() == 2.0
+        assert pool.total_work() == 8.0
+
+    def test_elapsed_is_max_slot(self):
+        pool = ConnectionPool(2)
+        slot = pool.charge(1.0)
+        pool.charge_slot(slot, 5.0)
+        pool.charge(1.0)
+        assert pool.elapsed() == 6.0
+
+    def test_single_connection_serializes(self):
+        pool = ConnectionPool(1)
+        for _ in range(5):
+            pool.charge(1.0)
+        assert pool.elapsed() == 5.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(BenchError):
+            ConnectionPool(0)
+
+    def test_reset(self):
+        pool = ConnectionPool(2)
+        pool.charge(3.0)
+        pool.reset()
+        assert pool.elapsed() == 0.0
+
+    def test_scaling_shape(self):
+        # The Figure 6(a) governing structure: same work, more
+        # connections => proportionally less elapsed time.
+        def elapsed_with(capacity: int) -> float:
+            pool = ConnectionPool(capacity)
+            for _ in range(100):
+                pool.charge(1.0)
+            return pool.elapsed()
+
+        assert elapsed_with(10) == pytest.approx(10 * elapsed_with(100))
+
+
+class TestCostModel:
+    def test_scaled(self):
+        base = CostModel()
+        double = base.scaled(2.0)
+        assert double.statement_cost == pytest.approx(2 * base.statement_cost)
+        assert double.run_overhead == pytest.approx(2 * base.run_overhead)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().statement_cost = 99.0
+
+
+class TestMeasurements:
+    def test_series_and_lookup(self):
+        m = Measurements("exp", "x", "y")
+        m.add("a", 1, 10.0)
+        m.add("a", 2, 20.0)
+        m.add("b", 1, 5.0)
+        assert m.series["a"].y_at(2) == 20.0
+        assert m.xs() == [1, 2]
+
+    def test_missing_point(self):
+        m = Measurements("exp", "x", "y")
+        m.add("a", 1, 10.0)
+        with pytest.raises(KeyError):
+            m.series["a"].y_at(99)
+
+    def test_render_contains_all_series(self):
+        m = Measurements("exp", "x", "y")
+        m.add("curve-1", 1, 10.0)
+        m.add("curve-2", 1, 20.0)
+        text = m.render()
+        assert "curve-1" in text and "curve-2" in text
+        assert "exp" in text
+
+    def test_rows_align(self):
+        m = Measurements("exp", "x", "y")
+        m.add("a", 1, 10.0)
+        m.add("b", 2, 20.0)
+        rows = m.to_rows()
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["1", "10", "-"]
+        assert rows[2] == ["2", "-", "20"]

@@ -1,0 +1,277 @@
+"""Unit tests for the extended-SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.sql import (
+    DeleteStmt,
+    EntangledSelectStmt,
+    InAnswer,
+    InSelect,
+    InsertStmt,
+    RollbackStmt,
+    SelectStmt,
+    SetStmt,
+    UpdateStmt,
+    parse_script,
+    parse_statement,
+    parse_transaction,
+    tokenize,
+)
+from repro.sql.tokens import TokenType
+from repro.storage.expressions import Arith, Cmp, CmpOp, Col, Const, InList, Not
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Flights fno")
+        assert tokens[0].value == "Flights" and tokens[1].value == "fno"
+
+    def test_string_quotes(self):
+        assert tokenize("'LA'")[0].value == "LA"
+        assert tokenize('"LA"')[0].value == "LA"
+
+    def test_smart_quotes_from_paper(self):
+        assert tokenize("‘Mickey’")[0].value == "Mickey"
+
+    def test_backquote_listing_style(self):
+        # The paper writes `125' in Figure 3(b).
+        assert tokenize("`125'")[0].value == "125"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_hostvar(self):
+        token = tokenize("@ArrivalDay")[0]
+        assert token.type is TokenType.HOSTVAR and token.value == "ArrivalDay"
+
+    def test_bare_at_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("@ ")
+
+    def test_comments_stripped(self):
+        tokens = tokenize("SELECT -- booking code omitted\n1")
+        assert [t.value for t in tokens[:2]] == ["SELECT", "1"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == "42" and tokens[1].value == "3.14"
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= <> != <= >=")[:-1]]
+        assert values == ["=", "<>", "<>", "<=", ">="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT %")
+
+
+class TestClassicalParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT fno FROM Flights WHERE dest='LA'")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.tables[0].name == "Flights"
+        assert isinstance(stmt.where, Cmp)
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM Flights")
+        assert stmt.star
+
+    def test_select_hostvar_items(self):
+        # Appendix D: SELECT @uid, @hometown FROM User WHERE uid=36513.
+        stmt = parse_statement("SELECT @uid, @hometown FROM User WHERE uid=36513")
+        assert [i.bind_var for i in stmt.items] == ["uid", "hometown"]
+        assert all(i.expr is None for i in stmt.items)
+
+    def test_select_as_hostvar(self):
+        stmt = parse_statement("SELECT fno AS @f FROM Flights")
+        assert stmt.items[0].bind_var == "f"
+        assert isinstance(stmt.items[0].expr, Col)
+
+    def test_table_alias_forms(self):
+        stmt = parse_statement("SELECT a FROM User as u1, User u2")
+        assert stmt.tables[0].alias == "u1" and stmt.tables[1].alias == "u2"
+
+    def test_limit_and_distinct(self):
+        stmt = parse_statement("SELECT DISTINCT dest FROM Flights LIMIT 1")
+        assert stmt.distinct and stmt.limit == 1
+
+    def test_insert(self):
+        stmt = parse_statement(
+            "INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid)")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns == ("uid", "fid")
+
+    def test_insert_positional(self):
+        stmt = parse_statement("INSERT INTO Reserve VALUES (1, 2)")
+        assert stmt.columns == ()
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE User SET hometown='LA' WHERE uid=1")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.assignments[0][0] == "hometown"
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM Reserve WHERE uid=1")
+        assert isinstance(stmt, DeleteStmt)
+
+    def test_set(self):
+        stmt = parse_statement("SET @StayLength = 3 + 1")
+        assert isinstance(stmt, SetStmt)
+        assert isinstance(stmt.expr, Arith)
+
+    def test_in_list(self):
+        stmt = parse_statement("SELECT fno FROM Flights WHERE fno IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT fno FROM Flights WHERE fno NOT IN (1)")
+        assert isinstance(stmt.where, Not)
+
+    def test_arith_precedence(self):
+        stmt = parse_statement("SET @x = 1 + 2 * 3")
+        assert stmt.expr.eval({}) == 7
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELEKT 1")
+        with pytest.raises(ParseError):
+            parse_statement("SELECT FROM")
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO VALUES (1)")
+
+
+class TestEntangledParsing:
+    MICKEY = """
+        SELECT 'Mickey', fno, fdate INTO ANSWER Reservation
+        WHERE fno, fdate IN
+            (SELECT fno, fdate FROM Flights WHERE dest='LA')
+        AND ('Minnie', fno, fdate) IN ANSWER Reservation
+        CHOOSE 1
+    """
+
+    def test_paper_query_parses(self):
+        stmt = parse_statement(self.MICKEY)
+        assert isinstance(stmt, EntangledSelectStmt)
+        assert stmt.answer_relations == ("Reservation",)
+        assert stmt.choose == 1
+
+    def test_unparenthesized_tuple_in(self):
+        # "fno, fdate IN (SELECT ...)" — the Section 2 surface form.
+        stmt = parse_statement(self.MICKEY)
+        conjuncts = []
+        node = stmt.where
+        while hasattr(node, "left") and hasattr(node, "right") and \
+                type(node).__name__ == "And":
+            conjuncts.append(node.right)
+            node = node.left
+        conjuncts.append(node)
+        kinds = {type(c).__name__ for c in conjuncts}
+        assert kinds == {"InSelect", "InAnswer"}
+
+    def test_in_answer_tuple(self):
+        stmt = parse_statement(self.MICKEY)
+        answers = _collect(stmt.where, InAnswer)
+        assert len(answers) == 1
+        assert answers[0].answer_relation == "Reservation"
+        assert isinstance(answers[0].items[0], Const)
+
+    def test_as_hostvar_binding(self):
+        stmt = parse_statement("""
+            SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes
+            WHERE fno, fdate IN (SELECT fno, fdate FROM Flights)
+            AND ('Minnie', fno, fdate) IN ANSWER FlightRes
+            CHOOSE 1
+        """)
+        assert stmt.items[2].bind_var == "ArrivalDay"
+
+    def test_multiple_answer_relations(self):
+        stmt = parse_statement("""
+            SELECT 1 INTO ANSWER A, ANSWER B
+            WHERE x IN (SELECT x FROM T) CHOOSE 1
+        """)
+        assert stmt.answer_relations == ("A", "B")
+
+    def test_choose_required(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT 1 INTO ANSWER A WHERE x IN (SELECT x FROM T)")
+
+
+class TestTransactionParsing:
+    def test_figure2_transaction(self):
+        program = parse_transaction("""
+            BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
+            SELECT 'Mickey', fno, fdate AS @ArrivalDay
+            INTO ANSWER FlightRes
+            WHERE fno, fdate IN
+              (SELECT fno, fdate FROM Flights WHERE dest='LA')
+            AND ('Minnie', fno, fdate) IN ANSWER FlightRes
+            CHOOSE 1;
+            SET @StayLength = 6 - 3;
+            SELECT 'Mickey', hid INTO ANSWER HotelRes
+            WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA')
+            AND ('Minnie', hid) IN ANSWER HotelRes
+            CHOOSE 1;
+            COMMIT;
+        """)
+        assert program.timeout_seconds == 2 * 86400
+        assert program.entangled_count() == 2
+        assert len(program.statements) == 3
+
+    def test_timeout_units(self):
+        for unit, seconds in [("SECONDS", 1), ("MINUTES", 60),
+                              ("HOURS", 3600), ("DAYS", 86400)]:
+            program = parse_transaction(
+                f"BEGIN TRANSACTION WITH TIMEOUT 2 {unit}; COMMIT;")
+            assert program.timeout_seconds == 2 * seconds
+
+    def test_no_timeout(self):
+        program = parse_transaction("BEGIN TRANSACTION; COMMIT;")
+        assert program.timeout_seconds is None
+
+    def test_rollback_statement(self):
+        program = parse_transaction(
+            "BEGIN TRANSACTION; ROLLBACK; COMMIT;")
+        assert isinstance(program.statements[0], RollbackStmt)
+
+    def test_unclosed_transaction(self):
+        with pytest.raises(ParseError):
+            parse_transaction("BEGIN TRANSACTION; SELECT 1;")
+
+    def test_script_with_multiple_units(self):
+        units = parse_script("""
+            SELECT 1;
+            BEGIN TRANSACTION; COMMIT;
+            SELECT 2;
+        """)
+        assert len(units) == 3
+
+    def test_parse_transaction_rejects_multiple(self):
+        with pytest.raises(ParseError):
+            parse_transaction(
+                "BEGIN TRANSACTION; COMMIT; BEGIN TRANSACTION; COMMIT;")
+
+
+def _collect(expr, node_type):
+    """All sub-expressions of a given type in a predicate tree."""
+    found = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, node_type):
+            found.append(node)
+        for attr in ("left", "right", "operand"):
+            if hasattr(node, attr):
+                stack.append(getattr(node, attr))
+    return found

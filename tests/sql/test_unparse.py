@@ -1,0 +1,151 @@
+"""Round-trip tests for the SQL unparser, including a hypothesis suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import (
+    parse_statement,
+    parse_transaction,
+    unparse_statement,
+    unparse_transaction,
+)
+from repro.sql.ast import TransactionProgram
+
+
+EXAMPLES = [
+    "SELECT fno FROM Flights WHERE dest = 'LA'",
+    "SELECT DISTINCT dest FROM Flights LIMIT 3",
+    "SELECT @uid, @hometown FROM User WHERE uid = 36513",
+    "SELECT fno AS @f, fdate AS d FROM Flights",
+    "SELECT * FROM Flights",
+    "SELECT a FROM T AS x, U AS y WHERE x.k = y.k",
+    "INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid)",
+    "INSERT INTO Reserve VALUES (1, NULL)",
+    "UPDATE User SET hometown = 'LA', uid = (uid + 1) WHERE uid = 3",
+    "DELETE FROM Reserve WHERE uid = 1",
+    "SET @StayLength = ('2011-05-06' <> @ArrivalDay)",
+    "SET @x = ((1 + 2) * 3)",
+    "SELECT x FROM T WHERE x IN (1, 2, 3)",
+    "SELECT x FROM T WHERE (NOT (x IS NULL)) AND (y IS NOT NULL)",
+    "ROLLBACK",
+]
+
+ENTANGLED = """
+    SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER Reservation
+    WHERE ((fno, fdate) IN
+        (SELECT fno, fdate FROM Flights WHERE dest = 'LA'))
+    AND (('Minnie', fno, fdate) IN ANSWER Reservation)
+    CHOOSE 1
+"""
+
+
+class TestStatementRoundTrip:
+    @pytest.mark.parametrize("sql", EXAMPLES)
+    def test_examples(self, sql):
+        first = parse_statement(sql)
+        rendered = unparse_statement(first)
+        second = parse_statement(rendered)
+        assert first == second, rendered
+
+    def test_entangled(self):
+        first = parse_statement(ENTANGLED)
+        second = parse_statement(unparse_statement(first))
+        assert first == second
+
+    def test_multiple_answer_relations(self):
+        sql = ("SELECT 1 INTO ANSWER A, ANSWER B "
+               "WHERE (x IN (SELECT x FROM T)) CHOOSE 1")
+        first = parse_statement(sql)
+        second = parse_statement(unparse_statement(first))
+        assert first == second
+
+
+class TestTransactionRoundTrip:
+    def test_figure2_program(self):
+        program = parse_transaction("""
+            BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
+            SELECT 'Mickey', fno, fdate AS @ArrivalDay
+            INTO ANSWER FlightRes
+            WHERE fno, fdate IN
+              (SELECT fno, fdate FROM Flights WHERE dest='LA')
+            AND ('Minnie', fno, fdate) IN ANSWER FlightRes
+            CHOOSE 1;
+            SET @StayLength = 6 - 3;
+            INSERT INTO Bookings (name, fno) VALUES ('Mickey', 122);
+            COMMIT;
+        """)
+        rendered = unparse_transaction(program)
+        reparsed = parse_transaction(rendered)
+        assert reparsed == program
+        assert reparsed.timeout_seconds == 2 * 86400
+
+    def test_no_timeout(self):
+        program = parse_transaction("BEGIN TRANSACTION; ROLLBACK; COMMIT;")
+        reparsed = parse_transaction(unparse_transaction(program))
+        assert reparsed == program
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip over generated statements
+# ---------------------------------------------------------------------------
+
+identifiers = st.sampled_from(["T", "Flights", "uid", "fno", "dest", "x", "y"])
+literals = st.one_of(
+    st.integers(-1000, 1000),
+    st.sampled_from(["LA", "it's", "Paris", ""]),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def simple_exprs(draw, depth=0):
+    from repro.storage.expressions import (
+        And, Arith, ArithOp, Cmp, CmpOp, Col, Const, Not, Or,
+    )
+
+    if depth >= 2 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Const(draw(literals))
+        return Col(draw(identifiers))
+    kind = draw(st.sampled_from(["cmp", "and", "or", "not", "arith"]))
+    if kind == "cmp":
+        return Cmp(draw(st.sampled_from(list(CmpOp))),
+                   draw(simple_exprs(depth + 1)), draw(simple_exprs(depth + 1)))
+    if kind == "and":
+        return And(draw(simple_exprs(depth + 1)), draw(simple_exprs(depth + 1)))
+    if kind == "or":
+        return Or(draw(simple_exprs(depth + 1)), draw(simple_exprs(depth + 1)))
+    if kind == "not":
+        return Not(draw(simple_exprs(depth + 1)))
+    return Arith(draw(st.sampled_from(list(ArithOp))),
+                 draw(simple_exprs(depth + 1)), draw(simple_exprs(depth + 1)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=simple_exprs())
+def test_property_expression_round_trip(expr):
+    from repro.sql.unparse import unparse_expr
+    from repro.sql.parser import Parser
+
+    rendered = unparse_expr(expr)
+    parser = Parser(rendered)
+    reparsed = parser.parse_expr()
+    assert reparsed == expr, rendered
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    table=identifiers,
+    columns=st.lists(identifiers, min_size=1, max_size=3, unique=True),
+    values=st.lists(literals, min_size=1, max_size=3),
+)
+def test_property_insert_round_trip(table, columns, values):
+    from repro.sql.ast import InsertStmt
+    from repro.storage.expressions import Const
+
+    columns = columns[: len(values)]
+    values = values[: len(columns)]
+    stmt = InsertStmt(table, tuple(columns), tuple(Const(v) for v in values))
+    assert parse_statement(unparse_statement(stmt)) == stmt

@@ -1,0 +1,169 @@
+"""Unit tests for the expression AST and its SQL-flavoured semantics."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TypeMismatchError, UnknownColumnError
+from repro.storage.expressions import (
+    And,
+    Arith,
+    ArithOp,
+    Cmp,
+    CmpOp,
+    Col,
+    Const,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    conjoin,
+    is_satisfied,
+    split_conjuncts,
+    substitute,
+)
+
+
+class TestBasics:
+    def test_const(self):
+        assert Const(5).eval({}) == 5
+
+    def test_col_lookup(self):
+        assert Col("x").eval({"x": 3}) == 3
+
+    def test_col_qualified_fallback(self):
+        assert Col("T.x").eval({"x": 3}) == 3
+
+    def test_col_unbound(self):
+        with pytest.raises(UnknownColumnError):
+            Col("ghost").eval({})
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert Cmp(CmpOp.EQ, Const(1), Const(1)).eval({}) is True
+        assert Cmp(CmpOp.NE, Const(1), Const(1)).eval({}) is False
+
+    def test_ordering(self):
+        assert Cmp(CmpOp.LT, Const(1), Const(2)).eval({}) is True
+        assert Cmp(CmpOp.GE, Const("b"), Const("a")).eval({}) is True
+
+    def test_null_is_unknown(self):
+        assert Cmp(CmpOp.EQ, Const(None), Const(1)).eval({}) is None
+
+    def test_cross_type_order_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Cmp(CmpOp.LT, Const(1), Const("a")).eval({})
+
+    def test_cross_type_eq_is_false(self):
+        assert Cmp(CmpOp.EQ, Const(1), Const("1")).eval({}) is False
+
+
+class TestThreeValuedLogic:
+    def test_and_false_dominates_unknown(self):
+        unknown = Cmp(CmpOp.EQ, Const(None), Const(1))
+        assert And(Const(False), unknown).eval({}) is False
+        assert And(unknown, Const(False)).eval({}) is False
+
+    def test_and_unknown(self):
+        unknown = Cmp(CmpOp.EQ, Const(None), Const(1))
+        assert And(Const(True), unknown).eval({}) is None
+
+    def test_or_true_dominates_unknown(self):
+        unknown = Cmp(CmpOp.EQ, Const(None), Const(1))
+        assert Or(Const(True), unknown).eval({}) is True
+        assert Or(unknown, Const(True)).eval({}) is True
+
+    def test_or_unknown(self):
+        unknown = Cmp(CmpOp.EQ, Const(None), Const(1))
+        assert Or(Const(False), unknown).eval({}) is None
+
+    def test_not_unknown(self):
+        unknown = Cmp(CmpOp.EQ, Const(None), Const(1))
+        assert Not(unknown).eval({}) is None
+
+    def test_is_null(self):
+        assert IsNull(Const(None)).eval({}) is True
+        assert IsNull(Const(1), negated=True).eval({}) is True
+
+    def test_unknown_not_satisfied(self):
+        unknown = Cmp(CmpOp.EQ, Const(None), Const(1))
+        assert not is_satisfied(unknown, {})
+
+    def test_none_predicate_satisfied(self):
+        assert is_satisfied(None, {})
+
+
+class TestArithmetic:
+    def test_numbers(self):
+        assert Arith(ArithOp.ADD, Const(2), Const(3)).eval({}) == 5
+        assert Arith(ArithOp.MUL, Const(2), Const(3)).eval({}) == 6
+
+    def test_date_difference_in_days(self):
+        # The Figure 2 idiom: SET @StayLength = '2011-05-06' - @ArrivalDay.
+        lhs = Const(datetime.date(2011, 5, 6))
+        rhs = Const(datetime.date(2011, 5, 3))
+        assert Arith(ArithOp.SUB, lhs, rhs).eval({}) == 3
+
+    def test_date_shift(self):
+        day = Const(datetime.date(2011, 5, 3))
+        assert Arith(ArithOp.ADD, day, Const(2)).eval({}) == datetime.date(2011, 5, 5)
+
+    def test_date_add_dates_rejected(self):
+        day = Const(datetime.date(2011, 5, 3))
+        with pytest.raises(TypeMismatchError):
+            Arith(ArithOp.ADD, day, day).eval({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(TypeMismatchError):
+            Arith(ArithOp.DIV, Const(1), Const(0)).eval({})
+
+    def test_null_propagates(self):
+        assert Arith(ArithOp.ADD, Const(None), Const(1)).eval({}) is None
+
+
+class TestInList:
+    def test_membership(self):
+        expr = InList(Col("x"), (Const(1), Const(2)))
+        assert expr.eval({"x": 2}) is True
+        assert expr.eval({"x": 3}) is False
+
+    def test_null_semantics(self):
+        expr = InList(Col("x"), (Const(1), Const(None)))
+        assert expr.eval({"x": 1}) is True
+        assert expr.eval({"x": 3}) is None  # unknown, SQL-style
+        assert InList(Const(None), (Const(1),)).eval({}) is None
+
+
+class TestHelpers:
+    def test_conjoin_and_split_roundtrip(self):
+        parts = [Cmp(CmpOp.EQ, Col("a"), Const(i)) for i in range(3)]
+        combined = conjoin(parts)
+        assert split_conjuncts(combined) == parts
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+        assert split_conjuncts(None) == []
+
+    def test_substitute(self):
+        expr = And(Cmp(CmpOp.EQ, Col("a"), Const(1)), Col("b"))
+        bound = substitute(expr, {"a": 1, "b": True})
+        assert bound.eval({}) is True
+
+    def test_columns_collection(self):
+        expr = And(Cmp(CmpOp.EQ, Col("a"), Col("b")), Not(Col("c")))
+        assert expr.columns() == {"a", "b", "c"}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.one_of(st.none(), st.booleans()),
+    b=st.one_of(st.none(), st.booleans()),
+)
+def test_property_de_morgan_under_3vl(a, b):
+    """NOT (a AND b) == (NOT a) OR (NOT b) holds in Kleene logic."""
+    lhs = Not(And(Const(a), Const(b))).eval({})
+    rhs = Or(Not(Const(a)), Not(Const(b))).eval({})
+    assert lhs == rhs

@@ -1,0 +1,183 @@
+"""Unit tests for the lock manager: modes, queues, deadlocks, multigranularity."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.storage.locks import LockManager, LockMode, LockOutcome, table_resource
+from repro.storage.row import RowId
+
+S, X, IX = LockMode.SHARED, LockMode.EXCLUSIVE, LockMode.INTENTION_EXCLUSIVE
+T = table_resource("Flights")
+
+
+class TestCompatibility:
+    def test_matrix(self):
+        assert S.compatible(S)
+        assert IX.compatible(IX)
+        assert not S.compatible(X)
+        assert not S.compatible(IX)
+        assert not X.compatible(X)
+        assert not X.compatible(IX)
+
+
+class TestBasicAcquisition:
+    def test_shared_sharing(self):
+        lm = LockManager()
+        assert lm.acquire(1, T, S) is LockOutcome.GRANTED
+        assert lm.acquire(2, T, S) is LockOutcome.GRANTED
+        assert lm.holders(T) == {1: S, 2: S}
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        lm.acquire(1, T, X)
+        assert lm.acquire(2, T, S) is LockOutcome.WAIT
+
+    def test_ix_pairs(self):
+        lm = LockManager()
+        assert lm.acquire(1, T, IX) is LockOutcome.GRANTED
+        assert lm.acquire(2, T, IX) is LockOutcome.GRANTED
+
+    def test_ix_blocks_scan(self):
+        lm = LockManager()
+        lm.acquire(1, T, IX)
+        assert lm.acquire(2, T, S) is LockOutcome.WAIT
+
+    def test_reacquire_same_mode(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        assert lm.acquire(1, T, S) is LockOutcome.GRANTED
+
+    def test_x_implies_everything(self):
+        lm = LockManager()
+        lm.acquire(1, T, X)
+        assert lm.acquire(1, T, S) is LockOutcome.GRANTED
+        assert lm.acquire(1, T, IX) is LockOutcome.GRANTED
+        assert lm.holds(1, T, S) and lm.holds(1, T, IX)
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrade(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        assert lm.acquire(1, T, X) is LockOutcome.GRANTED
+        assert lm.holders(T) == {1: X}
+
+    def test_contended_upgrade_waits(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        lm.acquire(2, T, S)
+        assert lm.acquire(1, T, X) is LockOutcome.WAIT
+
+    def test_upgrade_granted_after_release(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        lm.acquire(2, T, S)
+        lm.acquire(1, T, X)
+        woken = lm.release_all(2)
+        assert 1 in woken
+        assert lm.holders(T) == {1: X}
+
+
+class TestQueueing:
+    def test_fifo_shared_behind_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        lm.acquire(2, T, X)        # waits
+        assert lm.acquire(3, T, S) is LockOutcome.WAIT  # queues behind X
+
+    def test_wakeup_order(self):
+        lm = LockManager()
+        lm.acquire(1, T, X)
+        lm.acquire(2, T, S)
+        lm.acquire(3, T, S)
+        woken = lm.release_all(1)
+        assert set(woken) == {2, 3}
+        assert lm.holders(T) == {2: S, 3: S}
+
+    def test_release_clears_queue_entries(self):
+        lm = LockManager()
+        lm.acquire(1, T, X)
+        lm.acquire(2, T, S)
+        lm.release_all(2)  # waiter gives up
+        assert not lm.waiting(2)
+        lm.release_all(1)
+        assert lm.holders(T) == {}
+
+
+class TestDeadlockDetection:
+    def test_two_party_cycle(self):
+        lm = LockManager()
+        a, b = table_resource("A"), table_resource("B")
+        lm.acquire(1, a, X)
+        lm.acquire(2, b, X)
+        assert lm.acquire(1, b, X) is LockOutcome.WAIT
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, a, X)
+        assert lm.stats["deadlocks"] == 1
+
+    def test_three_party_cycle(self):
+        lm = LockManager()
+        a, b, c = (table_resource(n) for n in "ABC")
+        lm.acquire(1, a, X)
+        lm.acquire(2, b, X)
+        lm.acquire(3, c, X)
+        lm.acquire(1, b, X)
+        lm.acquire(2, c, X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, a, X)
+
+    def test_no_false_positive_chain(self):
+        lm = LockManager()
+        a, b = table_resource("A"), table_resource("B")
+        lm.acquire(1, a, X)
+        lm.acquire(2, b, X)
+        assert lm.acquire(2, a, X) is LockOutcome.WAIT  # 2 -> 1, no cycle
+        assert lm.acquire(3, b, S) is LockOutcome.WAIT  # 3 -> 2, no cycle
+
+    def test_victim_can_retry_after_release(self):
+        lm = LockManager()
+        a, b = table_resource("A"), table_resource("B")
+        lm.acquire(1, a, X)
+        lm.acquire(2, b, X)
+        lm.acquire(1, b, X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, a, X)
+        lm.release_all(2)  # victim aborts
+        assert lm.holders(b) == {1: X}  # 1's wait was granted
+
+
+class TestRowTableProtocol:
+    def test_row_writers_coexist(self):
+        lm = LockManager()
+        lm.acquire(1, T, IX)
+        lm.acquire(2, T, IX)
+        assert lm.acquire(1, RowId("Flights", 1), X) is LockOutcome.GRANTED
+        assert lm.acquire(2, RowId("Flights", 2), X) is LockOutcome.GRANTED
+
+    def test_row_conflict(self):
+        lm = LockManager()
+        lm.acquire(1, RowId("Flights", 1), X)
+        assert lm.acquire(2, RowId("Flights", 1), X) is LockOutcome.WAIT
+
+    def test_scan_vs_writer_at_table_granule(self):
+        lm = LockManager()
+        lm.acquire(1, T, IX)              # writer intent
+        assert lm.acquire(2, T, S) is LockOutcome.WAIT  # scanner blocked
+
+
+class TestReleaseShared:
+    def test_early_release_keeps_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        r = RowId("Flights", 5)
+        lm.acquire(1, r, X)
+        lm.release_shared(1)
+        assert not lm.holds(1, T)
+        assert lm.holds(1, r, X)
+
+    def test_early_release_wakes_writers(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        lm.acquire(2, T, IX)
+        woken = lm.release_shared(1)
+        assert woken == [2]

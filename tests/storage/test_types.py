@@ -1,0 +1,115 @@
+"""Unit tests for column types and coercion."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.types import (
+    ColumnType,
+    coerce,
+    comparable,
+    infer_type,
+    parse_date,
+)
+
+
+class TestCoerce:
+    def test_integer_passthrough(self):
+        assert coerce(42, ColumnType.INTEGER) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, ColumnType.INTEGER)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("42", ColumnType.INTEGER)
+
+    def test_float_accepts_int(self):
+        value = coerce(3, ColumnType.FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(False, ColumnType.FLOAT)
+
+    def test_text(self):
+        assert coerce("hello", ColumnType.TEXT) == "hello"
+
+    def test_text_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5, ColumnType.TEXT)
+
+    def test_boolean(self):
+        assert coerce(True, ColumnType.BOOLEAN) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1, ColumnType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2011-05-06", ColumnType.DATE) == datetime.date(2011, 5, 6)
+
+    def test_date_passthrough(self):
+        day = datetime.date(2011, 8, 29)
+        assert coerce(day, ColumnType.DATE) is day
+
+    def test_date_rejects_datetime(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(datetime.datetime(2011, 5, 6, 12, 0), ColumnType.DATE)
+
+    def test_date_rejects_malformed(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("May 3rd 2011", ColumnType.DATE)
+
+    def test_null_passes_through_every_type(self):
+        for column_type in ColumnType:
+            assert coerce(None, column_type) is None
+
+
+class TestParseDate:
+    def test_valid(self):
+        assert parse_date("2011-04-01") == datetime.date(2011, 4, 1)
+
+    def test_invalid(self):
+        with pytest.raises(TypeMismatchError):
+            parse_date("not-a-date")
+
+
+class TestInferType:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (1, ColumnType.INTEGER),
+            (1.5, ColumnType.FLOAT),
+            ("x", ColumnType.TEXT),
+            (True, ColumnType.BOOLEAN),
+            (datetime.date(2011, 1, 1), ColumnType.DATE),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestComparable:
+    def test_numbers_mix(self):
+        assert comparable(1, 2.5)
+
+    def test_null_never_comparable(self):
+        assert not comparable(None, 1)
+        assert not comparable("a", None)
+
+    def test_cross_type_rejected(self):
+        assert not comparable(1, "1")
+
+    def test_same_type(self):
+        assert comparable("a", "b")
+        assert comparable(datetime.date(2011, 1, 1), datetime.date(2011, 1, 2))
+
+    def test_bool_not_numeric(self):
+        assert not comparable(True, 1)

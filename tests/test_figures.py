@@ -1,0 +1,89 @@
+"""Small-scale executions of every figure experiment with shape checks.
+
+These are the integration tests tying the whole system together: workload
+generation, the run-based engine, virtual-time accounting, and the
+qualitative claims of the paper's evaluation section.  The benchmark
+directory re-runs the same experiments at larger scale under
+pytest-benchmark; here the scale is kept small so the suite stays fast.
+"""
+
+import pytest
+
+from repro.bench import fig6a, fig6b, fig6c  # noqa: F401  (module import check)
+from repro.bench.fig6a import check_shapes as check_6a
+from repro.bench.fig6a import run as run_6a
+from repro.bench.fig6b import check_shapes as check_6b
+from repro.bench.fig6b import run as run_6b
+from repro.bench.fig6c import check_shapes as check_6c
+from repro.bench.fig6c import run as run_6c
+from repro.workloads import WorkloadKind
+
+
+@pytest.fixture(scope="module")
+def fig6a_measurements():
+    return run_6a(
+        connections_grid=(10, 50, 100),
+        transactions=60,
+        n_users=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig6b_measurements():
+    return run_6b(pending_grid=(5, 15, 25), total=80, n_users=600)
+
+
+@pytest.fixture(scope="module")
+def fig6c_measurements():
+    return run_6c(sizes=(2, 4, 6), total_transactions=48, n_users=600)
+
+
+class TestFigure6a:
+    def test_shapes(self, fig6a_measurements):
+        assert check_6a(fig6a_measurements) == []
+
+    def test_all_series_present(self, fig6a_measurements):
+        assert set(fig6a_measurements.series) == {
+            kind.value for kind in WorkloadKind
+        }
+
+    def test_inverse_scaling_magnitude(self, fig6a_measurements):
+        # Connection work should scale close to 1/c; with the fixed run
+        # overhead the 10->100 ratio still lands well above 2x.
+        series = fig6a_measurements.series["NoSocial-T"]
+        assert series.y_at(10) > 2.0 * series.y_at(100)
+
+    def test_transactional_tax_visible(self, fig6a_measurements):
+        # -T costs more than the matching -Q at every point (bracket +
+        # group-commit machinery).
+        for kind in ("NoSocial", "Social", "Entangled"):
+            t = fig6a_measurements.series[f"{kind}-T"]
+            q = fig6a_measurements.series[f"{kind}-Q"]
+            for x in fig6a_measurements.xs():
+                assert t.y_at(x) > q.y_at(x)
+
+
+class TestFigure6b:
+    def test_shapes(self, fig6b_measurements):
+        assert check_6b(fig6b_measurements) == []
+
+    def test_frequency_order_large_gap(self, fig6b_measurements):
+        # f=1 is dramatically worse than f=50, as in the paper (roughly
+        # an order of magnitude at p=100 there).
+        f1 = fig6b_measurements.series["f=1"]
+        f50 = fig6b_measurements.series["f=50"]
+        assert f1.y_at(25) > 5 * f50.y_at(25)
+
+
+class TestFigure6c:
+    def test_shapes(self, fig6c_measurements):
+        assert check_6c(fig6c_measurements) == []
+
+    def test_small_slope_claim(self, fig6c_measurements):
+        # "Increasing the number of entangled queries per transaction
+        # increases the total execution time; however, the slope is very
+        # small."  Normalized per transaction, tripling k should cost
+        # well under 3x.
+        for name, series in fig6c_measurements.series.items():
+            xs = series.xs()
+            assert series.y_at(xs[-1]) < 3 * series.y_at(xs[0]), name

@@ -1,0 +1,66 @@
+"""Public API sanity: imports, __all__ consistency, error hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.bench",
+    "repro.bench.fig6a",
+    "repro.bench.fig6b",
+    "repro.bench.fig6c",
+    "repro.bench.harness",
+    "repro.core",
+    "repro.entangled",
+    "repro.errors",
+    "repro.model",
+    "repro.sim",
+    "repro.sql",
+    "repro.storage",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["repro", "repro.core", "repro.entangled", "repro.model",
+     "repro.sim", "repro.sql", "repro.storage", "repro.workloads"],
+)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    assert issubclass(errors.DeadlockError, errors.LockError)
+    assert issubclass(errors.LockError, errors.StorageError)
+    assert issubclass(errors.StorageError, errors.ReproError)
+    assert issubclass(errors.SafetyViolationError, errors.EntangledQueryError)
+    assert issubclass(errors.InvalidScheduleError, errors.ModelError)
+    assert issubclass(errors.EntanglementTimeout, errors.EngineError)
+    assert issubclass(errors.ParseError, errors.SQLError)
+    # One catch-all for library users:
+    assert issubclass(errors.EngineError, errors.ReproError)
+    assert issubclass(errors.SQLError, errors.ReproError)
+
+
+def test_docstrings_on_public_modules():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"

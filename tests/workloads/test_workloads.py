@@ -1,0 +1,202 @@
+"""Tests for the social network, travel database and workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql import parse_transaction
+from repro.sql.ast import EntangledSelectStmt
+from repro.storage import StorageEngine
+from repro.workloads import (
+    AIRPORTS,
+    SocialNetwork,
+    StructureKind,
+    TravelDatabase,
+    WorkloadKind,
+    build_pending_plan,
+    cycle_structure,
+    generate_structures,
+    generate_workload,
+    spoke_hub_structure,
+)
+
+
+class TestSocialNetwork:
+    def test_deterministic_in_seed(self):
+        a = SocialNetwork(n_users=100, attachment=3, seed=5)
+        b = SocialNetwork(n_users=100, attachment=3, seed=5)
+        assert a.friend_edges() == b.friend_edges()
+
+    def test_seed_changes_graph(self):
+        a = SocialNetwork(n_users=100, attachment=3, seed=5)
+        b = SocialNetwork(n_users=100, attachment=3, seed=6)
+        assert a.friend_edges() != b.friend_edges()
+
+    def test_user_ids_one_based(self):
+        network = SocialNetwork(n_users=50, attachment=3, seed=1)
+        users = network.users()
+        assert users[0] == 1 and users[-1] == 50
+
+    def test_friendship_symmetry(self):
+        network = SocialNetwork(n_users=50, attachment=3, seed=1)
+        edges = set(network.friend_edges())
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_heavy_tail(self):
+        # Preferential attachment: the max degree should far exceed the
+        # median — the Slashdot-like skew the substitution relies on.
+        network = SocialNetwork(n_users=500, attachment=4, seed=1)
+        degrees = network.degree_sequence()
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_disjoint_pairs(self, small_network):
+        pairs = small_network.sample_disjoint_friend_pairs(20)
+        users = [u for pair in pairs for u in pair]
+        assert len(users) == len(set(users)) == 40
+        assert all(small_network.are_friends(a, b) for a, b in pairs)
+
+    def test_disjoint_pairs_exhaustion(self):
+        tiny = SocialNetwork(n_users=6, attachment=2, seed=1)
+        with pytest.raises(WorkloadError):
+            tiny.sample_disjoint_friend_pairs(10)
+
+    def test_sample_star(self, small_network):
+        hub, spokes = small_network.sample_star(5)
+        assert len(spokes) == 5
+        assert all(small_network.are_friends(hub, s) for s in spokes)
+
+    def test_too_small_for_attachment(self):
+        with pytest.raises(WorkloadError):
+            SocialNetwork(n_users=3, attachment=5)
+
+
+class TestTravelDatabase:
+    def test_populate_tables(self, travel_env):
+        travel, store = travel_env
+        db = store.db
+        assert len(db.table("User")) == travel.network.n_users
+        assert len(db.table("Friends")) == 2 * travel.network.edge_count()
+        assert len(db.table("Flight")) > 0
+        assert len(db.table("Reserve")) == 0
+
+    def test_every_route_has_flights(self, travel_env):
+        travel, store = travel_env
+        flights = {(r.values[0], r.values[1])
+                   for r in store.db.table("Flight").scan()}
+        for source in AIRPORTS:
+            for dest in AIRPORTS:
+                if source != dest:
+                    assert (source, dest) in flights
+
+    def test_hometowns_deterministic(self, small_network):
+        travel = TravelDatabase(small_network)
+        assert travel.hometown_of(17) == travel.hometown_of(17)
+        assert travel.hometown_of(17) in AIRPORTS
+
+    def test_destination_differs_from_hometown(self, small_network):
+        travel = TravelDatabase(small_network)
+        for uid in range(1, 60):
+            assert (travel.shared_hometown_destination(uid)
+                    != travel.hometown_of(uid))
+
+    def test_same_hometown_pairs(self, travel_env):
+        travel, _store = travel_env
+        pairs = travel.same_hometown_pairs(5)
+        for a, b in pairs:
+            assert travel.network.are_friends(a, b)
+            assert travel.hometown_of(a) == travel.hometown_of(b)
+
+
+class TestWorkloadPrograms:
+    @pytest.mark.parametrize("kind", list(WorkloadKind))
+    def test_programs_parse(self, travel_env, kind):
+        travel, _store = travel_env
+        items = generate_workload(kind, travel, 4)
+        assert len(items) == 4
+        for item in items:
+            program = parse_transaction(item.program)
+            entangled = sum(
+                isinstance(s, EntangledSelectStmt) for s in program.statements
+            )
+            assert entangled == (1 if kind.entangled else 0)
+
+    def test_entangled_requires_even_count(self, travel_env):
+        travel, _store = travel_env
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadKind.ENTANGLED_T, travel, 5)
+
+    def test_entangled_pairs_are_mutual(self, travel_env):
+        travel, _store = travel_env
+        items = generate_workload(WorkloadKind.ENTANGLED_T, travel, 6)
+        # Submitted pairwise: (a coordinates with b) then (b with a).
+        for first, second in zip(items[::2], items[1::2]):
+            assert f"AND ({first.uid}," in second.program
+            assert f"AND ({second.uid}," in first.program
+
+    def test_social_has_friend_lookup(self, travel_env):
+        travel, _store = travel_env
+        items = generate_workload(WorkloadKind.SOCIAL_T, travel, 2)
+        assert "Friends" in items[0].program
+
+    def test_timeout_only_in_entangled(self, travel_env):
+        travel, _store = travel_env
+        entangled = generate_workload(WorkloadKind.ENTANGLED_T, travel, 2)
+        nosocial = generate_workload(WorkloadKind.NOSOCIAL_T, travel, 2)
+        assert "TIMEOUT" in entangled[0].program
+        assert "TIMEOUT" not in nosocial[0].program
+
+
+class TestPendingPlan:
+    def test_plan_shape(self, travel_env):
+        travel, _store = travel_env
+        plan = build_pending_plan(travel, pending=5, total=30)
+        assert len(plan.leading) == 5
+        assert len(plan.trailing) == 5
+        assert len(plan.flow) == 20
+        assert plan.total() == 30
+
+    def test_orphans_pair_with_trailing(self, travel_env):
+        travel, _store = travel_env
+        plan = build_pending_plan(travel, pending=3, total=20)
+        for orphan, partner in zip(plan.leading, plan.trailing):
+            assert f"AND ({orphan.uid}," in partner.program
+            assert f"AND ({partner.uid}," in orphan.program
+
+    def test_too_small_total(self, travel_env):
+        travel, _store = travel_env
+        with pytest.raises(WorkloadError):
+            build_pending_plan(travel, pending=10, total=15)
+
+
+class TestStructures:
+    def test_spoke_hub_members(self, travel_env):
+        travel, _store = travel_env
+        items = spoke_hub_structure(travel, 4, structure_id=0)
+        assert len(items) == 4
+        hub_program = parse_transaction(items[0].program)
+        entangled = sum(
+            isinstance(s, EntangledSelectStmt) for s in hub_program.statements
+        )
+        assert entangled == 3  # one query per spoke
+
+    def test_cycle_members(self, travel_env):
+        travel, _store = travel_env
+        items = cycle_structure(travel, 5, structure_id=0)
+        assert len(items) == 5
+        for item in items:
+            program = parse_transaction(item.program)
+            entangled = sum(
+                isinstance(s, EntangledSelectStmt) for s in program.statements
+            )
+            assert entangled == 1
+
+    def test_generate_structures_count(self, travel_env):
+        travel, _store = travel_env
+        items = generate_structures(travel, StructureKind.CYCLE, 3, 4)
+        assert len(items) == 12
+
+    def test_minimum_size(self, travel_env):
+        travel, _store = travel_env
+        with pytest.raises(WorkloadError):
+            spoke_hub_structure(travel, 1, 0)
+        with pytest.raises(WorkloadError):
+            cycle_structure(travel, 1, 0)
