@@ -78,6 +78,26 @@ class DrainResult:
     timed_out: int
     aborted: int
     unfinished: int
+    #: lock-manager totals over all runs: conflicts hit, deadlock victims,
+    #: and the lock footprint (grants) — the contention picture behind the
+    #: elapsed time.
+    lock_waits: int = 0
+    deadlocks: int = 0
+    locks_acquired: int = 0
+
+    @property
+    def committed_throughput(self) -> float:
+        """Committed transactions per virtual second."""
+        return self.committed / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def _lock_totals(engine: EntangledTransactionEngine) -> tuple[int, int, int]:
+    reports = engine.run_reports
+    return (
+        sum(r.lock_waits for r in reports),
+        sum(r.deadlocks for r in reports),
+        sum(r.locks_acquired for r in reports),
+    )
 
 
 def submit_and_drain(
@@ -100,6 +120,7 @@ def submit_and_drain(
     phases = [
         engine.transaction(h).phase for h in range(1, len(items) + 1)
     ]
+    lock_waits, deadlocks, locks_acquired = _lock_totals(engine)
     return DrainResult(
         elapsed=engine.total_elapsed,
         eval_time=engine.total_eval_time,
@@ -108,6 +129,9 @@ def submit_and_drain(
         timed_out=sum(p is TxnPhase.TIMED_OUT for p in phases),
         aborted=sum(p is TxnPhase.ABORTED for p in phases),
         unfinished=sum(not p.is_terminal for p in phases),
+        lock_waits=lock_waits,
+        deadlocks=deadlocks,
+        locks_acquired=locks_acquired,
     )
 
 
@@ -124,6 +148,7 @@ def run_single_batch(env: TravelEnv, items: Sequence[WorkloadItem]) -> DrainResu
     phases = [
         engine.transaction(h).phase for h in range(1, len(items) + 1)
     ]
+    lock_waits, deadlocks, locks_acquired = _lock_totals(engine)
     return DrainResult(
         elapsed=engine.total_elapsed,
         eval_time=engine.total_eval_time,
@@ -132,6 +157,9 @@ def run_single_batch(env: TravelEnv, items: Sequence[WorkloadItem]) -> DrainResu
         timed_out=sum(p is TxnPhase.TIMED_OUT for p in phases),
         aborted=sum(p is TxnPhase.ABORTED for p in phases),
         unfinished=sum(not p.is_terminal for p in phases),
+        lock_waits=lock_waits,
+        deadlocks=deadlocks,
+        locks_acquired=locks_acquired,
     )
 
 

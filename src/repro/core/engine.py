@@ -48,6 +48,7 @@ from repro.sql.ast import TransactionProgram
 from repro.sql.parser import parse_transaction
 from repro.storage.catalog import Database
 from repro.storage.engine import StorageEngine, WouldBlock
+from repro.storage.expressions import Cmp, CmpOp, Col, Const
 from repro.storage.locks import LockMode, table_resource
 from repro.storage.schema import TableSchema
 from repro.storage.types import ColumnType
@@ -122,6 +123,12 @@ class RunReport:
     evaluation_rounds: int = 0
     answered_queries: int = 0
     elapsed: float = 0.0
+    #: lock-manager deltas for this run: conflicts hit, deadlock victims,
+    #: and the run's lock footprint (grants) — the contention signal the
+    #: Figure-6-style locking ablation plots.
+    lock_waits: int = 0
+    deadlocks: int = 0
+    locks_acquired: int = 0
 
 
 class EntangledTransactionEngine:
@@ -199,7 +206,8 @@ class EntangledTransactionEngine:
         schema = self.store.db.table(self.POOL_TABLE).schema
         index = schema.column_index("handle")
         self.store.delete_where(
-            system, self.POOL_TABLE, lambda row: row.values[index] == handle
+            system, self.POOL_TABLE, lambda row: row.values[index] == handle,
+            where=Cmp(CmpOp.EQ, Col("handle"), Const(handle)),
         )
         self.store.commit(system)
 
@@ -276,6 +284,7 @@ class EntangledTransactionEngine:
         self._run_index += 1
         report = RunReport(index=self._run_index)
         self.policy.on_run_started(self.clock.now)
+        lock_stats_before = dict(self.store.locks.stats)
 
         pool = ConnectionPool(self.config.connections)
         cost_tap = (
@@ -365,6 +374,13 @@ class EntangledTransactionEngine:
 
         self._commit_phase(batch, lock_blocked, report)
 
+        lock_stats = self.store.locks.stats
+        report.lock_waits = lock_stats["waits"] - lock_stats_before["waits"]
+        report.deadlocks = lock_stats["deadlocks"] - lock_stats_before["deadlocks"]
+        report.locks_acquired = (
+            lock_stats["acquired"] - lock_stats_before["acquired"]
+        )
+
         # Advance the virtual clock by this run's elapsed time.
         if self.config.costs is not None:
             overhead = self.config.costs.run_overhead
@@ -393,26 +409,30 @@ class EntangledTransactionEngine:
         """Evaluate the pending queries as one batch; deliver answers.
 
         Returns (number answered, coordinator virtual time).
-        """
-        # Acquire grounding read locks per owner transaction.  A query
-        # whose locks cannot be granted sits out this round.
-        evaluable: list[EntangledTransaction] = []
-        for txn in pending:
-            assert txn.pending_query is not None and txn.storage_txn is not None
-            try:
-                for table in sorted(txn.pending_query.database_relations()):
-                    self.store.lock_table_shared(txn.storage_txn, table)
-            except WouldBlock:
-                txn.stats.lock_waits += 1
-                continue
-            evaluable.append(txn)
-        if not evaluable:
-            return 0, 0.0
 
-        by_query_id = {t.query_id(): t for t in evaluable}
+        Grounding read locks are taken *during* evaluation through a
+        lock-acquiring read observer per owner transaction, at access-path
+        granularity (index keys and rows; table S only for genuine scans).
+        A query that hits a lock conflict comes back ``BLOCKED`` and sits
+        out this round; a would-be deadlock victim comes back
+        ``DEADLOCKED`` and aborts its attempt.
+        """
+        evaluable = list(pending)
+        by_query_id: dict[str, EntangledTransaction] = {}
+        observers = {}
+        for txn in evaluable:
+            assert txn.pending_query is not None and txn.storage_txn is not None
+            by_query_id[txn.query_id()] = txn
+            observers[txn.query_id()] = (
+                lambda access, storage_txn=txn.storage_txn:
+                self.store.lock_read_access(storage_txn, access)
+            )
+
         queries = [t.pending_query for t in evaluable]
         try:
-            result = evaluate_batch(queries, self.store.db)
+            result = evaluate_batch(
+                queries, self.store.db, read_observer_for=observers
+            )
         except SafetyViolationError as exc:
             # An ANSWER arity clash poisons the whole batch ("queries that
             # directly cause safety violations are not answered"): abort
@@ -477,6 +497,14 @@ class EntangledTransactionEngine:
             elif outcome is QueryOutcome.UNSAFE:
                 self._abort_attempt(txn, retry=False, report=report,
                                     reason="safety violation")
+            elif outcome is QueryOutcome.BLOCKED:
+                # Grounding hit a lock conflict; stays blocked and is
+                # retried once the holder commits/aborts.
+                txn.stats.lock_waits += 1
+            elif outcome is QueryOutcome.DEADLOCKED:
+                txn.stats.deadlocks += 1
+                self._abort_attempt(txn, retry=True, report=report,
+                                    reason="deadlock victim (grounding)")
             # WAIT: stays blocked; retried next round/run.
         return answered, eval_time
 
@@ -599,13 +627,16 @@ class EntangledTransactionEngine:
             )
             # Remove the dormant-pool row *inside* the user transaction so
             # commit and pool removal are atomic: a crash can never leave
-            # a committed transaction still queued for re-execution.
+            # a committed transaction still queued for re-execution.  The
+            # pk-pinned WHERE keeps this a row+key delete, so concurrent
+            # group commits don't serialize on the pool table.
             schema = self.store.db.table(self.POOL_TABLE).schema
             index = schema.column_index("handle")
             handle = txn.handle
             self.store.delete_where(
                 txn.storage_txn, self.POOL_TABLE,
                 lambda row: row.values[index] == handle,
+                where=Cmp(CmpOp.EQ, Col("handle"), Const(handle)),
             )
         self.store.commit(txn.storage_txn)
         if self.recorder is not None:

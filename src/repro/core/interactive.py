@@ -38,7 +38,7 @@ from repro.errors import EngineError, MiddlewareError
 from repro.sql.ast import EntangledSelectStmt, SelectStmt, Statement
 from repro.sql.compiler import compile_entangled, compile_select
 from repro.sql.parser import parse_statement
-from repro.storage.engine import StorageEngine, WouldBlock
+from repro.storage.engine import StorageEngine
 from repro.storage.types import SQLValue
 
 
@@ -200,19 +200,22 @@ class InteractiveBroker:
         waiting = [s for s in self._waiting.values() if s.waiting]
         if not waiting:
             return 0
-        # Grounding read locks, exactly as the batch engine takes them.
-        evaluable = []
-        for session in waiting:
-            try:
-                for table in sorted(session._pending_query.database_relations()):
-                    self.store.lock_table_shared(session.storage_txn, table)
-            except WouldBlock:
-                continue
-            evaluable.append(session)
-        if not evaluable:
-            return 0
+        # Grounding read locks at access-path granularity, exactly as the
+        # batch engine takes them: a lock-acquiring observer per session.
+        # A session whose grounding blocks (or would deadlock) simply
+        # keeps waiting for a later round.
+        evaluable = list(waiting)
+        observers = {
+            session._pending_query.query_id: (
+                lambda access, storage_txn=session.storage_txn:
+                self.store.lock_read_access(storage_txn, access)
+            )
+            for session in evaluable
+        }
         queries = [s._pending_query for s in evaluable]
-        result = evaluate_batch(queries, self.store.db)
+        result = evaluate_batch(
+            queries, self.store.db, read_observer_for=observers
+        )
         answered = 0
         by_query = {s._pending_query.query_id: s for s in evaluable}
         # Entangled partners share a group for widow prevention.
@@ -237,6 +240,12 @@ class InteractiveBroker:
                 session._deliver(None)
                 self._waiting.pop(session.session_id, None)
                 answered += 1
+            elif outcome is QueryOutcome.DEADLOCKED:
+                # The victim must release its locks or the cycle would
+                # re-form every round; abort surfaces to the client as
+                # SessionState.ABORTED, the interactive analogue of the
+                # batch engine's deadlock-victim retry.
+                session.abort()
         return answered
 
     # -- internals ----------------------------------------------------------------------

@@ -173,7 +173,10 @@ def _execute_classical(
                 out[schema.column_index(column)] = expr.eval(env)
             return out
 
-        store.update_where(txn.storage_txn, compiled.table, matches, new_values)
+        store.update_where(
+            txn.storage_txn, compiled.table, matches, new_values,
+            where=compiled.predicate,
+        )
         costs.charge_statement(txn, is_write=True)
         return
     if isinstance(stmt, DeleteStmt):
@@ -184,7 +187,10 @@ def _execute_classical(
             env = dict(zip(schema.column_names, row.values))
             return is_satisfied(compiled.predicate, env)
 
-        store.delete_where(txn.storage_txn, compiled.table, matches_delete)
+        store.delete_where(
+            txn.storage_txn, compiled.table, matches_delete,
+            where=compiled.predicate,
+        )
         costs.charge_statement(txn, is_write=True)
         return
     if isinstance(stmt, SetStmt):

@@ -15,12 +15,17 @@ set, materialize the ANSWER relations, and classify every query's outcome:
   *failed* for now; the transaction must wait for partners (and the
   run-based scheduler returns it to the dormant pool).
 * ``UNSAFE`` — the query violates safety and is never answered.
+* ``BLOCKED`` — the query's grounding reads hit a lock conflict this
+  round; it stays pending and is retried once the conflict clears.
+* ``DEADLOCKED`` — granting the query's grounding-read locks would have
+  closed a waits-for cycle; the owning transaction is the victim.
 
 For correctness "it is necessary to ensure that the underlying database is
 not changed while [evaluation] is being carried out" (Appendix A) — the
-caller (the coordinator) guarantees this by holding table read locks over
-all grounding reads; this module only reports which tables each query
-grounded on.
+coordinator guarantees this by supplying a lock-acquiring ``read_observer``
+per query (``read_observer_for``): grounding then locks exactly the access
+paths it takes (index keys, rows, scans), so entangled evaluation of
+disjoint groups no longer serializes on whole tables.
 """
 
 from __future__ import annotations
@@ -34,7 +39,9 @@ from repro.entangled.grounding import Grounding, ground
 from repro.entangled.ir import EntangledQuery
 from repro.entangled.matching import MatchResult, find_coordinating_set
 from repro.entangled.safety import SafetyReport, analyze
-from repro.storage.query import TableProvider
+from repro.errors import DeadlockError
+from repro.storage.engine import WouldBlock
+from repro.storage.query import ReadObserver, TableProvider
 from repro.storage.types import SQLValue
 
 
@@ -43,6 +50,8 @@ class QueryOutcome(enum.Enum):
     EMPTY = "empty"
     WAIT = "wait"
     UNSAFE = "unsafe"
+    BLOCKED = "lock-blocked"
+    DEADLOCKED = "deadlocked"
 
 
 @dataclass
@@ -77,11 +86,19 @@ def evaluate_batch(
     *,
     params: Mapping[str, Mapping[str, "SQLValue | None"]] | None = None,
     node_budget: int = 200_000,
+    read_observer_for: Mapping[str, ReadObserver] | None = None,
 ) -> EvaluationResult:
     """Evaluate a batch of entangled queries against ``provider``.
 
     ``params`` maps query id -> host-variable bindings for that query's
     body predicate (``@var`` names).
+
+    ``read_observer_for`` maps query id -> a read observer threaded into
+    that query's grounding evaluation — the coordinator passes
+    lock-acquiring observers here.  An observer that raises ``WouldBlock``
+    sidelines just its query for this round (outcome ``BLOCKED``); one
+    that raises ``DeadlockError`` marks it ``DEADLOCKED``.  Either way the
+    rest of the batch proceeds.
 
     The pipeline is deterministic: identical batches on identical database
     states produce identical results (the determinism assumption the formal
@@ -89,6 +106,7 @@ def evaluate_batch(
     """
     result = EvaluationResult()
     params = params or {}
+    observers = read_observer_for or {}
     result.safety = analyze(queries)
     unsafe = set(result.safety.unsafe)
     unmatchable = set(result.safety.unmatchable)
@@ -102,12 +120,26 @@ def evaluate_batch(
             result.outcomes[query.query_id] = QueryOutcome.WAIT
             continue
         reads: list[str] = []
-        groundings = ground(
-            query,
-            provider,
-            params=params.get(query.query_id),
-            read_observer=reads.append,
-        )
+        locker = observers.get(query.query_id)
+
+        def observe(access, locker=locker):
+            if locker is not None:
+                locker(access)  # may raise WouldBlock / DeadlockError
+            reads.append(access.table)
+
+        try:
+            groundings = ground(
+                query,
+                provider,
+                params=params.get(query.query_id),
+                read_observer=observe,
+            )
+        except WouldBlock:
+            result.outcomes[query.query_id] = QueryOutcome.BLOCKED
+            continue
+        except DeadlockError:
+            result.outcomes[query.query_id] = QueryOutcome.DEADLOCKED
+            continue
         result.grounding_reads[query.query_id] = sorted(set(reads))
         result.groundings_per_query[query.query_id] = len(groundings)
         groundings_by_query[query.query_id] = groundings
@@ -120,7 +152,7 @@ def evaluate_batch(
     for query in queries:
         qid = query.query_id
         if qid in result.outcomes:
-            continue  # UNSAFE / WAIT already assigned
+            continue  # UNSAFE / WAIT / BLOCKED / DEADLOCKED already assigned
         grounding = result.match.chosen.get(qid)
         if grounding is None:
             result.outcomes[qid] = QueryOutcome.EMPTY

@@ -25,7 +25,13 @@ from repro.entangled.answers import GroundAtom
 from repro.entangled.ir import Atom, EntangledQuery, Val, Var
 from repro.errors import EntangledQueryError
 from repro.storage.expressions import And, Cmp, CmpOp, Col, Const, Expr, conjoin
-from repro.storage.query import SPJQuery, TableProvider, TableRef, evaluate
+from repro.storage.query import (
+    ReadObserver,
+    SPJQuery,
+    TableProvider,
+    TableRef,
+    evaluate,
+)
 from repro.storage.types import SQLValue
 
 
@@ -163,6 +169,12 @@ class _PositionalTable:
         real_names = [self.schema.real_name(c) for c in column_names]
         return self._table.lookup_index(real_names, key)
 
+    def canonical_index(self, column_names):
+        # Translate positional ``__col<i>`` names back to the real schema
+        # names, so read accesses reported during grounding build the same
+        # lock resources as writers on the underlying table.
+        return tuple(self.schema.real_name(c) for c in column_names)
+
 
 class _PositionalSchema:
     """Schema facade translating ``__col<i>`` names to real columns."""
@@ -199,13 +211,15 @@ def ground(
     provider: TableProvider,
     *,
     params: Mapping[str, "SQLValue | None"] | None = None,
-    read_observer: Callable[[str], None] | None = None,
+    read_observer: ReadObserver | None = None,
 ) -> list[Grounding]:
     """Compute all groundings of ``query`` on the current database.
 
     ``params`` supplies host-variable values referenced by the body
-    predicate (``@var``).  ``read_observer`` receives each database table
-    read — the grounding reads of the formal model.
+    predicate (``@var``).  ``read_observer`` receives each
+    :class:`~repro.storage.query.ReadAccess` performed against the
+    database — the grounding reads of the formal model, at the access-path
+    granularity the lock manager wants.
 
     Groundings are returned in a deterministic (sorted) order, which makes
     the whole evaluation pipeline deterministic as Appendix C.1 assumes.

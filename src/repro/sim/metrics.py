@@ -90,6 +90,24 @@ class Measurements:
         return "\n".join(lines)
 
 
+def ratio_series(
+    numerator: MetricSeries, denominator: MetricSeries, name: str = "ratio"
+) -> MetricSeries:
+    """Pointwise numerator/denominator over their shared x values.
+
+    The ablation benchmarks use this to turn two measured curves (e.g.
+    committed throughput under fine-grained vs. table locking) into a
+    plot-ready speedup curve.
+    """
+    series = MetricSeries(name)
+    denominator_at = dict(denominator.points)
+    for x, y in numerator.points:
+        base = denominator_at.get(x)
+        if base:
+            series.add(x, y / base)
+    return series
+
+
 def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e9:
         return str(int(value))

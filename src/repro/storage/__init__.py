@@ -2,13 +2,65 @@
 
 This package stands in for MySQL 5.5/InnoDB in the paper's prototype
 (Section 5.1).  It provides typed heap tables with indexes, a
-select-project-join evaluator, a Strict-2PL lock manager with deadlock
-detection, a write-ahead log, classical ACID transactions, and
-ARIES-style restart recovery.
+select-project-join evaluator, a Strict-2PL multigranularity lock manager
+with deadlock detection, a write-ahead log, classical ACID transactions,
+and ARIES-style restart recovery.
+
+Locking protocol (Strict 2PL, multigranularity)
+-----------------------------------------------
+
+Resources form a two-level hierarchy: the table granule ``("table",
+name)`` contains row granules (:class:`RowId`) and index-key granules
+(:func:`index_key_resource`).  Containment is enforced purely by the
+intention modes at the table granule — conflicts never need a
+hierarchical walk:
+
+=========================  =======================================
+operation                  locks taken (in order)
+=========================  =======================================
+index/PK probe             IS table, S index-key (even on a miss —
+                           the key lock guards the *gap*)
+row produced by a probe    IS table, S row
+full table scan            S table
+INSERT                     IX table, IX each index key the row
+                           carries (insert intention), X new row
+UPDATE (by rid)            IX table, X row, IX each index key the
+                           row *gains or vacates*
+DELETE (by rid)            IX table, X row, IX each index key the
+                           row vacates
+UPDATE/DELETE (predicate)  IX table + X pinned index key + X each
+                           candidate row when the WHERE clause
+                           covers an index, else X table
+=========================  =======================================
+
+Phantom protection: a reader's index-key S lock conflicts with the key IX
+every insert (and key-gaining update) takes, so point and keyed-range
+reads are repeatable without a table lock — while two inserters of the
+same non-unique key stay compatible (IX/IX), the insert-intention idea.
+Scan readers are protected by the table S / IX conflict.  ``granularity=LockGranularity.TABLE`` on
+:class:`StorageEngine` restores the coarse protocol (every read takes
+table S) for the locking ablation benchmarks.
+
+Read-observer contract
+----------------------
+
+:func:`evaluate` reports each distinct :class:`ReadAccess` — the access
+paths of the table above — to its ``read_observer`` *before* the covered
+rows are used.  A lock-acquiring observer (``StorageEngine.query``
+internally; :meth:`StorageEngine.lock_read_access` for the entangled
+coordinator's grounding reads) may raise
+:class:`~repro.storage.engine.WouldBlock` to abort the evaluation with no
+unlocked data consumed; evaluation is side-effect free, so the statement
+can simply be retried once the conflict clears.
 """
 
 from repro.storage.catalog import Database
-from repro.storage.engine import StorageEngine, TxnStatus, WouldBlock
+from repro.storage.engine import (
+    LockGranularity,
+    StorageEngine,
+    TxnStatus,
+    WouldBlock,
+)
 from repro.storage.expressions import (
     And,
     Arith,
@@ -27,8 +79,22 @@ from repro.storage.expressions import (
     split_conjuncts,
     substitute,
 )
-from repro.storage.locks import LockManager, LockMode, LockOutcome, table_resource
-from repro.storage.query import SPJQuery, TableRef, evaluate, evaluate_single
+from repro.storage.locks import (
+    LockManager,
+    LockMode,
+    LockOutcome,
+    index_key_resource,
+    table_resource,
+)
+from repro.storage.query import (
+    AccessKind,
+    ReadAccess,
+    SPJQuery,
+    TableRef,
+    equality_bindings,
+    evaluate,
+    evaluate_single,
+)
 from repro.storage.recovery import RecoveryReport, recover
 from repro.storage.row import Row, RowId
 from repro.storage.schema import Column, TableSchema
@@ -37,6 +103,7 @@ from repro.storage.types import ColumnType, SQLValue, coerce, infer_type, parse_
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 
 __all__ = [
+    "AccessKind",
     "And",
     "Arith",
     "ArithOp",
@@ -51,6 +118,7 @@ __all__ = [
     "HashIndex",
     "InList",
     "IsNull",
+    "LockGranularity",
     "LockManager",
     "LockMode",
     "LockOutcome",
@@ -58,6 +126,7 @@ __all__ = [
     "LogRecordType",
     "Not",
     "Or",
+    "ReadAccess",
     "RecoveryReport",
     "Row",
     "RowId",
@@ -72,7 +141,9 @@ __all__ = [
     "WriteAheadLog",
     "coerce",
     "conjoin",
+    "equality_bindings",
     "evaluate",
+    "index_key_resource",
     "evaluate_single",
     "infer_type",
     "is_satisfied",

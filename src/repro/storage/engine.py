@@ -6,14 +6,23 @@ combines the catalog, the Strict-2PL lock manager, and the write-ahead log
 into classical ACID transactions:
 
 * ``begin`` / ``commit`` / ``abort`` with undo on abort,
-* reads through the SPJ evaluator under table-granularity S locks,
-* writes under X locks (row for updates/deletes, table for inserts —
-  a simple phantom guard),
+* reads through the SPJ evaluator under fine-grained locks: the
+  evaluator reports every access path it takes, and the engine answers
+  index-key probes with IS-table + key S, produced rows with IS-table +
+  row S, and only genuine full scans with a table S lock,
+* writes under IX-table + row X locks, plus IX on the index keys a row
+  carries (inserts) or gains/vacates (updates, deletes) — the key-lock
+  conflict with keyed readers is the phantom guard, while same-key
+  inserters stay compatible (insert intention),
 * WAL records for every mutation with the write-ahead rule enforced on
   commit,
 * cooperative blocking: conflicting lock requests raise
   :class:`WouldBlock` so a scheduler can suspend the transaction instead
   of blocking a thread.
+
+Setting ``granularity=LockGranularity.TABLE`` restores the coarse
+protocol (every read takes a table S lock) — kept as the baseline arm of
+the locking ablation benchmarks.
 
 The engine is single-threaded by design; concurrency is supplied by the
 run-based scheduler interleaving transaction programs, and by the
@@ -31,8 +40,22 @@ from repro.errors import (
     TransactionStateError,
 )
 from repro.storage.catalog import Database
-from repro.storage.locks import LockManager, LockMode, LockOutcome, table_resource
-from repro.storage.query import SPJQuery, evaluate
+from repro.storage.expressions import Expr
+from repro.storage.locks import (
+    LockManager,
+    LockMode,
+    LockOutcome,
+    index_key_resource,
+    table_resource,
+)
+from repro.storage.query import (
+    AccessKind,
+    ReadAccess,
+    SPJQuery,
+    equality_bindings,
+    evaluate,
+    index_path_for,
+)
 from repro.storage.row import Row, RowId, ValueTuple
 from repro.storage.schema import TableSchema
 from repro.storage.types import SQLValue
@@ -50,6 +73,19 @@ class WouldBlock(StorageError):
         super().__init__(f"transaction {txn} must wait for {resource!r}")
         self.txn = txn
         self.resource = resource
+
+
+class LockGranularity(enum.Enum):
+    """How read locks map to resources.
+
+    FINE — multigranularity row + index-key locking: IS-table plus S on
+        the keys/rows actually observed; table S only for full scans.
+    TABLE — the coarse protocol (every read takes a table S lock), kept
+        as the baseline arm of the locking ablation benchmarks.
+    """
+
+    FINE = "fine"
+    TABLE = "table"
 
 
 class TxnStatus(enum.Enum):
@@ -83,11 +119,18 @@ class TxnContext:
 class StorageEngine:
     """Classical ACID transactions over a :class:`Database`."""
 
-    def __init__(self, db: Database | None = None, *, locking: bool = True):
+    def __init__(
+        self,
+        db: Database | None = None,
+        *,
+        locking: bool = True,
+        granularity: LockGranularity = LockGranularity.FINE,
+    ):
         self.db = db if db is not None else Database()
         self.locks = LockManager()
         self.wal = WriteAheadLog()
         self.locking = locking
+        self.granularity = granularity
         self._contexts: dict[int, TxnContext] = {}
         self._next_txn = 1
         #: observers: callbacks invoked on (txn, "read"/"write", table) —
@@ -183,10 +226,67 @@ class StorageEngine:
             raise WouldBlock(txn, resource)
 
     def lock_table_shared(self, txn: int, table: str) -> None:
-        """Take (or raise WouldBlock for) a table S lock — used directly by
-        the entangled coordinator for grounding reads."""
+        """Take (or raise WouldBlock for) a table S lock — the coarse
+        grounding-read lock, still used by tests and the TABLE baseline."""
         self._context(txn)
         self._lock(txn, table_resource(table), LockMode.SHARED)
+
+    def lock_read_access(self, txn: int, access: ReadAccess) -> None:
+        """Acquire the locks one observed read access requires.
+
+        This is the public entry the entangled coordinator threads into
+        grounding evaluation as a ``read_observer``: a WouldBlock raised
+        here aborts the evaluation before any unlocked row is consumed.
+        """
+        self._context(txn)
+        self._lock_read_access(txn, access)
+
+    def _lock_read_access(self, txn: int, access: ReadAccess) -> None:
+        if not self.locking:
+            return
+        if (
+            self.granularity is LockGranularity.TABLE
+            or access.kind is AccessKind.TABLE_SCAN
+        ):
+            self._lock(txn, table_resource(access.table), LockMode.SHARED)
+        elif access.kind is AccessKind.INDEX_KEY:
+            self._lock(
+                txn, table_resource(access.table), LockMode.INTENTION_SHARED
+            )
+            assert access.index is not None and access.key is not None
+            self._lock(
+                txn,
+                index_key_resource(access.table, access.index, access.key),
+                LockMode.SHARED,
+            )
+        else:  # AccessKind.ROW
+            self._lock(
+                txn, table_resource(access.table), LockMode.INTENTION_SHARED
+            )
+            assert access.rid is not None
+            self._lock(txn, RowId(access.table, access.rid), LockMode.SHARED)
+
+    def _lock_index_keys(
+        self,
+        txn: int,
+        table_name: str,
+        keys: Iterable[tuple[tuple[str, ...], tuple]],
+        mode: LockMode = LockMode.INTENTION_EXCLUSIVE,
+    ) -> None:
+        """Lock index keys a write disturbs (FINE granularity only — under
+        TABLE granularity the readers' table S already conflicts with the
+        writer's table IX).
+
+        Inserts (and key-gaining updates) take IX on each key — the
+        insert-intention idea: it conflicts with a reader's key S (phantom
+        guard) but not with other inserters of the same non-unique key.
+        Predicate writes pass X for the key they pin, which additionally
+        excludes concurrent inserters so the candidate set stays stable.
+        """
+        if not self.locking or self.granularity is not LockGranularity.FINE:
+            return
+        for columns, key in keys:
+            self._lock(txn, index_key_resource(table_name, columns, key), mode)
 
     def release_read_locks(self, txn: int) -> list[int]:
         """Ablation hook: early release of S locks (non-strict reads)."""
@@ -201,16 +301,25 @@ class StorageEngine:
         query: SPJQuery,
         params: Mapping[str, "SQLValue | None"] | None = None,
     ) -> list[tuple["SQLValue | None", ...]]:
-        """Run an SPJ query inside ``txn`` under table S locks."""
-        ctx = self._context(txn)
-        # Lock before evaluating: gather tables first so a WouldBlock leaves
-        # no partial evaluation behind.
-        for ref in query.tables:
-            self._lock(txn, table_resource(ref.name), LockMode.SHARED)
+        """Run an SPJ query inside ``txn`` under access-path read locks.
 
-        def observe(table_name: str) -> None:
-            ctx.reads.append(table_name)
-            self._notify(txn, "read", table_name)
+        The evaluator reports each access path before using its rows; the
+        observer acquires the matching locks, so a conflict raises
+        :class:`WouldBlock` mid-evaluation with no unlocked data consumed
+        (reads have no side effects, so abandoning the evaluation is
+        safe — already-granted locks are simply retained, as 2PL wants).
+        """
+        ctx = self._context(txn)
+        seen_tables: set[str] = set()
+
+        def observe(access: ReadAccess) -> None:
+            self._lock_read_access(txn, access)
+            # The formal model works at table granularity: record one read
+            # per table per statement, after its locks are granted.
+            if access.table not in seen_tables:
+                seen_tables.add(access.table)
+                ctx.reads.append(access.table)
+                self._notify(txn, "read", access.table)
 
         return evaluate(query, self.db, params, read_observer=observe)
 
@@ -226,11 +335,17 @@ class StorageEngine:
 
     def insert(self, txn: int, table_name: str, values: Sequence[Any]) -> Row:
         ctx = self._context(txn)
-        # IX on the table (conflicts with scans — phantom guard — but not
-        # with other writers), then X on the new row.
+        # IX on the table (conflicts with full scans but not with other
+        # writers), IX on every index key the new row carries (conflicts
+        # with keyed readers — the fine-grained phantom guard — but not
+        # with other inserters), then X on the new row.  Keys are locked
+        # *before* the physical insert so a WouldBlock leaves the table
+        # untouched.
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         table = self.db.table(table_name)
-        row = table.insert(values)
+        canonical = table.schema.validate_row(values)
+        self._lock_index_keys(txn, table_name, table.index_keys(canonical))
+        row = table.insert(canonical, validated=True)
         self._lock(txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE)
         self.wal.append(
             LogRecordType.INSERT, txn, table_name, row.rid, None, row.values
@@ -247,7 +362,25 @@ class StorageEngine:
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         self._lock(txn, RowId(table_name, rid), LockMode.EXCLUSIVE)
         table = self.db.table(table_name)
-        old, new = table.update(rid, values)
+        if self.locking and self.granularity is LockGranularity.FINE:
+            # Keys the row *gains or vacates* need IX: moving a row into
+            # an index key is an insert from the perspective of a reader
+            # holding that key's S lock, and moving it *out* changes what
+            # a (possibly negative) probe of the old key observes — both
+            # membership changes must conflict with key-S readers.  Keys
+            # the row keeps are covered by the row X lock (any reader who
+            # saw the row under that key holds row S).
+            canonical = table.schema.validate_row(values)
+            old_keys = set(table.index_keys(table.get(rid).values))
+            new_keys = set(table.index_keys(canonical))
+            # Deterministic acquisition order; key=repr because key tuples
+            # may mix NULL with values, which don't compare directly.
+            self._lock_index_keys(
+                txn, table_name, sorted(old_keys ^ new_keys, key=repr)
+            )
+            old, new = table.update(rid, canonical, validated=True)
+        else:
+            old, new = table.update(rid, values)
         self.wal.append(
             LogRecordType.UPDATE, txn, table_name, rid, old.values, new.values
         )
@@ -261,6 +394,13 @@ class StorageEngine:
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         self._lock(txn, RowId(table_name, rid), LockMode.EXCLUSIVE)
         table = self.db.table(table_name)
+        if self.locking and self.granularity is LockGranularity.FINE:
+            # The delete vacates every key the row carries: a reader
+            # probing one of them (perhaps getting a miss) must not see
+            # the uncommitted removal, so each key takes IX first.
+            self._lock_index_keys(
+                txn, table_name, table.index_keys(table.get(rid).values)
+            )
         old = table.delete(rid)
         self.wal.append(
             LogRecordType.DELETE, txn, table_name, rid, old.values, None
@@ -276,29 +416,85 @@ class StorageEngine:
         table_name: str,
         predicate: Callable[[Row], bool],
         new_values: Callable[[Row], Sequence[Any]],
+        *,
+        where: "Expr | None" = None,
     ) -> int:
-        """Update all rows matching ``predicate``; returns rows changed."""
-        self._lock(txn, table_resource(table_name), LockMode.EXCLUSIVE)
+        """Update all rows matching ``predicate``; returns rows changed.
+
+        ``where`` optionally carries the compiled WHERE expression the
+        ``predicate`` closure was built from; when its equality conjuncts
+        cover an index, candidate rows come from that index under IX-table
+        + key X locks instead of a table X lock.
+        """
         table = self.db.table(table_name)
         changed = 0
-        for row in list(table.scan()):
+        for row in self._write_candidates(txn, table_name, table, where):
             if predicate(row):
                 self.update(txn, table_name, row.rid, list(new_values(row)))
                 changed += 1
         return changed
 
     def delete_where(
-        self, txn: int, table_name: str, predicate: Callable[[Row], bool]
+        self,
+        txn: int,
+        table_name: str,
+        predicate: Callable[[Row], bool],
+        *,
+        where: "Expr | None" = None,
     ) -> int:
-        """Delete all rows matching ``predicate``; returns rows removed."""
-        self._lock(txn, table_resource(table_name), LockMode.EXCLUSIVE)
+        """Delete all rows matching ``predicate``; returns rows removed.
+
+        ``where`` enables the same index pushdown as :meth:`update_where`.
+        """
         table = self.db.table(table_name)
         removed = 0
-        for row in list(table.scan()):
+        for row in self._write_candidates(txn, table_name, table, where):
             if predicate(row):
                 self.delete(txn, table_name, row.rid)
                 removed += 1
         return removed
+
+    def _write_candidates(
+        self, txn: int, table_name: str, table, where: "Expr | None"
+    ) -> list[Row]:
+        """Candidate rows for a predicate write, with the right locks.
+
+        When the predicate pins an index key, take IX on the table, X on
+        that key — the key X keeps the candidate set stable (no insert or
+        update can add a matching row while we hold it) and conflicts
+        with keyed readers — and X on every candidate row *before* the
+        caller evaluates its predicate, so the match decision never reads
+        another transaction's uncommitted values.  Otherwise fall back to
+        the table X lock.
+        """
+        if self.locking and self.granularity is LockGranularity.FINE and where is not None:
+            path = index_path_for(table, equality_bindings(where, table))
+            if path is not None:
+                cols, key, is_pk = path
+                self._lock(
+                    txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE
+                )
+                self._lock_index_keys(
+                    txn, table_name, [(cols, key)], LockMode.EXCLUSIVE
+                )
+                if is_pk:
+                    row = table.lookup_pk(key)
+                    rows = [row] if row is not None else []
+                else:
+                    rows = list(table.lookup_index(cols, key))
+                return self._lock_candidate_rows(txn, table_name, rows)
+        self._lock(txn, table_resource(table_name), LockMode.EXCLUSIVE)
+        return list(table.scan())
+
+    def _lock_candidate_rows(
+        self, txn: int, table_name: str, rows: list[Row]
+    ) -> list[Row]:
+        """X-lock every row an index probe produced for a predicate write
+        (like InnoDB, non-matching candidates stay locked too — the price
+        of deciding the predicate on committed values only)."""
+        for row in rows:
+            self._lock(txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE)
+        return rows
 
     # -- crash simulation ---------------------------------------------------------------
 
@@ -309,7 +505,11 @@ class StorageEngine:
         :func:`repro.storage.recovery.recover`.
         """
         self.wal.truncate_to_flushed()
-        survivor = StorageEngine(Database(self.db.name), locking=self.locking)
+        survivor = StorageEngine(
+            Database(self.db.name),
+            locking=self.locking,
+            granularity=self.granularity,
+        )
         for schema in self.db.schemas():
             survivor.db.create_table(schema)
         survivor.wal = self.wal

@@ -1,14 +1,19 @@
-"""Lock manager: shared/exclusive locks, Strict 2PL, deadlock detection.
+"""Lock manager: multigranularity IS/IX/S/X locks, Strict 2PL, deadlocks.
 
 The paper's prototype enforces full entangled isolation with Strict 2PL
 implemented "using the lock manager of the DBMS" (Section 5.1).  This is
 that lock manager.  It supports:
 
-* **Modes** — shared (S) and exclusive (X), with S->X upgrade.
-* **Granularity** — arbitrary hashable resources; the engine locks
-  ``("table", name)`` for scans/grounding reads and ``RowId`` for row ops.
-  Table X-locks conflict with row locks on that table via simple
-  hierarchical containment.
+* **Modes** — shared (S), exclusive (X), and the intention modes IS/IX of
+  classical multigranularity locking, with mode conversion along the
+  supremum lattice (S+IX and any conversion that would need SIX escalates
+  to X, which is conservative but sound).
+* **Granularity** — arbitrary hashable resources.  The engine locks
+  ``("table", name)`` at table granularity, ``RowId`` for individual rows,
+  and :func:`index_key_resource` triples for index keys; the latter double
+  as gap locks giving phantom protection to point and keyed-range reads.
+  Table/row/key containment is resolved by the intention modes at the
+  table granule, so conflicts stay local to each resource.
 * **Strict 2PL** — locks are only released by :meth:`release_all` at
   commit/abort.  For the isolation-relaxation ablation (Section 3.3.3), the
   engine may call :meth:`release_shared` early, re-admitting unrepeatable
@@ -28,36 +33,72 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
 from repro.errors import DeadlockError, LockError
 
-#: A lockable resource.  The engine uses ("table", name) and RowId values.
+#: A lockable resource.  The engine uses ("table", name), RowId values, and
+#: ("ixkey", table, columns, key) tuples from :func:`index_key_resource`.
 Resource = Hashable
 
 
 class LockMode(enum.Enum):
-    """S/X plus intention-exclusive for multigranularity locking.
+    """The four multigranularity modes.
 
-    The engine's protocol: readers (scans, grounding reads) take table S;
-    writers take table IX plus row X.  IX is compatible with IX (row-level
-    writers of different rows proceed concurrently, as in InnoDB) but
-    conflicts with S and X — so a scan excludes concurrent inserts into
-    the scanned table, which is the phantom protection Strict 2PL needs
-    for repeatable (quasi-)reads (Section 3.3.3).
+    The engine's protocol: point/keyed readers take table IS plus S on the
+    index-key and row resources they touch; full scans take table S;
+    writers take table IX plus X on the rows and index keys they disturb.
+    IS is compatible with everything but X, so keyed readers and row-level
+    writers of the same table proceed concurrently (as in InnoDB) and only
+    collide when they meet on the same row or index key.  A genuine full
+    scan's table S still excludes all writers — the conservative fallback.
     """
 
+    INTENTION_SHARED = "IS"
+    INTENTION_EXCLUSIVE = "IX"
     SHARED = "S"
     EXCLUSIVE = "X"
-    INTENTION_EXCLUSIVE = "IX"
 
     def compatible(self, other: "LockMode") -> bool:
-        both = {self, other}
-        if both == {LockMode.SHARED}:
-            return True
-        if both == {LockMode.INTENTION_EXCLUSIVE}:
-            return True
-        return False
+        return other in _COMPATIBLE[self]
+
+    def covers(self, other: "LockMode") -> bool:
+        """True when holding ``self`` makes a request for ``other`` a no-op."""
+        return other in _COVERS[self]
+
+    def combine(self, other: "LockMode") -> "LockMode":
+        """The weakest single mode at least as strong as both (supremum).
+
+        S+IX (and any pair whose true supremum would be SIX) escalates to
+        X: stronger than necessary, but sound, and rare under the engine's
+        protocol.
+        """
+        if self.covers(other):
+            return self
+        if other.covers(self):
+            return other
+        return LockMode.EXCLUSIVE
+
+
+_COMPATIBLE: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.INTENTION_SHARED: frozenset(
+        {LockMode.INTENTION_SHARED, LockMode.INTENTION_EXCLUSIVE, LockMode.SHARED}
+    ),
+    LockMode.INTENTION_EXCLUSIVE: frozenset(
+        {LockMode.INTENTION_SHARED, LockMode.INTENTION_EXCLUSIVE}
+    ),
+    LockMode.SHARED: frozenset({LockMode.INTENTION_SHARED, LockMode.SHARED}),
+    LockMode.EXCLUSIVE: frozenset(),
+}
+
+_COVERS: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.INTENTION_SHARED: frozenset({LockMode.INTENTION_SHARED}),
+    LockMode.INTENTION_EXCLUSIVE: frozenset(
+        {LockMode.INTENTION_EXCLUSIVE, LockMode.INTENTION_SHARED}
+    ),
+    LockMode.SHARED: frozenset({LockMode.SHARED, LockMode.INTENTION_SHARED}),
+    LockMode.EXCLUSIVE: frozenset(LockMode),
+}
 
 
 class LockOutcome(enum.Enum):
@@ -76,6 +117,20 @@ class _LockState:
 def table_resource(table_name: str) -> tuple[str, str]:
     """The canonical resource for a whole-table lock."""
     return ("table", table_name)
+
+
+def index_key_resource(
+    table_name: str, columns: Sequence[str], key: Sequence
+) -> tuple:
+    """The canonical resource for one key of one index of ``table_name``.
+
+    Readers S-lock the keys they probe (even when no row matches — the
+    lock then guards the *gap*, keeping negative reads repeatable);
+    writers X-lock every key their row carries (inserts) or gains
+    (updates).  That conflict is exactly the phantom protection point and
+    keyed-range reads need without escalating to a table lock.
+    """
+    return ("ixkey", table_name, tuple(columns), tuple(key))
 
 
 class LockManager:
@@ -97,10 +152,7 @@ class LockManager:
         held = self._locks[resource].holders.get(txn)
         if held is None:
             return False
-        if mode is None or held is mode:
-            return True
-        # X implies everything; S and IX imply only themselves.
-        return held is LockMode.EXCLUSIVE
+        return mode is None or held.covers(mode)
 
     def held_resources(self, txn: int) -> frozenset[Resource]:
         return frozenset(self._held.get(txn, ()))
@@ -126,16 +178,22 @@ class LockManager:
         current = state.holders.get(txn)
 
         if current is not None:
-            if current is LockMode.EXCLUSIVE or current is mode:
+            if current.covers(mode):
                 return LockOutcome.GRANTED  # already sufficient
-            # Any other combination (S->X, IX->X, S<->IX) is a conversion;
-            # we conservatively convert to X, requiring sole ownership.
-            others = [t for t in state.holders if t != txn]
+            # Conversion: move up the lattice to the supremum of the held
+            # and requested modes, provided no *other* holder conflicts
+            # with the target.
+            target = current.combine(mode)
+            others = [
+                holder
+                for holder, held_mode in state.holders.items()
+                if holder != txn and not held_mode.compatible(target)
+            ]
             if not others:
-                state.holders[txn] = LockMode.EXCLUSIVE
+                state.holders[txn] = target
                 self.stats["upgrades"] += 1
                 return LockOutcome.GRANTED
-            self._enqueue(txn, resource, LockMode.EXCLUSIVE, blockers=others)
+            self._enqueue(txn, resource, target, blockers=others)
             return LockOutcome.WAIT
 
         blockers = self._blockers(txn, resource, mode)
@@ -150,19 +208,22 @@ class LockManager:
         return LockOutcome.WAIT
 
     def _must_queue_behind(self, txn: int, state: _LockState, mode: LockMode) -> bool:
-        """FIFO fairness: a new S request queues behind a waiting X."""
+        """FIFO fairness: a new request queues behind an incompatible waiter
+        (e.g. an S request behind a waiting X), so writers cannot starve
+        under a stream of readers."""
         return any(
-            waiting_mode is LockMode.EXCLUSIVE and waiter != txn
+            waiter != txn and not waiting_mode.compatible(mode)
             for waiter, waiting_mode in state.queue
         )
 
     def _blockers(self, txn: int, resource: Resource, mode: LockMode) -> list[int]:
         """Holders that conflict with ``mode`` on ``resource``.
 
-        The multigranularity protocol (readers: table S; writers: table IX
-        + row X) makes conflicts local to each resource — table/row
-        containment is resolved by the IX-vs-S conflict at the table
-        granule, so no hierarchical walk is needed here.
+        The multigranularity protocol (keyed readers: table IS + row/key
+        S; scans: table S; writers: table IX + row/key X) makes conflicts
+        local to each resource — table/row/key containment is resolved by
+        the intention modes at the table granule, so no hierarchical walk
+        is needed here.
         """
         state = self._locks[resource]
         return sorted(
@@ -220,11 +281,13 @@ class LockManager:
         return self._promote_waiters()
 
     def release_shared(self, txn: int) -> list[int]:
-        """Early release of all S locks held by ``txn`` (isolation-relaxation
-        ablation; Section 3.3.3 'altering the length of time locks are held')."""
+        """Early release of all read locks (S and IS) held by ``txn``
+        (isolation-relaxation ablation; Section 3.3.3 'altering the length
+        of time locks are held')."""
         for resource in list(self._held.get(txn, ())):
             state = self._locks[resource]
-            if state.holders.get(txn) is LockMode.SHARED:
+            held = state.holders.get(txn)
+            if held is LockMode.SHARED or held is LockMode.INTENTION_SHARED:
                 del state.holders[txn]
                 self._held[txn].discard(resource)
         return self._promote_waiters()
@@ -242,8 +305,8 @@ class LockManager:
                         break
                     state.queue.pop(0)
                     held = state.holders.get(waiter)
-                    if held is not None and held is not mode:
-                        state.holders[waiter] = LockMode.EXCLUSIVE
+                    if held is not None and not held.covers(mode):
+                        state.holders[waiter] = held.combine(mode)
                         self.stats["upgrades"] += 1
                     elif held is None:
                         state.holders[waiter] = mode
@@ -256,7 +319,7 @@ class LockManager:
 
 
 def _parent_resource(resource: Resource):
-    """The containing table resource for a row resource, else None.
+    """The containing table resource for a row or index-key resource.
 
     Exposed for diagnostics; the conflict rules themselves are local per
     resource under the multigranularity protocol.
@@ -266,4 +329,6 @@ def _parent_resource(resource: Resource):
 
     if isinstance(resource, RowId):
         return table_resource(resource.table)
+    if isinstance(resource, tuple) and len(resource) == 4 and resource[0] == "ixkey":
+        return table_resource(resource[1])
     return None

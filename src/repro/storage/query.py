@@ -12,13 +12,19 @@ constants are pushed down to index lookups when the table has a matching
 index, and join predicates between the next table and already-bound columns
 use index lookups when available.
 
-The evaluator reports every table it touched through an optional
-``read_observer`` callback — this is how the engine layer records
-grounding reads for the formal model and takes read locks.
+The evaluator reports every *access path* it takes through an optional
+``read_observer`` callback: a :class:`ReadAccess` per index-key probe
+(table, index columns, key), per row produced by an index probe, and per
+genuine full scan.  This is how the engine layer takes fine-grained read
+locks (IS-table + key/row S instead of a table S lock) and how grounding
+reads reach the formal model.  Observers are invoked *before* the rows
+they cover are used, so a lock-acquiring observer that raises aborts the
+evaluation without any result escaping unlocked.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
@@ -86,8 +92,53 @@ class SPJQuery:
             raise CompileError(f"duplicate FROM aliases: {aliases}")
 
 
-#: Called with each table name the evaluator reads.
-ReadObserver = Callable[[str], None]
+class AccessKind(enum.Enum):
+    """How the evaluator touched a table."""
+
+    TABLE_SCAN = "scan"
+    INDEX_KEY = "index-key"
+    ROW = "row"
+
+
+@dataclass(frozen=True)
+class ReadAccess:
+    """One observed read access.
+
+    * ``TABLE_SCAN`` — the whole table was scanned; ``rid``/``index``/
+      ``key`` are None.  The engine answers with a table S lock.
+    * ``INDEX_KEY`` — an index (or primary key) was probed with ``key`` on
+      ``index`` columns; reported even when no row matched, so negative
+      reads stay repeatable.  The engine answers with IS-table + key S.
+    * ``ROW`` — a row produced by an index probe; the engine answers with
+      IS-table + row S.
+    """
+
+    kind: AccessKind
+    table: str
+    rid: int | None = None
+    index: tuple[str, ...] | None = None
+    key: tuple | None = None
+
+    @classmethod
+    def scan(cls, table: str) -> "ReadAccess":
+        return cls(AccessKind.TABLE_SCAN, table)
+
+    @classmethod
+    def row(cls, table: str, rid: int) -> "ReadAccess":
+        return cls(AccessKind.ROW, table, rid=rid)
+
+    @classmethod
+    def index_key(
+        cls, table: str, columns: Sequence[str], key: Sequence
+    ) -> "ReadAccess":
+        return cls(
+            AccessKind.INDEX_KEY, table, index=tuple(columns), key=tuple(key)
+        )
+
+
+#: Called with each :class:`ReadAccess` the evaluator performs, before the
+#: covered rows are used.
+ReadObserver = Callable[[ReadAccess], None]
 
 
 def _env_for(
@@ -153,25 +204,57 @@ def _own_column(expr: Expr, ref: TableRef, table: Table) -> str | None:
     return name if table.schema.has_column(name) else None
 
 
+def index_path_for(
+    table: Table, bindings: Mapping[str, "SQLValue | None"]
+) -> tuple[tuple[str, ...], tuple, bool] | None:
+    """The index probe the equality ``bindings`` admit, or None for a scan.
+
+    Returns ``(index columns, key, is_pk)`` — primary key first, then the
+    first fully-covered secondary index.  Shared by the read path
+    (:func:`evaluate`) and the predicate-write path
+    (``StorageEngine.update_where``/``delete_where``) so both always
+    choose — and lock — the same access path.
+    """
+    if not bindings:
+        return None
+    pk = table.schema.primary_key
+    if pk and all(c in bindings for c in pk):
+        return tuple(pk), tuple(bindings[c] for c in pk), True
+    for cols in table.schema.indexes:
+        if all(c in bindings for c in cols):
+            return tuple(cols), tuple(bindings[c] for c in cols), False
+    return None
+
+
 def _candidate_rows(
+    ref_name: str,
     table: Table,
     bindings: Mapping[str, "SQLValue | None"],
+    observe: "ReadObserver",
 ) -> Iterable[Row]:
-    """Choose the cheapest access path for the given equality bindings."""
-    if bindings:
-        # Primary key point lookup.
-        pk = table.schema.primary_key
-        if pk and all(c in bindings for c in pk):
-            row = table.lookup_pk(tuple(bindings[c] for c in pk))
-            rows = [row] if row is not None else []
-            # Residual equality columns still need checking; the caller's
-            # predicate re-check covers that.
-            return rows
-        # Any declared secondary index fully covered by the bindings.
-        for cols in table.schema.indexes:
-            if all(c in bindings for c in cols):
-                return table.lookup_index(cols, tuple(bindings[c] for c in cols))
-    return table.scan()
+    """Choose the cheapest access path for the given equality bindings.
+
+    Every access is reported to ``observe`` before its rows are returned:
+    the probed index key (even on a miss — the caller's lock then guards
+    the gap) and each row an index probe produced.  Full scans report only
+    the table; the table-granularity lock covers every row.
+    """
+    path = index_path_for(table, bindings)
+    if path is None:
+        observe(ReadAccess.scan(ref_name))
+        return table.scan()
+    cols, key, is_pk = path
+    observe(ReadAccess.index_key(ref_name, table.canonical_index(cols), key))
+    if is_pk:
+        row = table.lookup_pk(key)
+        # Residual equality columns still need checking; the caller's
+        # predicate re-check covers that.
+        rows = [row] if row is not None else []
+    else:
+        rows = table.lookup_index(cols, key)
+    for row in rows:
+        observe(ReadAccess.row(ref_name, row.rid))
+    return rows
 
 
 def evaluate(
@@ -183,13 +266,19 @@ def evaluate(
     """Evaluate an SPJ query, returning output tuples in deterministic order.
 
     ``params`` supplies host-variable bindings (keys like ``"@x"``).
-    ``read_observer`` is invoked once per referenced table, before rows are
-    produced — the transactional engine uses this to take locks.
+    ``read_observer`` receives each distinct :class:`ReadAccess` before the
+    rows it covers are used — the transactional engine uses this to take
+    fine-grained read locks, so an observer that raises (e.g. on a lock
+    conflict) aborts the evaluation with no unlocked data consumed.
     """
     tables = [provider.table(ref.name) for ref in query.tables]
-    if read_observer is not None:
-        for ref in query.tables:
-            read_observer(ref.name)
+
+    reported: set[ReadAccess] = set()
+
+    def observe(access: ReadAccess) -> None:
+        if read_observer is not None and access not in reported:
+            reported.add(access)
+            read_observer(access)
 
     # Column names occurring in more than one table must stay qualified.
     seen: set[str] = set()
@@ -223,7 +312,7 @@ def evaluate(
 
         # Conjuncts that can now be fully evaluated are checked at this
         # level; the rest are deferred deeper.
-        for row in _candidate_rows(table, bindings):
+        for row in _candidate_rows(ref.name, table, bindings, observe):
             env2 = _env_for(ref, row, table, env, ambiguous)
             deeper: list[Expr] = []
             ok = True
@@ -242,6 +331,27 @@ def evaluate(
 
     recurse(0, base_env, conjuncts)
     return results
+
+
+def equality_bindings(
+    where: Expr | None,
+    table: Table,
+    params: Mapping[str, "SQLValue | None"] | None = None,
+) -> dict[str, "SQLValue | None"]:
+    """Extract ``column = constant`` bindings from a predicate over ``table``.
+
+    The write path (``UPDATE``/``DELETE`` with a WHERE clause) uses this to
+    choose an index access path and lock rows + index keys instead of the
+    whole table.  Only top-level conjuncts count; anything under OR/NOT is
+    ignored, which keeps the result sound (a subset of the true bindings).
+    """
+    if where is None:
+        return {}
+    ref = TableRef(table.name)
+    bindings, _ = _constant_eq_conjuncts(
+        split_conjuncts(where), ref, table, dict(params or {})
+    )
+    return bindings
 
 
 def evaluate_single(

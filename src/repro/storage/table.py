@@ -45,6 +45,10 @@ class HashIndex:
     def lookup(self, key: tuple) -> frozenset[int]:
         return frozenset(self._buckets.get(key, frozenset()))
 
+    def clear(self) -> None:
+        """Drop every entry (bulk table truncation)."""
+        self._buckets.clear()
+
     def __len__(self) -> int:
         return sum(len(b) for b in self._buckets.values())
 
@@ -60,6 +64,10 @@ class Table:
         self._secondary: list[HashIndex] = [
             HashIndex(cols, schema) for cols in schema.indexes
         ]
+        #: how often :meth:`lookup_index` fell back to a linear scan because
+        #: no matching index was declared — an unindexed hot path shows up
+        #: here (and in benchmark reports) instead of hiding in latency.
+        self.fallback_scans = 0
 
     # -- basic properties ---------------------------------------------------------
 
@@ -104,6 +112,7 @@ class Table:
         for index in self._secondary:
             if index.column_names == wanted:
                 return [self._rows[rid] for rid in sorted(index.lookup(key))]
+        self.fallback_scans += 1
         positions = [self.schema.column_index(c) for c in wanted]
         return [
             row
@@ -115,14 +124,42 @@ class Table:
         wanted = tuple(column_names)
         return any(ix.column_names == wanted for ix in self._secondary)
 
+    def canonical_index(self, column_names: Sequence[str]) -> tuple[str, ...]:
+        """The canonical (storage-layer) name of an index's columns.
+
+        Facades that rename columns (the positional view used for
+        entangled-query grounding) override this so lock resources built
+        from reported accesses always match the writers' resources.
+        """
+        return tuple(column_names)
+
+    def index_keys(self, values: ValueTuple) -> list[tuple[tuple[str, ...], tuple]]:
+        """Every (index columns, key) pair a row with ``values`` occupies.
+
+        Includes the primary key; writers X-lock these so keyed readers
+        (who S-lock the keys they probe) get phantom protection.
+        """
+        keys: list[tuple[tuple[str, ...], tuple]] = []
+        pk_key = self.schema.key_of(values)
+        if pk_key is not None:
+            keys.append((tuple(self.schema.primary_key), pk_key))
+        for index in self._secondary:
+            keys.append((index.column_names, index.key_for(values)))
+        return keys
+
     # -- mutations ----------------------------------------------------------------
 
-    def insert(self, values: Sequence[Any]) -> Row:
+    def insert(self, values: Sequence[Any], *, validated: bool = False) -> Row:
         """Validate and insert a row, returning the stored :class:`Row`.
 
         Raises :class:`DuplicateKeyError` when the primary key is taken.
+        ``validated=True`` skips re-validation for values the caller just
+        canonicalized via ``schema.validate_row`` (the engine does this to
+        compute index-key locks without paying validation twice).
         """
-        canonical = self.schema.validate_row(values)
+        canonical = (
+            tuple(values) if validated else self.schema.validate_row(values)
+        )
         key = self.schema.key_of(canonical)
         if key is not None and key in self._pk_index:
             raise DuplicateKeyError(
@@ -157,10 +194,14 @@ class Table:
             index.add(rid, canonical)
         return row
 
-    def update(self, rid: int, values: Sequence[Any]) -> tuple[Row, Row]:
+    def update(
+        self, rid: int, values: Sequence[Any], *, validated: bool = False
+    ) -> tuple[Row, Row]:
         """Replace the values of row ``rid``; returns ``(old, new)`` rows."""
         old = self.get(rid)
-        canonical = self.schema.validate_row(values)
+        canonical = (
+            tuple(values) if validated else self.schema.validate_row(values)
+        )
         new_key = self.schema.key_of(canonical)
         old_key = self.schema.key_of(old.values)
         if new_key != old_key and new_key is not None and new_key in self._pk_index:
@@ -197,7 +238,7 @@ class Table:
         self._rows.clear()
         self._pk_index.clear()
         for index in self._secondary:
-            index._buckets.clear()
+            index.clear()
 
     def snapshot(self) -> list[tuple[int, ValueTuple]]:
         """A deterministic, deep-enough copy of the table contents."""

@@ -130,7 +130,22 @@ class TestGrounding:
     def test_grounding_reads_observed(self, figure1_db):
         seen = []
         ground(minnie_query(), figure1_db, read_observer=seen.append)
-        assert sorted(set(seen)) == ["Airlines", "Flights"]
+        assert sorted({access.table for access in seen}) == [
+            "Airlines", "Flights",
+        ]
+
+    def test_grounding_reads_use_real_index_names(self, figure1_db):
+        # The positional grounding view must report index keys under the
+        # *real* schema column names, so lock resources match the writers'.
+        from repro.storage import AccessKind
+
+        seen = []
+        ground(minnie_query(), figure1_db, read_observer=seen.append)
+        key_accesses = [a for a in seen if a.kind is AccessKind.INDEX_KEY]
+        assert key_accesses, "expected at least one index probe"
+        for access in key_accesses:
+            for column in access.index:
+                assert not column.startswith("__col")
 
     def test_deterministic_order(self, figure1_db):
         first = ground(mickey_query(), figure1_db)

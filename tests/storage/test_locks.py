@@ -3,11 +3,19 @@
 import pytest
 
 from repro.errors import DeadlockError
-from repro.storage.locks import LockManager, LockMode, LockOutcome, table_resource
+from repro.storage.locks import (
+    LockManager,
+    LockMode,
+    LockOutcome,
+    index_key_resource,
+    table_resource,
+)
 from repro.storage.row import RowId
 
-S, X, IX = LockMode.SHARED, LockMode.EXCLUSIVE, LockMode.INTENTION_EXCLUSIVE
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+IS, IX = LockMode.INTENTION_SHARED, LockMode.INTENTION_EXCLUSIVE
 T = table_resource("Flights")
+K = index_key_resource("Flights", ("dest",), ("LA",))
 
 
 class TestCompatibility:
@@ -18,6 +26,84 @@ class TestCompatibility:
         assert not S.compatible(IX)
         assert not X.compatible(X)
         assert not X.compatible(IX)
+
+    def test_intention_shared_row(self):
+        # IS is compatible with everything except X — and symmetrically.
+        for other in (IS, IX, S):
+            assert IS.compatible(other)
+            assert other.compatible(IS)
+        assert not IS.compatible(X)
+        assert not X.compatible(IS)
+
+    def test_covers(self):
+        assert X.covers(S) and X.covers(IX) and X.covers(IS)
+        assert S.covers(IS) and not S.covers(IX)
+        assert IX.covers(IS) and not IX.covers(S)
+        assert IS.covers(IS) and not IS.covers(S)
+
+    def test_combine_lattice(self):
+        assert IS.combine(S) is S
+        assert IS.combine(IX) is IX
+        assert S.combine(IX) is X  # SIX would be exact; X is sound
+        assert S.combine(S) is S
+        assert X.combine(IS) is X
+
+
+class TestIntentionShared:
+    def test_keyed_reader_coexists_with_row_writer(self):
+        # The tentpole protocol: reader IS + key S, writer IX + row X on
+        # the same table — no conflict anywhere.
+        lm = LockManager()
+        assert lm.acquire(1, T, IS) is LockOutcome.GRANTED
+        assert lm.acquire(1, K, S) is LockOutcome.GRANTED
+        assert lm.acquire(2, T, IX) is LockOutcome.GRANTED
+        assert lm.acquire(2, RowId("Flights", 7), X) is LockOutcome.GRANTED
+        assert lm.stats["waits"] == 0
+
+    def test_keyed_reader_blocks_same_key_inserter(self):
+        lm = LockManager()
+        lm.acquire(1, T, IS)
+        lm.acquire(1, K, S)
+        lm.acquire(2, T, IX)
+        assert lm.acquire(2, K, IX) is LockOutcome.WAIT
+
+    def test_same_key_inserters_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, K, IX) is LockOutcome.GRANTED
+        assert lm.acquire(2, K, IX) is LockOutcome.GRANTED
+
+    def test_is_blocked_by_table_x(self):
+        lm = LockManager()
+        lm.acquire(1, T, X)
+        assert lm.acquire(2, T, IS) is LockOutcome.WAIT
+
+    def test_scan_coexists_with_keyed_reader(self):
+        lm = LockManager()
+        lm.acquire(1, T, S)
+        assert lm.acquire(2, T, IS) is LockOutcome.GRANTED
+
+    def test_is_to_ix_conversion(self):
+        lm = LockManager()
+        lm.acquire(1, T, IS)
+        assert lm.acquire(1, T, IX) is LockOutcome.GRANTED
+        assert lm.holders(T) == {1: IX}
+
+    def test_is_to_ix_conversion_allowed_alongside_other_is(self):
+        lm = LockManager()
+        lm.acquire(1, T, IS)
+        lm.acquire(2, T, IS)
+        # IS holders don't block an IS->IX conversion (IX vs IS is fine).
+        assert lm.acquire(1, T, IX) is LockOutcome.GRANTED
+
+    def test_conversion_blocked_by_incompatible_holder(self):
+        lm = LockManager()
+        lm.acquire(1, T, IS)
+        lm.acquire(2, T, S)
+        # IS->IX must wait: the other holder's S conflicts with IX.
+        assert lm.acquire(1, T, IX) is LockOutcome.WAIT
+        woken = lm.release_all(2)
+        assert 1 in woken
+        assert lm.holders(T) == {1: IX}
 
 
 class TestBasicAcquisition:
@@ -174,6 +260,13 @@ class TestReleaseShared:
         lm.release_shared(1)
         assert not lm.holds(1, T)
         assert lm.holds(1, r, X)
+
+    def test_early_release_covers_intention_shared(self):
+        lm = LockManager()
+        lm.acquire(1, T, IS)
+        lm.acquire(1, K, S)
+        lm.release_shared(1)
+        assert lm.held_resources(1) == frozenset()
 
     def test_early_release_wakes_writers(self):
         lm = LockManager()

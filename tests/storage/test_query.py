@@ -3,16 +3,19 @@
 import pytest
 
 from repro.storage import (
+    AccessKind,
     Cmp,
     CmpOp,
     Col,
     Const,
     Database,
+    ReadAccess,
     SPJQuery,
     TableRef,
     TableSchema,
     ColumnType,
     And,
+    equality_bindings,
     evaluate,
     evaluate_single,
 )
@@ -147,7 +150,13 @@ class TestAccessPaths:
 
 
 class TestReadObserver:
-    def test_observer_sees_each_table_once(self, db):
+    def test_scan_reports_table_scan_only(self, db):
+        plan = q([TableRef("Flights")], [Col("fno")], ["fno"])
+        seen = []
+        evaluate(plan, db, read_observer=seen.append)
+        assert seen == [ReadAccess.scan("Flights")]
+
+    def test_join_scan_reports_each_table_once(self, db):
         plan = q(
             [TableRef("Flights", "F"), TableRef("Airlines", "A")],
             [Col("F.fno")],
@@ -155,10 +164,90 @@ class TestReadObserver:
         )
         seen = []
         evaluate(plan, db, read_observer=seen.append)
-        assert seen == ["Flights", "Airlines"]
+        # The inner scan would repeat per outer row; accesses are deduped.
+        assert seen == [ReadAccess.scan("Flights"), ReadAccess.scan("Airlines")]
 
-    def test_observer_called_before_rows(self, db):
+    def test_pk_probe_reports_key_then_row(self, db):
+        plan = q([TableRef("Flights")], [Col("dest")], ["dest"],
+                 where=Cmp(CmpOp.EQ, Col("fno"), Const(124)))
+        seen = []
+        evaluate(plan, db, read_observer=seen.append)
+        assert seen[0] == ReadAccess.index_key("Flights", ("fno",), (124,))
+        assert seen[1].kind is AccessKind.ROW
+        assert seen[1].table == "Flights"
+        assert len(seen) == 2
+
+    def test_pk_miss_still_reports_key(self, db):
+        # Negative reads must report the probed key: the engine's S lock
+        # on it keeps "no such row" repeatable (gap protection).
+        plan = q([TableRef("Flights")], [Col("dest")], ["dest"],
+                 where=Cmp(CmpOp.EQ, Col("fno"), Const(999)))
+        seen = []
+        assert evaluate(plan, db, read_observer=seen.append) == []
+        assert seen == [ReadAccess.index_key("Flights", ("fno",), (999,))]
+
+    def test_secondary_index_reports_key_and_rows(self, db):
+        plan = q([TableRef("Flights")], [Col("fno")], ["fno"],
+                 where=Cmp(CmpOp.EQ, Col("dest"), Const("LA")))
+        seen = []
+        rows = evaluate(plan, db, read_observer=seen.append)
+        assert seen[0] == ReadAccess.index_key("Flights", ("dest",), ("LA",))
+        row_accesses = [a for a in seen[1:] if a.kind is AccessKind.ROW]
+        assert len(row_accesses) == len(rows) == 3
+
+    def test_key_reported_before_rows(self, db):
         order = []
+        plan = q([TableRef("Flights")], [Col("fno")], ["fno"],
+                 where=Cmp(CmpOp.EQ, Col("dest"), Const("LA")))
+        evaluate(plan, db, read_observer=lambda a: order.append(a.kind))
+        assert order[0] is AccessKind.INDEX_KEY
+        assert all(k is AccessKind.ROW for k in order[1:])
+
+    def test_join_pushdown_reports_inner_keys(self, db):
+        # A.fno = F.fno becomes a PK probe on Airlines per outer row.
+        plan = q(
+            [TableRef("Flights", "F"), TableRef("Airlines", "A")],
+            [Col("F.fno"), Col("A.airline")],
+            ["fno", "airline"],
+            where=Cmp(CmpOp.EQ, Col("F.fno"), Col("A.fno")),
+        )
+        seen = []
+        evaluate(plan, db, read_observer=seen.append)
+        inner_keys = [
+            a for a in seen
+            if a.table == "Airlines" and a.kind is AccessKind.INDEX_KEY
+        ]
+        assert {a.key for a in inner_keys} == {(122,), (123,), (124,), (235,)}
+
+    def test_observer_exception_aborts_evaluation(self, db):
+        class Stop(Exception):
+            pass
+
+        def observer(access):
+            raise Stop()
+
         plan = q([TableRef("Flights")], [Col("fno")], ["fno"])
-        evaluate(plan, db, read_observer=lambda t: order.append(t))
-        assert order == ["Flights"]
+        with pytest.raises(Stop):
+            evaluate(plan, db, read_observer=observer)
+
+
+class TestEqualityBindings:
+    def test_extracts_constant_conjuncts(self, db):
+        table = db.table("Flights")
+        where = And(
+            Cmp(CmpOp.EQ, Col("fno"), Const(122)),
+            Cmp(CmpOp.LT, Col("fdate"), Const("2011-06-01")),
+        )
+        assert equality_bindings(where, table) == {"fno": 122}
+
+    def test_none_where_gives_no_bindings(self, db):
+        assert equality_bindings(None, db.table("Flights")) == {}
+
+    def test_or_is_not_mined(self, db):
+        from repro.storage import Or
+
+        where = Or(
+            Cmp(CmpOp.EQ, Col("fno"), Const(122)),
+            Cmp(CmpOp.EQ, Col("fno"), Const(123)),
+        )
+        assert equality_bindings(where, db.table("Flights")) == {}

@@ -135,6 +135,41 @@ class TestTable:
         hits = table.lookup_index(["note"], ("x",))
         assert len(hits) == 1
 
+    def test_fallback_scan_counter(self):
+        # The linear-scan fallback is correct but silently slow; the
+        # counter makes unindexed hot paths visible in benchmark reports.
+        table = self.make()
+        table.insert((1, "FAT", "x"))
+        assert table.fallback_scans == 0
+        table.lookup_index(["note"], ("x",))
+        table.lookup_index(["note"], ("y",))
+        assert table.fallback_scans == 2
+        table.lookup_index(["hometown"], ("FAT",))  # indexed: not counted
+        assert table.fallback_scans == 2
+
+    def test_clear_empties_rows_and_indexes(self):
+        table = self.make()
+        for uid, town in [(1, "FAT"), (2, "CAT")]:
+            table.insert((uid, town, None))
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup_pk((1,)) is None
+        assert table.lookup_index(["hometown"], ("FAT",)) == []
+        # rids are never reused: the counter survives the clear.
+        assert table.insert((3, "FAT", None)).rid == 3
+
+    def test_hash_index_clear(self):
+        from repro.storage import HashIndex
+
+        table = self.make()
+        index = HashIndex(["hometown"], table.schema)
+        index.add(1, (1, "FAT", None))
+        index.add(2, (2, "CAT", None))
+        assert len(index) == 2
+        index.clear()
+        assert len(index) == 0
+        assert index.lookup(("FAT",)) == frozenset()
+
     def test_update_moves_indexes(self):
         table = self.make()
         row = table.insert((1, "FAT", None))
