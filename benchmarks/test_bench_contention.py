@@ -11,9 +11,15 @@ import pytest
 
 from repro.bench.contention import (
     FINE_SERIES,
+    MVCC_SERIES,
     TABLE_SERIES,
+    TWO_PL_SERIES,
+    check_mvcc_shapes,
     check_shapes,
+    mvcc_speedup_series,
     run,
+    run_mvcc,
+    run_mvcc_point,
     run_point,
     speedup_series,
 )
@@ -43,3 +49,39 @@ def test_fine_grained_commits_in_one_run(one_round):
     assert point.lock_waits == 0
     assert point.deadlocks == 0
     assert point.committed == 16
+
+
+@pytest.mark.benchmark(group="contention")
+def test_mvcc_ablation_throughput(one_round):
+    results = one_round(run_mvcc, sizes=(4, 8, 16))
+    throughput = results["throughput"]
+    print("\n" + throughput.render())
+    print(results["lock_waits"].render())
+    print(results["read_locks"].render())
+    for x, ratio in mvcc_speedup_series(throughput).points:
+        print(f"mvcc speedup at n={int(x)}: {ratio:.2f}x")
+    assert check_mvcc_shapes(results) == []
+
+
+@pytest.mark.benchmark(group="contention")
+def test_snapshot_readers_never_lock_or_wait(one_round):
+    point = one_round(run_mvcc_point, True, 16, n_accounts=256)
+    # The acceptance bar for the MVCC refactor: read-only transactions on
+    # writer-hot rows acquire zero S/IS locks, hit zero lock waits and
+    # zero read restarts, and the whole batch commits in a single run
+    # while the writers commit concurrently.
+    assert point.committed == 16
+    assert point.runs == 1
+    assert point.read_lock_grants == 0
+    assert point.lock_waits == 0
+    assert point.read_restarts == 0
+    assert point.max_version_chain >= 2  # the price: one superseded version
+
+
+@pytest.mark.benchmark(group="contention")
+def test_2pl_on_shared_hot_rows_does_contend(one_round):
+    point = one_round(run_mvcc_point, False, 16, n_accounts=256)
+    # The control arm: identical workload, readers queue behind writers.
+    assert point.committed == 16
+    assert point.lock_waits > 0
+    assert point.runs > 1

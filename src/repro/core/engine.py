@@ -47,7 +47,7 @@ from repro.sim.resources import ConnectionPool
 from repro.sql.ast import TransactionProgram
 from repro.sql.parser import parse_transaction
 from repro.storage.catalog import Database
-from repro.storage.engine import StorageEngine, WouldBlock
+from repro.storage.engine import StorageEngine, TxnIsolation, WouldBlock
 from repro.storage.expressions import Cmp, CmpOp, Col, Const
 from repro.storage.locks import LockMode, table_resource
 from repro.storage.schema import TableSchema
@@ -75,11 +75,18 @@ class IsolationConfig(enum.Enum):
     LOOSE_READS — release read locks right after entangled-query
         evaluation instead of holding to commit; unrepeatable quasi-reads
         become possible.
+    SNAPSHOT — MVCC snapshot isolation: every read (classical SELECTs and
+        entangled grounding alike) is served lock-free from the
+        transaction's begin-time snapshot; writers keep X/IX locks plus
+        first-updater-wins conflict detection.  Group commit is retained,
+        so widows stay impossible; write skew becomes the one admitted
+        anomaly (observable via the recorded model schedules).
     """
 
     FULL = "full"
     NO_GROUP_COMMIT = "no-group-commit"
     LOOSE_READS = "loose-reads"
+    SNAPSHOT = "snapshot"
 
     @property
     def group_commit(self) -> bool:
@@ -88,6 +95,10 @@ class IsolationConfig(enum.Enum):
     @property
     def strict_read_locks(self) -> bool:
         return self is not IsolationConfig.LOOSE_READS
+
+    @property
+    def snapshot_reads(self) -> bool:
+        return self is IsolationConfig.SNAPSHOT
 
 
 @dataclass
@@ -129,6 +140,12 @@ class RunReport:
     lock_waits: int = 0
     deadlocks: int = 0
     locks_acquired: int = 0
+    #: MVCC deltas for this run: attempts lost to first-updater-wins
+    #: write-write conflicts, snapshot reads restarted by version-chain
+    #: pruning, and the longest version chain at the end of the run.
+    write_conflicts: int = 0
+    read_restarts: int = 0
+    max_version_chain: int = 0
 
 
 class EntangledTransactionEngine:
@@ -267,6 +284,15 @@ class EntangledTransactionEngine:
 
     # -- the run loop (Section 4) --------------------------------------------------------
 
+    @property
+    def _storage_isolation(self) -> TxnIsolation:
+        """The storage-level isolation user transactions run under."""
+        return (
+            TxnIsolation.SNAPSHOT
+            if self.config.isolation.snapshot_reads
+            else TxnIsolation.TWO_PL
+        )
+
     def tick(self) -> RunReport | None:
         """Start a run if the policy wants one; returns its report."""
         if self.policy.should_run(self.clock.now, len(self._dormant)):
@@ -311,7 +337,7 @@ class EntangledTransactionEngine:
         report.scheduled = len(batch)
 
         for txn in batch:
-            txn.start_attempt(self.store.begin())
+            txn.start_attempt(self.store.begin(isolation=self._storage_isolation))
             if isinstance(cost_tap, _EngineCostTap):
                 cost_tap.assign_slot(txn)
             if self.config.costs is not None and not self.config.autocommit:
@@ -339,12 +365,29 @@ class EntangledTransactionEngine:
                 elif outcome is StepOutcome.DEADLOCKED:
                     self._abort_attempt(txn, retry=True, report=report,
                                         reason="deadlock victim")
+                elif outcome is StepOutcome.WRITE_CONFLICT:
+                    report.write_conflicts += 1
+                    self._abort_attempt(
+                        txn, retry=True, report=report,
+                        reason="write-write conflict (first updater wins)")
+                elif outcome is StepOutcome.SNAPSHOT_RESTART:
+                    report.read_restarts += 1
+                    self._abort_attempt(
+                        txn, retry=True, report=report,
+                        reason="snapshot pruned; restart on a fresh one")
                 elif outcome is StepOutcome.ROLLED_BACK:
                     self._abort_attempt(
                         txn, retry=False, report=report,
                         reason=txn.abort_reason or "explicit ROLLBACK")
                 # BLOCKED_ON_QUERY: handled by evaluation below.
-            lock_blocked = next_lock_blocked
+            # Blocked transactions that were not retried this round stay
+            # blocked — overwriting the list would re-admit them to the
+            # runnable set below and busy-spin their lock requests.
+            retried = {id(t) for t in runnable}
+            lock_blocked = next_lock_blocked + [
+                t for t in lock_blocked
+                if id(t) not in retried and t.phase is TxnPhase.RUNNING
+            ]
 
             # Phase 2: evaluate all pending entangled queries together.
             pending = [
@@ -359,9 +402,15 @@ class EntangledTransactionEngine:
                 report.evaluation_rounds += 1
                 report.answered_queries += answered
 
-            # Phase 3: lock-blocked transactions may proceed once deadlock
-            # victims released locks; retry them next iteration.
-            runnable = [t for t in batch if t.phase is TxnPhase.RUNNING]
+            # Phase 3: transactions resumed by answers keep running;
+            # lock-blocked ones are retried only when something changed —
+            # an answer landed or a lock was actually released (deadlock
+            # victim, autocommit) — not busy-spun every round.
+            blocked_set = set(id(t) for t in lock_blocked)
+            runnable = [
+                t for t in batch
+                if t.phase is TxnPhase.RUNNING and id(t) not in blocked_set
+            ]
             if runnable:
                 continue
             if progressed:
@@ -380,6 +429,7 @@ class EntangledTransactionEngine:
         report.locks_acquired = (
             lock_stats["acquired"] - lock_stats_before["acquired"]
         )
+        report.max_version_chain = self.store.version_stats()["max_chain"]
 
         # Advance the virtual clock by this run's elapsed time.
         if self.config.costs is not None:
@@ -416,22 +466,29 @@ class EntangledTransactionEngine:
         A query that hits a lock conflict comes back ``BLOCKED`` and sits
         out this round; a would-be deadlock victim comes back
         ``DEADLOCKED`` and aborts its attempt.
+
+        Under ``IsolationConfig.SNAPSHOT`` grounding instead runs against
+        each owner's snapshot provider: no read locks exist to conflict,
+        so grounding never blocks or deadlocks — the only MVCC-specific
+        outcome is ``RESTART`` when a snapshot was pruned mid-wait.
         """
         evaluable = list(pending)
         by_query_id: dict[str, EntangledTransaction] = {}
         observers = {}
+        providers: dict[str, object] = {}
         for txn in evaluable:
             assert txn.pending_query is not None and txn.storage_txn is not None
             by_query_id[txn.query_id()] = txn
-            observers[txn.query_id()] = (
-                lambda access, storage_txn=txn.storage_txn:
-                self.store.lock_read_access(storage_txn, access)
-            )
+            observer, provider = self.store.grounding_hooks(txn.storage_txn)
+            observers[txn.query_id()] = observer
+            if provider is not None:
+                providers[txn.query_id()] = provider
 
         queries = [t.pending_query for t in evaluable]
         try:
             result = evaluate_batch(
-                queries, self.store.db, read_observer_for=observers
+                queries, self.store.db, read_observer_for=observers,
+                provider_for=providers or None,
             )
         except SafetyViolationError as exc:
             # An ANSWER arity clash poisons the whole batch ("queries that
@@ -443,12 +500,17 @@ class EntangledTransactionEngine:
                     reason=f"safety violation: {exc}")
             return 0, 0.0
 
-        # Record grounding reads for the formal model.
+        # Record grounding reads for the formal model (snapshot grounding
+        # carries the version annotation: which committed transaction's
+        # table state it observed).
         if self.recorder is not None:
             for qid, tables in sorted(result.grounding_reads.items()):
                 txn = by_query_id[qid]
                 for table in tables:
-                    self.recorder.on_grounding_read(txn.storage_txn, table)
+                    self.recorder.on_grounding_read(
+                        txn.storage_txn, table,
+                        reads_from=self.store.reads_from(txn.storage_txn, table),
+                    )
 
         # Coordinator cost: base + per-grounding + per-answer.
         eval_time = 0.0
@@ -482,7 +544,9 @@ class EntangledTransactionEngine:
                     # Non-transactional: the grounding locks are released
                     # immediately; the next statement gets a fresh txn.
                     self.store.commit(txn.storage_txn)
-                    txn.storage_txn = self.store.begin()
+                    txn.storage_txn = self.store.begin(
+                        isolation=self._storage_isolation
+                    )
             elif outcome is QueryOutcome.EMPTY:
                 if self.config.empty_answer is EmptyAnswerPolicy.PROCEED:
                     if self.recorder is not None:
@@ -493,7 +557,9 @@ class EntangledTransactionEngine:
                     answered += 1
                     if self.config.autocommit:
                         self.store.commit(txn.storage_txn)
-                        txn.storage_txn = self.store.begin()
+                        txn.storage_txn = self.store.begin(
+                            isolation=self._storage_isolation
+                        )
             elif outcome is QueryOutcome.UNSAFE:
                 self._abort_attempt(txn, retry=False, report=report,
                                     reason="safety violation")
@@ -505,6 +571,11 @@ class EntangledTransactionEngine:
                 txn.stats.deadlocks += 1
                 self._abort_attempt(txn, retry=True, report=report,
                                     reason="deadlock victim (grounding)")
+            elif outcome is QueryOutcome.RESTART:
+                txn.stats.read_restarts += 1
+                report.read_restarts += 1
+                self._abort_attempt(txn, retry=True, report=report,
+                                    reason="snapshot pruned (grounding)")
             # WAIT: stays blocked; retried next round/run.
         return answered, eval_time
 
@@ -709,7 +780,13 @@ class EntangledTransactionEngine:
             raise EngineError("engine was not configured with record_schedule")
         return self.recorder.schedule()
 
-    def _observe_storage(self, storage_txn: int, kind: str, table: str) -> None:
+    def _observe_storage(
+        self,
+        storage_txn: int,
+        kind: str,
+        table: str,
+        reads_from: int | None = None,
+    ) -> None:
         if self.recorder is None:
             return
         if kind == "commit":
@@ -721,7 +798,7 @@ class EntangledTransactionEngine:
         if table.startswith("_youtopia"):
             return  # middleware bookkeeping is not part of the model
         if kind == "read":
-            self.recorder.on_read(storage_txn, table)
+            self.recorder.on_read(storage_txn, table, reads_from=reads_from)
         else:
             self.recorder.on_write(storage_txn, table)
 

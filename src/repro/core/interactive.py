@@ -38,7 +38,7 @@ from repro.errors import EngineError, MiddlewareError
 from repro.sql.ast import EntangledSelectStmt, SelectStmt, Statement
 from repro.sql.compiler import compile_entangled, compile_select
 from repro.sql.parser import parse_statement
-from repro.storage.engine import StorageEngine
+from repro.storage.engine import StorageEngine, TxnIsolation
 from repro.storage.types import SQLValue
 
 
@@ -63,13 +63,15 @@ class InteractiveSession:
     """One user's statement-by-statement entangled transaction."""
 
     def __init__(self, broker: "InteractiveBroker", session_id: int,
-                 client: str):
+                 client: str,
+                 isolation: TxnIsolation = TxnIsolation.TWO_PL):
         self.broker = broker
         self.session_id = session_id
         self.client = client
+        self.isolation = isolation
         self.state = SessionState.OPEN
         self.env: dict[str, "SQLValue | None"] = {}
-        self.storage_txn = broker.store.begin()
+        self.storage_txn = broker.store.begin(isolation=isolation)
         self._pending_stmt: EntangledSelectStmt | None = None
         self._pending_query = None
         self._query_counter = 0
@@ -125,15 +127,24 @@ class InteractiveSession:
     def cancel(self) -> None:
         """Give up on the pending entangled query; the session stays open
         and the user may issue other commands (paper: "the user may
-        decide to abort or issue another command")."""
+        decide to abort or issue another command").
+
+        A SNAPSHOT session that has not yet read or written anything also
+        *releases its snapshot*: the engine re-snapshots it at the latest
+        commit timestamp, so the vacuum horizon is no longer pinned by an
+        idle waiter and subsequent statements see fresh data."""
         self._require(SessionState.WAITING)
         self.broker._dequeue(self)
         self._pending_stmt = None
         self._pending_query = None
         self.state = SessionState.OPEN
+        self.broker.store.refresh_snapshot(self.storage_txn)
 
     def _deliver(self, answer: QueryAnswer | None) -> None:
         assert self._pending_query is not None
+        # The answer (even an empty one) is information derived from this
+        # snapshot; once delivered, the snapshot can never be refreshed.
+        self.broker.store.pin_snapshot(self.storage_txn)
         if answer is not None:
             for var, head_index, position in self._pending_query.var_bindings:
                 atom = answer.tuples[head_index]
@@ -174,15 +185,30 @@ class InteractiveSession:
 class InteractiveBroker:
     """Coordinates entangled queries across interactive sessions."""
 
-    def __init__(self, store: StorageEngine | None = None):
+    def __init__(
+        self,
+        store: StorageEngine | None = None,
+        default_isolation: TxnIsolation = TxnIsolation.TWO_PL,
+    ):
         self.store = store if store is not None else StorageEngine()
+        self.default_isolation = default_isolation
         self.groups = GroupTracker()
         self._sessions: dict[int, InteractiveSession] = {}
         self._waiting: dict[int, InteractiveSession] = {}
         self._next_id = 1
 
-    def open_session(self, client: str = "client") -> InteractiveSession:
-        session = InteractiveSession(self, self._next_id, client)
+    def open_session(
+        self,
+        client: str = "client",
+        isolation: TxnIsolation | None = None,
+    ) -> InteractiveSession:
+        """Open a session; ``isolation`` chooses its read protocol, so
+        SNAPSHOT readers and 2PL writers can share one broker (and one
+        ``match_round``)."""
+        session = InteractiveSession(
+            self, self._next_id, client,
+            isolation=isolation or self.default_isolation,
+        )
         self._next_id += 1
         self._sessions[session.session_id] = session
         self.groups.register(session.session_id)
@@ -201,20 +227,27 @@ class InteractiveBroker:
         if not waiting:
             return 0
         # Grounding read locks at access-path granularity, exactly as the
-        # batch engine takes them: a lock-acquiring observer per session.
-        # A session whose grounding blocks (or would deadlock) simply
-        # keeps waiting for a later round.
+        # batch engine takes them: a lock-acquiring observer per 2PL
+        # session.  A session whose grounding blocks (or would deadlock)
+        # simply keeps waiting for a later round.  SNAPSHOT sessions
+        # instead ground against their own snapshot provider — lock-free,
+        # so they can never hold up (or be held up by) the writers in the
+        # same round.
         evaluable = list(waiting)
-        observers = {
-            session._pending_query.query_id: (
-                lambda access, storage_txn=session.storage_txn:
-                self.store.lock_read_access(storage_txn, access)
+        observers = {}
+        providers = {}
+        for session in evaluable:
+            qid = session._pending_query.query_id
+            observer, provider = self.store.grounding_hooks(
+                session.storage_txn
             )
-            for session in evaluable
-        }
+            observers[qid] = observer
+            if provider is not None:
+                providers[qid] = provider
         queries = [s._pending_query for s in evaluable]
         result = evaluate_batch(
-            queries, self.store.db, read_observer_for=observers
+            queries, self.store.db, read_observer_for=observers,
+            provider_for=providers or None,
         )
         answered = 0
         by_query = {s._pending_query.query_id: s for s in evaluable}
@@ -246,6 +279,15 @@ class InteractiveBroker:
                 # SessionState.ABORTED, the interactive analogue of the
                 # batch engine's deadlock-victim retry.
                 session.abort()
+            elif outcome is QueryOutcome.RESTART:
+                # The waiter's snapshot was pruned.  Re-snapshot and
+                # retry in a later round when nothing observed the old
+                # snapshot; otherwise repeatability cannot be preserved
+                # and the session aborts (the interactive analogue of
+                # the batch engine's read-restart retry) instead of
+                # failing the same way every round forever.
+                if not self.store.refresh_snapshot(session.storage_txn):
+                    session.abort()
         return answered
 
     # -- internals ----------------------------------------------------------------------

@@ -23,8 +23,10 @@ from repro.errors import (
     DeadlockError,
     EngineError,
     ReproError,
+    SnapshotTooOldError,
     StorageError,
     TransactionAborted,
+    WriteConflictError,
 )
 from repro.sql.ast import (
     DeleteStmt,
@@ -55,6 +57,10 @@ class StepOutcome(enum.Enum):
     LOCK_BLOCKED = "lock-blocked"
     ROLLED_BACK = "rolled-back"
     DEADLOCKED = "deadlocked"
+    #: SNAPSHOT write lost a first-updater-wins conflict; retry the attempt.
+    WRITE_CONFLICT = "write-conflict"
+    #: the transaction's snapshot was pruned; restart on a fresh one.
+    SNAPSHOT_RESTART = "snapshot-restart"
     COMPLETED = "completed"
 
 
@@ -117,6 +123,12 @@ def run_until_block(
         except DeadlockError:
             txn.stats.deadlocks += 1
             return StepOutcome.DEADLOCKED
+        except WriteConflictError:
+            txn.stats.write_conflicts += 1
+            return StepOutcome.WRITE_CONFLICT
+        except SnapshotTooOldError:
+            txn.stats.read_restarts += 1
+            return StepOutcome.SNAPSHOT_RESTART
         except TransactionAborted as exc:
             txn.abort_reason = exc.reason
             return StepOutcome.ROLLED_BACK
@@ -130,7 +142,9 @@ def run_until_block(
         txn.stats.statements_executed += 1
         if autocommit:
             store.commit(txn.storage_txn)
-            txn.storage_txn = store.begin()
+            txn.storage_txn = store.begin(
+                isolation=store.isolation_of(txn.storage_txn)
+            )
     return StepOutcome.COMPLETED
 
 

@@ -35,16 +35,22 @@ class ScheduleRecorder:
     _touched: set[int] = field(default_factory=set)
     _terminated: set[int] = field(default_factory=set)
 
-    def on_read(self, storage_txn: int, table: str) -> None:
-        self.ops.append(R(storage_txn, table))
+    def on_read(
+        self, storage_txn: int, table: str, reads_from: int | None = None
+    ) -> None:
+        """Record a read; ``reads_from`` is the MVCC version annotation
+        (creator transaction of the version observed; None = current)."""
+        self.ops.append(R(storage_txn, table, reads_from=reads_from))
         self._touched.add(storage_txn)
 
     def on_write(self, storage_txn: int, table: str) -> None:
         self.ops.append(W(storage_txn, table))
         self._touched.add(storage_txn)
 
-    def on_grounding_read(self, storage_txn: int, table: str) -> None:
-        self.ops.append(RG(storage_txn, table))
+    def on_grounding_read(
+        self, storage_txn: int, table: str, reads_from: int | None = None
+    ) -> None:
+        self.ops.append(RG(storage_txn, table, reads_from=reads_from))
         self._touched.add(storage_txn)
 
     def on_entangle(

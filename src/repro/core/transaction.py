@@ -55,6 +55,10 @@ class TxnStats:
     entangled_queries_answered: int = 0
     lock_waits: int = 0
     deadlocks: int = 0
+    #: SNAPSHOT attempts lost to first-updater-wins write-write conflicts.
+    write_conflicts: int = 0
+    #: attempts restarted because the snapshot was pruned mid-flight.
+    read_restarts: int = 0
 
 
 @dataclass

@@ -39,7 +39,7 @@ from repro.entangled.grounding import Grounding, ground
 from repro.entangled.ir import EntangledQuery
 from repro.entangled.matching import MatchResult, find_coordinating_set
 from repro.entangled.safety import SafetyReport, analyze
-from repro.errors import DeadlockError
+from repro.errors import DeadlockError, SnapshotTooOldError
 from repro.storage.engine import WouldBlock
 from repro.storage.query import ReadObserver, TableProvider
 from repro.storage.types import SQLValue
@@ -52,6 +52,9 @@ class QueryOutcome(enum.Enum):
     UNSAFE = "unsafe"
     BLOCKED = "lock-blocked"
     DEADLOCKED = "deadlocked"
+    #: the query's snapshot was pruned mid-wait; the owning transaction
+    #: must restart its attempt on a fresh snapshot (a *read restart*).
+    RESTART = "snapshot-restart"
 
 
 @dataclass
@@ -87,6 +90,7 @@ def evaluate_batch(
     params: Mapping[str, Mapping[str, "SQLValue | None"]] | None = None,
     node_budget: int = 200_000,
     read_observer_for: Mapping[str, ReadObserver] | None = None,
+    provider_for: Mapping[str, TableProvider] | None = None,
 ) -> EvaluationResult:
     """Evaluate a batch of entangled queries against ``provider``.
 
@@ -100,6 +104,12 @@ def evaluate_batch(
     that raises ``DeadlockError`` marks it ``DEADLOCKED``.  Either way the
     rest of the batch proceeds.
 
+    ``provider_for`` maps query id -> a per-query table provider — the
+    coordinator grounds SNAPSHOT transactions' queries through their own
+    :class:`~repro.storage.snapshot.SnapshotDatabase` here, so each query
+    reads its owner's consistent past without locks.  A pruned snapshot
+    (:class:`~repro.errors.SnapshotTooOldError`) yields ``RESTART``.
+
     The pipeline is deterministic: identical batches on identical database
     states produce identical results (the determinism assumption the formal
     model relies on, Appendix C.1).
@@ -107,6 +117,7 @@ def evaluate_batch(
     result = EvaluationResult()
     params = params or {}
     observers = read_observer_for or {}
+    providers = provider_for or {}
     result.safety = analyze(queries)
     unsafe = set(result.safety.unsafe)
     unmatchable = set(result.safety.unmatchable)
@@ -130,7 +141,7 @@ def evaluate_batch(
         try:
             groundings = ground(
                 query,
-                provider,
+                providers.get(query.query_id, provider),
                 params=params.get(query.query_id),
                 read_observer=observe,
             )
@@ -139,6 +150,9 @@ def evaluate_batch(
             continue
         except DeadlockError:
             result.outcomes[query.query_id] = QueryOutcome.DEADLOCKED
+            continue
+        except SnapshotTooOldError:
+            result.outcomes[query.query_id] = QueryOutcome.RESTART
             continue
         result.grounding_reads[query.query_id] = sorted(set(reads))
         result.groundings_per_query[query.query_id] = len(groundings)

@@ -67,6 +67,18 @@ class LockUpgradeError(LockError):
     """An illegal lock conversion was requested."""
 
 
+class WriteConflictError(StorageError):
+    """First-updater-wins: a SNAPSHOT transaction tried to write a row
+    that another transaction already updated and committed after the
+    writer's snapshot was taken.  The loser must abort and retry."""
+
+
+class SnapshotTooOldError(StorageError):
+    """A snapshot read needed a row version that the version-chain
+    garbage collector already pruned; the reader must restart on a
+    fresh snapshot."""
+
+
 class WALError(StorageError):
     """The write-ahead log was used incorrectly or is corrupt."""
 

@@ -13,6 +13,7 @@ from repro.model.anomalies import (
     find_all_anomalies,
     find_conflict_cycles,
     find_dirty_reads,
+    find_non_si_conflict_cycles,
     find_read_from_aborted,
     find_unrepeatable_quasi_reads,
     find_unrepeatable_reads,
@@ -23,6 +24,7 @@ from repro.model.conflicts import (
     conflict_edges,
     conflict_graph,
     find_cycle,
+    find_non_si_cycles,
     has_cycle,
     topological_orders,
 )
@@ -95,6 +97,8 @@ __all__ = [
     "expand_quasi_reads",
     "find_all_anomalies",
     "find_conflict_cycles",
+    "find_non_si_conflict_cycles",
+    "find_non_si_cycles",
     "find_cycle",
     "find_dirty_reads",
     "find_read_from_aborted",

@@ -28,7 +28,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.model.conflicts import find_cycle
+from repro.model.conflicts import find_cycle, find_non_si_cycles
 from repro.model.ops import Op, OpKind
 from repro.model.quasi import expand_quasi_reads, has_explicit_quasi_reads
 from repro.model.schedule import Schedule
@@ -41,6 +41,10 @@ class AnomalyKind(enum.Enum):
     DIRTY_READ = "dirty-read"
     UNREPEATABLE_READ = "unrepeatable-read"
     CONFLICT_CYCLE = "conflict-cycle"
+    #: a conflict cycle without two consecutive rw antidependencies —
+    #: impossible under snapshot isolation (write skew *does* carry the
+    #: consecutive pair and is therefore not reported as this kind).
+    NON_SI_CONFLICT_CYCLE = "non-si-conflict-cycle"
 
 
 @dataclass(frozen=True)
@@ -239,6 +243,24 @@ def find_conflict_cycles(schedule: Schedule) -> list[Anomaly]:
             tuple(cycle),
             detail=f"conflict cycle {cycle}",
         )
+    ]
+
+
+def find_non_si_conflict_cycles(schedule: Schedule) -> list[Anomaly]:
+    """Conflict cycles snapshot isolation itself forbids.
+
+    Cycles made *only* of consecutive rw antidependencies somewhere
+    (write skew) are SI-explainable and not reported; any other cycle —
+    e.g. a ww/wr cycle, which first-updater-wins and snapshot visibility
+    rule out — is a violation of the SNAPSHOT isolation level.
+    """
+    return [
+        Anomaly(
+            AnomalyKind.NON_SI_CONFLICT_CYCLE,
+            tuple(cycle),
+            detail=f"cycle {cycle} lacks consecutive rw antidependencies",
+        )
+        for cycle in find_non_si_cycles(schedule)
     ]
 
 

@@ -95,20 +95,38 @@ def execute_schedule(
     answers: dict[int, dict[int, Any]] = {}
     groundings: dict[tuple[int, int], tuple[tuple[str, int], ...]] = {}
     writes_in_order: list[tuple[int, str, int]] = []
+    #: latest value each transaction wrote per object — what a
+    #: version-annotated (snapshot) read observes instead of db[obj].
+    last_write: dict[tuple[int, str], int] = {}
 
     def obs(txn: int) -> list[Observation]:
         return observations.setdefault(txn, [])
 
+    def read_value(op: Op) -> int:
+        """The value a read observes: current for unannotated reads; for
+        snapshot reads the reader's own prior write (read-your-writes)
+        or else the annotated creator's (last) write."""
+        if op.reads_from is None:
+            return db.get(op.obj, 0)
+        own = last_write.get((op.txn, op.obj))
+        if own is not None:
+            return own
+        if op.reads_from == 0:
+            return (initial_db or {}).get(op.obj, 0)
+        return last_write.get(
+            (op.reads_from, op.obj), (initial_db or {}).get(op.obj, 0)
+        )
+
     for op in schedule.ops:
         if op.kind is OpKind.READ:
-            obs(op.txn).append(("R", op.obj, db.get(op.obj, 0)))
+            obs(op.txn).append(("R", op.obj, read_value(op)))
         elif op.kind is OpKind.QUASI_READ:
             # Information flow is already captured by the entanglement
             # answer; quasi-reads have no separate concrete effect.
             continue
         elif op.kind is OpKind.GROUNDING_READ:
             pending_grounds.setdefault(op.txn, []).append(
-                (op.obj, db.get(op.obj, 0))
+                (op.obj, read_value(op))
             )
         elif op.kind is OpKind.ENTANGLE:
             combined = tuple(
@@ -130,6 +148,7 @@ def execute_schedule(
             value = fn(obs(op.txn), op.obj, index)
             undo.setdefault(op.txn, []).append((op.obj, db.get(op.obj)))
             db[op.obj] = value
+            last_write[(op.txn, op.obj)] = value
             obs(op.txn).append(("W", op.obj, value))
             writes_in_order.append((op.txn, op.obj, value))
         elif op.kind is OpKind.ABORT:
@@ -140,6 +159,8 @@ def execute_schedule(
                     db[obj] = previous
             undo[op.txn] = []
             pending_grounds[op.txn] = []
+            for key in [k for k in last_write if k[0] == op.txn]:
+                del last_write[key]  # aborted versions are unreadable
         elif op.kind is OpKind.COMMIT:
             undo[op.txn] = []
         else:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.model.anomalies import (
     Anomaly,
     find_conflict_cycles,
+    find_non_si_conflict_cycles,
     find_read_from_aborted,
     find_widowed_transactions,
 )
@@ -32,6 +33,11 @@ class Requirement(enum.Enum):
     NO_CYCLES = "C.2: acyclic conflict graph"
     NO_READ_FROM_ABORTED = "C.3: no read-from-aborted"
     NO_WIDOWS = "C.4: no widowed transactions"
+    #: C.2 weakened to snapshot isolation: conflict cycles are admitted
+    #: only when they carry two consecutive rw antidependencies (the
+    #: dangerous structure of write skew); every other cycle — ww/wr
+    #: cycles, lost updates — remains forbidden.
+    NO_NON_SI_CYCLES = "C.2-SI: only write-skew-shaped conflict cycles"
 
 
 class IsolationLevel(enum.Enum):
@@ -40,8 +46,13 @@ class IsolationLevel(enum.Enum):
     FULL_ENTANGLED is Definition C.5.  NO_GROUP_COMMIT drops the widow
     requirement (the system stops enforcing group commit).  LOOSE_READS
     drops the cycle requirement (read locks released before commit, so
-    unrepeatable (quasi-)reads may occur).  MINIMAL keeps only the
-    read-from-aborted prohibition.
+    unrepeatable (quasi-)reads may occur).  SNAPSHOT weakens the cycle
+    requirement to the snapshot-isolation shape: write skew must be
+    *observable* (cycles of consecutive rw antidependencies are
+    admitted) while every cycle MVCC's first-updater-wins and snapshot
+    visibility rule out stays forbidden — and widows stay impossible,
+    because the engine retains group commit under snapshot reads.
+    MINIMAL keeps only the read-from-aborted prohibition.
     """
 
     FULL_ENTANGLED = frozenset(
@@ -52,6 +63,10 @@ class IsolationLevel(enum.Enum):
     )
     LOOSE_READS = frozenset(
         {Requirement.NO_READ_FROM_ABORTED, Requirement.NO_WIDOWS}
+    )
+    SNAPSHOT = frozenset(
+        {Requirement.NO_NON_SI_CYCLES, Requirement.NO_READ_FROM_ABORTED,
+         Requirement.NO_WIDOWS}
     )
     MINIMAL = frozenset({Requirement.NO_READ_FROM_ABORTED})
 
@@ -84,6 +99,8 @@ def check_isolation(
     check = IsolationCheck(level)
     if Requirement.NO_CYCLES in level.requirements:
         check.violations.extend(find_conflict_cycles(expanded))
+    if Requirement.NO_NON_SI_CYCLES in level.requirements:
+        check.violations.extend(find_non_si_conflict_cycles(expanded))
     if Requirement.NO_READ_FROM_ABORTED in level.requirements:
         check.violations.extend(find_read_from_aborted(expanded))
     if Requirement.NO_WIDOWS in level.requirements:

@@ -64,6 +64,14 @@ class Op:
         participants: transaction ids receiving answers (ENTANGLE only).
         answers: per-transaction answer payloads recorded at this
             entanglement (executable schedules; opaque to the model).
+        reads_from: MVCC version annotation on reads — the transaction
+            whose committed write created the version observed (``0``
+            for the initial database, the reader itself for
+            read-your-writes).  ``None`` means a *current* read: the
+            classical positional conflict semantics apply.  Conflict
+            analysis and the executor honour the annotation, which is
+            how snapshot-isolation histories (whose reads ignore
+            schedule position) stay analyzable.
     """
 
     kind: OpKind
@@ -72,6 +80,7 @@ class Op:
     eid: int | None = None
     participants: frozenset[int] = frozenset()
     answers: tuple[tuple[int, Any], ...] = ()
+    reads_from: int | None = None
 
     def __post_init__(self):
         if self.kind in (OpKind.READ, OpKind.WRITE, OpKind.GROUNDING_READ,
@@ -103,9 +112,9 @@ class Op:
 # -- concise constructors (used heavily in tests, mirroring paper notation) --
 
 
-def R(txn: int, obj: str) -> Op:
-    """Normal read ``R_txn(obj)``."""
-    return Op(OpKind.READ, txn, obj)
+def R(txn: int, obj: str, reads_from: int | None = None) -> Op:
+    """Normal read ``R_txn(obj)`` (optionally version-annotated)."""
+    return Op(OpKind.READ, txn, obj, reads_from=reads_from)
 
 
 def W(txn: int, obj: str) -> Op:
@@ -113,14 +122,14 @@ def W(txn: int, obj: str) -> Op:
     return Op(OpKind.WRITE, txn, obj)
 
 
-def RG(txn: int, obj: str) -> Op:
-    """Grounding read ``RG_txn(obj)``."""
-    return Op(OpKind.GROUNDING_READ, txn, obj)
+def RG(txn: int, obj: str, reads_from: int | None = None) -> Op:
+    """Grounding read ``RG_txn(obj)`` (optionally version-annotated)."""
+    return Op(OpKind.GROUNDING_READ, txn, obj, reads_from=reads_from)
 
 
-def RQ(txn: int, obj: str) -> Op:
+def RQ(txn: int, obj: str, reads_from: int | None = None) -> Op:
     """Quasi-read ``RQ_txn(obj)`` (normally derived, not hand-written)."""
-    return Op(OpKind.QUASI_READ, txn, obj)
+    return Op(OpKind.QUASI_READ, txn, obj, reads_from=reads_from)
 
 
 def E(eid: int, *participants: int, answers: Mapping[int, Any] | None = None) -> Op:

@@ -60,7 +60,9 @@ def expand_quasi_reads(schedule: Schedule) -> Schedule:
         }
         for partner in sorted(partners):
             if (partner, op.obj) not in existing_here:
-                expanded.append(RQ(partner, op.obj))
+                # The quasi-read observes the same version the grounding
+                # read did, so the MVCC annotation carries over.
+                expanded.append(RQ(partner, op.obj, reads_from=op.reads_from))
     return Schedule(tuple(expanded))
 
 

@@ -10,6 +10,7 @@ keeps every experiment deterministic and independent of host speed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -20,7 +21,17 @@ class VirtualClock:
     now: float = 0.0
 
     def advance(self, seconds: float) -> float:
-        """Move time forward; negative advances are programming errors."""
+        """Move time forward; negative or non-finite advances are
+        programming errors.
+
+        The non-finite guard matters as much as the sign check: ``NaN``
+        compares false against everything, so without it ``advance(nan)``
+        would slip past ``seconds < 0`` and silently poison ``now`` —
+        after which every timeout comparison (``now > deadline``) is
+        false forever and expired transactions never time out.
+        """
+        if not math.isfinite(seconds):
+            raise ValueError(f"cannot advance clock by non-finite {seconds!r}")
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
         self.now += seconds
@@ -28,6 +39,8 @@ class VirtualClock:
 
     def advance_to(self, timestamp: float) -> float:
         """Move to an absolute time (no-op when already past it)."""
+        if not math.isfinite(timestamp):
+            raise ValueError(f"cannot advance clock to non-finite {timestamp!r}")
         if timestamp > self.now:
             self.now = timestamp
         return self.now

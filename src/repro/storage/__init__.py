@@ -41,6 +41,21 @@ Scan readers are protected by the table S / IX conflict.  ``granularity=LockGran
 :class:`StorageEngine` restores the coarse protocol (every read takes
 table S) for the locking ablation benchmarks.
 
+MVCC snapshot reads
+-------------------
+
+The table above is the ``TxnIsolation.TWO_PL`` read protocol.  A
+transaction begun with ``TxnIsolation.SNAPSHOT`` skips the read rows of
+the table entirely: its reads are served from per-row **version chains**
+(:class:`~repro.storage.row.RowVersion`) as of its begin-time commit
+timestamp, via :class:`~repro.storage.snapshot.SnapshotView` — no S/IS
+locks, no waiting, repeatable by construction.  Writers keep the write
+rows of the table unchanged and add first-updater-wins conflict
+detection (:class:`~repro.errors.WriteConflictError`).  Commit
+timestamps ride on WAL COMMIT records, so restart recovery rebuilds the
+chains exactly; ``StorageEngine.vacuum`` prunes versions below the
+oldest active snapshot.
+
 Read-observer contract
 ----------------------
 
@@ -58,6 +73,7 @@ from repro.storage.catalog import Database
 from repro.storage.engine import (
     LockGranularity,
     StorageEngine,
+    TxnIsolation,
     TxnStatus,
     WouldBlock,
 )
@@ -96,7 +112,8 @@ from repro.storage.query import (
     evaluate_single,
 )
 from repro.storage.recovery import RecoveryReport, recover
-from repro.storage.row import Row, RowId
+from repro.storage.row import Row, RowId, RowVersion
+from repro.storage.snapshot import SnapshotDatabase, SnapshotView
 from repro.storage.schema import Column, TableSchema
 from repro.storage.table import HashIndex, Table
 from repro.storage.types import ColumnType, SQLValue, coerce, infer_type, parse_date
@@ -130,12 +147,16 @@ __all__ = [
     "RecoveryReport",
     "Row",
     "RowId",
+    "RowVersion",
     "SPJQuery",
     "SQLValue",
+    "SnapshotDatabase",
+    "SnapshotView",
     "StorageEngine",
     "Table",
     "TableRef",
     "TableSchema",
+    "TxnIsolation",
     "TxnStatus",
     "WouldBlock",
     "WriteAheadLog",

@@ -2,27 +2,46 @@
 
 :class:`StorageEngine` is the substrate the entangled middle tier runs on —
 the role MySQL/InnoDB plays for the paper's prototype (Section 5.1).  It
-combines the catalog, the Strict-2PL lock manager, and the write-ahead log
-into classical ACID transactions:
+combines the catalog, the Strict-2PL lock manager, the write-ahead log,
+and multi-version storage into classical ACID transactions:
 
 * ``begin`` / ``commit`` / ``abort`` with undo on abort,
-* reads through the SPJ evaluator under fine-grained locks: the
-  evaluator reports every access path it takes, and the engine answers
-  index-key probes with IS-table + key S, produced rows with IS-table +
-  row S, and only genuine full scans with a table S lock,
+* two read protocols, chosen per transaction at ``begin``:
+
+  - ``TxnIsolation.TWO_PL`` (default, serializable) — reads through the
+    SPJ evaluator under fine-grained locks: the evaluator reports every
+    access path it takes, and the engine answers index-key probes with
+    IS-table + key S, produced rows with IS-table + row S, and only
+    genuine full scans with a table S lock;
+  - ``TxnIsolation.SNAPSHOT`` — reads are served from the transaction's
+    snapshot (the version chains as of its begin-time commit timestamp)
+    and take **no locks at all**: readers never block writers and never
+    wait.  Writers still take X/IX locks, and a write to a row that
+    another transaction updated and committed after the snapshot raises
+    :class:`~repro.errors.WriteConflictError` (first-updater-wins), so
+    lost updates stay impossible while write skew — the classical SI
+    anomaly — becomes observable (and is classified as such by
+    :mod:`repro.model.isolation`),
+
 * writes under IX-table + row X locks, plus IX on the index keys a row
   carries (inserts) or gains/vacates (updates, deletes) — the key-lock
-  conflict with keyed readers is the phantom guard, while same-key
+  conflict with 2PL keyed readers is the phantom guard, while same-key
   inserters stay compatible (insert intention),
+* version chains: every write appends a pending
+  :class:`~repro.storage.row.RowVersion`; commit allocates a monotonically
+  increasing commit timestamp and stamps the transaction's versions with
+  it, abort discards them.  :meth:`vacuum` prunes versions no active
+  snapshot can see,
 * WAL records for every mutation with the write-ahead rule enforced on
-  commit,
+  commit; COMMIT records carry the commit timestamp so recovery rebuilds
+  the version chains exactly,
 * cooperative blocking: conflicting lock requests raise
   :class:`WouldBlock` so a scheduler can suspend the transaction instead
   of blocking a thread.
 
 Setting ``granularity=LockGranularity.TABLE`` restores the coarse
-protocol (every read takes a table S lock) — kept as the baseline arm of
-the locking ablation benchmarks.
+protocol (every 2PL read takes a table S lock) — kept as the baseline arm
+of the locking ablation benchmarks.
 
 The engine is single-threaded by design; concurrency is supplied by the
 run-based scheduler interleaving transaction programs, and by the
@@ -38,6 +57,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.errors import (
     StorageError,
     TransactionStateError,
+    WriteConflictError,
 )
 from repro.storage.catalog import Database
 from repro.storage.expressions import Expr
@@ -58,6 +78,7 @@ from repro.storage.query import (
 )
 from repro.storage.row import Row, RowId, ValueTuple
 from repro.storage.schema import TableSchema
+from repro.storage.snapshot import SnapshotDatabase
 from repro.storage.types import SQLValue
 from repro.storage.wal import LogRecordType, WriteAheadLog
 
@@ -88,6 +109,23 @@ class LockGranularity(enum.Enum):
     TABLE = "table"
 
 
+class TxnIsolation(enum.Enum):
+    """Per-transaction isolation protocol (chosen at ``begin``).
+
+    TWO_PL — Strict-2PL serializable: reads take S locks (at the
+        configured granularity) and are repeatable; the retained
+        serializable mode.
+    SNAPSHOT — MVCC snapshot isolation: reads come from the version
+        chains as of the transaction's begin timestamp, lock-free;
+        writes keep X/IX locks plus first-updater-wins conflict
+        detection.  Write skew is admitted (and observable in the
+        recorded model schedules).
+    """
+
+    TWO_PL = "2pl"
+    SNAPSHOT = "snapshot"
+
+
 class TxnStatus(enum.Enum):
     ACTIVE = "active"
     COMMITTED = "committed"
@@ -111,9 +149,21 @@ class TxnContext:
 
     txn_id: int
     status: TxnStatus = TxnStatus.ACTIVE
+    isolation: TxnIsolation = TxnIsolation.TWO_PL
+    #: snapshot timestamp: the last commit timestamp visible to this txn.
+    read_ts: int = 0
+    #: commit timestamp, stamped at commit time for writing transactions.
+    commit_ts: int | None = None
+    #: set once information derived from this snapshot escaped to the
+    #: client (an entangled answer was delivered): the snapshot must not
+    #: be silently refreshed afterwards, even if ``reads`` is empty.
+    snapshot_pinned: bool = False
     undo: list[_UndoEntry] = field(default_factory=list)
     reads: list[str] = field(default_factory=list)
     writes: list[RowId] = field(default_factory=list)
+
+    def written_tables(self) -> list[str]:
+        return sorted({w.table for w in self.writes})
 
 
 class StorageEngine:
@@ -133,9 +183,28 @@ class StorageEngine:
         self.granularity = granularity
         self._contexts: dict[int, TxnContext] = {}
         self._next_txn = 1
-        #: observers: callbacks invoked on (txn, "read"/"write", table) —
-        #: the formal-model recorder and cost model hook in here.
-        self.observers: list[Callable[[int, str, str], None]] = []
+        #: observers: callbacks invoked on (txn, "read"/"write", table,
+        #: reads_from) — the formal-model recorder and cost model hook in
+        #: here.  ``reads_from`` is None for current (2PL) reads; for
+        #: snapshot reads it names the committed transaction whose version
+        #: of the table the reader observed (0 = the initial load).
+        self.observers: list[Callable[[int, str, str, "int | None"], None]] = []
+        #: MVCC state: the last allocated commit timestamp, the per-table
+        #: committed-writer log (for reads-from attribution), the read
+        #: timestamps of currently active SNAPSHOT transactions (so the
+        #: vacuum horizon is O(active), not O(ever begun)), and counters.
+        self._last_commit_ts = 0
+        self._table_writers: dict[str, list[tuple[int, int]]] = {}
+        self._active_snapshots: dict[int, int] = {}
+        self.mvcc_stats = {
+            "snapshot_reads": 0,
+            "write_conflicts": 0,
+            "snapshot_refreshes": 0,
+        }
+        #: auto-vacuum cadence: prune version chains every N writing
+        #: commits (0 disables; call :meth:`vacuum` manually).
+        self.vacuum_interval = 128
+        self._commits_since_vacuum = 0
 
     # -- DDL / loading (non-transactional, as in the paper's setup phase) ---------
 
@@ -155,12 +224,23 @@ class StorageEngine:
 
     # -- transaction lifecycle ------------------------------------------------------
 
-    def begin(self) -> int:
+    def begin(self, isolation: TxnIsolation = TxnIsolation.TWO_PL) -> int:
         txn = self._next_txn
         self._next_txn += 1
-        self._contexts[txn] = TxnContext(txn)
+        self._contexts[txn] = TxnContext(
+            txn, isolation=isolation, read_ts=self._last_commit_ts
+        )
+        if isolation is TxnIsolation.SNAPSHOT:
+            self._active_snapshots[txn] = self._last_commit_ts
         self.wal.append(LogRecordType.BEGIN, txn)
         return txn
+
+    def isolation_of(self, txn: int) -> TxnIsolation:
+        """The isolation a transaction was begun with (any status)."""
+        try:
+            return self._contexts[txn].isolation
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn}") from None
 
     def _context(self, txn: int) -> TxnContext:
         try:
@@ -174,32 +254,77 @@ class StorageEngine:
         return ctx
 
     def commit(self, txn: int) -> list[int]:
-        """Commit: flush WAL through the COMMIT record, release locks.
+        """Commit: allocate a commit timestamp (writing transactions),
+        flush WAL through the COMMIT record, stamp the version chains,
+        release locks.
 
         Returns transactions woken by lock release.
         """
         ctx = self._context(txn)
-        record = self.wal.append(LogRecordType.COMMIT, txn)
+        written = ctx.written_tables()
+        commit_ts: int | None = None
+        if written:
+            self._last_commit_ts += 1
+            commit_ts = self._last_commit_ts
+        record = self.wal.append(LogRecordType.COMMIT, txn, commit_ts=commit_ts)
         self.wal.flush(record.lsn)  # write-ahead rule: commit is durable
+        if commit_ts is not None:
+            ctx.commit_ts = commit_ts
+            for name in written:
+                self.db.table(name).commit_versions(txn, commit_ts)
+                self._table_writers.setdefault(name, []).append(
+                    (commit_ts, txn)
+                )
         ctx.status = TxnStatus.COMMITTED
+        self._active_snapshots.pop(txn, None)
         self._notify(txn, "commit", "")
-        return self.locks.release_all(txn) if self.locking else []
+        woken = self.locks.release_all(txn) if self.locking else []
+        if commit_ts is not None and self.vacuum_interval:
+            self._commits_since_vacuum += 1
+            if self._commits_since_vacuum >= self.vacuum_interval:
+                self.vacuum()
+        return woken
 
     def abort(self, txn: int) -> list[int]:
-        """Abort: undo all changes in reverse order, release locks."""
+        """Abort: discard pending versions, undo all physical changes in
+        reverse order, release locks.
+
+        Every undo step is WAL-logged as a compensation record (ARIES
+        CLR): restart recovery *repeats* history, and without logged
+        compensations an aborted insert would be replayed into the pk
+        index and collide with a later reuse of the same key (the
+        schedule fuzzer finds exactly this).  With them, redo replays the
+        rollback too and the ABORT record marks the transaction as fully
+        compensated.
+        """
         ctx = self._context(txn)
+        for name in ctx.written_tables():
+            self.db.table(name).abort_versions(txn)
         for entry in reversed(ctx.undo):
             table = self.db.table(entry.table)
             if entry.kind is LogRecordType.INSERT:
-                table.delete(entry.rid)
+                table.delete(entry.rid, versioned=False)
+                self.wal.append(
+                    LogRecordType.DELETE, txn, entry.table, entry.rid,
+                    entry.after, None,
+                )
             elif entry.kind is LogRecordType.DELETE:
                 assert entry.before is not None
-                table.insert_with_rid(entry.rid, entry.before)
+                table.insert_with_rid(entry.rid, entry.before, versioned=False)
+                self.wal.append(
+                    LogRecordType.INSERT, txn, entry.table, entry.rid,
+                    None, entry.before,
+                )
             elif entry.kind is LogRecordType.UPDATE:
                 assert entry.before is not None
-                table.update(entry.rid, entry.before)
+                table.update(entry.rid, entry.before, versioned=False)
+                self.wal.append(
+                    LogRecordType.UPDATE, txn, entry.table, entry.rid,
+                    entry.after, entry.before,
+                )
         self.wal.append(LogRecordType.ABORT, txn)
         ctx.status = TxnStatus.ABORTED
+        self._active_snapshots.pop(txn, None)
         self._notify(txn, "abort", "")
         return self.locks.release_all(txn) if self.locking else []
 
@@ -293,6 +418,154 @@ class StorageEngine:
         self._context(txn)
         return self.locks.release_shared(txn)
 
+    # -- MVCC helpers -----------------------------------------------------------------
+
+    def snapshot_provider(self, txn: int) -> SnapshotDatabase:
+        """A lock-free table provider bound to ``txn``'s snapshot.
+
+        The entangled coordinator grounds SNAPSHOT transactions' queries
+        through this provider instead of the live database, so grounding
+        never takes (or waits for) a read lock.
+        """
+        ctx = self._context(txn)
+        return SnapshotDatabase(self.db, txn, ctx.read_ts)
+
+    def observe_snapshot_read(self, txn: int, access) -> None:
+        """Read observer for snapshot evaluation: count, never lock."""
+        self.mvcc_stats["snapshot_reads"] += 1
+
+    def grounding_hooks(self, txn: int):
+        """``(read_observer, provider_or_None)`` for grounding ``txn``'s
+        entangled queries — the single definition of the isolation split
+        both coordinators (the batch engine's evaluation round and the
+        interactive broker's match round) thread into ``evaluate_batch``:
+        SNAPSHOT transactions get a counting observer plus their snapshot
+        provider; 2PL transactions get the lock-acquiring observer and
+        read the live database.
+        """
+        if self.isolation_of(txn) is TxnIsolation.SNAPSHOT:
+            return (
+                lambda access, storage_txn=txn:
+                self.observe_snapshot_read(storage_txn, access),
+                self.snapshot_provider(txn),
+            )
+        return (
+            lambda access, storage_txn=txn:
+            self.lock_read_access(storage_txn, access),
+            None,
+        )
+
+    def reads_from(self, txn: int, table: str) -> int | None:
+        """Which committed transaction's version of ``table`` a read by
+        ``txn`` observes: None for current (2PL) reads, for snapshot
+        reads the last committed writer at or below the snapshot
+        (0 = the initial bulk-loaded state).  This is the version
+        annotation the formal-model recorder attaches to reads.
+
+        The annotation stays the *snapshot* creator even when ``txn``
+        already wrote the table itself: the conflict analysis anchors rw
+        antidependencies at the snapshot (a writer committing between
+        the snapshot and ``txn``'s own commit must get the edge), and
+        the executor separately honours read-your-writes by preferring
+        the reader's own prior write of the object.
+        """
+        ctx = self._context(txn)
+        if ctx.isolation is not TxnIsolation.SNAPSHOT:
+            return None
+        for commit_ts, writer in reversed(self._table_writers.get(table, ())):
+            if commit_ts <= ctx.read_ts:
+                return writer
+        return 0
+
+    def pin_snapshot(self, txn: int) -> None:
+        """Mark ``txn``'s snapshot as observed: information derived from
+        it (an entangled answer) reached the client, so
+        :meth:`refresh_snapshot` must refuse from now on — repeatability
+        wins over freshness."""
+        self._context(txn).snapshot_pinned = True
+
+    def refresh_snapshot(self, txn: int) -> bool:
+        """Re-snapshot a SNAPSHOT transaction that has not observed any
+        state yet — no reads, no writes, no delivered entangled answer
+        (e.g. an interactive session whose pending query was cancelled
+        before being answered): its old snapshot is released — unpinning
+        the vacuum horizon — and subsequent reads see the latest
+        committed state.  Returns True when the snapshot was refreshed.
+
+        Grounding performed for a query that came back unanswered (WAIT)
+        does not pin the snapshot: its observations were discarded by
+        the coordinator and nothing escaped to the client.
+        """
+        ctx = self._context(txn)
+        if ctx.isolation is not TxnIsolation.SNAPSHOT:
+            return False
+        if ctx.reads or ctx.writes or ctx.snapshot_pinned:
+            return False
+        if ctx.read_ts == self._last_commit_ts:
+            return False
+        ctx.read_ts = self._last_commit_ts
+        self._active_snapshots[txn] = ctx.read_ts
+        self.mvcc_stats["snapshot_refreshes"] += 1
+        return True
+
+    def oldest_snapshot_ts(self) -> int:
+        """The vacuum horizon: no active snapshot reads below this."""
+        return min(self._active_snapshots.values(), default=self._last_commit_ts)
+
+    def vacuum(self, horizon: int | None = None) -> int:
+        """Prune version chains up to ``horizon`` (default: the oldest
+        active snapshot).  Returns the number of versions removed.
+        Passing an explicit horizon newer than an active snapshot forces
+        that snapshot's next read to restart (SnapshotTooOldError)."""
+        if horizon is None:
+            horizon = self.oldest_snapshot_ts()
+        removed = 0
+        for name in self.db.table_names():
+            removed += self.db.table(name).prune_versions(horizon)
+        # The committed-writer log only matters at/above the horizon:
+        # reads_from needs the newest entry at-or-below every live
+        # snapshot, so everything older than the newest-below-horizon
+        # entry can go — without this the log grows per writing commit
+        # forever.
+        for log in self._table_writers.values():
+            cut = 0
+            for i, (commit_ts, _writer) in enumerate(log):
+                if commit_ts <= horizon:
+                    cut = i
+                else:
+                    break
+            if cut:
+                del log[:cut]
+        self._commits_since_vacuum = 0
+        return removed
+
+    def version_stats(self) -> dict[str, int]:
+        """Aggregate version-chain footprint across all tables."""
+        total = 0
+        longest = 0
+        for name in self.db.table_names():
+            table_total, table_longest = self.db.table(name).version_stats()
+            total += table_total
+            longest = max(longest, table_longest)
+        return {"versions": total, "max_chain": longest}
+
+    def _check_write_conflict(self, ctx: TxnContext, table, rid: int) -> None:
+        """First-updater-wins: a SNAPSHOT writer loses against any version
+        of the row committed after its snapshot (the first updater already
+        won).  Called with the row X lock held, so the chain is stable."""
+        if ctx.isolation is not TxnIsolation.SNAPSHOT:
+            return
+        for version in table.versions_of(rid):
+            begin = version.begin_ts or 0
+            end = version.end_ts or 0
+            if begin > ctx.read_ts or end > ctx.read_ts:
+                self.mvcc_stats["write_conflicts"] += 1
+                raise WriteConflictError(
+                    f"transaction {ctx.txn_id} (snapshot ts {ctx.read_ts}) "
+                    f"lost a write-write conflict on {table.name}#{rid}: "
+                    f"the row changed at commit ts {max(begin, end)}"
+                )
+
     # -- reads ------------------------------------------------------------------------
 
     def query(
@@ -308,9 +581,28 @@ class StorageEngine:
         :class:`WouldBlock` mid-evaluation with no unlocked data consumed
         (reads have no side effects, so abandoning the evaluation is
         safe — already-granted locks are simply retained, as 2PL wants).
+
+        SNAPSHOT transactions instead evaluate against their snapshot
+        provider: version-chain reads, no locks, no waiting.
         """
         ctx = self._context(txn)
         seen_tables: set[str] = set()
+
+        if ctx.isolation is TxnIsolation.SNAPSHOT:
+            provider = self.snapshot_provider(txn)
+
+            def observe_snapshot(access: ReadAccess) -> None:
+                self.mvcc_stats["snapshot_reads"] += 1
+                if access.table not in seen_tables:
+                    seen_tables.add(access.table)
+                    reads_from = self.reads_from(txn, access.table)
+                    ctx.reads.append(access.table)
+                    self._notify(
+                        txn, "read", access.table, reads_from=reads_from
+                    )
+
+            return evaluate(query, provider, params,
+                            read_observer=observe_snapshot)
 
         def observe(access: ReadAccess) -> None:
             self._lock_read_access(txn, access)
@@ -326,6 +618,13 @@ class StorageEngine:
     def read_table(self, txn: int, table: str) -> list[Row]:
         """Full-table read (used by tests and the recovery manager)."""
         ctx = self._context(txn)
+        if ctx.isolation is TxnIsolation.SNAPSHOT:
+            view = self.snapshot_provider(txn).table(table)
+            reads_from = self.reads_from(txn, table)
+            ctx.reads.append(table)
+            self._notify(txn, "read", table, reads_from=reads_from)
+            self.mvcc_stats["snapshot_reads"] += 1
+            return list(view.scan())
         self._lock(txn, table_resource(table), LockMode.SHARED)
         ctx.reads.append(table)
         self._notify(txn, "read", table)
@@ -345,7 +644,7 @@ class StorageEngine:
         table = self.db.table(table_name)
         canonical = table.schema.validate_row(values)
         self._lock_index_keys(txn, table_name, table.index_keys(canonical))
-        row = table.insert(canonical, validated=True)
+        row = table.insert(canonical, validated=True, writer=txn)
         self._lock(txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE)
         self.wal.append(
             LogRecordType.INSERT, txn, table_name, row.rid, None, row.values
@@ -362,6 +661,7 @@ class StorageEngine:
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         self._lock(txn, RowId(table_name, rid), LockMode.EXCLUSIVE)
         table = self.db.table(table_name)
+        self._check_write_conflict(ctx, table, rid)
         if self.locking and self.granularity is LockGranularity.FINE:
             # Keys the row *gains or vacates* need IX: moving a row into
             # an index key is an insert from the perspective of a reader
@@ -378,9 +678,12 @@ class StorageEngine:
             self._lock_index_keys(
                 txn, table_name, sorted(old_keys ^ new_keys, key=repr)
             )
-            old, new = table.update(rid, canonical, validated=True)
+            old, new = table.update(
+                rid, canonical, validated=True, writer=txn,
+                rekeyed=old_keys != new_keys,
+            )
         else:
-            old, new = table.update(rid, values)
+            old, new = table.update(rid, values, writer=txn)
         self.wal.append(
             LogRecordType.UPDATE, txn, table_name, rid, old.values, new.values
         )
@@ -394,6 +697,7 @@ class StorageEngine:
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         self._lock(txn, RowId(table_name, rid), LockMode.EXCLUSIVE)
         table = self.db.table(table_name)
+        self._check_write_conflict(ctx, table, rid)
         if self.locking and self.granularity is LockGranularity.FINE:
             # The delete vacates every key the row carries: a reader
             # probing one of them (perhaps getting a miss) must not see
@@ -401,7 +705,7 @@ class StorageEngine:
             self._lock_index_keys(
                 txn, table_name, table.index_keys(table.get(rid).values)
             )
-        old = table.delete(rid)
+        old = table.delete(rid, writer=txn)
         self.wal.append(
             LogRecordType.DELETE, txn, table_name, rid, old.values, None
         )
@@ -466,7 +770,37 @@ class StorageEngine:
         caller evaluates its predicate, so the match decision never reads
         another transaction's uncommitted values.  Otherwise fall back to
         the table X lock.
+
+        SNAPSHOT transactions choose their targets on the *snapshot*
+        instead (SI semantics): the rows the snapshot saw, located
+        through the snapshot view.  A target a later transaction already
+        changed or deleted is not silently skipped — it reaches
+        ``update``/``delete``, whose first-updater-wins check raises
+        :class:`WriteConflictError`.  No key locks are needed: rows
+        inserted after the snapshot are rightly invisible to the write,
+        and the candidate set cannot shift mid-statement in the
+        cooperative single-threaded engine.
         """
+        ctx = self._contexts.get(txn)
+        if ctx is not None and ctx.isolation is TxnIsolation.SNAPSHOT:
+            self._lock(
+                txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE
+            )
+            view = self.snapshot_provider(txn).table(table_name)
+            bindings = (
+                equality_bindings(where, table) if where is not None else {}
+            )
+            path = index_path_for(table, bindings)
+            if path is not None:
+                cols, key, is_pk = path
+                if is_pk:
+                    row = view.lookup_pk(key)
+                    rows = [row] if row is not None else []
+                else:
+                    rows = view.lookup_index(cols, key)
+            else:
+                rows = list(view.scan())
+            return self._lock_candidate_rows(txn, table_name, rows)
         if self.locking and self.granularity is LockGranularity.FINE and where is not None:
             path = index_path_for(table, equality_bindings(where, table))
             if path is not None:
@@ -518,6 +852,8 @@ class StorageEngine:
 
     # -- internals ------------------------------------------------------------------------
 
-    def _notify(self, txn: int, kind: str, table: str) -> None:
+    def _notify(
+        self, txn: int, kind: str, table: str, reads_from: int | None = None
+    ) -> None:
         for observer in self.observers:
-            observer(txn, kind, table)
+            observer(txn, kind, table, reads_from)

@@ -26,6 +26,13 @@ that lock manager.  It supports:
 The manager is *cooperative*: it never blocks a thread.  A conflicting
 request returns :data:`LockOutcome.WAIT` after enqueueing the waiter; the
 scheduler decides whether to suspend or abort the transaction.
+
+Under MVCC (``TxnIsolation.SNAPSHOT``) readers bypass this manager
+entirely — snapshot reads are served from version chains without S/IS
+locks.  Writers keep the X/IX side of the protocol above, and the engine
+layers first-updater-wins write-write conflict detection on top: the X
+lock serializes same-row writers, and the commit-timestamp check after
+the grant decides which of them loses.
 """
 
 from __future__ import annotations
@@ -140,8 +147,16 @@ class LockManager:
         self._locks: dict[Resource, _LockState] = defaultdict(_LockState)
         self._held: dict[int, set[Resource]] = defaultdict(set)
         self._waits_for: dict[int, set[int]] = defaultdict(set)
-        #: statistics for benchmarks and tests
-        self.stats = {"acquired": 0, "waits": 0, "deadlocks": 0, "upgrades": 0}
+        #: statistics for benchmarks and tests.  ``read_grants`` counts
+        #: S/IS grants specifically: the MVCC ablation asserts snapshot
+        #: transactions drive it to exactly zero (readers never lock).
+        self.stats = {
+            "acquired": 0,
+            "waits": 0,
+            "deadlocks": 0,
+            "upgrades": 0,
+            "read_grants": 0,
+        }
 
     # -- introspection -------------------------------------------------------------
 
@@ -201,6 +216,8 @@ class LockManager:
             state.holders[txn] = mode
             self._held[txn].add(resource)
             self.stats["acquired"] += 1
+            if mode in (LockMode.SHARED, LockMode.INTENTION_SHARED):
+                self.stats["read_grants"] += 1
             return LockOutcome.GRANTED
 
         queue_blockers = blockers or [w for w, _ in state.queue if w != txn]
@@ -240,8 +257,10 @@ class LockManager:
         state = self._locks[resource]
         if (txn, mode) not in state.queue:
             state.queue.append((txn, mode))
+            # Count the conflict once per queued request: a retry of an
+            # already-queued request is not a new wait.
+            self.stats["waits"] += 1
         self._waits_for[txn].update(blockers)
-        self.stats["waits"] += 1
 
     def _check_deadlock(self, txn: int, new_edges: Iterable[int]) -> None:
         """DFS over waits-for (with the tentative edges) looking for a path
@@ -312,6 +331,8 @@ class LockManager:
                         state.holders[waiter] = mode
                         self._held[waiter].add(resource)
                         self.stats["acquired"] += 1
+                        if mode in (LockMode.SHARED, LockMode.INTENTION_SHARED):
+                            self.stats["read_grants"] += 1
                     self._waits_for.pop(waiter, None)
                     woken.append(waiter)
                     progress = True

@@ -5,11 +5,19 @@ database tables are empty and only the flushed WAL prefix survives.
 :func:`recover` rebuilds the committed state in three passes:
 
 1. **Analysis** — scan the durable log to classify transactions into
-   winners (COMMIT record present) and losers (everything else).
+   winners (COMMIT record present) and losers (everything else), and
+   collect the winners' logged commit timestamps.
 2. **Redo** — replay *all* logged row operations in LSN order, winners and
-   losers alike (repeating history, as ARIES does).
-3. **Undo** — roll back the losers' operations in reverse LSN order and
-   append ABORT records for them.
+   losers alike (repeating history, as ARIES does).  Redo runs in
+   versioned mode, so the tables' version chains are rebuilt as pending
+   versions attributed to their original transactions.
+3. **Undo** — roll back the losers' operations in reverse LSN order
+   (physical undo plus discarding their pending versions) and append
+   ABORT records for them.
+4. **Stamp** — commit the winners' rebuilt versions with their logged
+   commit timestamps and restore the engine's commit-timestamp counter,
+   so MVCC snapshot visibility is bit-for-bit what it was before the
+   crash.
 
 Entanglement-aware recovery (Section 4 "Persistence and Recovery": *"if two
 transactions entangle and only one manages to commit prior to a crash, both
@@ -64,9 +72,16 @@ def recover(
     active = log.active_txns_at_end(durable_only=True)
     report.winners = (committed - set(demote_to_loser))
     report.losers = active | aborted | (committed & set(demote_to_loser))
+    commit_ts_of = log.commit_timestamps(durable_only=True)
+    # Transactions with a durable ABORT record were fully compensated in
+    # the log (abort writes CLRs before the ABORT marker), so redo alone
+    # reproduces their rollback; only still-active transactions — and
+    # committed ones being demoted — need an undo pass.
+    undo_needed = active | (committed & set(demote_to_loser))
 
-    # ---- redo: repeat history in LSN order ----
+    # ---- redo: repeat history in LSN order (rebuilding version chains) ----
     undo_stack: list[LogRecord] = []
+    touched_tables: dict[int, set[str]] = {}
     for record in log.records(durable_only=True):
         if record.type in (
             LogRecordType.BEGIN,
@@ -77,18 +92,33 @@ def recover(
             continue
         _apply(engine, record)
         report.redone += 1
-        if record.txn in report.losers:
+        touched_tables.setdefault(record.txn, set()).add(record.table)
+        if record.txn in undo_needed:
             undo_stack.append(record)
 
-    # ``aborted`` transactions logged their forward operations but their
-    # undo happened before the crash only if the engine got to it; in this
-    # logical-logging design the abort's compensations are not logged, so
-    # we must undo them here too (they are in the loser set already).
-
     # ---- undo: roll back losers in reverse order ----
+    for loser in sorted(report.losers):
+        for name in sorted(touched_tables.get(loser, ())):
+            engine.db.table(name).abort_versions(loser)
     for record in reversed(undo_stack):
         _revert(engine, record)
+        _log_compensation(engine, record)
         report.undone += 1
+
+    # ---- stamp: winners' versions get their original commit timestamps ----
+    table_writers: dict[str, list[tuple[int, int]]] = {}
+    for winner, commit_ts in sorted(
+        commit_ts_of.items(), key=lambda item: item[1]
+    ):
+        if winner in report.losers:
+            continue
+        for name in sorted(touched_tables.get(winner, ())):
+            engine.db.table(name).commit_versions(winner, commit_ts)
+            table_writers.setdefault(name, []).append((commit_ts, winner))
+    engine._table_writers = table_writers
+    engine._last_commit_ts = max(
+        [engine._last_commit_ts, *commit_ts_of.values()], default=0
+    )
 
     for loser in sorted(report.losers):
         if loser not in aborted:
@@ -98,36 +128,66 @@ def recover(
 
 
 def _apply(engine: StorageEngine, record: LogRecord) -> None:
-    """Redo one row operation exactly as logged."""
+    """Redo one row operation exactly as logged (rebuilding its version)."""
     table = engine.db.table(record.table)
     if record.type is LogRecordType.INSERT:
         if record.rid not in table:
-            table.insert_with_rid(record.rid, record.after)
+            table.insert_with_rid(record.rid, record.after, writer=record.txn)
     elif record.type is LogRecordType.UPDATE:
         if record.rid in table:
-            table.update(record.rid, record.after)
+            table.update(record.rid, record.after, writer=record.txn)
         else:
-            table.insert_with_rid(record.rid, record.after)
+            table.insert_with_rid(record.rid, record.after, writer=record.txn)
     elif record.type is LogRecordType.DELETE:
         if record.rid in table:
-            table.delete(record.rid)
+            table.delete(record.rid, writer=record.txn)
     else:  # pragma: no cover - defensive
         raise RecoveryError(f"cannot redo record {record}")
 
 
+def _log_compensation(engine: StorageEngine, record: LogRecord) -> None:
+    """Log the CLR for one recovery-time undo step.
+
+    Recovery-time rollback must be as durable as live-abort rollback: a
+    crash *after* this recovery would otherwise replay the loser's
+    forward operations (repeating history) with an ABORT marker but no
+    compensations, resurrecting the undone rows.
+    """
+    if record.type is LogRecordType.INSERT:
+        engine.wal.append(
+            LogRecordType.DELETE, record.txn, record.table, record.rid,
+            record.after, None,
+        )
+    elif record.type is LogRecordType.UPDATE:
+        engine.wal.append(
+            LogRecordType.UPDATE, record.txn, record.table, record.rid,
+            record.after, record.before,
+        )
+    elif record.type is LogRecordType.DELETE:
+        engine.wal.append(
+            LogRecordType.INSERT, record.txn, record.table, record.rid,
+            None, record.before,
+        )
+
+
 def _revert(engine: StorageEngine, record: LogRecord) -> None:
-    """Undo one row operation (inverse of :func:`_apply`)."""
+    """Undo one row operation physically (inverse of :func:`_apply`).
+
+    Runs with ``versioned=False``: the loser's pending versions were
+    already discarded via ``abort_versions``, so only the heap rows and
+    indexes need restoring here.
+    """
     table = engine.db.table(record.table)
     if record.type is LogRecordType.INSERT:
         if record.rid in table:
-            table.delete(record.rid)
+            table.delete(record.rid, versioned=False)
     elif record.type is LogRecordType.UPDATE:
         if record.rid in table:
-            table.update(record.rid, record.before)
+            table.update(record.rid, record.before, versioned=False)
         else:  # pragma: no cover - defensive
-            table.insert_with_rid(record.rid, record.before)
+            table.insert_with_rid(record.rid, record.before, versioned=False)
     elif record.type is LogRecordType.DELETE:
         if record.rid not in table:
-            table.insert_with_rid(record.rid, record.before)
+            table.insert_with_rid(record.rid, record.before, versioned=False)
     else:  # pragma: no cover - defensive
         raise RecoveryError(f"cannot undo record {record}")

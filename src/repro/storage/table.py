@@ -1,9 +1,19 @@
-"""Heap tables with primary-key and secondary hash indexes.
+"""Heap tables with primary-key and secondary hash indexes — versioned.
 
 A :class:`Table` owns its rows, assigns row ids, and keeps its indexes in
-sync on every mutation.  It is deliberately unaware of transactions: the
+sync on every mutation.  It stays *mostly* unaware of transactions: the
 :mod:`repro.storage.engine` layer mediates all access, installs undo
-records, and takes locks before calling into the table.
+records, and takes locks before calling into the table.  The one
+transactional concern tables do own is the **version chain**: every
+mutation appends/stamps :class:`~repro.storage.row.RowVersion` records so
+MVCC snapshot readers can reconstruct the row as of any commit timestamp.
+Mutators take an optional ``writer`` transaction id — versions created by
+a writer stay *pending* until the engine calls :meth:`commit_versions`
+(stamping begin/end timestamps) or :meth:`abort_versions` (discarding
+them).  ``writer=None`` means a non-transactional write, committed at
+timestamp 0 (bulk loads, direct test mutation).  ``versioned=False``
+bypasses chain maintenance entirely — only the engine's physical
+undo/redo paths use it, because rollback of chains is handled separately.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import DuplicateKeyError, StorageError
-from repro.storage.row import Row, ValueTuple
+from repro.storage.row import Row, RowVersion, ValueTuple
 from repro.storage.schema import TableSchema
 from repro.storage.types import SQLValue
 
@@ -68,6 +78,20 @@ class Table:
         #: no matching index was declared — an unindexed hot path shows up
         #: here (and in benchmark reports) instead of hiding in latency.
         self.fallback_scans = 0
+        #: MVCC state: per-rid version chains (oldest first), rids whose
+        #: non-current versions may still be visible to some snapshot, the
+        #: per-writer pending version sets, and the GC floor below which
+        #: snapshots can no longer be served.
+        self._versions: dict[int, list[RowVersion]] = {}
+        self._history: set[int] = set()
+        self._pending_created: dict[int, list[tuple[int, RowVersion]]] = {}
+        self._pending_ended: dict[int, list[tuple[int, RowVersion]]] = {}
+        self._prune_floor = 0
+        #: incrementally maintained footprint: total live version count
+        #: and the longest-chain high-watermark (exact after each prune,
+        #: may overstate between prunes once versions were discarded).
+        self._total_versions = 0
+        self._max_chain = 0
 
     # -- basic properties ---------------------------------------------------------
 
@@ -149,13 +173,22 @@ class Table:
 
     # -- mutations ----------------------------------------------------------------
 
-    def insert(self, values: Sequence[Any], *, validated: bool = False) -> Row:
+    def insert(
+        self,
+        values: Sequence[Any],
+        *,
+        validated: bool = False,
+        writer: int | None = None,
+        versioned: bool = True,
+    ) -> Row:
         """Validate and insert a row, returning the stored :class:`Row`.
 
         Raises :class:`DuplicateKeyError` when the primary key is taken.
         ``validated=True`` skips re-validation for values the caller just
         canonicalized via ``schema.validate_row`` (the engine does this to
         compute index-key locks without paying validation twice).
+        ``writer`` tags the new version as pending for that transaction;
+        ``versioned=False`` (undo/redo only) skips chain maintenance.
         """
         canonical = (
             tuple(values) if validated else self.schema.validate_row(values)
@@ -173,9 +206,18 @@ class Table:
             self._pk_index[key] = rid
         for index in self._secondary:
             index.add(rid, canonical)
+        if versioned:
+            self._chain_insert(rid, canonical, writer)
         return row
 
-    def insert_with_rid(self, rid: int, values: Sequence[Any]) -> Row:
+    def insert_with_rid(
+        self,
+        rid: int,
+        values: Sequence[Any],
+        *,
+        writer: int | None = None,
+        versioned: bool = True,
+    ) -> Row:
         """Re-insert a row under a specific rid (undo/redo path only)."""
         if rid in self._rows:
             raise StorageError(f"rid {rid} already present in {self.name!r}")
@@ -192,12 +234,26 @@ class Table:
             self._pk_index[key] = rid
         for index in self._secondary:
             index.add(rid, canonical)
+        if versioned:
+            self._chain_insert(rid, canonical, writer)
         return row
 
     def update(
-        self, rid: int, values: Sequence[Any], *, validated: bool = False
+        self,
+        rid: int,
+        values: Sequence[Any],
+        *,
+        validated: bool = False,
+        writer: int | None = None,
+        versioned: bool = True,
+        rekeyed: bool | None = None,
     ) -> tuple[Row, Row]:
-        """Replace the values of row ``rid``; returns ``(old, new)`` rows."""
+        """Replace the values of row ``rid``; returns ``(old, new)`` rows.
+
+        ``rekeyed`` lets a caller that already compared the old and new
+        index-key sets (the fine-granularity engine does, for locking)
+        pass the verdict down instead of paying the comparison twice.
+        """
         old = self.get(rid)
         canonical = (
             tuple(values) if validated else self.schema.validate_row(values)
@@ -218,9 +274,25 @@ class Table:
         for index in self._secondary:
             index.remove(rid, old.values)
             index.add(rid, canonical)
+        if versioned:
+            # Only key-changing updates leave a historic rid behind: a
+            # row whose index keys are unchanged stays reachable through
+            # the current buckets at every timestamp.
+            if rekeyed is None:
+                rekeyed = (
+                    self.index_keys(old.values) != self.index_keys(canonical)
+                )
+            self._chain_supersede(rid, writer, track_history=rekeyed)
+            self._chain_insert(rid, canonical, writer)
         return old, new
 
-    def delete(self, rid: int) -> Row:
+    def delete(
+        self,
+        rid: int,
+        *,
+        writer: int | None = None,
+        versioned: bool = True,
+    ) -> Row:
         """Remove row ``rid``; returns the deleted row."""
         old = self.get(rid)
         del self._rows[rid]
@@ -229,7 +301,161 @@ class Table:
             del self._pk_index[key]
         for index in self._secondary:
             index.remove(rid, old.values)
+        if versioned:
+            self._chain_supersede(rid, writer)
         return old
+
+    # -- version chains (MVCC) ------------------------------------------------------
+
+    def _chain_insert(self, rid: int, values: ValueTuple, writer: int | None) -> None:
+        """Append a new version for ``rid`` (pending when ``writer`` set)."""
+        version = RowVersion(values, created_by=writer)
+        if writer is None:
+            version.begin_ts = 0  # non-transactional: committed since t=0
+        else:
+            self._pending_created.setdefault(writer, []).append((rid, version))
+        chain = self._versions.setdefault(rid, [])
+        chain.append(version)
+        self._total_versions += 1
+        self._max_chain = max(self._max_chain, len(chain))
+
+    def _chain_supersede(
+        self, rid: int, writer: int | None, *, track_history: bool = True
+    ) -> None:
+        """Mark ``rid``'s live version as superseded by ``writer``.
+
+        ``track_history=False`` (in-place updates that change no index
+        key) skips the historic-rid set: the rid stays reachable through
+        every current index bucket, so snapshot lookups find its chain
+        without the history detour — keeping the set small is what keeps
+        snapshot index probes near-O(1).
+        """
+        chain = self._versions.get(rid)
+        if not chain:
+            return  # row predates versioning (restored without history)
+        for version in reversed(chain):
+            if version.end_ts is None and version.deleted_by is None:
+                if writer is None:
+                    version.end_ts = 0  # non-transactional: gone for all
+                else:
+                    version.deleted_by = writer
+                    self._pending_ended.setdefault(writer, []).append(
+                        (rid, version)
+                    )
+                break
+        if track_history:
+            self._history.add(rid)
+
+    def commit_versions(self, txn: int, commit_ts: int) -> None:
+        """Stamp every version ``txn`` created/superseded with ``commit_ts``."""
+        for _rid, version in self._pending_created.pop(txn, ()):
+            version.begin_ts = commit_ts
+        for _rid, version in self._pending_ended.pop(txn, ()):
+            version.end_ts = commit_ts
+            version.deleted_by = None
+
+    def abort_versions(self, txn: int) -> None:
+        """Discard ``txn``'s pending versions and unmark its supersedes.
+
+        Only the chains are touched; the physical row/index rollback is
+        the engine's undo log's job (it replays with ``versioned=False``).
+        """
+        for rid, version in self._pending_created.pop(txn, ()):
+            chain = self._versions.get(rid)
+            if chain is None:
+                continue
+            before = len(chain)
+            chain[:] = [v for v in chain if v is not version]
+            self._total_versions -= before - len(chain)
+            if not chain:
+                del self._versions[rid]
+        for _rid, version in self._pending_ended.pop(txn, ()):
+            if version.deleted_by == txn:
+                version.deleted_by = None
+
+    def version_read(self, rid: int, txn: int, read_ts: int) -> Row | None:
+        """The row version ``txn`` sees at ``read_ts``, or None if invisible."""
+        for version in reversed(self._versions.get(rid, ())):
+            if version.visible_to(txn, read_ts):
+                return Row(rid, version.values)
+        return None
+
+    def snapshot_rids(self) -> list[int]:
+        """Every rid a snapshot read may need to consider (live + historic)."""
+        return sorted(set(self._rows) | self._history)
+
+    def history_rids(self) -> frozenset[int]:
+        """Rids whose non-current versions may still be visible somewhere."""
+        return frozenset(self._history)
+
+    @property
+    def prune_floor(self) -> int:
+        """Snapshots older than this timestamp can no longer be served."""
+        return self._prune_floor
+
+    def pk_rid(self, key: tuple) -> int | None:
+        """The rid currently carrying primary key ``key`` (current state)."""
+        return self._pk_index.get(key)
+
+    def secondary_index(self, column_names: Sequence[str]) -> HashIndex | None:
+        wanted = tuple(column_names)
+        for index in self._secondary:
+            if index.column_names == wanted:
+                return index
+        return None
+
+    def prune_versions(self, horizon: int) -> int:
+        """Drop versions invisible to every snapshot at/after ``horizon``.
+
+        Returns the number of versions removed.  Callers must pass a
+        horizon no newer than the oldest active snapshot; once pruning
+        removed anything, older snapshots raise
+        :class:`~repro.errors.SnapshotTooOldError` on their next read.
+        """
+        removed = 0
+        longest = 0
+        for rid in list(self._versions):
+            chain = self._versions[rid]
+            keep = [
+                v for v in chain
+                if v.end_ts is None or v.end_ts > horizon
+            ]
+            removed += len(chain) - len(keep)
+            longest = max(longest, len(keep))
+            if keep:
+                self._versions[rid] = keep
+            else:
+                del self._versions[rid]
+            if rid in self._history:
+                live = [
+                    v for v in keep
+                    if v.end_ts is None and v.deleted_by is None
+                ]
+                if rid in self._rows and len(keep) == 1 and len(live) == 1:
+                    self._history.discard(rid)
+                elif not keep and rid not in self._rows:
+                    self._history.discard(rid)
+        self._total_versions -= removed
+        self._max_chain = longest  # watermark resets to exact after prune
+        if removed:
+            self._prune_floor = max(self._prune_floor, horizon)
+        return removed
+
+    def version_chains(self) -> dict[int, tuple[RowVersion, ...]]:
+        """A read-only view of every rid's version chain (oldest first)."""
+        return {rid: tuple(chain) for rid, chain in self._versions.items()}
+
+    def versions_of(self, rid: int) -> tuple[RowVersion, ...]:
+        """The version chain of one rid (oldest first; empty if none)."""
+        return tuple(self._versions.get(rid, ()))
+
+    def version_stats(self) -> tuple[int, int]:
+        """``(total versions, longest chain)`` — the MVCC footprint.
+
+        O(1): maintained incrementally.  The chain-length figure is a
+        high-watermark that resets to exact on every prune.
+        """
+        return self._total_versions, self._max_chain
 
     # -- whole-table helpers --------------------------------------------------------
 
@@ -239,6 +465,13 @@ class Table:
         self._pk_index.clear()
         for index in self._secondary:
             index.clear()
+        self._versions.clear()
+        self._history.clear()
+        self._pending_created.clear()
+        self._pending_ended.clear()
+        self._prune_floor = 0
+        self._total_versions = 0
+        self._max_chain = 0
 
     def snapshot(self) -> list[tuple[int, ValueTuple]]:
         """A deterministic, deep-enough copy of the table contents."""

@@ -39,6 +39,9 @@ class LogRecord:
 
     ``before``/``after`` carry the value tuples needed to undo/redo the
     operation; unused fields are None.  ``lsn`` is assigned by the log.
+    ``commit_ts`` is carried by COMMIT records of writing transactions:
+    restart recovery re-stamps the rebuilt version chains with it, so the
+    multi-version visibility order survives a crash exactly.
     """
 
     lsn: int
@@ -48,6 +51,7 @@ class LogRecord:
     rid: int | None = None
     before: ValueTuple | None = None
     after: ValueTuple | None = None
+    commit_ts: int | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         target = f" {self.table}#{self.rid}" if self.table else ""
@@ -72,11 +76,22 @@ class WriteAheadLog:
         rid: int | None = None,
         before: ValueTuple | None = None,
         after: ValueTuple | None = None,
+        commit_ts: int | None = None,
     ) -> LogRecord:
-        record = LogRecord(self._next_lsn, type, txn, table, rid, before, after)
+        record = LogRecord(
+            self._next_lsn, type, txn, table, rid, before, after, commit_ts
+        )
         self._records.append(record)
         self._next_lsn += 1
         return record
+
+    def commit_timestamps(self, durable_only: bool = True) -> dict[int, int]:
+        """``txn -> commit_ts`` for every (durable) stamped COMMIT record."""
+        return {
+            r.txn: r.commit_ts
+            for r in self.records(durable_only)
+            if r.type is LogRecordType.COMMIT and r.commit_ts is not None
+        }
 
     def flush(self, upto_lsn: int | None = None) -> None:
         """Force the log to stable storage up to ``upto_lsn`` (default all).

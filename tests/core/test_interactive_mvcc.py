@@ -1,0 +1,177 @@
+"""Interactive sessions mixing SNAPSHOT readers with 2PL writers.
+
+One broker, one ``match_round``: snapshot sessions ground their
+entangled queries lock-free against their begin-time snapshot while 2PL
+writer sessions hold X locks on the very rows being grounded; a
+cancelled query releases its snapshot so vacuum can reclaim versions.
+"""
+
+import pytest
+
+from repro.core.interactive import InteractiveBroker, SessionState
+from repro.storage import (
+    ColumnType,
+    StorageEngine,
+    TableSchema,
+    TxnIsolation,
+)
+
+
+@pytest.fixture
+def broker() -> InteractiveBroker:
+    store = StorageEngine()
+    store.create_table(TableSchema.build(
+        "Items", [("item", ColumnType.INTEGER)], primary_key=["item"]))
+    store.create_table(TableSchema.build(
+        "Picks", [("who", ColumnType.TEXT), ("item", ColumnType.INTEGER)]))
+    store.create_table(TableSchema.build(
+        "Stock", [("k", ColumnType.INTEGER), ("v", ColumnType.INTEGER)],
+        primary_key=["k"]))
+    store.load("Items", [(1,), (2,), (3,)])
+    store.load("Stock", [(1, 10)])
+    return InteractiveBroker(store)
+
+
+PICK = """
+    SELECT '{me}', item AS @item INTO ANSWER Pick
+    WHERE item IN (SELECT item FROM Items)
+    AND ('{friend}', item) IN ANSWER Pick
+    CHOOSE 1
+"""
+
+
+class TestMixedIsolationMatchRound:
+    def test_snapshot_readers_match_past_an_uncommitted_writer(self, broker):
+        writer = broker.open_session("walt")  # 2PL
+        writer.execute("INSERT INTO Items (item) VALUES (99)")  # X locks held
+        alice = broker.open_session(
+            "alice", isolation=TxnIsolation.SNAPSHOT)
+        bob = broker.open_session("bob", isolation=TxnIsolation.SNAPSHOT)
+        grants_before = broker.store.locks.stats["read_grants"]
+        alice.execute(PICK.format(me="alice", friend="bob"))
+        bob.execute(PICK.format(me="bob", friend="alice"))
+        # Both ground lock-free on their snapshots and entangle — the
+        # writer's X locks on Items are simply never encountered.
+        assert broker.match_round() == 2
+        assert broker.store.locks.stats["read_grants"] == grants_before
+        assert alice.env["@item"] == bob.env["@item"]
+        # Neither saw the uncommitted insert.
+        assert alice.env["@item"] in (1, 2, 3)
+        assert writer.commit()
+
+    def test_2pl_readers_block_where_snapshot_readers_proceed(self, broker):
+        writer = broker.open_session("walt")
+        writer.execute("INSERT INTO Items (item) VALUES (99)")
+        alice = broker.open_session("alice")  # 2PL readers
+        bob = broker.open_session("bob")
+        alice.execute(PICK.format(me="alice", friend="bob"))
+        bob.execute(PICK.format(me="bob", friend="alice"))
+        # Grounding needs an Items scan: table S conflicts with the
+        # writer's IX, so the round answers nobody.
+        assert broker.match_round() == 0
+        assert alice.waiting and bob.waiting
+        assert writer.commit()
+        assert broker.match_round() == 2
+        # Committed by now: the late readers see the new item too.
+        assert alice.env["@item"] in (1, 2, 3, 99)
+
+    def test_snapshot_and_2pl_partners_entangle_together(self, broker):
+        # A snapshot reader can entangle with a 2PL partner in one round.
+        alice = broker.open_session(
+            "alice", isolation=TxnIsolation.SNAPSHOT)
+        bob = broker.open_session("bob")  # 2PL
+        alice.execute(PICK.format(me="alice", friend="bob"))
+        bob.execute(PICK.format(me="bob", friend="alice"))
+        assert broker.match_round() == 2
+        assert alice.env["@item"] == bob.env["@item"]
+        # Widow prevention spans the isolation modes: group commit.
+        assert alice.commit() is False  # waits for bob
+        assert bob.commit() is True
+        assert alice.state is SessionState.COMMITTED
+
+
+class TestCancelReleasesSnapshot:
+    def test_cancelled_query_unpins_vacuum_and_sees_fresh_data(self, broker):
+        store = broker.store
+        reader = broker.open_session(
+            "reader", isolation=TxnIsolation.SNAPSHOT)
+        reader.execute(PICK.format(me="reader", friend="nobody"))
+        assert broker.match_round() == 0  # no partner: keeps waiting
+
+        writer = broker.open_session("writer")
+        writer.execute("UPDATE Stock SET v = 20 WHERE k = 1")
+        assert writer.commit()
+
+        # The waiting snapshot pins the old Stock version.
+        assert store.vacuum() == 0
+        reader.cancel()
+        assert not reader.waiting
+        # Cancelling released the snapshot: the dead version is
+        # reclaimable and the session now reads the committed present.
+        assert store.vacuum() == 1
+        result = reader.execute("SELECT v AS @v FROM Stock WHERE k = 1")
+        assert result.rows == [(20,)]
+        assert reader.env["@v"] == 20
+        assert reader.commit()
+
+    def test_restart_with_prior_reads_aborts_instead_of_livelocking(
+        self, broker
+    ):
+        """A pruned waiter whose snapshot cannot be refreshed (it already
+        read data) must abort, not re-raise the same error every round."""
+        store = broker.store
+        alice = broker.open_session(
+            "alice", isolation=TxnIsolation.SNAPSHOT)
+        alice.execute("SELECT item AS @i FROM Items WHERE item = 1")
+        alice.execute(PICK.format(me="alice", friend="bob"))
+        writer = broker.open_session("writer")
+        writer.execute("DELETE FROM Items WHERE item = 3")
+        assert writer.commit()
+        store.vacuum(horizon=store._last_commit_ts)  # past alice's snapshot
+        bob = broker.open_session("bob", isolation=TxnIsolation.SNAPSHOT)
+        bob.execute(PICK.format(me="bob", friend="alice"))
+        broker.match_round()  # alice's grounding raises SnapshotTooOld
+        assert alice.state is SessionState.ABORTED
+
+    def test_restart_on_clean_waiter_refreshes_and_retries(self, broker):
+        """A pruned waiter that observed nothing is silently
+        re-snapshotted and answered in a later round."""
+        store = broker.store
+        alice = broker.open_session(
+            "alice", isolation=TxnIsolation.SNAPSHOT)
+        alice.execute(PICK.format(me="alice", friend="bob"))
+        writer = broker.open_session("writer")
+        writer.execute("DELETE FROM Items WHERE item = 3")
+        assert writer.commit()
+        store.vacuum(horizon=store._last_commit_ts)
+        bob = broker.open_session("bob", isolation=TxnIsolation.SNAPSHOT)
+        bob.execute(PICK.format(me="bob", friend="alice"))
+        broker.match_round()  # alice restarts on a fresh snapshot
+        assert alice.waiting
+        # bob was answered EMPTY in the restart round (its partner could
+        # not ground); re-issue the pick so the pair can meet again.
+        if not bob.waiting:
+            bob.execute(PICK.format(me="bob", friend="alice"))
+        assert broker.match_round() == 2
+        assert alice.env["@item"] == bob.env["@item"]
+        # The delivered answer pins the refreshed snapshot.
+        assert store.refresh_snapshot(alice.storage_txn) is False
+
+    def test_cancel_after_reads_keeps_the_snapshot(self, broker):
+        store = broker.store
+        reader = broker.open_session(
+            "reader", isolation=TxnIsolation.SNAPSHOT)
+        reader.execute("SELECT v AS @v FROM Stock WHERE k = 1")  # reads!
+        reader.execute(PICK.format(me="reader", friend="nobody"))
+        broker.match_round()
+
+        writer = broker.open_session("writer")
+        writer.execute("UPDATE Stock SET v = 20 WHERE k = 1")
+        assert writer.commit()
+
+        reader.cancel()
+        # The session already observed the old state: repeatability wins
+        # over freshness, the snapshot stays.
+        assert store.vacuum() == 0
+        result = reader.execute("SELECT v AS @v2 FROM Stock WHERE k = 1")
+        assert result.rows == [(10,)]

@@ -1,0 +1,189 @@
+"""Model-level snapshot isolation: version-annotated reads, SI cycles.
+
+Covers the multiversion extension of the conflict machinery: reads that
+carry ``reads_from`` produce wr/rw version edges instead of positional
+edges, the executor serves them the annotated creator's value, and
+``IsolationLevel.SNAPSHOT`` admits exactly the write-skew-shaped cycles.
+"""
+
+from repro.model.conflicts import (
+    conflict_edges,
+    conflict_graph,
+    find_non_si_cycles,
+    has_cycle,
+)
+from repro.model.executor import execute_schedule
+from repro.model.isolation import (
+    IsolationLevel,
+    Requirement,
+    check_isolation,
+)
+from repro.model.ops import C, A, R, RQ, W
+from repro.model.quasi import expand_quasi_reads
+from repro.model.schedule import Schedule
+from repro.model.serializability import find_serialization_order
+
+
+def write_skew() -> Schedule:
+    """R1(A@0) W1(B) R2(B@0) W2(A) C1 C2 — the canonical SI anomaly.
+
+    Positionally R2(B) follows W1(B), but the annotation says T2 read
+    the *initial* version — the snapshot semantics.
+    """
+    return Schedule((
+        R(1, "A", reads_from=0),
+        W(1, "B"),
+        R(2, "B", reads_from=0),
+        W(2, "A"),
+        C(1),
+        C(2),
+    ))
+
+
+class TestVersionEdges:
+    def test_annotated_read_produces_rw_not_wr(self):
+        sched = write_skew()
+        edges = {(e.src, e.dst, e.obj) for e in conflict_edges(sched)}
+        # T2 read B's initial version: antidependency T2 -> T1, no wr.
+        assert (2, 1, "B") in edges
+        assert (1, 2, "B") not in edges
+        # Symmetrically for A.
+        assert (1, 2, "A") in edges
+
+    def test_write_skew_is_a_cycle(self):
+        assert has_cycle(write_skew())
+
+    def test_wr_edge_from_annotated_creator(self):
+        sched = Schedule((
+            W(1, "x"), C(1),
+            R(2, "x", reads_from=1), W(2, "y"), C(2),
+        ))
+        edges = {(e.src, e.dst, e.obj) for e in conflict_edges(sched)}
+        assert (1, 2, "x") in edges
+        assert not has_cycle(sched)
+
+    def test_read_own_write_annotation_produces_no_self_edges(self):
+        sched = Schedule((
+            W(1, "x"), R(1, "x", reads_from=1), C(1),
+        ))
+        graph = conflict_graph(sched)
+        assert list(graph.edges) == []
+
+    def test_unannotated_schedules_keep_positional_semantics(self):
+        sched = Schedule((R(1, "x"), W(2, "x"), C(1), C(2)))
+        edges = {(e.src, e.dst) for e in conflict_edges(sched)}
+        assert edges == {(1, 2)}
+
+    def test_rw_edge_anchors_at_snapshot_not_reader_commit(self):
+        # T2 commits between T1's snapshot (initial) and T1's commit.
+        # T1 also writes x itself; the annotation stays the *snapshot*
+        # creator (0), so the antidependency T1 -> T2 must survive even
+        # though T2's commit precedes T1's.
+        sched = Schedule((
+            W(2, "x"), C(2),
+            W(1, "x"), R(1, "x", reads_from=0), C(1),
+        ))
+        edges = {(e.src, e.dst, e.obj) for e in conflict_edges(sched)}
+        assert (1, 2, "x") in edges
+        # Read-your-writes: the executor still observes T1's own value.
+        result = execute_schedule(sched, initial_db={"x": 5})
+        [read] = [o for o in result.observations[1] if o[0] == "R"]
+        [(_, _, own_value)] = [
+            o for o in result.observations[1] if o[0] == "W"
+        ]
+        assert read == ("R", "x", own_value)
+
+
+class TestSICycleClassification:
+    def test_write_skew_cycle_is_si_permitted(self):
+        assert find_non_si_cycles(write_skew()) == []
+
+    def test_ww_edges_follow_commit_order_in_multiversion_schedules(self):
+        # W1(A) W2(A) with T2 committing first: at table granularity the
+        # version order is the commit order (T2 then T1), so there is no
+        # ww T1 -> T2 edge and this SI-legal history must not be flagged.
+        sched = Schedule((
+            W(1, "A"), W(2, "A"), C(2),
+            R(3, "A", reads_from=2), C(3), C(1),
+        ))
+        edges = {(e.src, e.dst, e.obj) for e in conflict_edges(sched)}
+        assert (2, 1, "A") in edges
+        assert (1, 2, "A") not in edges
+        assert find_non_si_cycles(sched) == []
+
+    def test_pure_ww_cycle_is_not_si_permitted(self):
+        sched = Schedule((
+            W(1, "x"), W(2, "x"),
+            W(2, "y"), W(1, "y"),
+            C(1), C(2),
+        ))
+        assert find_non_si_cycles(sched) != []
+
+    def test_isolation_levels_disagree_on_write_skew(self):
+        sched = write_skew()
+        assert not check_isolation(sched, IsolationLevel.FULL_ENTANGLED).ok
+        assert check_isolation(sched, IsolationLevel.SNAPSHOT).ok
+
+    def test_snapshot_level_rejects_ww_cycle(self):
+        sched = Schedule((
+            W(1, "x"), W(2, "x"),
+            W(2, "y"), W(1, "y"),
+            C(1), C(2),
+        ))
+        check = check_isolation(sched, IsolationLevel.SNAPSHOT)
+        assert not check.ok
+
+    def test_snapshot_level_keeps_widow_requirement(self):
+        assert Requirement.NO_WIDOWS in IsolationLevel.SNAPSHOT.requirements
+
+
+class TestExecutorVersionReads:
+    def test_annotated_read_observes_creator_value(self):
+        sched = Schedule((
+            W(1, "x"), C(1),
+            W(2, "x"), C(2),
+            R(3, "x", reads_from=1), C(3),
+        ))
+        result = execute_schedule(sched)
+        [(_, _, w1_value)] = [
+            o for o in result.observations[1] if o[0] == "W"
+        ]
+        [read] = [o for o in result.observations[3] if o[0] == "R"]
+        assert read == ("R", "x", w1_value)
+
+    def test_initial_version_read_observes_initial_db(self):
+        sched = Schedule((
+            W(1, "x"), C(1),
+            R(2, "x", reads_from=0), C(2),
+        ))
+        result = execute_schedule(sched, initial_db={"x": 42})
+        [read] = [o for o in result.observations[2] if o[0] == "R"]
+        assert read == ("R", "x", 42)
+
+    def test_aborted_creator_versions_are_forgotten(self):
+        # Defensive: after A1, a (bogus) annotated read of T1's version
+        # falls back to the initial value rather than aborted data.
+        sched = Schedule((
+            W(1, "x"), A(1),
+            R(2, "x", reads_from=1), C(2),
+        ))
+        result = execute_schedule(sched, initial_db={"x": 7})
+        [read] = [o for o in result.observations[2] if o[0] == "R"]
+        assert read == ("R", "x", 7)
+
+    def test_write_skew_is_not_serializable(self):
+        assert not find_serialization_order(write_skew()).serializable
+
+
+class TestQuasiReadAnnotationPropagation:
+    def test_expansion_carries_reads_from(self):
+        from repro.model.ops import E, RG
+
+        sched = Schedule((
+            RG(1, "x", reads_from=0),
+            E(1, 1, 2),
+            C(1), C(2),
+        ))
+        expanded = expand_quasi_reads(sched)
+        quasi = [op for op in expanded.ops if op == RQ(2, "x", reads_from=0)]
+        assert len(quasi) == 1

@@ -16,6 +16,29 @@ class TestVirtualClock:
         with pytest.raises(ValueError):
             VirtualClock().advance(-1)
 
+    def test_advance_negative_float_rejected(self):
+        clock = VirtualClock(now=7.0)
+        with pytest.raises(ValueError):
+            clock.advance(-0.001)
+        assert clock.now == 7.0  # rejected advances leave time untouched
+
+    def test_advance_non_finite_rejected(self):
+        # NaN compares false against everything: without the explicit
+        # guard it slips past `seconds < 0`, poisons `now`, and every
+        # later timeout comparison silently fails.
+        clock = VirtualClock(now=3.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                clock.advance(bad)
+        assert clock.now == 3.0
+
+    def test_advance_to_non_finite_rejected(self):
+        clock = VirtualClock(now=3.0)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                clock.advance_to(bad)
+        assert clock.now == 3.0
+
     def test_advance_to_monotone(self):
         clock = VirtualClock(now=10.0)
         clock.advance_to(5.0)
