@@ -40,7 +40,12 @@ from repro.core.policies import ArrivalCountPolicy, ManualPolicy, RunPolicy
 from repro.core.recorder import ScheduleRecorder
 from repro.core.transaction import EntangledTransaction, TxnPhase
 from repro.entangled.evaluator import QueryOutcome, evaluate_batch
-from repro.errors import EngineError, MiddlewareError, SafetyViolationError
+from repro.errors import (
+    EngineError,
+    MiddlewareError,
+    SafetyViolationError,
+    SerializationFailureError,
+)
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.resources import ConnectionPool
@@ -81,12 +86,19 @@ class IsolationConfig(enum.Enum):
         first-updater-wins conflict detection.  Group commit is retained,
         so widows stay impossible; write skew becomes the one admitted
         anomaly (observable via the recorded model schedules).
+    SERIALIZABLE — SSI: snapshot reads exactly as SNAPSHOT (still
+        lock-free), with the storage engine's rw-antidependency tracker
+        aborting the pivot of any would-be dangerous structure at
+        commit.  The abort surfaces as a retry (like a write conflict),
+        so committed histories are fully serializable and write skew is
+        closed — without reintroducing read locks.
     """
 
     FULL = "full"
     NO_GROUP_COMMIT = "no-group-commit"
     LOOSE_READS = "loose-reads"
     SNAPSHOT = "snapshot"
+    SERIALIZABLE = "serializable"
 
     @property
     def group_commit(self) -> bool:
@@ -98,7 +110,7 @@ class IsolationConfig(enum.Enum):
 
     @property
     def snapshot_reads(self) -> bool:
-        return self is IsolationConfig.SNAPSHOT
+        return self in (IsolationConfig.SNAPSHOT, IsolationConfig.SERIALIZABLE)
 
 
 @dataclass
@@ -146,6 +158,12 @@ class RunReport:
     write_conflicts: int = 0
     read_restarts: int = 0
     max_version_chain: int = 0
+    #: SSI deltas for this run: attempts aborted by serialization
+    #: failures (``ssi_aborts``), of which ``pivot_aborts`` were the
+    #: dangerous structure's pivot itself (the rest were conservative —
+    #: the pivot had already committed).
+    ssi_aborts: int = 0
+    pivot_aborts: int = 0
 
 
 class EntangledTransactionEngine:
@@ -287,11 +305,11 @@ class EntangledTransactionEngine:
     @property
     def _storage_isolation(self) -> TxnIsolation:
         """The storage-level isolation user transactions run under."""
-        return (
-            TxnIsolation.SNAPSHOT
-            if self.config.isolation.snapshot_reads
-            else TxnIsolation.TWO_PL
-        )
+        if self.config.isolation is IsolationConfig.SERIALIZABLE:
+            return TxnIsolation.SERIALIZABLE
+        if self.config.isolation.snapshot_reads:
+            return TxnIsolation.SNAPSHOT
+        return TxnIsolation.TWO_PL
 
     def tick(self) -> RunReport | None:
         """Start a run if the policy wants one; returns its report."""
@@ -311,6 +329,7 @@ class EntangledTransactionEngine:
         report = RunReport(index=self._run_index)
         self.policy.on_run_started(self.clock.now)
         lock_stats_before = dict(self.store.locks.stats)
+        ssi_stats_before = dict(self.store.ssi.stats)
 
         pool = ConnectionPool(self.config.connections)
         cost_tap = (
@@ -375,6 +394,11 @@ class EntangledTransactionEngine:
                     self._abort_attempt(
                         txn, retry=True, report=report,
                         reason="snapshot pruned; restart on a fresh one")
+                elif outcome is StepOutcome.SERIALIZATION_FAILURE:
+                    self._abort_attempt(
+                        txn, retry=True, report=report,
+                        reason="serialization failure (SSI dangerous "
+                               "structure)")
                 elif outcome is StepOutcome.ROLLED_BACK:
                     self._abort_attempt(
                         txn, retry=False, report=report,
@@ -430,6 +454,17 @@ class EntangledTransactionEngine:
             lock_stats["acquired"] - lock_stats_before["acquired"]
         )
         report.max_version_chain = self.store.version_stats()["max_chain"]
+        # Commit-time SSI failures come from the tracker's stat deltas;
+        # pre-commit group-validation aborts were already added to
+        # ``report.ssi_aborts`` by the commit phase.
+        ssi_stats = self.store.ssi.stats
+        report.pivot_aborts = (
+            ssi_stats["pivot_aborts"] - ssi_stats_before["pivot_aborts"]
+        )
+        report.ssi_aborts += report.pivot_aborts + (
+            ssi_stats["conservative_aborts"]
+            - ssi_stats_before["conservative_aborts"]
+        )
 
         # Advance the virtual clock by this run's elapsed time.
         if self.config.costs is not None:
@@ -543,10 +578,7 @@ class EntangledTransactionEngine:
                 if self.config.autocommit:
                     # Non-transactional: the grounding locks are released
                     # immediately; the next statement gets a fresh txn.
-                    self.store.commit(txn.storage_txn)
-                    txn.storage_txn = self.store.begin(
-                        isolation=self._storage_isolation
-                    )
+                    self._autocommit_statement(txn, report)
             elif outcome is QueryOutcome.EMPTY:
                 if self.config.empty_answer is EmptyAnswerPolicy.PROCEED:
                     if self.recorder is not None:
@@ -556,10 +588,7 @@ class EntangledTransactionEngine:
                     deliver_answer(txn, None)
                     answered += 1
                     if self.config.autocommit:
-                        self.store.commit(txn.storage_txn)
-                        txn.storage_txn = self.store.begin(
-                            isolation=self._storage_isolation
-                        )
+                        self._autocommit_statement(txn, report)
             elif outcome is QueryOutcome.UNSAFE:
                 self._abort_attempt(txn, retry=False, report=report,
                                     reason="safety violation")
@@ -578,6 +607,24 @@ class EntangledTransactionEngine:
                                     reason="snapshot pruned (grounding)")
             # WAIT: stays blocked; retried next round/run.
         return answered, eval_time
+
+    def _autocommit_statement(
+        self, txn: EntangledTransaction, report: RunReport
+    ) -> None:
+        """Commit one autocommit statement's storage txn, begin the next.
+
+        An SSI rejection here aborts and retries the whole attempt, as
+        for any other serialization failure.
+        """
+        try:
+            self.store.commit(txn.storage_txn)
+        except SerializationFailureError:
+            txn.stats.ssi_aborts += 1
+            self._abort_attempt(
+                txn, retry=True, report=report,
+                reason="serialization failure (SSI dangerous structure)")
+            return
+        txn.storage_txn = self.store.begin(isolation=self._storage_isolation)
 
     def _record_entanglements(self, answered, result) -> None:
         """Update group state (and the model schedule) for this round.
@@ -642,29 +689,56 @@ class EntangledTransactionEngine:
         in_run = {t.handle for t in batch}
         ready = [t for t in batch if t.phase is TxnPhase.READY_TO_COMMIT]
 
-        if self.config.autocommit:
-            # Everything already committed statement by statement; the
-            # trailing (empty) storage transaction just needs closing.
-            commit_set = list(ready)
-        elif self.config.isolation.group_commit:
-            committable: list[EntangledTransaction] = []
+        if self.config.autocommit or not self.config.isolation.group_commit:
+            # No groups to widow: SSI failures surface from the commit
+            # itself and are retried there (autocommit's trailing storage
+            # transaction is empty and trivially clean).
             for txn in ready:
+                self._commit_transaction(txn, report)
+        else:
+            # Commit group by group, SSI-validating each group
+            # *atomically* first: committing members one by one and
+            # failing midway would leave the earlier ones durably
+            # committed while the rest abort — a widowed group.  The
+            # validation simulates the in-order commits (including the
+            # edges the group's own earlier members create) against the
+            # tracker state left by the groups already committed here.
+            emitted: set[int] = set()
+            for txn in ready:
+                if txn.handle in emitted:
+                    continue
                 group = self.groups.group_of(txn.handle)
                 members = [
-                    self.transaction(h) for h in group if h in in_run
+                    self.transaction(h) for h in sorted(group) if h in in_run
                 ]
                 # Every group member must be ready; members outside the
                 # run (should not happen — groups form within runs) block
                 # the commit conservatively.
-                if all(m.phase is TxnPhase.READY_TO_COMMIT for m in members) and \
-                        group <= in_run:
-                    committable.append(txn)
-            commit_set = committable
-        else:
-            commit_set = list(ready)
-
-        for txn in commit_set:
-            self._commit_transaction(txn, report)
+                if not (
+                    all(m.phase is TxnPhase.READY_TO_COMMIT for m in members)
+                    and group <= in_run
+                ):
+                    continue
+                emitted.update(m.handle for m in members)
+                storage_txns = [
+                    m.storage_txn for m in members if m.storage_txn is not None
+                ]
+                # A group of one cannot widow: let its commit raise (and
+                # classify the failure) directly.  Larger groups are
+                # validated atomically first.
+                if len(members) > 1 and self.store.serialization_doomed_group(
+                    storage_txns
+                ):
+                    for member in members:
+                        member.stats.ssi_aborts += 1
+                        report.ssi_aborts += 1
+                        self._abort_attempt(
+                            member, retry=True, report=report,
+                            reason="serialization failure (SSI pre-commit "
+                                   "group validation)")
+                    continue
+                for member in members:
+                    self._commit_transaction(member, report)
 
         for txn in batch:
             if txn.phase in (TxnPhase.COMMITTED, TxnPhase.ABORTED,
@@ -709,7 +783,16 @@ class EntangledTransactionEngine:
                 lambda row: row.values[index] == handle,
                 where=Cmp(CmpOp.EQ, Col("handle"), Const(handle)),
             )
-        self.store.commit(txn.storage_txn)
+        try:
+            self.store.commit(txn.storage_txn)
+        except SerializationFailureError:
+            # SSI rejected the commit: the attempt aborts and retries,
+            # exactly like a write conflict discovered one step earlier.
+            txn.stats.ssi_aborts += 1
+            self._abort_attempt(
+                txn, retry=True, report=report,
+                reason="serialization failure (SSI dangerous structure)")
+            return
         if self.recorder is not None:
             self.recorder.on_commit(txn.storage_txn)
         txn.mark_committed()

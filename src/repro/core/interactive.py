@@ -34,7 +34,11 @@ from typing import Any
 from repro.core.groups import GroupTracker
 from repro.entangled.answers import QueryAnswer
 from repro.entangled.evaluator import QueryOutcome, evaluate_batch
-from repro.errors import EngineError, MiddlewareError
+from repro.errors import (
+    EngineError,
+    MiddlewareError,
+    SerializationFailureError,
+)
 from repro.sql.ast import EntangledSelectStmt, SelectStmt, Statement
 from repro.sql.compiler import compile_entangled, compile_select
 from repro.sql.parser import parse_statement
@@ -299,14 +303,35 @@ class InteractiveBroker:
         self._waiting.pop(session.session_id, None)
 
     def _try_group_commit(self, session: InteractiveSession) -> None:
-        """Commit the whole group once every member requested commit."""
+        """Commit the whole group once every member requested commit.
+
+        SSI validation runs first, on the group *as one atomic unit*
+        (edges the group's own earlier commits would create included):
+        a group any member of which would fail aborts whole, before any
+        member commits — keeping widows impossible.  The per-commit
+        guard below is a defense-in-depth net for failures the
+        simulation could not foresee.
+        """
         group = self.groups.group_of(session.session_id)
         members = [self._sessions[sid] for sid in sorted(group)
                    if sid in self._sessions]
         if not all(m.state is SessionState.COMMIT_PENDING for m in members):
             return
+        # A group of one cannot widow; larger groups are validated as a
+        # unit so no member commits ahead of a failure.
+        if len(members) > 1 and self.store.serialization_doomed_group(
+            [m.storage_txn for m in members]
+        ):
+            # Aborting one member cascades to the whole group; surface
+            # the failure as ABORTED sessions the clients can retry.
+            members[0].abort()
+            return
         for member in members:
-            self.store.commit(member.storage_txn)
+            try:
+                self.store.commit(member.storage_txn)
+            except SerializationFailureError:
+                member.abort()
+                return
             member.state = SessionState.COMMITTED
         for member in members:
             self.groups.forget(member.session_id)

@@ -23,6 +23,7 @@ from repro.errors import (
     DeadlockError,
     EngineError,
     ReproError,
+    SerializationFailureError,
     SnapshotTooOldError,
     StorageError,
     TransactionAborted,
@@ -61,6 +62,8 @@ class StepOutcome(enum.Enum):
     WRITE_CONFLICT = "write-conflict"
     #: the transaction's snapshot was pruned; restart on a fresh one.
     SNAPSHOT_RESTART = "snapshot-restart"
+    #: SSI aborted a SERIALIZABLE commit (dangerous structure); retry.
+    SERIALIZATION_FAILURE = "serialization-failure"
     COMPLETED = "completed"
 
 
@@ -129,6 +132,9 @@ def run_until_block(
         except SnapshotTooOldError:
             txn.stats.read_restarts += 1
             return StepOutcome.SNAPSHOT_RESTART
+        except SerializationFailureError:
+            txn.stats.ssi_aborts += 1
+            return StepOutcome.SERIALIZATION_FAILURE
         except TransactionAborted as exc:
             txn.abort_reason = exc.reason
             return StepOutcome.ROLLED_BACK
@@ -141,7 +147,11 @@ def run_until_block(
         txn.pc += 1
         txn.stats.statements_executed += 1
         if autocommit:
-            store.commit(txn.storage_txn)
+            try:
+                store.commit(txn.storage_txn)
+            except SerializationFailureError:
+                txn.stats.ssi_aborts += 1
+                return StepOutcome.SERIALIZATION_FAILURE
             txn.storage_txn = store.begin(
                 isolation=store.isolation_of(txn.storage_txn)
             )

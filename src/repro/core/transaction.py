@@ -59,6 +59,8 @@ class TxnStats:
     write_conflicts: int = 0
     #: attempts restarted because the snapshot was pruned mid-flight.
     read_restarts: int = 0
+    #: SERIALIZABLE attempts aborted by SSI (dangerous-structure pivots).
+    ssi_aborts: int = 0
 
 
 @dataclass

@@ -79,6 +79,23 @@ class SnapshotTooOldError(StorageError):
     fresh snapshot."""
 
 
+class SerializationFailureError(StorageError):
+    """SSI: committing this SERIALIZABLE transaction could complete a
+    dangerous structure — two consecutive rw antidependencies through a
+    pivot — so the transaction is aborted to keep the committed history
+    serializable.  The middle tier retries it like a write conflict.
+
+    Attributes:
+        pivot: True when the aborted transaction is itself the pivot;
+            False when it was aborted conservatively because the pivot
+            had already committed and could no longer be chosen.
+    """
+
+    def __init__(self, message: str, *, pivot: bool = True):
+        super().__init__(message)
+        self.pivot = pivot
+
+
 class WALError(StorageError):
     """The write-ahead log was used incorrectly or is corrupt."""
 

@@ -15,6 +15,7 @@ from repro.model.anomalies import (
     find_dirty_reads,
     find_non_si_conflict_cycles,
     find_read_from_aborted,
+    find_serializability_violations,
     find_unrepeatable_quasi_reads,
     find_unrepeatable_reads,
     find_widowed_transactions,
@@ -102,6 +103,7 @@ __all__ = [
     "find_cycle",
     "find_dirty_reads",
     "find_read_from_aborted",
+    "find_serializability_violations",
     "find_serialization_order",
     "find_unrepeatable_quasi_reads",
     "find_unrepeatable_reads",

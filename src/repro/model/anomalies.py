@@ -45,6 +45,10 @@ class AnomalyKind(enum.Enum):
     #: impossible under snapshot isolation (write skew *does* carry the
     #: consecutive pair and is therefore not reported as this kind).
     NON_SI_CONFLICT_CYCLE = "non-si-conflict-cycle"
+    #: no serial order of the committed transactions reproduces the
+    #: schedule's outcome — the full oracle-serializability bar
+    #: (Definition C.7) that runtime SSI histories are held to.
+    NON_SERIALIZABLE = "non-serializable"
 
 
 @dataclass(frozen=True)
@@ -261,6 +265,33 @@ def find_non_si_conflict_cycles(schedule: Schedule) -> list[Anomaly]:
             detail=f"cycle {cycle} lacks consecutive rw antidependencies",
         )
         for cycle in find_non_si_cycles(schedule)
+    ]
+
+
+def find_serializability_violations(schedule: Schedule) -> list[Anomaly]:
+    """Oracle-serializability violations (Definition C.7), as anomalies.
+
+    Runs the full serializability search — not just the conflict-graph
+    cycle check — so multiversion subtleties the graph abstraction could
+    blur (e.g. the read-only SI anomaly) are caught by re-execution.
+    This is the bar ``IsolationLevel.SERIALIZABLE`` holds runtime-SSI
+    histories to: the model oracle and the engine's rw-antidependency
+    tracker must agree on what "serializable" means.
+    """
+    from repro.model.serializability import find_serialization_order
+
+    result = find_serialization_order(schedule)
+    if result.serializable:
+        return []
+    return [
+        Anomaly(
+            AnomalyKind.NON_SERIALIZABLE,
+            tuple(sorted(schedule.committed())),
+            detail=(
+                f"no serial order matches the schedule outcome "
+                f"({result.tried_orders} orders tried)"
+            ),
+        )
     ]
 
 

@@ -23,6 +23,7 @@ from repro.model.anomalies import (
     find_conflict_cycles,
     find_non_si_conflict_cycles,
     find_read_from_aborted,
+    find_serializability_violations,
     find_widowed_transactions,
 )
 from repro.model.quasi import expand_quasi_reads, has_explicit_quasi_reads
@@ -38,6 +39,11 @@ class Requirement(enum.Enum):
     #: dangerous structure of write skew); every other cycle — ww/wr
     #: cycles, lost updates — remains forbidden.
     NO_NON_SI_CYCLES = "C.2-SI: only write-skew-shaped conflict cycles"
+    #: C.2 strengthened to the full oracle bar: beyond an acyclic
+    #: (multiversion) conflict graph, some serial order must reproduce
+    #: the schedule's outcome (Definition C.7).  This is the requirement
+    #: runtime SSI histories are checked against.
+    ORACLE_SERIALIZABLE = "C.7: oracle-serializable outcome"
 
 
 class IsolationLevel(enum.Enum):
@@ -52,6 +58,16 @@ class IsolationLevel(enum.Enum):
     admitted) while every cycle MVCC's first-updater-wins and snapshot
     visibility rule out stays forbidden — and widows stay impossible,
     because the engine retains group commit under snapshot reads.
+    SERIALIZABLE closes the gap SNAPSHOT opens: snapshot reads with *no*
+    admitted cycle at all, plus the full oracle bar — some serial order
+    must reproduce the schedule's outcome (Definition C.7).  Runtime SSI
+    (``TxnIsolation.SERIALIZABLE``) is held to this level: its pivot
+    aborts must leave nothing the oracle rejects.  The positional C.3
+    detector is deliberately omitted, exactly as the 2PL fuzz arm omits
+    it: SSI retries aborted attempts, and a retry that overwrites and
+    re-reads what its own rolled-back predecessor wrote trips the
+    (deliberately conservative) positional rule without any real
+    anomaly — see ``find_read_from_aborted``.
     MINIMAL keeps only the read-from-aborted prohibition.
     """
 
@@ -66,6 +82,10 @@ class IsolationLevel(enum.Enum):
     )
     SNAPSHOT = frozenset(
         {Requirement.NO_NON_SI_CYCLES, Requirement.NO_READ_FROM_ABORTED,
+         Requirement.NO_WIDOWS}
+    )
+    SERIALIZABLE = frozenset(
+        {Requirement.NO_CYCLES, Requirement.ORACLE_SERIALIZABLE,
          Requirement.NO_WIDOWS}
     )
     MINIMAL = frozenset({Requirement.NO_READ_FROM_ABORTED})
@@ -101,6 +121,8 @@ def check_isolation(
         check.violations.extend(find_conflict_cycles(expanded))
     if Requirement.NO_NON_SI_CYCLES in level.requirements:
         check.violations.extend(find_non_si_conflict_cycles(expanded))
+    if Requirement.ORACLE_SERIALIZABLE in level.requirements:
+        check.violations.extend(find_serializability_violations(expanded))
     if Requirement.NO_READ_FROM_ABORTED in level.requirements:
         check.violations.extend(find_read_from_aborted(expanded))
     if Requirement.NO_WIDOWS in level.requirements:

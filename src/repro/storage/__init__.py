@@ -56,6 +56,13 @@ timestamps ride on WAL COMMIT records, so restart recovery rebuilds the
 chains exactly; ``StorageEngine.vacuum`` prunes versions below the
 oldest active snapshot.
 
+``TxnIsolation.SERIALIZABLE`` layers SSI on top: reads stay exactly the
+lock-free snapshot protocol, while :class:`~repro.storage.ssi.SSITracker`
+records read/write sets at the same row/index-key/table granularity as
+the lock manager and aborts the pivot of any would-be dangerous
+structure at commit (:class:`~repro.errors.SerializationFailureError`),
+so committed histories are serializable without read locks.
+
 Read-observer contract
 ----------------------
 
@@ -114,6 +121,7 @@ from repro.storage.query import (
 from repro.storage.recovery import RecoveryReport, recover
 from repro.storage.row import Row, RowId, RowVersion
 from repro.storage.snapshot import SnapshotDatabase, SnapshotView
+from repro.storage.ssi import SSITracker
 from repro.storage.schema import Column, TableSchema
 from repro.storage.table import HashIndex, Table
 from repro.storage.types import ColumnType, SQLValue, coerce, infer_type, parse_date
@@ -150,6 +158,7 @@ __all__ = [
     "RowVersion",
     "SPJQuery",
     "SQLValue",
+    "SSITracker",
     "SnapshotDatabase",
     "SnapshotView",
     "StorageEngine",

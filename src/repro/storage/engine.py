@@ -79,6 +79,7 @@ from repro.storage.query import (
 from repro.storage.row import Row, RowId, ValueTuple
 from repro.storage.schema import TableSchema
 from repro.storage.snapshot import SnapshotDatabase
+from repro.storage.ssi import SSITracker
 from repro.storage.types import SQLValue
 from repro.storage.wal import LogRecordType, WriteAheadLog
 
@@ -120,10 +121,23 @@ class TxnIsolation(enum.Enum):
         writes keep X/IX locks plus first-updater-wins conflict
         detection.  Write skew is admitted (and observable in the
         recorded model schedules).
+    SERIALIZABLE — SSI: snapshot reads exactly as SNAPSHOT (still no
+        read locks), plus the :mod:`repro.storage.ssi` tracker records
+        per-transaction read/write sets and aborts the pivot of any
+        would-be dangerous structure at commit
+        (:class:`~repro.errors.SerializationFailureError`, retried by
+        the middle tier like a write conflict).  Committed histories
+        are serializable; write skew is closed.
     """
 
     TWO_PL = "2pl"
     SNAPSHOT = "snapshot"
+    SERIALIZABLE = "serializable"
+
+    @property
+    def uses_snapshot(self) -> bool:
+        """Reads are served lock-free from the transaction's snapshot."""
+        return self in (TxnIsolation.SNAPSHOT, TxnIsolation.SERIALIZABLE)
 
 
 class TxnStatus(enum.Enum):
@@ -201,6 +215,8 @@ class StorageEngine:
             "write_conflicts": 0,
             "snapshot_refreshes": 0,
         }
+        #: SSI rw-antidependency tracker (TxnIsolation.SERIALIZABLE).
+        self.ssi = SSITracker()
         #: auto-vacuum cadence: prune version chains every N writing
         #: commits (0 disables; call :meth:`vacuum` manually).
         self.vacuum_interval = 128
@@ -230,8 +246,12 @@ class StorageEngine:
         self._contexts[txn] = TxnContext(
             txn, isolation=isolation, read_ts=self._last_commit_ts
         )
-        if isolation is TxnIsolation.SNAPSHOT:
+        if isolation.uses_snapshot:
             self._active_snapshots[txn] = self._last_commit_ts
+        self.ssi.begin(
+            txn, self._last_commit_ts,
+            serializable=isolation is TxnIsolation.SERIALIZABLE,
+        )
         self.wal.append(LogRecordType.BEGIN, txn)
         return txn
 
@@ -258,10 +278,23 @@ class StorageEngine:
         flush WAL through the COMMIT record, stamp the version chains,
         release locks.
 
+        SERIALIZABLE transactions are validated first: the SSI tracker
+        sweeps the write set against concurrent readers and raises
+        :class:`~repro.errors.SerializationFailureError` *before* any
+        commit effect (no WAL record, no stamped versions) when the
+        commit would complete a dangerous structure — the caller aborts
+        and retries exactly as for a write conflict.
+
         Returns transactions woken by lock release.
         """
         ctx = self._context(txn)
         written = ctx.written_tables()
+        # SSI validation happens before the commit point.  Read-only
+        # transactions take the last allocated timestamp as their commit
+        # position so concurrency stays decidable for later sweeps.
+        self.ssi.on_commit(
+            txn, self._last_commit_ts + 1 if written else self._last_commit_ts
+        )
         commit_ts: int | None = None
         if written:
             self._last_commit_ts += 1
@@ -325,6 +358,7 @@ class StorageEngine:
         self.wal.append(LogRecordType.ABORT, txn)
         ctx.status = TxnStatus.ABORTED
         self._active_snapshots.pop(txn, None)
+        self.ssi.on_abort(txn)
         self._notify(txn, "abort", "")
         return self.locks.release_all(txn) if self.locking else []
 
@@ -431,19 +465,68 @@ class StorageEngine:
         return SnapshotDatabase(self.db, txn, ctx.read_ts)
 
     def observe_snapshot_read(self, txn: int, access) -> None:
-        """Read observer for snapshot evaluation: count, never lock."""
+        """Read observer for snapshot evaluation: count and (for
+        SERIALIZABLE transactions) record the access in the SSI read
+        set.  Never locks, never raises — a doomed reader fails at its
+        own commit, not mid-evaluation."""
         self.mvcc_stats["snapshot_reads"] += 1
+        self._ssi_observe_read(txn, access)
+
+    def _ssi_read_items(self, access: ReadAccess) -> list:
+        """The SSI item(s) one observed access covers, in the lock
+        manager's resource vocabulary (rows, index keys, table scans)."""
+        if access.kind is AccessKind.TABLE_SCAN:
+            return [table_resource(access.table)]
+        if access.kind is AccessKind.INDEX_KEY:
+            assert access.index is not None and access.key is not None
+            return [index_key_resource(access.table, access.index, access.key)]
+        assert access.rid is not None
+        return [RowId(access.table, access.rid)]
+
+    def _ssi_observe_read(self, txn: int, access: ReadAccess) -> None:
+        self.ssi.record_read(txn, self._ssi_read_items(access))
+
+    def _ssi_record_write(
+        self,
+        txn: int,
+        table_name: str,
+        rid: int,
+        keys: Iterable[tuple[tuple[str, ...], tuple]],
+    ) -> None:
+        """Record a write's SSI items: the row, every index key the write
+        disturbs, and the table marker that scan readers conflict on."""
+        items: list = [RowId(table_name, rid), table_resource(table_name)]
+        items.extend(
+            index_key_resource(table_name, columns, key)
+            for columns, key in keys
+        )
+        self.ssi.record_write(txn, items)
+
+    def serialization_doomed(self, txn: int) -> bool:
+        """Side-effect-free pre-check: would committing ``txn`` now fail
+        SSI validation?  Coordinators use this to keep a doomed member
+        from poisoning its commit group after partners committed."""
+        return self.ssi.serialization_doomed(txn)
+
+    def serialization_doomed_group(self, txns: Sequence[int]) -> bool:
+        """Side-effect-free pre-check for an *atomic commit group*: would
+        committing ``txns`` in this order fail for any member, counting
+        the edges the group's own earlier commits create?  Coordinators
+        must consult this before committing the first member — a failure
+        midway would widow the already-committed ones."""
+        return self.ssi.group_doomed(txns)
 
     def grounding_hooks(self, txn: int):
         """``(read_observer, provider_or_None)`` for grounding ``txn``'s
         entangled queries — the single definition of the isolation split
         both coordinators (the batch engine's evaluation round and the
         interactive broker's match round) thread into ``evaluate_batch``:
-        SNAPSHOT transactions get a counting observer plus their snapshot
+        SNAPSHOT/SERIALIZABLE transactions get a counting (and, for
+        SERIALIZABLE, read-set-recording) observer plus their snapshot
         provider; 2PL transactions get the lock-acquiring observer and
         read the live database.
         """
-        if self.isolation_of(txn) is TxnIsolation.SNAPSHOT:
+        if self.isolation_of(txn).uses_snapshot:
             return (
                 lambda access, storage_txn=txn:
                 self.observe_snapshot_read(storage_txn, access),
@@ -470,7 +553,7 @@ class StorageEngine:
         the reader's own prior write of the object.
         """
         ctx = self._context(txn)
-        if ctx.isolation is not TxnIsolation.SNAPSHOT:
+        if not ctx.isolation.uses_snapshot:
             return None
         for commit_ts, writer in reversed(self._table_writers.get(table, ())):
             if commit_ts <= ctx.read_ts:
@@ -497,7 +580,7 @@ class StorageEngine:
         the coordinator and nothing escaped to the client.
         """
         ctx = self._context(txn)
-        if ctx.isolation is not TxnIsolation.SNAPSHOT:
+        if not ctx.isolation.uses_snapshot:
             return False
         if ctx.reads or ctx.writes or ctx.snapshot_pinned:
             return False
@@ -505,6 +588,7 @@ class StorageEngine:
             return False
         ctx.read_ts = self._last_commit_ts
         self._active_snapshots[txn] = ctx.read_ts
+        self.ssi.refresh(txn, ctx.read_ts)
         self.mvcc_stats["snapshot_refreshes"] += 1
         return True
 
@@ -553,7 +637,7 @@ class StorageEngine:
         """First-updater-wins: a SNAPSHOT writer loses against any version
         of the row committed after its snapshot (the first updater already
         won).  Called with the row X lock held, so the chain is stable."""
-        if ctx.isolation is not TxnIsolation.SNAPSHOT:
+        if not ctx.isolation.uses_snapshot:
             return
         for version in table.versions_of(rid):
             begin = version.begin_ts or 0
@@ -588,11 +672,12 @@ class StorageEngine:
         ctx = self._context(txn)
         seen_tables: set[str] = set()
 
-        if ctx.isolation is TxnIsolation.SNAPSHOT:
+        if ctx.isolation.uses_snapshot:
             provider = self.snapshot_provider(txn)
 
             def observe_snapshot(access: ReadAccess) -> None:
                 self.mvcc_stats["snapshot_reads"] += 1
+                self._ssi_observe_read(txn, access)
                 if access.table not in seen_tables:
                     seen_tables.add(access.table)
                     reads_from = self.reads_from(txn, access.table)
@@ -618,12 +703,13 @@ class StorageEngine:
     def read_table(self, txn: int, table: str) -> list[Row]:
         """Full-table read (used by tests and the recovery manager)."""
         ctx = self._context(txn)
-        if ctx.isolation is TxnIsolation.SNAPSHOT:
+        if ctx.isolation.uses_snapshot:
             view = self.snapshot_provider(txn).table(table)
             reads_from = self.reads_from(txn, table)
             ctx.reads.append(table)
             self._notify(txn, "read", table, reads_from=reads_from)
             self.mvcc_stats["snapshot_reads"] += 1
+            self._ssi_observe_read(txn, ReadAccess.scan(table))
             return list(view.scan())
         self._lock(txn, table_resource(table), LockMode.SHARED)
         ctx.reads.append(table)
@@ -643,9 +729,11 @@ class StorageEngine:
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         table = self.db.table(table_name)
         canonical = table.schema.validate_row(values)
-        self._lock_index_keys(txn, table_name, table.index_keys(canonical))
+        keys = table.index_keys(canonical)
+        self._lock_index_keys(txn, table_name, keys)
         row = table.insert(canonical, validated=True, writer=txn)
         self._lock(txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE)
+        self._ssi_record_write(txn, table_name, row.rid, keys)
         self.wal.append(
             LogRecordType.INSERT, txn, table_name, row.rid, None, row.values
         )
@@ -684,6 +772,12 @@ class StorageEngine:
             )
         else:
             old, new = table.update(rid, values, writer=txn)
+        # Both the vacated and the gained keys matter to SSI: a reader
+        # who probed either key set observed state this write changes.
+        self._ssi_record_write(
+            txn, table_name, rid,
+            set(table.index_keys(old.values)) | set(table.index_keys(new.values)),
+        )
         self.wal.append(
             LogRecordType.UPDATE, txn, table_name, rid, old.values, new.values
         )
@@ -706,6 +800,7 @@ class StorageEngine:
                 txn, table_name, table.index_keys(table.get(rid).values)
             )
         old = table.delete(rid, writer=txn)
+        self._ssi_record_write(txn, table_name, rid, table.index_keys(old.values))
         self.wal.append(
             LogRecordType.DELETE, txn, table_name, rid, old.values, None
         )
@@ -782,7 +877,7 @@ class StorageEngine:
         cooperative single-threaded engine.
         """
         ctx = self._contexts.get(txn)
-        if ctx is not None and ctx.isolation is TxnIsolation.SNAPSHOT:
+        if ctx is not None and ctx.isolation.uses_snapshot:
             self._lock(
                 txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE
             )
@@ -793,13 +888,25 @@ class StorageEngine:
             path = index_path_for(table, bindings)
             if path is not None:
                 cols, key, is_pk = path
+                # The probe (even a miss) and the produced rows are
+                # snapshot reads that pick the write's targets: they
+                # enter the SSI read set like any other access path.
+                self._ssi_observe_read(
+                    txn,
+                    ReadAccess.index_key(
+                        table_name, table.canonical_index(cols), key
+                    ),
+                )
                 if is_pk:
                     row = view.lookup_pk(key)
                     rows = [row] if row is not None else []
                 else:
                     rows = view.lookup_index(cols, key)
             else:
+                self._ssi_observe_read(txn, ReadAccess.scan(table_name))
                 rows = list(view.scan())
+            for row in rows:
+                self._ssi_observe_read(txn, ReadAccess.row(table_name, row.rid))
             return self._lock_candidate_rows(txn, table_name, rows)
         if self.locking and self.granularity is LockGranularity.FINE and where is not None:
             path = index_path_for(table, equality_bindings(where, table))

@@ -11,11 +11,12 @@ uncommitted writes — and never observes, blocks on, or is blocked by
 concurrent writers.
 
 Index lookups stay index-shaped: candidates come from the *current* hash
-index (covering every row whose key did not change) plus the table's
-small set of *historic* rids (rows deleted or re-keyed since the oldest
-retained snapshot), each filtered through version visibility and a key
-re-check.  This keeps snapshot probes near-O(1) while staying correct
-when an indexed column was updated after the snapshot was taken.
+index (covering every row whose key did not change) plus the probed
+key's *per-key history bucket* (rids deleted or re-keyed away from that
+key since the oldest retained snapshot), each filtered through version
+visibility and a key re-check.  This keeps snapshot probes
+O(matching + per-key history) — a delete/re-key-heavy window between
+vacuums no longer degrades unrelated probes toward linear scans.
 
 Reads against a snapshot older than the version-chain GC floor raise
 :class:`~repro.errors.SnapshotTooOldError`; the middle tier aborts the
@@ -81,8 +82,10 @@ class SnapshotView:
             if row is not None and self.schema.key_of(row.values) == key:
                 return row
         # The key may have lived on a row that was since deleted or
-        # re-keyed; those rids are tracked as history.
-        for rid in sorted(self._table.history_rids()):
+        # re-keyed; only the rids that ever held *this* key are tracked
+        # in its history bucket, so a miss stays O(per-key history)
+        # rather than degrading to a scan of every historic rid.
+        for rid in sorted(self._table.history_rids_for_pk(key)):
             row = self._visible(rid)
             if row is not None and self.schema.key_of(row.values) == key:
                 return row
@@ -96,8 +99,12 @@ class SnapshotView:
             self._table.fallback_scans += 1
             candidates = self._table.snapshot_rids()
         else:
+            # Current-index matches plus the rids that historically
+            # carried this key: O(matching + per-key history), immune to
+            # delete/re-key churn elsewhere in the table.
             candidates = sorted(
-                set(index.lookup(key)) | self._table.history_rids()
+                set(index.lookup(key))
+                | self._table.history_rids_for_index(index.column_names, key)
             )
         positions = [self.schema.column_index(c) for c in wanted]
         rows = []

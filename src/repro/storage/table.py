@@ -84,6 +84,17 @@ class Table:
         #: snapshots can no longer be served.
         self._versions: dict[int, list[RowVersion]] = {}
         self._history: set[int] = set()
+        #: the historic-rid set, *per key*: which rids may hold a
+        #: snapshot-visible version under a primary key / index key that
+        #: the current indexes no longer (or never) map there.  Snapshot
+        #: probes union only their own key's bucket instead of the whole
+        #: historic set, which keeps them O(matching) through
+        #: delete/re-key-heavy windows between vacuums.
+        self._history_by_pk: dict[tuple, set[int]] = {}
+        self._history_by_index: dict[tuple[str, ...], dict[tuple, set[int]]] = {}
+        #: reverse map rid -> its bucket entries, so vacuum can shrink
+        #: the key maps exactly when it shrinks ``_history``.
+        self._history_entries: dict[int, set[tuple]] = {}
         self._pending_created: dict[int, list[tuple[int, RowVersion]]] = {}
         self._pending_ended: dict[int, list[tuple[int, RowVersion]]] = {}
         self._prune_floor = 0
@@ -282,7 +293,9 @@ class Table:
                 rekeyed = (
                     self.index_keys(old.values) != self.index_keys(canonical)
                 )
-            self._chain_supersede(rid, writer, track_history=rekeyed)
+            self._chain_supersede(
+                rid, writer, values=old.values, track_history=rekeyed
+            )
             self._chain_insert(rid, canonical, writer)
         return old, new
 
@@ -302,7 +315,7 @@ class Table:
         for index in self._secondary:
             index.remove(rid, old.values)
         if versioned:
-            self._chain_supersede(rid, writer)
+            self._chain_supersede(rid, writer, values=old.values)
         return old
 
     # -- version chains (MVCC) ------------------------------------------------------
@@ -320,19 +333,30 @@ class Table:
         self._max_chain = max(self._max_chain, len(chain))
 
     def _chain_supersede(
-        self, rid: int, writer: int | None, *, track_history: bool = True
+        self,
+        rid: int,
+        writer: int | None,
+        *,
+        values: ValueTuple | None = None,
+        track_history: bool = True,
     ) -> None:
         """Mark ``rid``'s live version as superseded by ``writer``.
+
+        ``values`` carries the superseded version's value tuple; its
+        index keys say *which per-key history buckets* the rid joins, so
+        a later snapshot probe of one of those keys (and only of those
+        keys) re-examines this rid.
 
         ``track_history=False`` (in-place updates that change no index
         key) skips the historic-rid set: the rid stays reachable through
         every current index bucket, so snapshot lookups find its chain
-        without the history detour — keeping the set small is what keeps
-        snapshot index probes near-O(1).
+        without the history detour — keeping the buckets small is what
+        keeps snapshot index probes O(matching + per-key history).
         """
         chain = self._versions.get(rid)
         if not chain:
             return  # row predates versioning (restored without history)
+        superseded: RowVersion | None = None
         for version in reversed(chain):
             if version.end_ts is None and version.deleted_by is None:
                 if writer is None:
@@ -342,9 +366,49 @@ class Table:
                     self._pending_ended.setdefault(writer, []).append(
                         (rid, version)
                     )
+                superseded = version
                 break
         if track_history:
-            self._history.add(rid)
+            if values is None and superseded is not None:
+                values = superseded.values
+            self._history_add(rid, values)
+
+    def _history_add(self, rid: int, values: ValueTuple | None) -> None:
+        """Track ``rid`` as historic under every key ``values`` carried."""
+        self._history.add(rid)
+        if values is None:
+            return
+        entries = self._history_entries.setdefault(rid, set())
+        pk_key = self.schema.key_of(values)
+        if pk_key is not None:
+            self._history_by_pk.setdefault(pk_key, set()).add(rid)
+            entries.add(("pk", pk_key))
+        for index in self._secondary:
+            key = index.key_for(values)
+            self._history_by_index.setdefault(
+                index.column_names, {}
+            ).setdefault(key, set()).add(rid)
+            entries.add((index.column_names, key))
+
+    def _history_discard(self, rid: int) -> None:
+        """Forget ``rid``'s history membership, key buckets included."""
+        self._history.discard(rid)
+        for entry in self._history_entries.pop(rid, ()):
+            kind, key = entry
+            if kind == "pk":
+                bucket = self._history_by_pk.get(key)
+                if bucket is not None:
+                    bucket.discard(rid)
+                    if not bucket:
+                        del self._history_by_pk[key]
+            else:
+                buckets = self._history_by_index.get(kind)
+                if buckets is not None:
+                    bucket = buckets.get(key)
+                    if bucket is not None:
+                        bucket.discard(rid)
+                        if not bucket:
+                            del buckets[key]
 
     def commit_versions(self, txn: int, commit_ts: int) -> None:
         """Stamp every version ``txn`` created/superseded with ``commit_ts``."""
@@ -387,6 +451,21 @@ class Table:
     def history_rids(self) -> frozenset[int]:
         """Rids whose non-current versions may still be visible somewhere."""
         return frozenset(self._history)
+
+    def history_rids_for_pk(self, key: tuple) -> frozenset[int]:
+        """Historic rids that ever held primary key ``key`` — the only
+        extra candidates a snapshot pk probe must examine."""
+        return frozenset(self._history_by_pk.get(key, frozenset()))
+
+    def history_rids_for_index(
+        self, column_names: Sequence[str], key: tuple
+    ) -> frozenset[int]:
+        """Historic rids that ever carried ``key`` in the given index —
+        the only extra candidates a snapshot index probe must examine."""
+        buckets = self._history_by_index.get(tuple(column_names))
+        if not buckets:
+            return frozenset()
+        return frozenset(buckets.get(key, frozenset()))
 
     @property
     def prune_floor(self) -> int:
@@ -432,9 +511,16 @@ class Table:
                     if v.end_ts is None and v.deleted_by is None
                 ]
                 if rid in self._rows and len(keep) == 1 and len(live) == 1:
-                    self._history.discard(rid)
+                    self._history_discard(rid)
                 elif not keep and rid not in self._rows:
-                    self._history.discard(rid)
+                    self._history_discard(rid)
+        # Historic rids whose chains are already gone entirely (pruned
+        # in a previous pass, or restored without history) have no
+        # below-horizon version left: without this sweep the historic
+        # set — and the per-key buckets built from it — would grow
+        # without bound across a long run's vacuums.
+        for rid in [r for r in self._history if r not in self._versions]:
+            self._history_discard(rid)
         self._total_versions -= removed
         self._max_chain = longest  # watermark resets to exact after prune
         if removed:
@@ -467,6 +553,9 @@ class Table:
             index.clear()
         self._versions.clear()
         self._history.clear()
+        self._history_by_pk.clear()
+        self._history_by_index.clear()
+        self._history_entries.clear()
         self._pending_created.clear()
         self._pending_ended.clear()
         self._prune_floor = 0

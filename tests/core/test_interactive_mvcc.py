@@ -175,3 +175,90 @@ class TestCancelReleasesSnapshot:
         assert store.vacuum() == 0
         result = reader.execute("SELECT v AS @v2 FROM Stock WHERE k = 1")
         assert result.rows == [(10,)]
+
+
+class TestSerializableSessions:
+    """Interactive SSI: per-session SERIALIZABLE upgrades the snapshot
+    protocol without changing its lock-free reads."""
+
+    def test_write_skew_across_sessions_aborts_one(self, broker):
+        store = broker.store
+        system = store.begin()
+        store.insert(system, "Stock", (2, 10))
+        store.commit(system)
+
+        s1 = broker.open_session("s1", isolation=TxnIsolation.SERIALIZABLE)
+        s2 = broker.open_session("s2", isolation=TxnIsolation.SERIALIZABLE)
+        grants_before = store.locks.stats["read_grants"]
+        s1.execute("SELECT v AS @a FROM Stock WHERE k = 1")
+        s2.execute("SELECT v AS @b FROM Stock WHERE k = 2")
+        # Reads took no locks: still the snapshot protocol underneath.
+        assert store.locks.stats["read_grants"] == grants_before
+        s1.execute("UPDATE Stock SET v = 0 WHERE k = 2")
+        s2.execute("UPDATE Stock SET v = 0 WHERE k = 1")
+        assert s1.commit()
+        # The second committer is the pivot: the broker surfaces the
+        # serialization failure as an aborted session.
+        assert not s2.commit()
+        assert s2.state is SessionState.ABORTED
+
+        # A fresh session sees a serializable outcome: exactly one of
+        # the two skew writes landed.
+        check = broker.open_session("check")
+        values = sorted(
+            row
+            for row in (
+                check.execute("SELECT v AS @v FROM Stock WHERE k = 1").rows[0],
+                check.execute("SELECT v AS @v FROM Stock WHERE k = 2").rows[0],
+            )
+        )
+        assert values == [(0,), (10,)]
+
+    def test_entangled_skew_group_aborts_whole_without_widows(self, broker):
+        """An entangled SERIALIZABLE pair that write-skews each other:
+        committing members one by one would commit the first and then
+        fail the second (a widowed group).  The atomic group validation
+        must abort the whole group before any member commits."""
+        store = broker.store
+        system = store.begin()
+        store.insert(system, "Stock", (2, 10))
+        store.commit(system)
+
+        s1 = broker.open_session("alice", isolation=TxnIsolation.SERIALIZABLE)
+        s2 = broker.open_session("bob", isolation=TxnIsolation.SERIALIZABLE)
+        s1.execute(PICK.format(me="alice", friend="bob"))
+        s2.execute(PICK.format(me="bob", friend="alice"))
+        assert broker.match_round() == 2  # entangled: one commit group
+
+        s1.execute("SELECT v AS @a FROM Stock WHERE k = 1")
+        s2.execute("SELECT v AS @b FROM Stock WHERE k = 2")
+        s1.execute("UPDATE Stock SET v = 0 WHERE k = 2")
+        s2.execute("UPDATE Stock SET v = 0 WHERE k = 1")
+
+        assert not s1.commit()  # group not complete yet
+        assert not s2.commit()  # group validation fails: all abort
+        assert s1.state is SessionState.ABORTED
+        assert s2.state is SessionState.ABORTED
+
+        # No widow and no skew: neither write landed.
+        check = broker.open_session("check")
+        for k in (1, 2):
+            rows = check.execute(
+                f"SELECT v AS @v FROM Stock WHERE k = {k}"
+            ).rows
+            assert rows == [(10,)]
+
+    def test_doomed_precheck_spares_the_committed_partner(self, broker):
+        """The broker's pre-check catches a doomed member before any
+        group member commits, so no widow can appear."""
+        store = broker.store
+        s1 = broker.open_session("s1", isolation=TxnIsolation.SERIALIZABLE)
+        s1.execute("SELECT v AS @a FROM Stock WHERE k = 1")
+        w = broker.open_session("w")
+        w.execute("UPDATE Stock SET v = 30 WHERE k = 1")
+        assert w.commit()
+        # s1 read the overwritten version; committing it alone is fine
+        # (single inbound edge, no outbound) — the point is the broker
+        # consults the engine, not that this particular commit fails.
+        assert store.serialization_doomed(s1.storage_txn) is False
+        assert s1.commit()

@@ -16,18 +16,27 @@ every committed history is then cross-checked:
   (write skew), never a ww/wr cycle that MVCC's first-updater-wins rules
   out.  Serializability is *allowed* to fail — the deterministic
   write-skew test asserts it actually does.
+* **SERIALIZABLE** — runtime SSI: every committed history must pass the
+  full serializability oracle (``IsolationLevel.SERIALIZABLE``), with
+  the dangerous-structure pivots aborted and retried at runtime.  The
+  *upgrade proof* runs the same seeded write-skew-prone interleavings
+  under both SNAPSHOT and SERIALIZABLE: the SNAPSHOT arm must exhibit at
+  least one write-skew history (the anomaly is real) while the
+  SERIALIZABLE arm commits zero histories the oracle rejects.
 
 Failures shrink: the strategies compose from plain integer/choice draws,
 so Hypothesis reduces any counterexample to a minimal workload and
 interleaving, and the failure message carries the recorded schedule.
 
-``REPRO_ISOLATION`` (``2pl`` / ``snapshot``) restricts the module to one
-arm — the CI isolation matrix sets it per job.
+``REPRO_ISOLATION`` (``2pl`` / ``snapshot`` / ``serializable``)
+restricts the module to one arm — the CI isolation matrix sets it per
+job.
 """
 
 from __future__ import annotations
 
 import os
+import random
 
 import pytest
 from hypothesis import given, settings
@@ -54,10 +63,14 @@ TABLES = ("T0", "T1", "T2")
 
 ISOLATION_ARM = os.environ.get("REPRO_ISOLATION", "").lower()
 only_2pl = pytest.mark.skipif(
-    ISOLATION_ARM == "snapshot", reason="snapshot-only CI arm"
+    ISOLATION_ARM not in ("", "2pl"), reason="different CI isolation arm"
 )
 only_snapshot = pytest.mark.skipif(
-    ISOLATION_ARM == "2pl", reason="2pl-only CI arm"
+    ISOLATION_ARM not in ("", "snapshot"), reason="different CI isolation arm"
+)
+only_serializable = pytest.mark.skipif(
+    ISOLATION_ARM not in ("", "serializable"),
+    reason="different CI isolation arm",
 )
 
 
@@ -169,6 +182,94 @@ class TestSnapshotFuzz:
         assert find_widowed_transactions(expanded) == []
 
 
+@only_serializable
+class TestSerializableFuzz:
+    """Runtime SSI: >= 200 seeded schedules, zero oracle rejections."""
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(workload=workloads())
+    def test_serializable_histories_pass_the_oracle(self, workload):
+        """Every committed SSI history must satisfy the full
+        ``IsolationLevel.SERIALIZABLE`` bar: acyclic (multiversion)
+        conflict graph, oracle-serializable outcome, no widows."""
+        engine = run_workload(IsolationConfig.SERIALIZABLE, workload)
+        schedule = engine.recorded_schedule()
+        check = check_isolation(schedule, IsolationLevel.SERIALIZABLE)
+        assert check.ok, (
+            f"SSI committed a non-serializable history: "
+            f"{[str(v) for v in check.violations]}: {schedule}"
+        )
+
+
+def skew_prone_workload(seed: int):
+    """One seeded write-skew-prone workload + interleaving.
+
+    Every transaction reads one table and writes a *different* one —
+    exactly the disjoint-write/overlapping-read shape whose concurrent
+    commits produce write skew under snapshot isolation.
+    """
+    rng = random.Random(seed)
+    n_txns = rng.randint(2, 4)
+    programs = []
+    for t in range(n_txns):
+        read_table = rng.choice(TABLES)
+        write_table = rng.choice([x for x in TABLES if x != read_table])
+        programs.append(
+            f"BEGIN TRANSACTION; "
+            f"SELECT v AS @r{t} FROM {read_table} WHERE k = 0; "
+            f"UPDATE {write_table} SET v = v + 1 WHERE k = 0; COMMIT;"
+        )
+    order = list(range(n_txns))
+    rng.shuffle(order)
+    chunks = [rng.randint(1, n_txns) for _ in range(rng.randint(1, 3))]
+    return programs, order, chunks
+
+
+@only_serializable
+class TestSerializableUpgrade:
+    """The acceptance bar for the SSI upgrade, on *identical* seeds.
+
+    200 seeded write-skew-prone interleavings run under both isolation
+    modes: SNAPSHOT must exhibit at least one write-skew history (the
+    anomaly the upgrade closes is real, not hypothetical), while
+    SERIALIZABLE commits zero histories the serializability oracle
+    rejects — and pays for it with observable pivot aborts.
+    """
+
+    SEEDS = range(200)
+
+    def test_same_seeds_skew_under_snapshot_never_under_serializable(self):
+        skewed = 0
+        ssi_aborts = 0
+        for seed in self.SEEDS:
+            workload = skew_prone_workload(seed)
+
+            snap = run_workload(IsolationConfig.SNAPSHOT, workload)
+            snap_schedule = snap.recorded_schedule()
+            expanded = expand_quasi_reads(snap_schedule)
+            # Within SI always; write skew = a (consecutive-rw) cycle.
+            assert find_non_si_conflict_cycles(expanded) == []
+            if find_conflict_cycles(expanded):
+                skewed += 1
+
+            ssi = run_workload(IsolationConfig.SERIALIZABLE, workload)
+            ssi_schedule = ssi.recorded_schedule()
+            check = check_isolation(ssi_schedule, IsolationLevel.SERIALIZABLE)
+            assert check.ok, (
+                f"seed {seed}: SSI committed a non-serializable history: "
+                f"{[str(v) for v in check.violations]}: {ssi_schedule}"
+            )
+            ssi_aborts += sum(r.ssi_aborts for r in ssi.run_reports)
+        # The upgrade must be doing real work on these seeds.
+        assert skewed >= 1, (
+            "no seeded interleaving exhibited write skew under SNAPSHOT — "
+            "the workload no longer exercises the anomaly"
+        )
+        assert ssi_aborts >= 1, (
+            "SSI never aborted a pivot on seeds that skew under SNAPSHOT"
+        )
+
+
 WRITE_SKEW = (
     "BEGIN TRANSACTION; SELECT v AS @x FROM T0 WHERE k = 0; "
     "UPDATE T1 SET v = v + 1 WHERE k = 0; COMMIT;",
@@ -204,6 +305,35 @@ class TestWriteSkew:
         schedule = engine.recorded_schedule()
         assert find_serialization_order(schedule).serializable
         assert check_isolation(schedule, IsolationLevel.FULL_ENTANGLED).ok
+
+    @only_serializable
+    def test_serializable_closes_write_skew(self):
+        """The same two programs that skew under SNAPSHOT: SSI aborts
+        the pivot in the concurrent run, retries it, and the final
+        history is serializable with both transactions committed."""
+        engine = build_engine(IsolationConfig.SERIALIZABLE)
+        handles = [engine.submit(p) for p in WRITE_SKEW]
+        report = engine.run_once()
+        # The concurrent run cannot commit both: the second committer is
+        # the pivot of the dangerous structure and aborts.
+        assert len(report.committed) == 1
+        assert report.ssi_aborts == 1
+        assert report.pivot_aborts == 1
+        engine.drain()
+        for handle in handles:
+            assert engine.transaction(handle).phase is TxnPhase.COMMITTED
+        schedule = engine.recorded_schedule()
+        assert find_serialization_order(schedule).serializable
+        assert check_isolation(schedule, IsolationLevel.SERIALIZABLE).ok
+        # The retried attempt saw the first writer's commit, so the
+        # increments compose serially: both updates landed.
+        store = engine.store
+        txn = store.begin()
+        values = {
+            name: store.read_table(txn, name)[0].values[1]
+            for name in ("T0", "T1")
+        }
+        assert values == {"T0": 11, "T1": 11}
 
     @only_snapshot
     def test_lost_update_still_impossible_under_snapshot(self):
