@@ -123,6 +123,11 @@ class EngineConfig:
     costs: CostModel | None = None
     record_schedule: bool = False
     persist_state: bool = False
+    #: storage shard count used when no store is injected: >1 builds a
+    #: :class:`~repro.storage.sharding.ShardedStorageEngine` (per-shard
+    #: oracles/WALs/locks, vector snapshots, cross-shard two-phase
+    #: commit) instead of a single StorageEngine.
+    shards: int = 1
     #: Non-transactional execution: "the same code without enclosing it
     #: within a transaction block" (the -Q workloads of Section 5.2.2).
     #: Each statement commits immediately, no transaction bracket cost is
@@ -164,6 +169,21 @@ class RunReport:
     #: the pivot had already committed).
     ssi_aborts: int = 0
     pivot_aborts: int = 0
+    #: sharding deltas for this run, one entry per storage shard
+    #: (single-shard engines report one-element lists): storage commits,
+    #: storage aborts, and lock waits that landed on each shard.
+    shard_commits: list[int] = field(default_factory=list)
+    shard_aborts: list[int] = field(default_factory=list)
+    shard_lock_waits: list[int] = field(default_factory=list)
+    #: middle-tier transactions this run committed whose writes spanned
+    #: more than one shard (the two-phase-commit population).
+    cross_shard_commits: int = 0
+    #: share of this run's committed transactions that crossed shards.
+    cross_shard_share: float = 0.0
+    #: per-table version-chain-length histograms at the end of the run
+    #: (table -> {chain length -> #rids}) — the GC-pressure signal the
+    #: horizon-aware vacuum is meant to keep flat.
+    chain_histograms: dict[str, dict[int, int]] = field(default_factory=dict)
 
 
 class EntangledTransactionEngine:
@@ -179,8 +199,13 @@ class EntangledTransactionEngine:
         config: EngineConfig | None = None,
         policy: RunPolicy | None = None,
     ):
-        self.store = store if store is not None else StorageEngine()
         self.config = config or EngineConfig()
+        if store is not None:
+            self.store = store
+        else:
+            from repro.storage.sharding import build_storage_engine
+
+            self.store = build_storage_engine(self.config.shards)
         self.policy = policy or ManualPolicy()
         self.clock = VirtualClock()
         self.groups = GroupTracker()
@@ -189,6 +214,7 @@ class EntangledTransactionEngine:
         self._dormant: list[int] = []
         self._next_handle = 1
         self._run_index = 0
+        self._shard_flush_loads: list[float] = [0.0] * self.store.n_shards
         self.run_reports: list[RunReport] = []
         #: total coordinator (entangled-evaluation) virtual time, for the
         #: -Q vs -T comparison of Figure 6(a).
@@ -330,6 +356,12 @@ class EntangledTransactionEngine:
         self.policy.on_run_started(self.clock.now)
         lock_stats_before = dict(self.store.locks.stats)
         ssi_stats_before = dict(self.store.ssi.stats)
+        shard_stats_before = self.store.shard_stats()
+        cross_shard_before = getattr(self.store, "cross_shard_commit_count", 0)
+        #: per-shard commit-flush accounting: each shard's WAL/group
+        #: commit pipeline is a serial resource; the run pays the busiest
+        #: shard's accumulated flush time (the shard ablation's subject).
+        self._shard_flush_loads = [0.0] * self.store.n_shards
 
         pool = ConnectionPool(self.config.connections)
         cost_tap = (
@@ -454,6 +486,28 @@ class EntangledTransactionEngine:
             lock_stats["acquired"] - lock_stats_before["acquired"]
         )
         report.max_version_chain = self.store.version_stats()["max_chain"]
+        report.chain_histograms = self.store.chain_histograms()
+        shard_stats = self.store.shard_stats()
+        report.shard_commits = [
+            after["commits"] - before["commits"]
+            for before, after in zip(shard_stats_before, shard_stats)
+        ]
+        report.shard_aborts = [
+            after["aborts"] - before["aborts"]
+            for before, after in zip(shard_stats_before, shard_stats)
+        ]
+        report.shard_lock_waits = [
+            after["lock_waits"] - before["lock_waits"]
+            for before, after in zip(shard_stats_before, shard_stats)
+        ]
+        report.cross_shard_commits = (
+            getattr(self.store, "cross_shard_commit_count", 0)
+            - cross_shard_before
+        )
+        if report.committed:
+            report.cross_shard_share = (
+                report.cross_shard_commits / len(report.committed)
+            )
         # Commit-time SSI failures come from the tracker's stat deltas;
         # pre-commit group-validation aborts were already added to
         # ``report.ssi_aborts`` by the commit phase.
@@ -472,7 +526,12 @@ class EntangledTransactionEngine:
             retry_tax = self.config.costs.suspend_resume_cost * len(
                 report.returned_to_pool
             )
-            report.elapsed = pool.elapsed() + eval_time + overhead + retry_tax
+            # Commit flushes serialize per shard but overlap across
+            # shards: the run pays the busiest shard's pipeline.
+            flush_time = max(self._shard_flush_loads, default=0.0)
+            report.elapsed = (
+                pool.elapsed() + eval_time + overhead + retry_tax + flush_time
+            )
             self.clock.advance(report.elapsed)
             self.total_eval_time += eval_time
             self.total_elapsed += report.elapsed
@@ -793,6 +852,18 @@ class EntangledTransactionEngine:
                 txn, retry=True, report=report,
                 reason="serialization failure (SSI dangerous structure)")
             return
+        txn.stats.shards_touched = self.store.shards_touched(txn.storage_txn)
+        if self.config.costs is not None:
+            # Charge the commit flush to every shard the transaction
+            # wrote in — plus the two-phase prepare tax when it wrote
+            # more than one.
+            written = self.store.written_shards(txn.storage_txn)
+            per_shard = self.config.costs.commit_flush_cost + (
+                self.config.costs.cross_shard_prepare_cost
+                if len(written) > 1 else 0.0
+            )
+            for shard_idx in written:
+                self._shard_flush_loads[shard_idx] += per_shard
         if self.recorder is not None:
             self.recorder.on_commit(txn.storage_txn)
         txn.mark_committed()

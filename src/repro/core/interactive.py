@@ -193,8 +193,19 @@ class InteractiveBroker:
         self,
         store: StorageEngine | None = None,
         default_isolation: TxnIsolation = TxnIsolation.TWO_PL,
+        *,
+        shards: int = 1,
     ):
-        self.store = store if store is not None else StorageEngine()
+        """``shards > 1`` (when no store is injected) backs the broker
+        with a :class:`~repro.storage.sharding.ShardedStorageEngine`:
+        sessions transparently get vector snapshots and cross-shard
+        group commits run the ordered two-phase prepare per member."""
+        if store is not None:
+            self.store = store
+        else:
+            from repro.storage.sharding import build_storage_engine
+
+            self.store = build_storage_engine(shards)
         self.default_isolation = default_isolation
         self.groups = GroupTracker()
         self._sessions: dict[int, InteractiveSession] = {}

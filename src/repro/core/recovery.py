@@ -56,27 +56,34 @@ class EntangledRecoveryReport:
 
 
 def find_partial_groups(store: StorageEngine) -> tuple[set[int], list[tuple[int, int, int]]]:
-    """Scan the durable WAL for partially committed entanglement groups.
+    """Scan the durable WAL(s) for partially committed entanglement groups.
 
     Returns (storage txns to demote, [(group_id, present, expected), ...]).
+
+    Under sharding the commits-table rows are scattered across the
+    per-shard WALs, so every shard's log is scanned; "committed" means
+    durably committed in *every* written shard (a torn cross-shard
+    commit is already bound for rollback and must not count toward its
+    group's tally).
     """
-    committed = store.wal.committed_txns(durable_only=True)
+    committed = store.durably_committed_txns()
     members: dict[int, list[int]] = {}
     expected: dict[int, int] = {}
-    for record in store.wal.records(durable_only=True):
-        if (
-            record.type is LogRecordType.INSERT
-            and record.table == EntangledTransactionEngine.COMMITS_TABLE
-            and record.txn in committed
-        ):
-            storage_txn, group_id, group_size = record.after
-            members.setdefault(group_id, []).append(storage_txn)
-            previous = expected.setdefault(group_id, group_size)
-            if previous != group_size:
-                raise RecoveryError(
-                    f"group {group_id} recorded inconsistent sizes "
-                    f"{previous} and {group_size}"
-                )
+    for wal in store.wals():
+        for record in wal.records(durable_only=True):
+            if (
+                record.type is LogRecordType.INSERT
+                and record.table == EntangledTransactionEngine.COMMITS_TABLE
+                and record.txn in committed
+            ):
+                storage_txn, group_id, group_size = record.after
+                members.setdefault(group_id, []).append(storage_txn)
+                previous = expected.setdefault(group_id, group_size)
+                if previous != group_size:
+                    raise RecoveryError(
+                        f"group {group_id} recorded inconsistent sizes "
+                        f"{previous} and {group_size}"
+                    )
     demote: set[int] = set()
     partial: list[tuple[int, int, int]] = []
     for group_id, present in sorted(members.items()):

@@ -61,6 +61,10 @@ class TxnStats:
     read_restarts: int = 0
     #: SERIALIZABLE attempts aborted by SSI (dangerous-structure pivots).
     ssi_aborts: int = 0
+    #: storage shards the committed attempt touched (1 for single-shard
+    #: transactions; >1 means the commit ran the cross-shard two-phase
+    #: prepare).  0 until the transaction commits.
+    shards_touched: int = 0
 
 
 @dataclass

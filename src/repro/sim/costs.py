@@ -50,6 +50,15 @@ class CostModel:
     #: per-transaction begin/commit bracket cost (the transactional tax
     #: that separates the -T from the -Q workloads in Figure 6a).
     txn_bracket_cost: float = 0.0035
+    #: commit-flush time charged to each *shard* a committing transaction
+    #: wrote in.  Shards are serial resources (one WAL, one group-commit
+    #: pipeline each): a run's flush time is the max over shards of the
+    #: accumulated charges, which is what the shard-count ablation scales.
+    #: 0 (the default) keeps the Figure-6 calibration untouched.
+    commit_flush_cost: float = 0.0
+    #: extra per-shard prepare charge for cross-shard commits (the
+    #: two-phase coordination tax the adversarial ablation arm measures).
+    cross_shard_prepare_cost: float = 0.0
 
     def scaled(self, factor: float) -> "CostModel":
         """Uniformly scale all costs (used to match paper magnitudes when
@@ -64,6 +73,8 @@ class CostModel:
             run_overhead=self.run_overhead * factor,
             suspend_resume_cost=self.suspend_resume_cost * factor,
             txn_bracket_cost=self.txn_bracket_cost * factor,
+            commit_flush_cost=self.commit_flush_cost * factor,
+            cross_shard_prepare_cost=self.cross_shard_prepare_cost * factor,
         )
 
 

@@ -63,6 +63,20 @@ the lock manager and aborts the pivot of any would-be dangerous
 structure at commit (:class:`~repro.errors.SerializationFailureError`),
 so committed histories are serializable without read locks.
 
+Sharding
+--------
+
+:mod:`repro.storage.sharding` scales this substrate horizontally: a
+:class:`ShardedStorageEngine` routes rows by hashed primary key to N
+complete shard-local engines (each with its own
+:class:`~repro.storage.oracle.TimestampOracle`, lock manager, version
+chains and WAL) behind the same engine protocol.  Snapshot transactions
+capture a *vector* of per-shard begin timestamps at ``begin`` so
+cross-shard reads observe a consistent cut; cross-shard writers commit
+via an ordered two-phase prepare with participant-stamped COMMIT
+records, and serializability runs one global SSI tracker because rw
+antidependencies ignore shard boundaries.
+
 Read-observer contract
 ----------------------
 
@@ -118,20 +132,35 @@ from repro.storage.query import (
     evaluate,
     evaluate_single,
 )
+from repro.storage.oracle import TimestampOracle
 from repro.storage.recovery import RecoveryReport, recover
 from repro.storage.row import Row, RowId, RowVersion
+from repro.storage.sharding import (
+    ShardedDatabase,
+    ShardedSnapshotDatabase,
+    ShardedStorageEngine,
+    build_storage_engine,
+    shard_for_key,
+)
 from repro.storage.snapshot import SnapshotDatabase, SnapshotView
 from repro.storage.ssi import SSITracker
 from repro.storage.schema import Column, TableSchema
 from repro.storage.table import HashIndex, Table
 from repro.storage.types import ColumnType, SQLValue, coerce, infer_type, parse_date
-from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.storage.wal import (
+    CheckpointImage,
+    LogRecord,
+    LogRecordType,
+    TableImage,
+    WriteAheadLog,
+)
 
 __all__ = [
     "AccessKind",
     "And",
     "Arith",
     "ArithOp",
+    "CheckpointImage",
     "Cmp",
     "CmpOp",
     "Col",
@@ -159,16 +188,22 @@ __all__ = [
     "SPJQuery",
     "SQLValue",
     "SSITracker",
+    "ShardedDatabase",
+    "ShardedSnapshotDatabase",
+    "ShardedStorageEngine",
     "SnapshotDatabase",
     "SnapshotView",
     "StorageEngine",
     "Table",
+    "TableImage",
     "TableRef",
     "TableSchema",
+    "TimestampOracle",
     "TxnIsolation",
     "TxnStatus",
     "WouldBlock",
     "WriteAheadLog",
+    "build_storage_engine",
     "coerce",
     "conjoin",
     "equality_bindings",
@@ -179,6 +214,7 @@ __all__ = [
     "is_satisfied",
     "parse_date",
     "recover",
+    "shard_for_key",
     "split_conjuncts",
     "substitute",
     "table_resource",

@@ -61,6 +61,7 @@ from repro.errors import (
 )
 from repro.storage.catalog import Database
 from repro.storage.expressions import Expr
+from repro.storage.oracle import TimestampOracle
 from repro.storage.locks import (
     LockManager,
     LockMode,
@@ -81,7 +82,7 @@ from repro.storage.schema import TableSchema
 from repro.storage.snapshot import SnapshotDatabase
 from repro.storage.ssi import SSITracker
 from repro.storage.types import SQLValue
-from repro.storage.wal import LogRecordType, WriteAheadLog
+from repro.storage.wal import CheckpointImage, LogRecordType, WriteAheadLog
 
 
 class WouldBlock(StorageError):
@@ -180,6 +181,21 @@ class TxnContext:
         return sorted({w.table for w in self.writes})
 
 
+def ssi_read_items(access: ReadAccess) -> list:
+    """The SSI item(s) one observed access covers, in the lock manager's
+    resource vocabulary (rows, index keys, table scans).  Shared with the
+    sharded engine, whose single global tracker uses the same items —
+    rid namespacing makes RowId globally unique and index keys/table
+    markers name the same logical objects in every shard."""
+    if access.kind is AccessKind.TABLE_SCAN:
+        return [table_resource(access.table)]
+    if access.kind is AccessKind.INDEX_KEY:
+        assert access.index is not None and access.key is not None
+        return [index_key_resource(access.table, access.index, access.key)]
+    assert access.rid is not None
+    return [RowId(access.table, access.rid)]
+
+
 class StorageEngine:
     """Classical ACID transactions over a :class:`Database`."""
 
@@ -189,6 +205,7 @@ class StorageEngine:
         *,
         locking: bool = True,
         granularity: LockGranularity = LockGranularity.FINE,
+        ssi_tracking: bool = True,
     ):
         self.db = db if db is not None else Database()
         self.locks = LockManager()
@@ -196,6 +213,10 @@ class StorageEngine:
         self.locking = locking
         self.granularity = granularity
         self._contexts: dict[int, TxnContext] = {}
+        #: active transactions holding writes — maintained so the
+        #: checkpoint quiescence test is O(1) instead of scanning every
+        #: context ever created.
+        self._active_writers: set[int] = set()
         self._next_txn = 1
         #: observers: callbacks invoked on (txn, "read"/"write", table,
         #: reads_from) — the formal-model recorder and cost model hook in
@@ -203,24 +224,46 @@ class StorageEngine:
         #: snapshot reads it names the committed transaction whose version
         #: of the table the reader observed (0 = the initial load).
         self.observers: list[Callable[[int, str, str, "int | None"], None]] = []
-        #: MVCC state: the last allocated commit timestamp, the per-table
-        #: committed-writer log (for reads-from attribution), the read
-        #: timestamps of currently active SNAPSHOT transactions (so the
-        #: vacuum horizon is O(active), not O(ever begun)), and counters.
-        self._last_commit_ts = 0
+        #: MVCC state: the commit-timestamp oracle (timeline + active
+        #: snapshots), the per-table committed-writer log (for reads-from
+        #: attribution), and counters.
+        self.oracle = TimestampOracle()
         self._table_writers: dict[str, list[tuple[int, int]]] = {}
-        self._active_snapshots: dict[int, int] = {}
         self.mvcc_stats = {
             "snapshot_reads": 0,
             "write_conflicts": 0,
             "snapshot_refreshes": 0,
+            "supersede_prunes": 0,
         }
         #: SSI rw-antidependency tracker (TxnIsolation.SERIALIZABLE).
+        #: ``ssi_tracking=False`` (shard members of a ShardedStorageEngine,
+        #: which runs ONE global tracker instead — per-shard trackers
+        #: would miss cross-shard dangerous structures) downgrades every
+        #: transaction to untracked reads.
         self.ssi = SSITracker()
+        self.ssi_tracking = ssi_tracking
         #: auto-vacuum cadence: prune version chains every N writing
         #: commits (0 disables; call :meth:`vacuum` manually).
         self.vacuum_interval = 128
         self._commits_since_vacuum = 0
+        #: auto-checkpoint cadence: write a CHECKPOINT image every N
+        #: writing commits (0 disables; call :meth:`checkpoint` manually).
+        self.checkpoint_interval = 0
+        self._commits_since_checkpoint = 0
+        self.checkpoint_stats = {"taken": 0, "skipped": 0}
+        #: commit/abort tallies (per-shard reporting wants these).
+        self.commit_count = 0
+        self.abort_count = 0
+
+    #: Back-compat shims: tests and the recovery manager historically
+    #: poked the engine's timeline directly; both now live on the oracle.
+    @property
+    def _last_commit_ts(self) -> int:
+        return self.oracle.last_commit_ts
+
+    @_last_commit_ts.setter
+    def _last_commit_ts(self, value: int) -> None:
+        self.oracle.advance_to(value)
 
     # -- DDL / loading (non-transactional, as in the paper's setup phase) ---------
 
@@ -240,17 +283,44 @@ class StorageEngine:
 
     # -- transaction lifecycle ------------------------------------------------------
 
-    def begin(self, isolation: TxnIsolation = TxnIsolation.TWO_PL) -> int:
-        txn = self._next_txn
-        self._next_txn += 1
+    def begin(
+        self,
+        isolation: TxnIsolation = TxnIsolation.TWO_PL,
+        *,
+        txn_id: int | None = None,
+        read_ts: int | None = None,
+    ) -> int:
+        """Begin a transaction.
+
+        ``txn_id`` lets a sharded coordinator impose its globally-unique
+        transaction id on the shard-local transaction (so WAL records,
+        lock owners and version chains across shards all agree on one
+        name); ``read_ts`` imposes the coordinator's vector-snapshot
+        component for this shard (captured at the *global* begin, so a
+        lazily-begun shard transaction still reads the original cut).
+        """
+        if txn_id is None:
+            txn = self._next_txn
+            self._next_txn += 1
+        else:
+            txn = txn_id
+            self._next_txn = max(self._next_txn, txn + 1)
+        snapshot_ts = (
+            self.oracle.last_commit_ts
+            if read_ts is None
+            else min(read_ts, self.oracle.last_commit_ts)
+        )
         self._contexts[txn] = TxnContext(
-            txn, isolation=isolation, read_ts=self._last_commit_ts
+            txn, isolation=isolation, read_ts=snapshot_ts
         )
         if isolation.uses_snapshot:
-            self._active_snapshots[txn] = self._last_commit_ts
+            self.oracle.register_snapshot(txn, snapshot_ts)
         self.ssi.begin(
-            txn, self._last_commit_ts,
-            serializable=isolation is TxnIsolation.SERIALIZABLE,
+            txn, snapshot_ts,
+            serializable=(
+                self.ssi_tracking
+                and isolation is TxnIsolation.SERIALIZABLE
+            ),
         )
         self.wal.append(LogRecordType.BEGIN, txn)
         return txn
@@ -273,10 +343,14 @@ class StorageEngine:
             )
         return ctx
 
-    def commit(self, txn: int) -> list[int]:
+    def commit(self, txn: int, *, participants: "tuple[int, ...] | None" = None) -> list[int]:
         """Commit: allocate a commit timestamp (writing transactions),
         flush WAL through the COMMIT record, stamp the version chains,
         release locks.
+
+        ``participants`` (sharded coordinator only) stamps the COMMIT
+        record with the shard indexes the *global* transaction wrote in,
+        so restart recovery can detect torn cross-shard commits.
 
         SERIALIZABLE transactions are validated first: the SSI tracker
         sweeps the write set against concurrent readers and raises
@@ -292,14 +366,15 @@ class StorageEngine:
         # SSI validation happens before the commit point.  Read-only
         # transactions take the last allocated timestamp as their commit
         # position so concurrency stays decidable for later sweeps.
-        self.ssi.on_commit(
-            txn, self._last_commit_ts + 1 if written else self._last_commit_ts
-        )
+        last = self.oracle.last_commit_ts
+        self.ssi.on_commit(txn, last + 1 if written else last)
         commit_ts: int | None = None
         if written:
-            self._last_commit_ts += 1
-            commit_ts = self._last_commit_ts
-        record = self.wal.append(LogRecordType.COMMIT, txn, commit_ts=commit_ts)
+            commit_ts = self.oracle.allocate()
+        record = self.wal.append(
+            LogRecordType.COMMIT, txn, commit_ts=commit_ts,
+            participants=participants,
+        )
         self.wal.flush(record.lsn)  # write-ahead rule: commit is durable
         if commit_ts is not None:
             ctx.commit_ts = commit_ts
@@ -309,13 +384,20 @@ class StorageEngine:
                     (commit_ts, txn)
                 )
         ctx.status = TxnStatus.COMMITTED
-        self._active_snapshots.pop(txn, None)
+        self.oracle.release_snapshot(txn)
+        self._active_writers.discard(txn)
+        self.commit_count += 1
         self._notify(txn, "commit", "")
         woken = self.locks.release_all(txn) if self.locking else []
         if commit_ts is not None and self.vacuum_interval:
             self._commits_since_vacuum += 1
             if self._commits_since_vacuum >= self.vacuum_interval:
                 self.vacuum()
+        if commit_ts is not None and self.checkpoint_interval:
+            self._commits_since_checkpoint += 1
+            if self._commits_since_checkpoint >= self.checkpoint_interval:
+                if self.checkpoint() is not None:
+                    self._commits_since_checkpoint = 0
         return woken
 
     def abort(self, txn: int) -> list[int]:
@@ -357,7 +439,9 @@ class StorageEngine:
                 )
         self.wal.append(LogRecordType.ABORT, txn)
         ctx.status = TxnStatus.ABORTED
-        self._active_snapshots.pop(txn, None)
+        self.oracle.release_snapshot(txn)
+        self._active_writers.discard(txn)
+        self.abort_count += 1
         self.ssi.on_abort(txn)
         self._notify(txn, "abort", "")
         return self.locks.release_all(txn) if self.locking else []
@@ -472,19 +556,8 @@ class StorageEngine:
         self.mvcc_stats["snapshot_reads"] += 1
         self._ssi_observe_read(txn, access)
 
-    def _ssi_read_items(self, access: ReadAccess) -> list:
-        """The SSI item(s) one observed access covers, in the lock
-        manager's resource vocabulary (rows, index keys, table scans)."""
-        if access.kind is AccessKind.TABLE_SCAN:
-            return [table_resource(access.table)]
-        if access.kind is AccessKind.INDEX_KEY:
-            assert access.index is not None and access.key is not None
-            return [index_key_resource(access.table, access.index, access.key)]
-        assert access.rid is not None
-        return [RowId(access.table, access.rid)]
-
     def _ssi_observe_read(self, txn: int, access: ReadAccess) -> None:
-        self.ssi.record_read(txn, self._ssi_read_items(access))
+        self.ssi.record_read(txn, ssi_read_items(access))
 
     def _ssi_record_write(
         self,
@@ -584,17 +657,17 @@ class StorageEngine:
             return False
         if ctx.reads or ctx.writes or ctx.snapshot_pinned:
             return False
-        if ctx.read_ts == self._last_commit_ts:
+        if ctx.read_ts == self.oracle.last_commit_ts:
             return False
-        ctx.read_ts = self._last_commit_ts
-        self._active_snapshots[txn] = ctx.read_ts
+        ctx.read_ts = self.oracle.last_commit_ts
+        self.oracle.register_snapshot(txn, ctx.read_ts)
         self.ssi.refresh(txn, ctx.read_ts)
         self.mvcc_stats["snapshot_refreshes"] += 1
         return True
 
     def oldest_snapshot_ts(self) -> int:
         """The vacuum horizon: no active snapshot reads below this."""
-        return min(self._active_snapshots.values(), default=self._last_commit_ts)
+        return self.oracle.oldest_active()
 
     def vacuum(self, horizon: int | None = None) -> int:
         """Prune version chains up to ``horizon`` (default: the oldest
@@ -632,6 +705,80 @@ class StorageEngine:
             total += table_total
             longest = max(longest, table_longest)
         return {"versions": total, "max_chain": longest}
+
+    def chain_histograms(self) -> dict[str, dict[int, int]]:
+        """Per-table version-chain-length histograms (length -> #rids)."""
+        return {
+            name: self.db.table(name).chain_histogram()
+            for name in self.db.table_names()
+        }
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def checkpoint(self):
+        """Write a CHECKPOINT image and truncate the log before it.
+
+        The image captures the committed state (current rows with their
+        begin timestamps, per-table rid counters, the commit timeline and
+        the transaction-id counter); restart recovery restores it and
+        replays only the log suffix, so restart cost stops scaling with
+        history length.  Checkpoints are *quiescent*: taken only when no
+        active transaction holds writes — an active writer's pre-image
+        records would otherwise be truncated away while its COMMIT could
+        still land after the checkpoint.  Returns the CHECKPOINT record,
+        or None when skipped (an active writer exists).
+        """
+        if self._active_writers:
+            self.checkpoint_stats["skipped"] += 1
+            return None
+        image = CheckpointImage(
+            last_commit_ts=self.oracle.last_commit_ts,
+            next_txn=self._next_txn,
+            tables={
+                name: self.db.table(name).checkpoint_image()
+                for name in self.db.table_names()
+            },
+        )
+        record = self.wal.append(LogRecordType.CHECKPOINT, 0, image=image)
+        self.wal.flush(record.lsn)
+        self.wal.truncate_before(record.lsn)
+        self.checkpoint_stats["taken"] += 1
+        return record
+
+    # -- sharding protocol --------------------------------------------------------------
+
+    #: A plain engine is its own single shard; the sharded engine
+    #: overrides all of these.  Keeping them on the base protocol lets
+    #: the middle tier report per-shard counters uniformly.
+
+    @property
+    def n_shards(self) -> int:
+        return 1
+
+    def wals(self) -> list[WriteAheadLog]:
+        """Every WAL backing this engine (one per shard)."""
+        return [self.wal]
+
+    def durably_committed_txns(self) -> set[int]:
+        """Transactions whose commit survived to durable storage."""
+        return self.wal.committed_txns(durable_only=True)
+
+    def written_shards(self, txn: int) -> list[int]:
+        """Shard indexes ``txn`` wrote to (commit-flush cost accounting)."""
+        ctx = self._contexts.get(txn)
+        return [0] if ctx is not None and ctx.writes else []
+
+    def shards_touched(self, txn: int) -> int:
+        return 1
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard counters for RunReport (one entry per shard)."""
+        return [{
+            "commits": self.commit_count,
+            "aborts": self.abort_count,
+            "lock_waits": self.locks.stats["waits"],
+            "locks_acquired": self.locks.stats["acquired"],
+        }]
 
     def _check_write_conflict(self, ctx: TxnContext, table, rid: int) -> None:
         """First-updater-wins: a SNAPSHOT writer loses against any version
@@ -718,7 +865,17 @@ class StorageEngine:
 
     # -- writes -----------------------------------------------------------------------
 
-    def insert(self, txn: int, table_name: str, values: Sequence[Any]) -> Row:
+    def insert(
+        self,
+        txn: int,
+        table_name: str,
+        values: Sequence[Any],
+        *,
+        validated: bool = False,
+    ) -> Row:
+        """Insert a row.  ``validated=True`` skips re-canonicalization
+        for values the caller (the shard router) already passed through
+        ``schema.validate_row``."""
         ctx = self._context(txn)
         # IX on the table (conflicts with full scans but not with other
         # writers), IX on every index key the new row carries (conflicts
@@ -728,7 +885,9 @@ class StorageEngine:
         # untouched.
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
         table = self.db.table(table_name)
-        canonical = table.schema.validate_row(values)
+        canonical = (
+            tuple(values) if validated else table.schema.validate_row(values)
+        )
         keys = table.index_keys(canonical)
         self._lock_index_keys(txn, table_name, keys)
         row = table.insert(canonical, validated=True, writer=txn)
@@ -739,11 +898,18 @@ class StorageEngine:
         )
         ctx.undo.append(_UndoEntry(LogRecordType.INSERT, table_name, row.rid, None, row.values))
         ctx.writes.append(RowId(table_name, row.rid))
+        self._active_writers.add(txn)
         self._notify(txn, "write", table_name)
         return row
 
     def update(
-        self, txn: int, table_name: str, rid: int, values: Sequence[Any]
+        self,
+        txn: int,
+        table_name: str,
+        rid: int,
+        values: Sequence[Any],
+        *,
+        validated: bool = False,
     ) -> tuple[Row, Row]:
         ctx = self._context(txn)
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
@@ -758,7 +924,10 @@ class StorageEngine:
             # membership changes must conflict with key-S readers.  Keys
             # the row keeps are covered by the row X lock (any reader who
             # saw the row under that key holds row S).
-            canonical = table.schema.validate_row(values)
+            canonical = (
+                tuple(values) if validated
+                else table.schema.validate_row(values)
+            )
             old_keys = set(table.index_keys(table.get(rid).values))
             new_keys = set(table.index_keys(canonical))
             # Deterministic acquisition order; key=repr because key tuples
@@ -769,9 +938,14 @@ class StorageEngine:
             old, new = table.update(
                 rid, canonical, validated=True, writer=txn,
                 rekeyed=old_keys != new_keys,
+                prune_horizon=self.oracle.oldest_active(),
             )
         else:
-            old, new = table.update(rid, values, writer=txn)
+            old, new = table.update(
+                rid, values, validated=validated, writer=txn,
+                prune_horizon=self.oracle.oldest_active(),
+            )
+        self.mvcc_stats["supersede_prunes"] += table.take_supersede_pruned()
         # Both the vacated and the gained keys matter to SSI: a reader
         # who probed either key set observed state this write changes.
         self._ssi_record_write(
@@ -783,6 +957,7 @@ class StorageEngine:
         )
         ctx.undo.append(_UndoEntry(LogRecordType.UPDATE, table_name, rid, old.values, new.values))
         ctx.writes.append(RowId(table_name, rid))
+        self._active_writers.add(txn)
         self._notify(txn, "write", table_name)
         return old, new
 
@@ -799,13 +974,17 @@ class StorageEngine:
             self._lock_index_keys(
                 txn, table_name, table.index_keys(table.get(rid).values)
             )
-        old = table.delete(rid, writer=txn)
+        old = table.delete(
+            rid, writer=txn, prune_horizon=self.oracle.oldest_active()
+        )
+        self.mvcc_stats["supersede_prunes"] += table.take_supersede_pruned()
         self._ssi_record_write(txn, table_name, rid, table.index_keys(old.values))
         self.wal.append(
             LogRecordType.DELETE, txn, table_name, rid, old.values, None
         )
         ctx.undo.append(_UndoEntry(LogRecordType.DELETE, table_name, rid, old.values, None))
         ctx.writes.append(RowId(table_name, rid))
+        self._active_writers.add(txn)
         self._notify(txn, "write", table_name)
         return old
 
@@ -950,11 +1129,14 @@ class StorageEngine:
             Database(self.db.name),
             locking=self.locking,
             granularity=self.granularity,
+            ssi_tracking=self.ssi_tracking,
         )
         for schema in self.db.schemas():
             survivor.db.create_table(schema)
         survivor.wal = self.wal
         survivor._next_txn = self._next_txn
+        survivor.vacuum_interval = self.vacuum_interval
+        survivor.checkpoint_interval = self.checkpoint_interval
         return survivor
 
     # -- internals ------------------------------------------------------------------------

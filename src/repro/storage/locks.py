@@ -158,6 +158,20 @@ class LockManager:
             "read_grants": 0,
         }
 
+    def share_waits_for(self, graph: "dict[int, set[int]]") -> None:
+        """Adopt a shared waits-for graph (sharded ensembles).
+
+        Shard-local lock managers see only their own half of a
+        cross-shard wait cycle; pointing every shard's deadlock DFS at
+        one shared edge map makes the cycle visible to whichever shard
+        receives the closing request.  Transaction ids are globally
+        unique across shards, so edges compose without translation.
+        Must be called before any lock is requested.
+        """
+        if self._waits_for:
+            raise LockError("cannot share a waits-for graph mid-flight")
+        self._waits_for = graph
+
     # -- introspection -------------------------------------------------------------
 
     def holders(self, resource: Resource) -> dict[int, LockMode]:

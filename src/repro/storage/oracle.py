@@ -1,0 +1,75 @@
+"""The timestamp oracle: one shard's commit timeline.
+
+Extracted from :class:`~repro.storage.engine.StorageEngine` so the
+sharded engine (:mod:`repro.storage.sharding`) can give every shard its
+*own* independently-advancing timeline — the paper-adjacent observation
+(PAPERS.md, "Spacetime-Entangled Networks (I)") is that a reader
+spanning several such timelines needs one timestamp *per timeline* to
+observe a consistent cut; that vector is exactly what
+``ShardedStorageEngine`` assembles from its shards' oracles at ``begin``.
+
+A :class:`TimestampOracle` owns two pieces of state:
+
+* the **last allocated commit timestamp** — a monotone counter advanced
+  by every writing commit (:meth:`allocate`), and
+* the **active snapshot registry** — the read timestamps of live
+  snapshot transactions, whose minimum is the vacuum horizon
+  (:meth:`oldest_active`): no live snapshot reads below it, so version
+  chains may be pruned up to it.
+
+Single-threaded like the engine: no latching, calls never race.
+"""
+
+from __future__ import annotations
+
+
+class TimestampOracle:
+    """Commit-timestamp allocation plus active-snapshot bookkeeping."""
+
+    def __init__(self, start: int = 0):
+        self._last_commit_ts = start
+        #: txn -> read timestamp of its live snapshot.  Kept O(active)
+        #: so the vacuum horizon never scans every transaction ever begun.
+        self._active_snapshots: dict[int, int] = {}
+
+    # -- commit timeline ---------------------------------------------------------
+
+    @property
+    def last_commit_ts(self) -> int:
+        """The newest allocated commit timestamp (0 = only initial load)."""
+        return self._last_commit_ts
+
+    def allocate(self) -> int:
+        """Allocate the next commit timestamp (writing commits only)."""
+        self._last_commit_ts += 1
+        return self._last_commit_ts
+
+    def advance_to(self, commit_ts: int) -> None:
+        """Fast-forward the timeline (recovery replaying logged commits)."""
+        self._last_commit_ts = max(self._last_commit_ts, commit_ts)
+
+    # -- active snapshots ----------------------------------------------------------
+
+    def register_snapshot(self, txn: int, read_ts: int) -> None:
+        """Record (or move) ``txn``'s live snapshot at ``read_ts``."""
+        self._active_snapshots[txn] = read_ts
+
+    def release_snapshot(self, txn: int) -> None:
+        """Drop ``txn``'s snapshot from the horizon (commit/abort)."""
+        self._active_snapshots.pop(txn, None)
+
+    def snapshot_of(self, txn: int) -> int | None:
+        return self._active_snapshots.get(txn)
+
+    def active_count(self) -> int:
+        return len(self._active_snapshots)
+
+    def oldest_active(self) -> int:
+        """The vacuum horizon: no live snapshot reads below this."""
+        return min(self._active_snapshots.values(), default=self._last_commit_ts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimestampOracle(last_commit_ts={self._last_commit_ts}, "
+            f"active={len(self._active_snapshots)})"
+        )

@@ -62,9 +62,36 @@ def recover(
     *committed* transactions to be rolled back anyway (widowed group
     members).  Their redo still happens (repeating history) and their
     effects are then undone.
+
+    Sharded engines (anything exposing ``.shards``) recover shard by
+    shard — each per-shard WAL replays independently against its own
+    oracle, reconverging to the exact pre-crash vector state — after a
+    cross-shard analysis pass demotes *torn* transactions (COMMIT durable
+    in some written shards but lost in others), which keeps cross-shard
+    atomicity through the crash.
     """
+    shards = getattr(engine, "shards", None)
+    if shards is not None:
+        from repro.storage.sharding import recover_sharded
+
+        return recover_sharded(engine, demote_to_loser=set(demote_to_loser))
     report = RecoveryReport()
     log = engine.wal
+
+    # ---- checkpoint: restore the newest durable image, if any ----
+    # Everything at/before the checkpoint is reflected in its image
+    # (checkpoints are quiescent, so no transaction straddles one); only
+    # the log suffix after it is analyzed and replayed — restart cost is
+    # bounded by work since the last checkpoint, not total history.
+    ckpt = log.last_checkpoint(durable_only=True)
+    ckpt_lsn = 0
+    if ckpt is not None:
+        ckpt_lsn = ckpt.lsn
+        image = ckpt.image
+        for name, table_image in image.tables.items():
+            engine.db.table(name).restore_checkpoint(table_image)
+        engine.oracle.advance_to(image.last_commit_ts)
+        engine._next_txn = max(engine._next_txn, image.next_txn)
 
     # ---- analysis ----
     committed = log.committed_txns(durable_only=True)
@@ -83,7 +110,7 @@ def recover(
     undo_stack: list[LogRecord] = []
     touched_tables: dict[int, set[str]] = {}
     for record in log.records(durable_only=True):
-        if record.type in (
+        if record.lsn <= ckpt_lsn or record.type in (
             LogRecordType.BEGIN,
             LogRecordType.COMMIT,
             LogRecordType.ABORT,

@@ -1,0 +1,1313 @@
+"""The sharded storage engine: N shard-local engines behind one router.
+
+This is the scaling step the ROADMAP's sharding item asks for: version
+chains + commit timestamps are the natural unit of replication, so each
+**shard** here is a complete :class:`~repro.storage.engine.StorageEngine`
+— its own lock manager, version chains, write-ahead log, and
+:class:`~repro.storage.oracle.TimestampOracle` — holding the subset of
+every table's rows whose *routing key* hashes to it.  Shards commit
+independently; coordination happens only when a transaction actually
+crosses shard boundaries.
+
+Routing
+-------
+
+A row's routing key is its primary key when the table has one (so a pk
+probe is answered by exactly one shard, and pk uniqueness stays a
+shard-local check), else its first secondary-index key, else the whole
+value tuple.  The hash is ``zlib.crc32`` over a canonicalized repr —
+stable across processes and insensitive to int/float spelling of the
+same number.  Rows of pk-less tables never migrate (reads of those
+tables consult every shard anyway); a pk *update* that re-routes the key
+executes as delete-at-source + insert-at-destination inside the same
+transaction.
+
+Row ids are namespaced — shard *i* of *N* assigns rids ``i+1, i+1+N,
+...`` — so a rid names its shard in O(1) and ``RowId`` lock/SSI
+resources stay globally unique with zero coordination.
+
+Vector snapshots
+----------------
+
+Each shard's oracle advances independently, so "the database at time t"
+is not a single number.  A ``SNAPSHOT``/``SERIALIZABLE`` transaction
+therefore captures a **vector** of begin timestamps — one per shard —
+at ``begin``, the classical vector-clock consistent cut (cf. PAPERS.md,
+"Spacetime-Entangled Networks (I)": observers of independently-stepping
+timelines need one coordinate per timeline).  Every shard-local read is
+served at that shard's vector component, so cross-shard reads observe a
+consistent cut: the engine is single-threaded, hence the vector equals
+the global prefix of commits at begin-time, and observational
+equivalence with the single-shard engine holds (property-tested).
+
+Shard-local transactions are begun lazily — a single-shard transaction
+touches exactly its home shard and pays nothing for the others — but the
+vector (and the vacuum-horizon registration in every shard's oracle) is
+captured eagerly, so a lazily-begun shard transaction still reads the
+original cut.
+
+Cross-shard commit
+------------------
+
+Commit is an ordered two-phase prepare.  Phase 1 validates the commit
+with **no side effects**: the single *global* SSI tracker (below) checks
+the would-be dangerous structures exactly as the single-shard engine
+does (including group validation for entanglement groups).  Phase 2
+commits the shard-local transactions in shard order, each allocating its
+shard's next commit timestamp and flushing its shard's WAL.  The engine
+is single-threaded, so nothing interleaves between the phases; a crash
+between shard flushes is still possible in principle, so sharded restart
+recovery demotes *torn* transactions (COMMIT durable in some written
+shard but not all) before replaying each shard's WAL independently.
+
+Global SSI
+----------
+
+rw-antidependencies do not respect shard boundaries (T1 reads x on shard
+A and writes y on shard B; T2 the converse — each shard alone sees only
+half the dangerous structure).  The sharded engine therefore runs ONE
+:class:`~repro.storage.ssi.SSITracker` over a **global commit sequence**
+(one tick per writing commit, any shard); per-shard trackers are
+disabled (``ssi_tracking=False``).  Items reuse the lock-manager
+vocabulary unchanged — rid namespacing makes ``RowId`` globally unique,
+and index-key/table items name the same logical objects in every shard.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import TransactionStateError, UnknownTableError
+from repro.storage.catalog import Database, _sort_key
+from repro.storage.engine import (
+    LockGranularity,
+    StorageEngine,
+    TxnIsolation,
+    TxnStatus,
+    ssi_read_items,
+)
+from repro.storage.expressions import Expr
+from repro.storage.locks import LockMode, table_resource, index_key_resource
+from repro.storage.query import (
+    ReadAccess,
+    AccessKind,
+    SPJQuery,
+    equality_bindings,
+    evaluate,
+    index_path_for,
+)
+from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.row import Row, RowId, ValueTuple
+from repro.storage.schema import TableSchema
+from repro.storage.snapshot import SnapshotView
+from repro.storage.ssi import SSITracker
+from repro.storage.table import Table
+from repro.storage.types import SQLValue
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+
+# -- routing ------------------------------------------------------------------------
+
+
+def _canonical_key(key: Sequence) -> str:
+    """A stable, type-insensitive spelling of a routing key.
+
+    Numeric values that compare equal (``1`` vs ``1.0``) must route to
+    the same shard — the hash indexes treat them as the same key — and
+    the result must not depend on the process hash seed (ints/strs hash
+    differently across runs; crc32 of this repr does not).
+    """
+    parts = []
+    for value in key:
+        if isinstance(value, bool):
+            parts.append(f"b:{int(value)}")
+        elif isinstance(value, (int, float)):
+            parts.append(f"n:{float(value)!r}")
+        elif value is None:
+            parts.append("null")
+        else:
+            parts.append(f"{type(value).__name__}:{value!r}")
+    return "|".join(parts)
+
+
+def shard_for_key(key: Sequence, n_shards: int, table_name: str = "") -> int:
+    """The home shard of a routing key (deterministic, process-stable).
+
+    Deliberately *not* salted by the table name: equal key values
+    co-locate across tables (an account row and its journal entries land
+    on one shard — classical co-partitioning by join key), which is what
+    lets the router pin a whole single-key transaction to its home
+    shard.  ``table_name`` is accepted for future partition-scheme
+    overrides but unused by the default scheme.
+    """
+    del table_name
+    return zlib.crc32(_canonical_key(key).encode()) % n_shards
+
+
+# -- union views over the shards ----------------------------------------------------
+
+
+class ShardedTableView:
+    """The live union of one table's shard-local fragments.
+
+    Implements the read interface the SPJ evaluator (and the grounding
+    facade) consume: pk probes route to the key's home shard, index
+    probes and scans union every shard, all in deterministic rid order.
+    """
+
+    def __init__(self, engine: "ShardedStorageEngine", name: str):
+        self._engine = engine
+        self._name = name
+        self.schema = engine.shards[0].db.table(name).schema
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _tables(self) -> list[Table]:
+        return [s.db.table(self._name) for s in self._engine.shards]
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._tables())
+
+    def scan(self) -> Iterator[Row]:
+        rows = [row for t in self._tables() for row in t.scan()]
+        return iter(sorted(rows, key=lambda r: r.rid))
+
+    def lookup_pk(self, key: tuple) -> Row | None:
+        home = self._engine.route_key(self._name, key)
+        return self._engine.shards[home].db.table(self._name).lookup_pk(key)
+
+    def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
+        rows = [
+            row
+            for t in self._tables()
+            for row in t.lookup_index(column_names, key)
+        ]
+        return sorted(rows, key=lambda r: r.rid)
+
+    def has_index(self, column_names: Sequence[str]) -> bool:
+        return self._tables()[0].has_index(column_names)
+
+    def canonical_index(self, column_names: Sequence[str]) -> tuple[str, ...]:
+        return self._tables()[0].canonical_index(column_names)
+
+    def index_keys(self, values: ValueTuple):
+        return self._tables()[0].index_keys(values)
+
+
+class ShardedDatabase:
+    """The TableProvider facade over every shard's catalog.
+
+    This is what the middle tier sees as ``store.db``: compile against
+    its schemas, evaluate 2PL reads through its union views, create
+    tables through it (fanned out to every shard).
+    """
+
+    def __init__(self, engine: "ShardedStorageEngine"):
+        self._engine = engine
+
+    @property
+    def name(self) -> str:
+        return self._engine.shards[0].db.name
+
+    def create_table(self, schema: TableSchema) -> ShardedTableView:
+        return self._engine.create_table(schema)
+
+    def has_table(self, name: str) -> bool:
+        return self._engine.shards[0].db.has_table(name)
+
+    def table(self, name: str) -> ShardedTableView:
+        if not self.has_table(name):
+            raise UnknownTableError(f"no table {name!r}")
+        return ShardedTableView(self._engine, name)
+
+    def table_names(self) -> list[str]:
+        return self._engine.shards[0].db.table_names()
+
+    def schemas(self) -> list[TableSchema]:
+        return self._engine.shards[0].db.schemas()
+
+    def snapshot(self) -> dict[str, list[tuple[int, ValueTuple]]]:
+        """Deep union snapshot (rid-keyed; rids are globally unique)."""
+        merged: dict[str, list[tuple[int, ValueTuple]]] = {}
+        for name in self.table_names():
+            rows: list[tuple[int, ValueTuple]] = []
+            for shard in self._engine.shards:
+                rows.extend(shard.db.table(name).snapshot())
+            merged[name] = sorted(rows)
+        return merged
+
+    def content_equal(self, other) -> bool:
+        """Value-multiset equality against a Database or another facade."""
+        if set(self.table_names()) != set(other.table_names()):
+            return False
+        for name in self.table_names():
+            mine = sorted(
+                (row.values for row in self.table(name).scan()), key=_sort_key
+            )
+            theirs = sorted(
+                (row.values for row in other.table(name).scan()), key=_sort_key
+            )
+            if mine != theirs:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedDatabase(shards={len(self._engine.shards)})"
+
+
+class ShardedSnapshotView:
+    """One table's union snapshot at a vector of shard timestamps."""
+
+    def __init__(
+        self, engine: "ShardedStorageEngine", name: str, txn: int,
+        vector: Sequence[int],
+    ):
+        self._engine = engine
+        self._name = name
+        self._txn = txn
+        self._vector = tuple(vector)
+        self.schema = engine.shards[0].db.table(name).schema
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _views(self) -> list[SnapshotView]:
+        return [
+            SnapshotView(shard.db.table(self._name), self._txn, read_ts)
+            for shard, read_ts in zip(self._engine.shards, self._vector)
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def scan(self) -> Iterator[Row]:
+        rows = [row for view in self._views() for row in view.scan()]
+        return iter(sorted(rows, key=lambda r: r.rid))
+
+    def lookup_pk(self, key: tuple) -> Row | None:
+        # A row carrying pk ``key`` can only ever have lived in the key's
+        # home shard (inserts route there; re-routing pk updates migrate
+        # the row), so one shard's versioned probe answers exactly.
+        home = self._engine.route_key(self._name, key)
+        return SnapshotView(
+            self._engine.shards[home].db.table(self._name),
+            self._txn, self._vector[home],
+        ).lookup_pk(key)
+
+    def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
+        rows = [
+            row
+            for view in self._views()
+            for row in view.lookup_index(column_names, key)
+        ]
+        return sorted(rows, key=lambda r: r.rid)
+
+    def has_index(self, column_names: Sequence[str]) -> bool:
+        return self._engine.shards[0].db.table(self._name).has_index(column_names)
+
+    def canonical_index(self, column_names: Sequence[str]) -> tuple[str, ...]:
+        return self._engine.shards[0].db.table(self._name).canonical_index(
+            column_names
+        )
+
+
+class ShardedSnapshotDatabase:
+    """TableProvider serving every table at one transaction's vector cut."""
+
+    def __init__(
+        self, engine: "ShardedStorageEngine", txn: int, vector: Sequence[int]
+    ):
+        self._engine = engine
+        self.txn = txn
+        self.vector = tuple(vector)
+
+    def table(self, name: str) -> ShardedSnapshotView:
+        return ShardedSnapshotView(self._engine, name, self.txn, self.vector)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedSnapshotDatabase(txn={self.txn}, vector={self.vector})"
+
+
+# -- transaction bookkeeping ---------------------------------------------------------
+
+
+@dataclass
+class ShardedTxnContext:
+    """Coordinator-level book-keeping for one global transaction."""
+
+    txn_id: int
+    isolation: TxnIsolation
+    #: global commit-sequence number at begin (the SSI/reads-from cut).
+    read_seq: int
+    #: per-shard begin timestamps — the vector snapshot.
+    vector: tuple[int, ...]
+    status: TxnStatus = TxnStatus.ACTIVE
+    #: global commit-sequence number stamped at commit (writers only).
+    commit_seq: int | None = None
+    snapshot_pinned: bool = False
+    #: shards with a begun shard-local transaction, in begin order.
+    begun: list[int] = field(default_factory=list)
+    #: shards this transaction wrote in.
+    written: set[int] = field(default_factory=set)
+    reads: list[str] = field(default_factory=list)
+    writes: list[RowId] = field(default_factory=list)
+
+    def written_tables(self) -> list[str]:
+        return sorted({w.table for w in self.writes})
+
+
+class _AggregateLocks:
+    """Read-only facade summing the shard lock managers for reporting."""
+
+    def __init__(self, engine: "ShardedStorageEngine"):
+        self._engine = engine
+
+    @property
+    def stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self._engine.shards:
+            for key, value in shard.locks.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def waiting(self, txn: int) -> bool:
+        return any(shard.locks.waiting(txn) for shard in self._engine.shards)
+
+    def held_resources(self, txn: int):
+        held = set()
+        for shard in self._engine.shards:
+            held |= shard.locks.held_resources(txn)
+        return frozenset(held)
+
+
+# -- the engine ----------------------------------------------------------------------
+
+
+class ShardedStorageEngine:
+    """N shard-local engines behind the :class:`StorageEngine` protocol.
+
+    Drop-in for the single-shard engine everywhere the middle tier uses
+    one: the run-based scheduler, the interactive broker, the recovery
+    manager and the benchmarks all work unchanged (``n_shards=1`` is the
+    degenerate configuration, property-tested observationally equivalent
+    to a plain :class:`StorageEngine`).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        locking: bool = True,
+        granularity: LockGranularity = LockGranularity.FINE,
+        shards: "list[StorageEngine] | None" = None,
+    ):
+        if shards is not None:
+            self.shards = shards
+        else:
+            if n_shards < 1:
+                raise TransactionStateError(f"need >= 1 shard, got {n_shards}")
+            self.shards = [
+                StorageEngine(
+                    Database(f"shard{i}"),
+                    locking=locking,
+                    granularity=granularity,
+                    ssi_tracking=False,
+                )
+                for i in range(n_shards)
+            ]
+        self.locking = locking
+        self.granularity = granularity
+        # One waits-for graph across all shard lock managers: a 2PL
+        # wait cycle that spans shards (A blocks in shard 0, B in shard
+        # 1) is invisible to either manager alone; sharing the edge map
+        # lets the closing request raise DeadlockError exactly as it
+        # would on a single-shard engine.
+        shared_waits: dict[int, set[int]] = defaultdict(set)
+        for shard in self.shards:
+            shard.locks.share_waits_for(shared_waits)
+        self.locks = _AggregateLocks(self)
+        self.db = ShardedDatabase(self)
+        #: the single global SSI tracker (see module docstring) running
+        #: on the global commit sequence.
+        self.ssi = SSITracker()
+        self._contexts: dict[int, ShardedTxnContext] = {}
+        #: active transactions holding writes (O(1) checkpoint
+        #: quiescence test, mirroring StorageEngine._active_writers).
+        self._active_writers: set[int] = set()
+        self._next_txn = 1
+        #: global commit sequence: one tick per writing commit, any shard.
+        self._commit_seq = 0
+        #: active snapshot transactions' read_seq (global reads-from GC).
+        self._active_seqs: dict[int, int] = {}
+        #: per-table committed-writer log on the global sequence.
+        self._table_writers: dict[str, list[tuple[int, int]]] = {}
+        self.observers: list[Callable[[int, str, str, "int | None"], None]] = []
+        self._mvcc_local = {"snapshot_reads": 0, "snapshot_refreshes": 0}
+        self.commit_count = 0
+        self.abort_count = 0
+        self.cross_shard_commit_count = 0
+        #: ensemble checkpoint cadence (writing commits between
+        #: checkpoints; 0 disables).  Shard-local auto-checkpoints stay
+        #: OFF: one shard truncating alone would erase the
+        #: participant-stamped COMMIT records (and entanglement-group
+        #: markers) that torn-commit analysis and group recovery read
+        #: from the *other* shards' perspective — see :meth:`checkpoint`.
+        self._checkpoint_interval = 0
+        self._commits_since_checkpoint = 0
+        for shard in self.shards:
+            shard.checkpoint_interval = 0
+        # Any pre-existing shard state (crash survivors) must keep the
+        # rid namespaces; fresh shards get them at create_table time.
+        for i, shard in enumerate(self.shards):
+            for name in shard.db.table_names():
+                table = shard.db.table(name)
+                if not len(table) and not table.version_chains():
+                    table.set_rid_namespace(i + 1, len(self.shards))
+
+    # -- routing -----------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def route_key(self, table_name: str, key: Sequence) -> int:
+        """The home shard of a (primary) routing key."""
+        return shard_for_key(key, self.n_shards, table_name)
+
+    def route_row(self, table_name: str, canonical: ValueTuple) -> int:
+        """The shard a freshly inserted row belongs to."""
+        schema = self.shards[0].db.table(table_name).schema
+        key = schema.key_of(canonical)
+        if key is None:
+            for columns in schema.indexes:
+                positions = [schema.column_index(c) for c in columns]
+                key = tuple(canonical[p] for p in positions)
+                break
+            else:
+                key = canonical
+        return self.route_key(table_name, key)
+
+    def shard_of_rid(self, rid: int) -> int:
+        """Rid namespacing: shard *i* assigns rids ``i+1 (mod N)``."""
+        return (rid - 1) % self.n_shards
+
+    # -- DDL / loading -------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> ShardedTableView:
+        for i, shard in enumerate(self.shards):
+            table = shard.create_table(schema)
+            table.set_rid_namespace(i + 1, self.n_shards)
+        return ShardedTableView(self, schema.name)
+
+    def load(self, table: str, rows: Iterable[Sequence]) -> int:
+        txn = self.begin()
+        count = 0
+        for values in rows:
+            self.insert(txn, table, values)
+            count += 1
+        self.commit(txn)
+        return count
+
+    # -- transaction lifecycle ------------------------------------------------------
+
+    def begin(self, isolation: TxnIsolation = TxnIsolation.TWO_PL) -> int:
+        txn = self._next_txn
+        self._next_txn += 1
+        vector = tuple(s.oracle.last_commit_ts for s in self.shards)
+        ctx = ShardedTxnContext(
+            txn, isolation, read_seq=self._commit_seq, vector=vector
+        )
+        self._contexts[txn] = ctx
+        if isolation.uses_snapshot:
+            # The vector is captured (and pinned into every shard's
+            # vacuum horizon) eagerly even though shard-local
+            # transactions begin lazily: the cut must be the begin-time
+            # one, and no shard may prune below it meanwhile.
+            self._active_seqs[txn] = ctx.read_seq
+            for shard, read_ts in zip(self.shards, vector):
+                shard.oracle.register_snapshot(txn, read_ts)
+        self.ssi.begin(
+            txn, ctx.read_seq,
+            serializable=isolation is TxnIsolation.SERIALIZABLE,
+        )
+        return txn
+
+    def _context(self, txn: int) -> ShardedTxnContext:
+        try:
+            ctx = self._contexts[txn]
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn}") from None
+        if ctx.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {txn} is {ctx.status.value}, not active"
+            )
+        return ctx
+
+    def context(self, txn: int) -> ShardedTxnContext:
+        try:
+            return self._contexts[txn]
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn}") from None
+
+    def isolation_of(self, txn: int) -> TxnIsolation:
+        return self.context(txn).isolation
+
+    def status(self, txn: int) -> TxnStatus:
+        return self.context(txn).status
+
+    def _ensure_shard_txn(self, txn: int, shard_idx: int) -> StorageEngine:
+        """Begin ``txn``'s shard-local transaction on first touch."""
+        ctx = self._context(txn)
+        shard = self.shards[shard_idx]
+        if shard_idx not in ctx.begun:
+            shard.begin(
+                ctx.isolation, txn_id=txn, read_ts=ctx.vector[shard_idx]
+            )
+            ctx.begun.append(shard_idx)
+        return shard
+
+    def commit(self, txn: int) -> list[int]:
+        """Ordered two-phase commit across the touched shards.
+
+        Phase 1 — validate with no side effects: the global SSI tracker
+        raises :class:`~repro.errors.SerializationFailureError` before
+        any shard committed anything (the caller aborts and retries).
+        Phase 2 — commit each begun shard in shard order; each allocates
+        its own commit timestamp and flushes its own WAL.  Single-
+        threaded, so nothing interleaves between the phases.
+        """
+        ctx = self._context(txn)
+        written = sorted(ctx.written)
+        self.ssi.on_commit(
+            txn, self._commit_seq + 1 if written else self._commit_seq
+        )
+        # Cross-shard writers stamp the participant set on every shard's
+        # COMMIT record: a crash between the per-shard flushes leaves at
+        # least one durable COMMIT naming the shards that must also have
+        # one, which is how recovery detects (and rolls back) torn
+        # commits.
+        participants = tuple(written) if len(written) > 1 else None
+        woken: list[int] = []
+        for shard_idx in sorted(ctx.begun):
+            woken.extend(
+                self.shards[shard_idx].commit(txn, participants=participants)
+            )
+        if written:
+            self._commit_seq += 1
+            ctx.commit_seq = self._commit_seq
+            for name in ctx.written_tables():
+                self._table_writers.setdefault(name, []).append(
+                    (self._commit_seq, txn)
+                )
+            if len(written) > 1:
+                self.cross_shard_commit_count += 1
+        if ctx.isolation.uses_snapshot:
+            self._active_seqs.pop(txn, None)
+            for shard in self.shards:
+                shard.oracle.release_snapshot(txn)
+        ctx.status = TxnStatus.COMMITTED
+        self._active_writers.discard(txn)
+        self.commit_count += 1
+        self._notify(txn, "commit", "")
+        if written and self._checkpoint_interval:
+            self._commits_since_checkpoint += 1
+            if self._commits_since_checkpoint >= self._checkpoint_interval:
+                if self.checkpoint():
+                    self._commits_since_checkpoint = 0
+        return woken
+
+    def abort(self, txn: int) -> list[int]:
+        ctx = self._context(txn)
+        woken: list[int] = []
+        for shard_idx in sorted(ctx.begun):
+            woken.extend(self.shards[shard_idx].abort(txn))
+        if ctx.isolation.uses_snapshot:
+            self._active_seqs.pop(txn, None)
+            for shard in self.shards:
+                shard.oracle.release_snapshot(txn)
+        ctx.status = TxnStatus.ABORTED
+        self._active_writers.discard(txn)
+        self.abort_count += 1
+        self.ssi.on_abort(txn)
+        self._notify(txn, "abort", "")
+        return woken
+
+    # -- locking ---------------------------------------------------------------------
+
+    def _shards_for_access(self, access: ReadAccess) -> list[int]:
+        """Which shards one observed read access covers.
+
+        pk-key probes pin the key's home shard (the only shard a row
+        with that key can live in); row accesses pin the rid's shard;
+        scans and non-pk index probes observe every shard's state.
+        """
+        if access.kind is AccessKind.ROW:
+            assert access.rid is not None
+            return [self.shard_of_rid(access.rid)]
+        if access.kind is AccessKind.INDEX_KEY:
+            schema = self.shards[0].db.table(access.table).schema
+            if access.index == tuple(schema.primary_key):
+                assert access.key is not None
+                return [self.route_key(access.table, access.key)]
+        return list(range(self.n_shards))
+
+    def lock_read_access(self, txn: int, access: ReadAccess) -> None:
+        for shard_idx in self._shards_for_access(access):
+            shard = self._ensure_shard_txn(txn, shard_idx)
+            shard.lock_read_access(txn, access)
+
+    def lock_table_shared(self, txn: int, table: str) -> None:
+        for shard_idx in range(self.n_shards):
+            shard = self._ensure_shard_txn(txn, shard_idx)
+            shard.lock_table_shared(txn, table)
+
+    def release_read_locks(self, txn: int) -> list[int]:
+        ctx = self._context(txn)
+        woken: list[int] = []
+        for shard_idx in ctx.begun:
+            woken.extend(self.shards[shard_idx].release_read_locks(txn))
+        return woken
+
+    # -- MVCC / SSI helpers ------------------------------------------------------------
+
+    def snapshot_provider(self, txn: int) -> ShardedSnapshotDatabase:
+        ctx = self._context(txn)
+        return ShardedSnapshotDatabase(self, txn, ctx.vector)
+
+    def observe_snapshot_read(self, txn: int, access: ReadAccess) -> None:
+        self._mvcc_local["snapshot_reads"] += 1
+        self.ssi.record_read(txn, ssi_read_items(access))
+
+    def serialization_doomed(self, txn: int) -> bool:
+        return self.ssi.serialization_doomed(txn)
+
+    def serialization_doomed_group(self, txns: Sequence[int]) -> bool:
+        return self.ssi.group_doomed(txns)
+
+    def grounding_hooks(self, txn: int):
+        if self.isolation_of(txn).uses_snapshot:
+            return (
+                lambda access, storage_txn=txn:
+                self.observe_snapshot_read(storage_txn, access),
+                self.snapshot_provider(txn),
+            )
+        return (
+            lambda access, storage_txn=txn:
+            self.lock_read_access(storage_txn, access),
+            None,
+        )
+
+    def reads_from(self, txn: int, table: str) -> int | None:
+        """Version attribution on the *global* commit sequence.
+
+        The vector cut is captured atomically at begin (single-threaded
+        engine), so it equals the global prefix of commits at that
+        instant — the last global writer at/below the transaction's
+        begin sequence is exactly the writer whose table state the
+        vector observes, whichever shards it wrote.
+        """
+        ctx = self.context(txn)
+        if not ctx.isolation.uses_snapshot:
+            return None
+        for commit_seq, writer in reversed(self._table_writers.get(table, ())):
+            if commit_seq <= ctx.read_seq:
+                return writer
+        return 0
+
+    def pin_snapshot(self, txn: int) -> None:
+        self._context(txn).snapshot_pinned = True
+
+    def refresh_snapshot(self, txn: int) -> bool:
+        ctx = self._context(txn)
+        if not ctx.isolation.uses_snapshot:
+            return False
+        if ctx.reads or ctx.writes or ctx.snapshot_pinned:
+            return False
+        vector = tuple(s.oracle.last_commit_ts for s in self.shards)
+        if ctx.read_seq == self._commit_seq and ctx.vector == vector:
+            return False
+        ctx.vector = vector
+        ctx.read_seq = self._commit_seq
+        self._active_seqs[txn] = ctx.read_seq
+        for shard, read_ts in zip(self.shards, vector):
+            shard.oracle.register_snapshot(txn, read_ts)
+        for shard_idx in ctx.begun:
+            self.shards[shard_idx].refresh_snapshot(txn)
+        self.ssi.refresh(txn, ctx.read_seq)
+        self._mvcc_local["snapshot_refreshes"] += 1
+        return True
+
+    def oldest_snapshot_vector(self) -> tuple[int, ...]:
+        """Per-shard vacuum horizons (each shard's oldest registration)."""
+        return tuple(s.oracle.oldest_active() for s in self.shards)
+
+    def oldest_snapshot_ts(self) -> int:
+        """The most conservative component of the horizon vector."""
+        return min(self.oldest_snapshot_vector())
+
+    def vacuum(self, horizon: int | None = None) -> int:
+        """Vacuum every shard.
+
+        An explicit ``horizon`` is a *scalar* against N independent
+        timelines, so it is clamped per shard to that shard's own last
+        commit timestamp: the intended semantics — force snapshots older
+        than the horizon to restart — survive, while a fast shard's
+        large timestamp can no longer push a slow shard's prune floor
+        beyond its entire timeline (which would poison every future
+        snapshot there with SnapshotTooOldError).
+        """
+        removed = 0
+        for shard in self.shards:
+            removed += shard.vacuum(
+                None if horizon is None
+                else min(horizon, shard.oracle.last_commit_ts)
+            )
+        # Trim the global reads-from log exactly as the single-shard
+        # engine trims its per-table writer log: keep the newest entry
+        # at-or-below every live snapshot's sequence.
+        seq_horizon = min(self._active_seqs.values(), default=self._commit_seq)
+        for log in self._table_writers.values():
+            cut = 0
+            for i, (commit_seq, _writer) in enumerate(log):
+                if commit_seq <= seq_horizon:
+                    cut = i
+                else:
+                    break
+            if cut:
+                del log[:cut]
+        return removed
+
+    def version_stats(self) -> dict[str, int]:
+        total = 0
+        longest = 0
+        for shard in self.shards:
+            stats = shard.version_stats()
+            total += stats["versions"]
+            longest = max(longest, stats["max_chain"])
+        return {"versions": total, "max_chain": longest}
+
+    def chain_histograms(self) -> dict[str, dict[int, int]]:
+        merged: dict[str, dict[int, int]] = {}
+        for shard in self.shards:
+            for name, histogram in shard.chain_histograms().items():
+                bucket = merged.setdefault(name, {})
+                for length, count in histogram.items():
+                    bucket[length] = bucket.get(length, 0) + count
+        return merged
+
+    @property
+    def mvcc_stats(self) -> dict[str, int]:
+        totals = dict(self._mvcc_local)
+        totals.setdefault("write_conflicts", 0)
+        totals.setdefault("supersede_prunes", 0)
+        for shard in self.shards:
+            for key in ("write_conflicts", "supersede_prunes"):
+                totals[key] += shard.mvcc_stats[key]
+            totals["snapshot_reads"] += shard.mvcc_stats["snapshot_reads"]
+            totals["snapshot_refreshes"] += shard.mvcc_stats[
+                "snapshot_refreshes"
+            ]
+        return totals
+
+    @property
+    def vacuum_interval(self) -> int:
+        return self.shards[0].vacuum_interval
+
+    @vacuum_interval.setter
+    def vacuum_interval(self, value: int) -> None:
+        for shard in self.shards:
+            shard.vacuum_interval = value
+
+    @property
+    def checkpoint_interval(self) -> int:
+        return self._checkpoint_interval
+
+    @checkpoint_interval.setter
+    def checkpoint_interval(self, value: int) -> None:
+        # Deliberately NOT forwarded to the shards: sharded checkpoints
+        # must be ensemble-wide (see :meth:`checkpoint`).
+        self._checkpoint_interval = value
+
+    def checkpoint(self) -> list:
+        """Checkpoint the whole ensemble at one quiescent instant.
+
+        Shards must never truncate independently: shard A's truncation
+        would erase A's copy of a cross-shard COMMIT while shard B's
+        copy still names A as a participant — restart recovery would
+        misread the (fully committed) transaction as torn and roll back
+        B's half; the entanglement-group markers scattered over the
+        shard WALs have the same problem.  Checkpointing every shard at
+        the same globally-quiescent point keeps the evidence consistent:
+        a pre-checkpoint commit disappears from *every* WAL at once
+        (fully subsumed by the images), a post-checkpoint one is fully
+        present.  Returns the per-shard CHECKPOINT records, or [] when
+        skipped (some transaction holds writes).
+        """
+        if self._active_writers:
+            for shard in self.shards:
+                shard.checkpoint_stats["skipped"] += 1
+            return []
+        records = [shard.checkpoint() for shard in self.shards]
+        assert all(record is not None for record in records), (
+            "shard checkpoint skipped despite global quiescence"
+        )
+        return records
+
+    @property
+    def checkpoint_stats(self) -> dict[str, int]:
+        totals = {"taken": 0, "skipped": 0}
+        for shard in self.shards:
+            for key in totals:
+                totals[key] += shard.checkpoint_stats[key]
+        return totals
+
+    # -- reads --------------------------------------------------------------------------
+
+    def query(
+        self,
+        txn: int,
+        query: SPJQuery,
+        params: Mapping[str, "SQLValue | None"] | None = None,
+    ) -> list[tuple["SQLValue | None", ...]]:
+        ctx = self._context(txn)
+        seen_tables: set[str] = set()
+
+        if ctx.isolation.uses_snapshot:
+            provider = self.snapshot_provider(txn)
+
+            def observe_snapshot(access: ReadAccess) -> None:
+                self.observe_snapshot_read(txn, access)
+                if access.table not in seen_tables:
+                    seen_tables.add(access.table)
+                    reads_from = self.reads_from(txn, access.table)
+                    ctx.reads.append(access.table)
+                    self._notify(
+                        txn, "read", access.table, reads_from=reads_from
+                    )
+
+            return evaluate(query, provider, params,
+                            read_observer=observe_snapshot)
+
+        def observe(access: ReadAccess) -> None:
+            self.lock_read_access(txn, access)
+            if access.table not in seen_tables:
+                seen_tables.add(access.table)
+                ctx.reads.append(access.table)
+                self._notify(txn, "read", access.table)
+
+        return evaluate(query, self.db, params, read_observer=observe)
+
+    def read_table(self, txn: int, table: str) -> list[Row]:
+        ctx = self._context(txn)
+        if ctx.isolation.uses_snapshot:
+            view = self.snapshot_provider(txn).table(table)
+            reads_from = self.reads_from(txn, table)
+            ctx.reads.append(table)
+            self._notify(txn, "read", table, reads_from=reads_from)
+            self._mvcc_local["snapshot_reads"] += 1
+            self.ssi.record_read(txn, ssi_read_items(ReadAccess.scan(table)))
+            return list(view.scan())
+        self.lock_table_shared(txn, table)
+        ctx.reads.append(table)
+        self._notify(txn, "read", table)
+        return list(self.db.table(table).scan())
+
+    # -- writes -------------------------------------------------------------------------
+
+    def _record_write(
+        self, ctx: ShardedTxnContext, shard_idx: int, table_name: str,
+        rid: int, keys,
+    ) -> None:
+        ctx.written.add(shard_idx)
+        ctx.writes.append(RowId(table_name, rid))
+        self._active_writers.add(ctx.txn_id)
+        items: list = [RowId(table_name, rid), table_resource(table_name)]
+        items.extend(
+            index_key_resource(table_name, columns, key)
+            for columns, key in keys
+        )
+        self.ssi.record_write(ctx.txn_id, items)
+
+    def insert(self, txn: int, table_name: str, values: Sequence[Any]) -> Row:
+        ctx = self._context(txn)
+        schema = self.shards[0].db.table(table_name).schema
+        canonical = schema.validate_row(values)
+        shard_idx = self.route_row(table_name, canonical)
+        shard = self._ensure_shard_txn(txn, shard_idx)
+        row = shard.insert(txn, table_name, canonical, validated=True)
+        keys = shard.db.table(table_name).index_keys(row.values)
+        self._record_write(ctx, shard_idx, table_name, row.rid, keys)
+        self._notify(txn, "write", table_name)
+        return row
+
+    def update(
+        self, txn: int, table_name: str, rid: int, values: Sequence[Any]
+    ) -> tuple[Row, Row]:
+        ctx = self._context(txn)
+        schema = self.shards[0].db.table(table_name).schema
+        canonical = schema.validate_row(values)
+        src = self.shard_of_rid(rid)
+        new_key = schema.key_of(canonical)
+        dst = src if new_key is None else self.route_key(table_name, new_key)
+        if dst == src:
+            shard = self._ensure_shard_txn(txn, src)
+            old, new = shard.update(
+                txn, table_name, rid, canonical, validated=True
+            )
+            table = shard.db.table(table_name)
+            keys = set(table.index_keys(old.values)) | set(
+                table.index_keys(new.values)
+            )
+            self._record_write(ctx, src, table_name, rid, keys)
+            self._notify(txn, "write", table_name)
+            return old, new
+        # The new primary key routes to a different shard: the update
+        # migrates as delete-at-source + insert-at-destination (both
+        # inside this transaction; undo/WAL/versioning in each shard).
+        src_shard = self._ensure_shard_txn(txn, src)
+        dst_shard = self._ensure_shard_txn(txn, dst)
+        old = src_shard.delete(txn, table_name, rid)
+        self._record_write(
+            ctx, src, table_name, rid,
+            src_shard.db.table(table_name).index_keys(old.values),
+        )
+        new = dst_shard.insert(txn, table_name, canonical, validated=True)
+        self._record_write(
+            ctx, dst, table_name, new.rid,
+            dst_shard.db.table(table_name).index_keys(new.values),
+        )
+        self._notify(txn, "write", table_name)
+        return old, new
+
+    def delete(self, txn: int, table_name: str, rid: int) -> Row:
+        ctx = self._context(txn)
+        shard_idx = self.shard_of_rid(rid)
+        shard = self._ensure_shard_txn(txn, shard_idx)
+        old = shard.delete(txn, table_name, rid)
+        self._record_write(
+            ctx, shard_idx, table_name, rid,
+            shard.db.table(table_name).index_keys(old.values),
+        )
+        self._notify(txn, "write", table_name)
+        return old
+
+    def update_where(
+        self,
+        txn: int,
+        table_name: str,
+        predicate: Callable[[Row], bool],
+        new_values: Callable[[Row], Sequence[Any]],
+        *,
+        where: "Expr | None" = None,
+    ) -> int:
+        changed = 0
+        for row in self._write_candidates(txn, table_name, where):
+            if predicate(row):
+                self.update(txn, table_name, row.rid, list(new_values(row)))
+                changed += 1
+        return changed
+
+    def delete_where(
+        self,
+        txn: int,
+        table_name: str,
+        predicate: Callable[[Row], bool],
+        *,
+        where: "Expr | None" = None,
+    ) -> int:
+        removed = 0
+        for row in self._write_candidates(txn, table_name, where):
+            if predicate(row):
+                self.delete(txn, table_name, row.rid)
+                removed += 1
+        return removed
+
+    def _write_candidates(
+        self, txn: int, table_name: str, where: "Expr | None"
+    ) -> list[Row]:
+        """Candidate rows for a predicate write, across the shards.
+
+        The router's half of :meth:`StorageEngine._write_candidates`: a
+        WHERE clause that pins the primary key visits only the key's home
+        shard; any other path visits every shard with the same locks (or
+        snapshot reads + SSI items) the single-shard engine would take.
+        """
+        ctx = self._context(txn)
+        schema_table = self.shards[0].db.table(table_name)
+        bindings = (
+            equality_bindings(where, schema_table) if where is not None else {}
+        )
+        path = index_path_for(schema_table, bindings)
+        if ctx.isolation.uses_snapshot:
+            rows: list[Row] = []
+            if path is not None:
+                cols, key, is_pk = path
+                targets = (
+                    [self.route_key(table_name, key)] if is_pk
+                    else list(range(self.n_shards))
+                )
+                self.ssi.record_read(txn, ssi_read_items(
+                    ReadAccess.index_key(
+                        table_name, schema_table.canonical_index(cols), key
+                    )
+                ))
+                for shard_idx in targets:
+                    shard = self._ensure_shard_txn(txn, shard_idx)
+                    shard._lock(
+                        txn, table_resource(table_name),
+                        LockMode.INTENTION_EXCLUSIVE,
+                    )
+                    view = SnapshotView(
+                        shard.db.table(table_name), txn, ctx.vector[shard_idx]
+                    )
+                    if is_pk:
+                        row = view.lookup_pk(key)
+                        if row is not None:
+                            rows.append(row)
+                    else:
+                        rows.extend(view.lookup_index(cols, key))
+            else:
+                self.ssi.record_read(
+                    txn, ssi_read_items(ReadAccess.scan(table_name))
+                )
+                for shard_idx in range(self.n_shards):
+                    shard = self._ensure_shard_txn(txn, shard_idx)
+                    shard._lock(
+                        txn, table_resource(table_name),
+                        LockMode.INTENTION_EXCLUSIVE,
+                    )
+                    view = SnapshotView(
+                        shard.db.table(table_name), txn, ctx.vector[shard_idx]
+                    )
+                    rows.extend(view.scan())
+            rows.sort(key=lambda r: r.rid)
+            for row in rows:
+                self.ssi.record_read(
+                    txn, ssi_read_items(ReadAccess.row(table_name, row.rid))
+                )
+                self.shards[self.shard_of_rid(row.rid)]._lock(
+                    txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE
+                )
+            return rows
+        if (
+            self.locking
+            and self.granularity is LockGranularity.FINE
+            and path is not None
+        ):
+            cols, key, is_pk = path
+            targets = (
+                [self.route_key(table_name, key)] if is_pk
+                else list(range(self.n_shards))
+            )
+            rows = []
+            for shard_idx in targets:
+                shard = self._ensure_shard_txn(txn, shard_idx)
+                shard._lock(
+                    txn, table_resource(table_name),
+                    LockMode.INTENTION_EXCLUSIVE,
+                )
+                shard._lock_index_keys(
+                    txn, table_name, [(cols, key)], LockMode.EXCLUSIVE
+                )
+                table = shard.db.table(table_name)
+                if is_pk:
+                    row = table.lookup_pk(key)
+                    if row is not None:
+                        rows.append(row)
+                else:
+                    rows.extend(table.lookup_index(cols, key))
+            rows.sort(key=lambda r: r.rid)
+            for row in rows:
+                self.shards[self.shard_of_rid(row.rid)]._lock(
+                    txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE
+                )
+            return rows
+        rows = []
+        for shard_idx in range(self.n_shards):
+            shard = self._ensure_shard_txn(txn, shard_idx)
+            shard._lock(txn, table_resource(table_name), LockMode.EXCLUSIVE)
+            rows.extend(shard.db.table(table_name).scan())
+        rows.sort(key=lambda r: r.rid)
+        return rows
+
+    # -- sharding protocol (reporting) -----------------------------------------------
+
+    def wals(self) -> list[WriteAheadLog]:
+        return [shard.wal for shard in self.shards]
+
+    def durably_committed_txns(self) -> set[int]:
+        """Committed-everywhere transactions (torn commits excluded)."""
+        committed, torn = _commit_analysis(self.shards)
+        return committed - torn
+
+    def written_shards(self, txn: int) -> list[int]:
+        ctx = self._contexts.get(txn)
+        return sorted(ctx.written) if ctx is not None else []
+
+    def shards_touched(self, txn: int) -> int:
+        """Shards the transaction *wrote* in (>1 ⇒ two-phase prepare
+        ran); read-only fan-out does not count — a cross-shard read
+        needs no coordination at commit."""
+        ctx = self._contexts.get(txn)
+        if ctx is None:
+            return 0
+        return max(len(ctx.written), 1)
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        return [
+            {
+                "commits": shard.commit_count,
+                "aborts": shard.abort_count,
+                "lock_waits": shard.locks.stats["waits"],
+                "locks_acquired": shard.locks.stats["acquired"],
+            }
+            for shard in self.shards
+        ]
+
+    # -- crash simulation ----------------------------------------------------------------
+
+    def crash(self) -> "ShardedStorageEngine":
+        """Crash every shard; the per-shard flushed WAL prefixes survive."""
+        survivor = ShardedStorageEngine(
+            self.n_shards,
+            locking=self.locking,
+            granularity=self.granularity,
+            shards=[shard.crash() for shard in self.shards],
+        )
+        # Fresh per-shard engines come back with default rid namespaces;
+        # restore the congruence classes before recovery re-inserts rows.
+        for i, shard in enumerate(survivor.shards):
+            for name in shard.db.table_names():
+                shard.db.table(name).set_rid_namespace(i + 1, self.n_shards)
+        survivor._next_txn = self._next_txn
+        survivor._checkpoint_interval = self._checkpoint_interval
+        return survivor
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _notify(
+        self, txn: int, kind: str, table: str, reads_from: int | None = None
+    ) -> None:
+        for observer in self.observers:
+            observer(txn, kind, table, reads_from)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedStorageEngine(n_shards={self.n_shards})"
+
+
+def build_storage_engine(
+    shards: int = 1,
+    *,
+    locking: bool = True,
+    granularity: LockGranularity = LockGranularity.FINE,
+) -> "StorageEngine | ShardedStorageEngine":
+    """The one construction policy for store-less middle-tier entry
+    points (`EngineConfig.shards`, `InteractiveBroker(shards=...)`):
+    one shard means a plain engine, more means the sharded router."""
+    if shards > 1:
+        return ShardedStorageEngine(
+            shards, locking=locking, granularity=granularity
+        )
+    return StorageEngine(locking=locking, granularity=granularity)
+
+
+# -- restart recovery -----------------------------------------------------------------
+
+
+def _commit_analysis(
+    shards: Sequence[StorageEngine],
+) -> tuple[set[int], set[int]]:
+    """(committed anywhere, torn) over the shards' durable WALs.
+
+    A transaction is *torn* when the crash landed between its per-shard
+    commit flushes: some written shard has its durable COMMIT, another
+    does not.  Two detection channels, either sufficient:
+
+    * the surviving COMMIT's ``participants`` stamp names every written
+      shard — this catches the common shape where the losing shard's
+      records were never flushed at all (its WAL shows no trace);
+    * a shard whose durable log holds the transaction's row records but
+      no COMMIT — defense in depth for manually-torn logs.
+
+    Atomicity demands the whole transaction roll back everywhere.
+    """
+    committed_by_shard = [
+        shard.wal.committed_txns(durable_only=True) for shard in shards
+    ]
+    ops_by_shard: list[set[int]] = []
+    participants_of: dict[int, set[int]] = {}
+    for shard in shards:
+        ops: set[int] = set()
+        for record in shard.wal.records(durable_only=True):
+            if record.type in (
+                LogRecordType.INSERT,
+                LogRecordType.UPDATE,
+                LogRecordType.DELETE,
+            ):
+                ops.add(record.txn)
+            elif (
+                record.type is LogRecordType.COMMIT
+                and record.participants is not None
+            ):
+                participants_of.setdefault(record.txn, set()).update(
+                    record.participants
+                )
+        ops_by_shard.append(ops)
+    committed_anywhere: set[int] = set()
+    for committed in committed_by_shard:
+        committed_anywhere |= committed
+    torn: set[int] = set()
+    for txn, shard_idxs in participants_of.items():
+        if any(
+            idx < len(shards) and txn not in committed_by_shard[idx]
+            for idx in shard_idxs
+        ):
+            torn.add(txn)
+    for txn in committed_anywhere:
+        for committed, ops in zip(committed_by_shard, ops_by_shard):
+            if txn in ops and txn not in committed:
+                torn.add(txn)
+                break
+    return committed_anywhere, torn
+
+
+def recover_sharded(
+    engine: ShardedStorageEngine,
+    *,
+    demote_to_loser: set[int] | frozenset[int] = frozenset(),
+) -> RecoveryReport:
+    """Restart recovery for a sharded engine (post-:meth:`crash`).
+
+    Each shard's WAL replays independently — redo rebuilds its version
+    chains and its oracle reconverges to the exact pre-crash component of
+    the commit-timestamp vector — after a global analysis pass extends
+    the demotion set with *torn* cross-shard transactions, so a commit
+    that was durable in only some of its written shards rolls back
+    everywhere (cross-shard atomicity through the crash).
+    """
+    _committed, torn = _commit_analysis(engine.shards)
+    demote = set(demote_to_loser) | torn
+    merged = RecoveryReport()
+    for shard in engine.shards:
+        report = recover(shard, demote_to_loser=demote)
+        merged.winners |= report.winners
+        merged.losers |= report.losers
+        merged.redone += report.redone
+        merged.undone += report.undone
+    merged.winners -= merged.losers
+    # The recovered state is the new epoch's initial state: the global
+    # commit sequence restarts ahead of everything recovered, and
+    # reads-from attribution treats pre-crash writes as the initial load
+    # (annotation 0), exactly like bulk-loaded data.
+    engine._commit_seq = sum(
+        shard.oracle.last_commit_ts for shard in engine.shards
+    )
+    engine._table_writers = {}
+    engine._active_seqs = {}
+    return merged

@@ -106,6 +106,14 @@ class SSITracker:
         self.stats = {
             "rw_edges": 0,
             "pivot_aborts": 0,
+            #: pivot aborts taken while *no* inbound-edge reader had
+            #: committed yet: Cahill's in+out test fired, but Fekete's
+            #: precise dangerous structure (which additionally needs the
+            #: cycle through a committed T_in to materialize) was not yet
+            #: proven — every such reader could still have aborted.  The
+            #: bench's low-contention arm reports this as the runtime
+            #: upper bound on the false-positive abort share.
+            "pivot_aborts_unproven": 0,
             "conservative_aborts": 0,
             "doomed_reads": 0,
         }
@@ -272,6 +280,14 @@ class SSITracker:
             new_inbound = [r for r in readers if r.txn_id not in state.in_rw]
             if state.out_rw and new_inbound:
                 self.stats["pivot_aborts"] += 1
+                # A transaction gains in_rw edges only at its *own*
+                # commit (below), so at this point every inbound edge is
+                # fresh from the sweep.  The structure is proven iff one
+                # of those readers already committed; if all are still
+                # active, each could yet abort and dissolve it — the
+                # Cahill-not-yet-Fekete case the bench measures.
+                if all(r.status is _SSIStatus.ACTIVE for r in new_inbound):
+                    self.stats["pivot_aborts_unproven"] += 1
                 raise SerializationFailureError(
                     f"transaction {txn} is the pivot of a dangerous "
                     f"structure (inbound rw from "

@@ -18,12 +18,14 @@ undo/redo paths use it, because rollback of chains is handled separately.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import DuplicateKeyError, StorageError
 from repro.storage.row import Row, RowVersion, ValueTuple
 from repro.storage.schema import TableSchema
 from repro.storage.types import SQLValue
+from repro.storage.wal import TableImage
 
 
 class HashIndex:
@@ -70,6 +72,12 @@ class Table:
         self.schema = schema
         self._rows: dict[int, Row] = {}
         self._next_rid = 1
+        #: rid namespace: rids are assigned ``base, base+step, ...``.  The
+        #: default (1, 1) is the classical dense numbering; a sharded
+        #: engine gives shard *i* of *N* the namespace ``(i+1, N)`` so
+        #: every rid names its shard (``(rid - 1) % N``) and RowId
+        #: resources stay globally unique without coordination.
+        self._rid_step = 1
         self._pk_index: dict[tuple, int] = {}
         self._secondary: list[HashIndex] = [
             HashIndex(cols, schema) for cols in schema.indexes
@@ -103,8 +111,30 @@ class Table:
         #: may overstate between prunes once versions were discarded).
         self._total_versions = 0
         self._max_chain = 0
+        #: versions dropped opportunistically at supersede time since the
+        #: engine last collected the counter (horizon-aware vacuum).
+        self._supersede_pruned = 0
 
     # -- basic properties ---------------------------------------------------------
+
+    def set_rid_namespace(self, base: int, step: int) -> None:
+        """Restrict rid assignment to ``base, base+step, base+2*step, ...``.
+
+        Must be called before the first insert (shard construction time).
+        """
+        if self._rows or self._versions:
+            raise StorageError(
+                f"cannot re-namespace non-empty table {self.name!r}"
+            )
+        if base < 1 or step < 1:
+            raise StorageError(f"invalid rid namespace ({base}, {step})")
+        self._next_rid = base
+        self._rid_step = step
+
+    def _bump_next_rid_past(self, rid: int) -> None:
+        """Advance the rid counter past ``rid`` staying in its namespace."""
+        while self._next_rid <= rid:
+            self._next_rid += self._rid_step
 
     @property
     def name(self) -> str:
@@ -210,7 +240,7 @@ class Table:
                 f"duplicate primary key {key!r} in table {self.name!r}"
             )
         rid = self._next_rid
-        self._next_rid += 1
+        self._next_rid += self._rid_step
         row = Row(rid, canonical)
         self._rows[rid] = row
         if key is not None:
@@ -240,7 +270,7 @@ class Table:
             )
         row = Row(rid, canonical)
         self._rows[rid] = row
-        self._next_rid = max(self._next_rid, rid + 1)
+        self._bump_next_rid_past(rid)
         if key is not None:
             self._pk_index[key] = rid
         for index in self._secondary:
@@ -258,12 +288,17 @@ class Table:
         writer: int | None = None,
         versioned: bool = True,
         rekeyed: bool | None = None,
+        prune_horizon: int | None = None,
     ) -> tuple[Row, Row]:
         """Replace the values of row ``rid``; returns ``(old, new)`` rows.
 
         ``rekeyed`` lets a caller that already compared the old and new
         index-key sets (the fine-granularity engine does, for locking)
         pass the verdict down instead of paying the comparison twice.
+        ``prune_horizon`` (the engine's oldest-active-snapshot timestamp)
+        enables horizon-aware vacuum: chain prefixes no live snapshot can
+        see are dropped right here, at supersede time, instead of waiting
+        for the next interval vacuum.
         """
         old = self.get(rid)
         canonical = (
@@ -294,7 +329,8 @@ class Table:
                     self.index_keys(old.values) != self.index_keys(canonical)
                 )
             self._chain_supersede(
-                rid, writer, values=old.values, track_history=rekeyed
+                rid, writer, values=old.values, track_history=rekeyed,
+                prune_horizon=prune_horizon,
             )
             self._chain_insert(rid, canonical, writer)
         return old, new
@@ -305,6 +341,7 @@ class Table:
         *,
         writer: int | None = None,
         versioned: bool = True,
+        prune_horizon: int | None = None,
     ) -> Row:
         """Remove row ``rid``; returns the deleted row."""
         old = self.get(rid)
@@ -315,7 +352,9 @@ class Table:
         for index in self._secondary:
             index.remove(rid, old.values)
         if versioned:
-            self._chain_supersede(rid, writer, values=old.values)
+            self._chain_supersede(
+                rid, writer, values=old.values, prune_horizon=prune_horizon
+            )
         return old
 
     # -- version chains (MVCC) ------------------------------------------------------
@@ -339,6 +378,7 @@ class Table:
         *,
         values: ValueTuple | None = None,
         track_history: bool = True,
+        prune_horizon: int | None = None,
     ) -> None:
         """Mark ``rid``'s live version as superseded by ``writer``.
 
@@ -352,6 +392,12 @@ class Table:
         every current index bucket, so snapshot lookups find its chain
         without the history detour — keeping the buckets small is what
         keeps snapshot index probes O(matching + per-key history).
+
+        ``prune_horizon`` is the horizon-aware vacuum hook: versions of
+        *this* chain whose end timestamp is at/below the horizon are
+        invisible to every live snapshot, so the hottest rows — exactly
+        the ones superseded most often — keep their chains short without
+        waiting for the interval vacuum to walk the whole table.
         """
         chain = self._versions.get(rid)
         if not chain:
@@ -368,6 +414,20 @@ class Table:
                     )
                 superseded = version
                 break
+        if prune_horizon is not None and len(chain) > 1:
+            keep = [
+                v for v in chain
+                if v.end_ts is None or v.end_ts > prune_horizon
+            ]
+            removed = len(chain) - len(keep)
+            if removed:
+                if keep:
+                    chain[:] = keep
+                else:
+                    del self._versions[rid]
+                self._total_versions -= removed
+                self._supersede_pruned += removed
+                self._prune_floor = max(self._prune_floor, prune_horizon)
         if track_history:
             if values is None and superseded is not None:
                 values = superseded.values
@@ -543,6 +603,48 @@ class Table:
         """
         return self._total_versions, self._max_chain
 
+    def chain_histogram(self) -> dict[int, int]:
+        """Version-chain-length histogram: ``length -> #rids`` (exact)."""
+        return dict(Counter(len(chain) for chain in self._versions.values()))
+
+    def take_supersede_pruned(self) -> int:
+        """Collect (and reset) the supersede-time prune counter."""
+        pruned = self._supersede_pruned
+        self._supersede_pruned = 0
+        return pruned
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def checkpoint_image(self) -> TableImage:
+        """The committed state this table contributes to a checkpoint.
+
+        Callers (the engine) guarantee quiescence: no active transaction
+        holds pending versions, so every live row's newest version is
+        committed and its ``begin_ts`` is the one to preserve.
+        """
+        rows = []
+        for rid in sorted(self._rows):
+            begin_ts = 0
+            for version in reversed(self._versions.get(rid, ())):
+                if version.end_ts is None and version.deleted_by is None:
+                    begin_ts = version.begin_ts or 0
+                    break
+            rows.append((rid, self._rows[rid].values, begin_ts))
+        return TableImage(next_rid=self._next_rid, rows=tuple(rows))
+
+    def restore_checkpoint(self, image: TableImage) -> None:
+        """Rebuild contents from a checkpoint image (restart recovery).
+
+        Each row comes back as a single-version chain stamped with its
+        original ``begin_ts``, so post-restart snapshots see exactly the
+        pre-crash visibility for pre-checkpoint data.
+        """
+        self.clear()
+        for rid, values, begin_ts in image.rows:
+            self.insert_with_rid(rid, values)
+            self._versions[rid][-1].begin_ts = begin_ts
+        self._next_rid = image.next_rid
+
     # -- whole-table helpers --------------------------------------------------------
 
     def clear(self) -> None:
@@ -561,6 +663,7 @@ class Table:
         self._prune_floor = 0
         self._total_versions = 0
         self._max_chain = 0
+        self._supersede_pruned = 0
 
     def snapshot(self) -> list[tuple[int, ValueTuple]]:
         """A deterministic, deep-enough copy of the table contents."""
@@ -569,8 +672,5 @@ class Table:
     def restore(self, snapshot: Iterable[tuple[int, ValueTuple]]) -> None:
         """Restore contents from a :meth:`snapshot` (recovery path)."""
         self.clear()
-        max_rid = 0
         for rid, values in snapshot:
             self.insert_with_rid(rid, values)
-            max_rid = max(max_rid, rid)
-        self._next_rid = max(self._next_rid, max_rid + 1)

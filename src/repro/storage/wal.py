@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import WALError
 from repro.storage.row import ValueTuple
@@ -34,6 +34,35 @@ class LogRecordType(enum.Enum):
 
 
 @dataclass(frozen=True)
+class TableImage:
+    """One table's contribution to a checkpoint image.
+
+    ``rows`` holds ``(rid, values, begin_ts)`` for every live committed
+    row — ``begin_ts`` preserved so post-restart snapshot visibility of
+    pre-checkpoint data is bit-for-bit what it was.  ``next_rid`` keeps
+    the rid counter (and, under sharding, the shard's rid congruence
+    class) across the restart.
+    """
+
+    next_rid: int
+    rows: tuple[tuple[int, ValueTuple, int], ...]
+
+
+@dataclass(frozen=True)
+class CheckpointImage:
+    """The materialized committed state a CHECKPOINT record carries.
+
+    Stands in for the flushed data pages of a disk-based engine: restart
+    recovery restores this image and replays only the records *after*
+    the checkpoint, so restart cost stops scaling with history length.
+    """
+
+    last_commit_ts: int
+    next_txn: int
+    tables: Mapping[str, TableImage]
+
+
+@dataclass(frozen=True)
 class LogRecord:
     """A single WAL record.
 
@@ -42,6 +71,12 @@ class LogRecord:
     ``commit_ts`` is carried by COMMIT records of writing transactions:
     restart recovery re-stamps the rebuilt version chains with it, so the
     multi-version visibility order survives a crash exactly.
+    ``image`` is carried by CHECKPOINT records (the committed-state
+    snapshot recovery restarts from).  ``participants`` is carried by
+    the COMMIT records of *cross-shard* transactions: the shard indexes
+    the transaction wrote in, so restart recovery can detect a commit
+    that became durable in only some of them (torn) from any surviving
+    shard's log alone, and roll it back everywhere.
     """
 
     lsn: int
@@ -52,6 +87,8 @@ class LogRecord:
     before: ValueTuple | None = None
     after: ValueTuple | None = None
     commit_ts: int | None = None
+    image: CheckpointImage | None = None
+    participants: tuple[int, ...] | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         target = f" {self.table}#{self.rid}" if self.table else ""
@@ -77,9 +114,12 @@ class WriteAheadLog:
         before: ValueTuple | None = None,
         after: ValueTuple | None = None,
         commit_ts: int | None = None,
+        image: CheckpointImage | None = None,
+        participants: "tuple[int, ...] | None" = None,
     ) -> LogRecord:
         record = LogRecord(
-            self._next_lsn, type, txn, table, rid, before, after, commit_ts
+            self._next_lsn, type, txn, table, rid, before, after, commit_ts,
+            image, participants,
         )
         self._records.append(record)
         self._next_lsn += 1
@@ -129,6 +169,28 @@ class WriteAheadLog:
         lost = len(self._records) - len(kept)
         self._records = kept
         return lost
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop the (flushed) prefix strictly before ``lsn`` — called after
+        a checkpoint at ``lsn``, whose image subsumes those records.
+        Returns #records dropped."""
+        if lsn > self._flushed_lsn:
+            raise WALError(
+                f"cannot truncate before unflushed LSN {lsn} "
+                f"(flushed {self._flushed_lsn})"
+            )
+        kept = [r for r in self._records if r.lsn >= lsn]
+        dropped = len(self._records) - len(kept)
+        self._records = kept
+        return dropped
+
+    def last_checkpoint(self, durable_only: bool = True) -> LogRecord | None:
+        """The newest (durable) CHECKPOINT record carrying an image."""
+        found: LogRecord | None = None
+        for record in self.records(durable_only):
+            if record.type is LogRecordType.CHECKPOINT and record.image is not None:
+                found = record
+        return found
 
     def committed_txns(self, durable_only: bool = True) -> set[int]:
         return {

@@ -30,7 +30,15 @@ interleaving, and the failure message carries the recorded schedule.
 
 ``REPRO_ISOLATION`` (``2pl`` / ``snapshot`` / ``serializable``)
 restricts the module to one arm — the CI isolation matrix sets it per
-job.
+job.  ``REPRO_SHARDS`` (default 1) runs every arm against a
+``ShardedStorageEngine`` with that many shards: each table's single row
+carries a distinct key (T0: k=0, T1: k=1, T2: k=2) whose hashes land on
+different shards at N=2 and N=4, so multi-table programs exercise
+cross-shard transactions and the same oracles verify the
+vector-snapshot consistent cut, the global SSI tracker's cross-shard
+dangerous structures, and the two-phase cross-shard commit.  (Tables
+stay single-row on purpose — the formal model works at table
+granularity, so one row per table keeps table == object exact.)
 """
 
 from __future__ import annotations
@@ -57,11 +65,21 @@ from repro.model.anomalies import (
 from repro.model.isolation import IsolationLevel, check_isolation
 from repro.model.quasi import expand_quasi_reads
 from repro.model.serializability import find_serialization_order
-from repro.storage import ColumnType, StorageEngine, TableSchema
+from repro.storage import (
+    ColumnType,
+    ShardedStorageEngine,
+    StorageEngine,
+    TableSchema,
+)
 
 TABLES = ("T0", "T1", "T2")
+#: each table's single row carries its own key so the tables hash to
+#: different shards under REPRO_SHARDS (0/1/2 -> shards 0/1/0 at N=2,
+#: 0/3/2 at N=4).
+KEY_OF = {"T0": 0, "T1": 1, "T2": 2}
 
 ISOLATION_ARM = os.environ.get("REPRO_ISOLATION", "").lower()
+N_SHARDS = int(os.environ.get("REPRO_SHARDS", "1"))
 only_2pl = pytest.mark.skipif(
     ISOLATION_ARM not in ("", "2pl"), reason="different CI isolation arm"
 )
@@ -75,14 +93,16 @@ only_serializable = pytest.mark.skipif(
 
 
 def build_engine(mode: IsolationConfig) -> EntangledTransactionEngine:
-    store = StorageEngine()
+    store = (
+        ShardedStorageEngine(N_SHARDS) if N_SHARDS > 1 else StorageEngine()
+    )
     for name in TABLES:
         store.create_table(TableSchema.build(
             name,
             [("k", ColumnType.INTEGER), ("v", ColumnType.INTEGER)],
             primary_key=["k"],
         ))
-        store.load(name, [(0, 10)])
+        store.load(name, [(KEY_OF[name], 10)])
     config = EngineConfig(isolation=mode, record_schedule=True)
     return EntangledTransactionEngine(store, config, ManualPolicy())
 
@@ -96,14 +116,15 @@ def workloads(draw):
         statements = []
         for i in range(draw(st.integers(min_value=1, max_value=3))):
             table = draw(st.sampled_from(TABLES))
+            key = KEY_OF[table]
             if draw(st.booleans()):
                 statements.append(
-                    f"SELECT v AS @r{t}_{i} FROM {table} WHERE k = 0;"
+                    f"SELECT v AS @r{t}_{i} FROM {table} WHERE k = {key};"
                 )
             else:
                 delta = draw(st.integers(min_value=1, max_value=3))
                 statements.append(
-                    f"UPDATE {table} SET v = v + {delta} WHERE k = 0;"
+                    f"UPDATE {table} SET v = v + {delta} WHERE k = {key};"
                 )
         programs.append(
             "BEGIN TRANSACTION; " + " ".join(statements) + " COMMIT;"
@@ -216,8 +237,10 @@ def skew_prone_workload(seed: int):
         write_table = rng.choice([x for x in TABLES if x != read_table])
         programs.append(
             f"BEGIN TRANSACTION; "
-            f"SELECT v AS @r{t} FROM {read_table} WHERE k = 0; "
-            f"UPDATE {write_table} SET v = v + 1 WHERE k = 0; COMMIT;"
+            f"SELECT v AS @r{t} FROM {read_table} "
+            f"WHERE k = {KEY_OF[read_table]}; "
+            f"UPDATE {write_table} SET v = v + 1 "
+            f"WHERE k = {KEY_OF[write_table]}; COMMIT;"
         )
     order = list(range(n_txns))
     rng.shuffle(order)
@@ -272,8 +295,8 @@ class TestSerializableUpgrade:
 
 WRITE_SKEW = (
     "BEGIN TRANSACTION; SELECT v AS @x FROM T0 WHERE k = 0; "
-    "UPDATE T1 SET v = v + 1 WHERE k = 0; COMMIT;",
-    "BEGIN TRANSACTION; SELECT v AS @y FROM T1 WHERE k = 0; "
+    "UPDATE T1 SET v = v + 1 WHERE k = 1; COMMIT;",
+    "BEGIN TRANSACTION; SELECT v AS @y FROM T1 WHERE k = 1; "
     "UPDATE T0 SET v = v + 1 WHERE k = 0; COMMIT;",
 )
 
@@ -330,7 +353,10 @@ class TestWriteSkew:
         store = engine.store
         txn = store.begin()
         values = {
-            name: store.read_table(txn, name)[0].values[1]
+            name: {
+                row.values[0]: row.values[1]
+                for row in store.read_table(txn, name)
+            }[KEY_OF[name]]
             for name in ("T0", "T1")
         }
         assert values == {"T0": 11, "T1": 11}
@@ -348,9 +374,10 @@ class TestWriteSkew:
         engine.drain()
         store = engine.store
         txn = store.begin()
-        [(value,)] = [
-            row.values[1:] for row in store.read_table(txn, "T0")
-        ]
+        value = {
+            row.values[0]: row.values[1]
+            for row in store.read_table(txn, "T0")
+        }[0]
         assert value == 14  # 10 + 4: no increment was lost
         schedule = engine.recorded_schedule()
         assert check_isolation(schedule, IsolationLevel.SNAPSHOT).ok

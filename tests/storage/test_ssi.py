@@ -257,3 +257,46 @@ class TestPhantoms:
         with pytest.raises(SerializationFailureError):
             engine.commit(t2)
         engine.abort(t2)
+
+
+class TestFalsePositiveAccounting:
+    """The Cahill-vs-Fekete counter: pivot aborts taken before any
+    inbound-edge reader committed are flagged ``pivot_aborts_unproven``
+    (the dangerous structure had not materialized yet — the reader could
+    still have aborted, dissolving it)."""
+
+    def test_pivot_abort_with_committed_reader_is_proven(self):
+        engine = build_engine()
+        t1 = engine.begin(TxnIsolation.SERIALIZABLE)
+        t2 = engine.begin(TxnIsolation.SERIALIZABLE)
+        engine.read_table(t1, "T0")
+        engine.read_table(t2, "T1")
+        engine.update(t1, "T1", rid_of(engine, "T1"), (0, 11))
+        engine.update(t2, "T0", rid_of(engine, "T0"), (0, 11))
+        engine.commit(t1)  # the inbound reader (of t2's write) commits
+        with pytest.raises(SerializationFailureError):
+            engine.commit(t2)
+        engine.abort(t2)
+        assert engine.ssi.stats["pivot_aborts"] == 1
+        assert engine.ssi.stats["pivot_aborts_unproven"] == 0
+
+    def test_pivot_abort_with_only_active_readers_is_unproven(self):
+        engine = build_engine(("T0", "T1", "T2"))
+        pivot = engine.begin(TxnIsolation.SERIALIZABLE)
+        writer = engine.begin(TxnIsolation.SERIALIZABLE)
+        reader = engine.begin(TxnIsolation.SERIALIZABLE)
+        # pivot gains an out-edge: it read T0, writer committed T0.
+        engine.read_table(pivot, "T0")
+        engine.update(writer, "T0", rid_of(engine, "T0"), (0, 11))
+        engine.commit(writer)
+        # reader (still ACTIVE) read T1, which the pivot writes: the
+        # commit-time sweep finds a new inbound edge from an active
+        # transaction only.
+        engine.read_table(reader, "T1")
+        engine.update(pivot, "T1", rid_of(engine, "T1"), (0, 11))
+        with pytest.raises(SerializationFailureError):
+            engine.commit(pivot)
+        engine.abort(pivot)
+        assert engine.ssi.stats["pivot_aborts"] == 1
+        assert engine.ssi.stats["pivot_aborts_unproven"] == 1
+        engine.commit(reader)

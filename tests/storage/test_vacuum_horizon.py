@@ -1,0 +1,128 @@
+"""Horizon-aware vacuum: supersede-time pruning + chain histograms.
+
+ROADMAP's GC remainder: a superseded version should die the moment no
+active snapshot can see it — at supersede time — instead of waiting for
+the interval vacuum to walk the whole table; and the per-table
+chain-length histograms surface in :class:`RunReport` so GC pressure is
+observable.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import (
+    EngineConfig,
+    EntangledTransactionEngine,
+    IsolationConfig,
+)
+from repro.core.policies import ManualPolicy
+from repro.storage import (
+    ColumnType,
+    StorageEngine,
+    TableSchema,
+    TxnIsolation,
+)
+
+
+def build_engine() -> StorageEngine:
+    engine = StorageEngine()
+    engine.vacuum_interval = 0  # isolate the supersede-time path
+    engine.create_table(TableSchema.build(
+        "T",
+        [("k", ColumnType.INTEGER), ("v", ColumnType.INTEGER)],
+        primary_key=["k"],
+    ))
+    engine.load("T", [(0, 0)])
+    return engine
+
+
+def hot_update(engine, value: int) -> None:
+    txn = engine.begin()
+    row = engine.db.table("T").lookup_pk((0,))
+    engine.update(txn, "T", row.rid, (0, value))
+    engine.commit(txn)
+
+
+class TestSupersedeTimePruning:
+    def test_hot_row_chain_stays_short_without_interval_vacuum(self):
+        engine = build_engine()
+        for i in range(1, 50):
+            hot_update(engine, i)
+        # Without horizon-aware pruning this chain would be ~50 long
+        # until the next interval vacuum; with it, each update prunes
+        # the prefix no snapshot can see.
+        table = engine.db.table("T")
+        rid = table.lookup_pk((0,)).rid
+        assert len(table.versions_of(rid)) <= 3
+        assert engine.mvcc_stats["supersede_prunes"] > 0
+
+    def test_active_snapshot_blocks_pruning_below_its_cut(self):
+        engine = build_engine()
+        hot_update(engine, 1)
+        reader = engine.begin(TxnIsolation.SNAPSHOT)  # pins ts=2
+        for i in range(2, 12):
+            hot_update(engine, i)
+        table = engine.db.table("T")
+        rid = table.lookup_pk((0,)).rid
+        # The reader still sees its version...
+        snap = engine.snapshot_provider(reader).table("T")
+        assert snap.lookup_pk((0,)).values[1] == 1
+        # ...because every version at/after its cut was retained.
+        chain = table.versions_of(rid)
+        assert any(
+            v.begin_ts is not None
+            and v.begin_ts <= engine.context(reader).read_ts
+            and (v.end_ts is None or v.end_ts > engine.context(reader).read_ts)
+            for v in chain
+        )
+        engine.commit(reader)
+        hot_update(engine, 99)
+        # Horizon moved: the backlog collapses at the next supersede.
+        assert len(table.versions_of(rid)) <= 3
+
+    def test_interval_vacuum_still_collects_cold_garbage(self):
+        """Supersede-time pruning only visits rows being written; cold
+        deleted rows still need the periodic sweep."""
+        engine = build_engine()
+        txn = engine.begin()
+        engine.insert(txn, "T", (1, 1))
+        engine.commit(txn)
+        txn = engine.begin()
+        engine.delete(txn, "T", engine.db.table("T").lookup_pk((1,)).rid)
+        engine.commit(txn)
+        assert engine.vacuum() > 0
+
+
+class TestChainHistogramsInRunReport:
+    def test_report_carries_per_table_histograms(self):
+        store = StorageEngine()
+        store.create_table(TableSchema.build(
+            "T",
+            [("k", ColumnType.INTEGER), ("v", ColumnType.INTEGER)],
+            primary_key=["k"],
+        ))
+        store.load("T", [(k, 0) for k in range(4)])
+        engine = EntangledTransactionEngine(
+            store, EngineConfig(isolation=IsolationConfig.SNAPSHOT),
+            ManualPolicy(),
+        )
+        engine.submit(
+            "BEGIN TRANSACTION; UPDATE T SET v = v + 1 WHERE k = 0; COMMIT;"
+        )
+        report = engine.run_once()
+        assert "T" in report.chain_histograms
+        histogram = report.chain_histograms["T"]
+        assert sum(histogram.values()) == 4  # one chain per row
+        assert all(length >= 1 for length in histogram)
+
+    def test_sharded_store_merges_histograms(self):
+        from repro.storage import ShardedStorageEngine
+
+        store = ShardedStorageEngine(2)
+        store.create_table(TableSchema.build(
+            "T",
+            [("k", ColumnType.INTEGER), ("v", ColumnType.INTEGER)],
+            primary_key=["k"],
+        ))
+        store.load("T", [(k, 0) for k in range(8)])
+        merged = store.chain_histograms()["T"]
+        assert sum(merged.values()) == 8
