@@ -22,8 +22,8 @@ re-queued from the persisted dormant pool (Section 5.1).
 Run:  python examples/course_enrollment.py
 """
 
-from repro import ColumnType, TableSchema, TxnPhase, Youtopia
-from repro.core import EngineConfig
+import repro
+from repro import ColumnType, EngineConfig, TableSchema
 
 
 def enroll(student: str, friend: str) -> str:
@@ -42,41 +42,42 @@ def enroll(student: str, friend: str) -> str:
 
 
 def main() -> None:
-    system = Youtopia(config=EngineConfig(persist_state=True))
-    system.create_table(TableSchema.build(
+    db = repro.connect(
+        "enrollment", config=EngineConfig(persist_state=True))
+    db.create_table(TableSchema.build(
         "Sections",
         [("course", ColumnType.TEXT), ("section", ColumnType.INTEGER),
          ("open", ColumnType.BOOLEAN)],
         primary_key=["section"]))
-    system.create_table(TableSchema.build(
+    db.create_table(TableSchema.build(
         "Enrollment",
         [("student", ColumnType.TEXT), ("section", ColumnType.INTEGER)]))
-    system.load("Sections", [
+    db.load("Sections", [
         ("CS4320", 1, True),
         ("CS4320", 2, True),
         ("CS2110", 3, True),
     ])
 
-    ada = system.submit(enroll("Ada", "Grace"), "ada")
-    grace = system.submit(enroll("Grace", "Ada"), "grace")
-    barbara = system.submit(enroll("Barbara", "Katherine"), "barbara")
+    ada = db.session("ada").run_script(enroll("Ada", "Grace"))
+    grace = db.session("grace").run_script(enroll("Grace", "Ada"))
+    db.session("barbara").run_script(enroll("Barbara", "Katherine"))
 
-    report = system.run_once()
+    report = db.run()
     print(f"committed: {sorted(report.committed)}; "
           f"waiting: {sorted(report.returned_to_pool)}")
 
-    enrollment = sorted(system.query("SELECT student, section FROM Enrollment"))
+    enrollment = sorted(db.query("SELECT student, section FROM Enrollment"))
     print(f"enrollment: {enrollment}")
 
-    ada_section = system.host_variables(ada)["@section"]
-    grace_section = system.host_variables(grace)["@section"]
+    ada_section = ada.host_variables()["@section"]
+    grace_section = grace.host_variables()["@section"]
     assert ada_section == grace_section, "the pair shares one section"
     print(f"Ada and Grace coordinated into section {ada_section} and "
           f"group-committed.")
 
     # Crash the whole system; committed enrollments must survive and
     # Barbara (still waiting for Katherine) must be re-queued.
-    recovered, recovery = system.crash_and_recover()
+    recovered, recovery = db.crash_and_recover()
     print(f"after crash: resubmitted={recovery.resubmitted}, "
           f"partial groups={recovery.partial_groups}")
     survived = sorted(recovered.query("SELECT student, section FROM Enrollment"))
@@ -84,8 +85,8 @@ def main() -> None:
     assert len(recovery.resubmitted) == 1  # Barbara
 
     # Katherine finally shows up on the recovered system.
-    recovered.submit(enroll("Katherine", "Barbara"), "katherine")
-    final = recovered.run_once()
+    recovered.session("katherine").run_script(enroll("Katherine", "Barbara"))
+    final = recovered.run()
     print(f"post-recovery run committed {len(final.committed)} transactions")
     final_enrollment = sorted(
         recovered.query("SELECT student, section FROM Enrollment"))
@@ -95,6 +96,7 @@ def main() -> None:
     assert by_student["Barbara"] == by_student["Katherine"]
     print("Barbara and Katherine coordinated after recovery — the dormant "
           "pool survived the crash.")
+    recovered.close()
 
 
 if __name__ == "__main__":

@@ -14,7 +14,8 @@ pairing that answers the most pledges.
 Run:  python examples/gift_matching.py
 """
 
-from repro import ColumnType, EmptyAnswerPolicy, EngineConfig, TableSchema, TxnPhase, Youtopia
+import repro
+from repro import ColumnType, EmptyAnswerPolicy, EngineConfig, TableSchema, TxnPhase
 
 
 def pledge(donor: str, partner_pool: str, cause: str, amount: int) -> str:
@@ -43,34 +44,37 @@ def main() -> None:
     # A pledge with no consistent match must *wait* for future partners,
     # not proceed with an empty answer — so this deployment selects the
     # WAIT interpretation of Appendix B's empty-answer dichotomy.
-    system = Youtopia(config=EngineConfig(
-        empty_answer=EmptyAnswerPolicy.WAIT))
-    system.create_table(TableSchema.build(
+    db = repro.connect(
+        "gifts", config=EngineConfig(empty_answer=EmptyAnswerPolicy.WAIT))
+    db.create_table(TableSchema.build(
         "Guild", [("member", ColumnType.TEXT)]))
-    system.create_table(TableSchema.build(
+    db.create_table(TableSchema.build(
         "Donations",
         [("donor", ColumnType.TEXT), ("cause", ColumnType.TEXT),
          ("amount", ColumnType.INTEGER)]))
-    system.load("Guild", [("Alice",), ("Bob",), ("Carol",), ("Dave",)])
+    db.load("Guild", [("Alice",), ("Bob",), ("Carol",), ("Dave",)])
 
     # Three pledges for the barn, one for the windmill.  Alice/Bob/Carol
     # can pairwise match on the barn; Dave's windmill pledge has no
     # matching partner and must wait.
-    alice = system.submit(pledge("Alice", "Guild", "barn", 100), "alice")
-    bob = system.submit(pledge("Bob", "Guild", "barn", 100), "bob")
-    carol = system.submit(pledge("Carol", "Guild", "barn", 100), "carol")
-    dave = system.submit(pledge("Dave", "Guild", "windmill", 50), "dave")
+    scripts = {
+        name: db.session(name.lower()).run_script(
+            pledge(name, "Guild", cause, amount))
+        for name, cause, amount in (
+            ("Alice", "barn", 100), ("Bob", "barn", 100),
+            ("Carol", "barn", 100), ("Dave", "windmill", 50),
+        )
+    }
 
-    report = system.run_once()
+    report = db.run()
     committed = sorted(report.committed)
     print(f"committed: {committed}; returned to pool: "
           f"{sorted(report.returned_to_pool)}")
 
-    handles = {"Alice": alice, "Bob": bob, "Carol": carol, "Dave": dave}
-    donations = sorted(system.query("SELECT donor, cause, amount FROM Donations"))
+    donations = sorted(db.query("SELECT donor, cause, amount FROM Donations"))
     print("donations booked:")
     for donor, cause, amount in donations:
-        partner = system.host_variables(handles[donor])["@partner"]
+        partner = scripts[donor].host_variables()["@partner"]
         print(f"  {donor:6s} -> {cause} (${amount}), matched with {partner}")
 
     # Exactly two of the three barn pledges can pair up (CHOOSE 1 per
@@ -78,15 +82,16 @@ def main() -> None:
     # The third barn pledge and Dave's windmill pledge wait in the pool.
     assert len(committed) == 2
     assert len(report.returned_to_pool) == 2
-    assert system.ticket(dave).phase is TxnPhase.DORMANT
+    assert scripts["Dave"].phase is TxnPhase.DORMANT
     matched = {d for d, _c, _a in donations}
     partners = {
-        system.host_variables(h)["@partner"]
-        for h in committed
+        script.host_variables()["@partner"]
+        for script in scripts.values() if script.succeeded
     }
     assert matched == partners, "the two committed donors matched each other"
     print("gift matching verified: a consistent mutual pairing was chosen; "
           "unmatched pledges wait in the dormant pool.")
+    db.close()
 
 
 if __name__ == "__main__":

@@ -5,27 +5,31 @@ an entangled transaction; the system answers both entangled queries with
 a *coordinated* choice of flight — neither sees the other's answer, but
 both are guaranteed the mutual constraints hold (Section 2).
 
+Everything goes through the unified client API: ``repro.connect()``
+returns the one handle to the system, sessions submit the work, and the
+client runs the scheduler.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import ColumnType, TableSchema, Youtopia
+import repro
+from repro import ColumnType, TableSchema
 from repro.workloads import example_schema, figure1_rows
 
 
 def main() -> None:
-    # 1. Stand up the middle tier over a fresh database, loaded with the
-    #    exact flight database of Figure 1(a).
-    system = Youtopia()
+    # 1. Connect, and load the exact flight database of Figure 1(a).
+    db = repro.connect("figure1")
     for schema in example_schema():
-        system.create_table(schema)
+        db.create_table(schema)
     for table, rows in figure1_rows().items():
-        system.load(table, rows)
-    system.create_table(TableSchema.build(
+        db.load(table, rows)
+    db.create_table(TableSchema.build(
         "Bookings", [("name", ColumnType.TEXT), ("fno", ColumnType.INTEGER)],
     ))
 
     # 2. Mickey wants any LA flight — as long as Minnie is on it.
-    mickey = system.submit("""
+    mickey = db.session("mickey").run_script("""
         BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
         SELECT 'Mickey', fno AS @fno, fdate INTO ANSWER Reservation
         WHERE fno, fdate IN
@@ -34,10 +38,10 @@ def main() -> None:
         CHOOSE 1;
         INSERT INTO Bookings (name, fno) VALUES ('Mickey', @fno);
         COMMIT;
-    """, client="mickey")
+    """)
 
     # 3. Minnie also wants to fly with Mickey — but only on United.
-    minnie = system.submit("""
+    minnie = db.session("minnie").run_script("""
         BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
         SELECT 'Minnie', fno AS @fno, fdate INTO ANSWER Reservation
         WHERE fno, fdate IN
@@ -47,25 +51,25 @@ def main() -> None:
         CHOOSE 1;
         INSERT INTO Bookings (name, fno) VALUES ('Minnie', @fno);
         COMMIT;
-    """, client="minnie")
+    """)
 
     # 4. One run of the scheduler answers both queries together and
     #    group-commits the pair.
-    report = system.run_once()
+    report = db.run()
     print(f"run #{report.index}: committed handles {report.committed}")
 
-    for name, handle in (("Mickey", mickey), ("Minnie", minnie)):
-        ticket = system.ticket(handle)
-        flight = system.host_variables(handle)["@fno"]
-        print(f"  {name}: {ticket.phase.value}, flight {flight}")
+    for name, script in (("Mickey", mickey), ("Minnie", minnie)):
+        flight = script.host_variables()["@fno"]
+        print(f"  {name}: {script.phase.value}, flight {flight}")
 
-    rows = system.query("SELECT name, fno FROM Bookings")
+    rows = db.query("SELECT name, fno FROM Bookings")
     print(f"bookings table: {sorted(rows)}")
 
     chosen = {fno for _name, fno in rows}
     assert len(chosen) == 1, "both must be on the same flight"
     assert chosen <= {122, 123}, "Minnie's United restriction must hold"
     print("coordinated choice verified: same flight, United only.")
+    db.close()
 
 
 if __name__ == "__main__":

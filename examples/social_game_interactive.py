@@ -5,7 +5,10 @@ The paper's Section 4 distinguishes non-interactive transactions
 "created by users online, statement by statement ... suited, for
 example, to social games" — and leaves the interactive model as future
 work.  This example exercises our implementation of that extension
-(:mod:`repro.core.interactive`).
+through the unified client API: ``Session.execute`` runs statements
+immediately, an entangled query comes back as a pollable
+:class:`~repro.client.PendingAnswer`, and ``Client.pump()`` drives the
+matching rounds.
 
 Two players haggle over an item trade: each browses inventory, then
 poses an entangled query to agree on an item, then — *based on the
@@ -16,8 +19,8 @@ another command").
 Run:  python examples/social_game_interactive.py
 """
 
-from repro.core import InteractiveBroker, SessionState
-from repro.storage import ColumnType, StorageEngine, TableSchema
+import repro
+from repro import ColumnType, SessionState, TableSchema
 
 
 def trade_query(me: str, friend: str) -> str:
@@ -30,52 +33,52 @@ def trade_query(me: str, friend: str) -> str:
 
 
 def main() -> None:
-    store = StorageEngine()
-    store.create_table(TableSchema.build(
+    db = repro.connect("socialgame")
+    db.create_table(TableSchema.build(
         "Inventory",
         [("item", ColumnType.INTEGER), ("name", ColumnType.TEXT),
          ("tradeable", ColumnType.BOOLEAN)],
         primary_key=["item"]))
-    store.create_table(TableSchema.build(
+    db.create_table(TableSchema.build(
         "TradeLog",
         [("who", ColumnType.TEXT), ("item", ColumnType.INTEGER)]))
-    store.load("Inventory", [
+    db.load("Inventory", [
         (1, "golden hoe", True),
         (2, "rainbow sheep", True),
         (3, "ancient barn", False),
     ])
-    broker = InteractiveBroker(store)
 
     # Pia browses her inventory first — classical statements run
     # immediately and return rows, like a console session.
-    pia = broker.open_session("pia")
+    pia = db.session("pia")
     rows = pia.execute(
         "SELECT item, name FROM Inventory WHERE tradeable=TRUE").rows
     print(f"Pia sees tradeable items: {rows}")
 
-    # She proposes a trade with Quinn; the query parks her session.
-    pia.execute(trade_query("pia", "quinn"))
+    # She proposes a trade with Quinn; the query parks her session and
+    # comes back as a pending answer.
+    pia_pending = pia.execute(trade_query("pia", "quinn"))
     print(f"Pia waits for Quinn (state={pia.state.value})")
-    assert broker.match_round() == 0  # nobody to match with yet
+    assert not pia_pending.poll()  # nobody to match with yet
 
     # Rey proposes a trade with a player who never shows up, gets bored,
     # cancels, and does something else instead.
-    rey = broker.open_session("rey")
-    rey.execute(trade_query("rey", "ghost"))
-    broker.match_round()
-    assert rey.waiting
-    rey.cancel()
+    rey = db.session("rey")
+    rey_pending = rey.execute(trade_query("rey", "ghost"))
+    rey_pending.poll()
+    assert not rey_pending.done
+    rey_pending.cancel()
     rey.execute("INSERT INTO TradeLog (who, item) VALUES ('rey', 3)")
     assert rey.commit()
     print("Rey gave up waiting, logged a solo action, committed alone.")
 
     # Quinn arrives; the next matching round pairs the two sessions.
-    quinn = broker.open_session("quinn")
-    quinn.execute(trade_query("quinn", "pia"))
-    answered = broker.match_round()
-    print(f"matching round answered {answered} queries")
-    item = pia.env["@item"]
-    assert item == quinn.env["@item"]
+    quinn = db.session("quinn")
+    quinn_pending = quinn.execute(trade_query("quinn", "pia"))
+    bindings = quinn_pending.result()
+    assert pia_pending.done
+    item = pia_pending.bindings()["@item"]
+    assert item == bindings["@item"]
     print(f"Pia and Quinn agreed on item {item}")
 
     # Statements constructed dynamically from the answer:
@@ -91,10 +94,10 @@ def main() -> None:
     assert pia.state is SessionState.COMMITTED
     print("both sides of the trade committed atomically.")
 
-    log = sorted(
-        tuple(r.values) for r in store.db.table("TradeLog").scan())
+    log = sorted(db.query("SELECT who, item FROM TradeLog"))
     print(f"trade log: {log}")
     assert ("pia", item) in log and ("quinn", item) in log
+    db.close()
 
 
 if __name__ == "__main__":

@@ -12,7 +12,8 @@ dormant pool (Figure 4), and finally times out.
 Run:  python examples/travel_planning.py
 """
 
-from repro import ColumnType, TableSchema, TxnPhase, Youtopia
+import repro
+from repro import ColumnType, TableSchema, TxnPhase
 from repro.workloads import example_schema, figure1_rows
 
 
@@ -41,52 +42,55 @@ def travel_program(me: str, friend: str, timeout: str = "2 DAYS") -> str:
 
 
 def main() -> None:
-    system = Youtopia()
+    db = repro.connect("travel")
     for schema in example_schema():
-        system.create_table(schema)
+        db.create_table(schema)
     for table, rows in figure1_rows().items():
-        system.load(table, rows)
-    system.load("Hotels", [(7, "LA"), (9, "LA"), (11, "Paris")])
-    system.create_table(TableSchema.build(
+        db.load(table, rows)
+    db.load("Hotels", [(7, "LA"), (9, "LA"), (11, "Paris")])
+    db.create_table(TableSchema.build(
         "FlightBookings",
         [("name", ColumnType.TEXT), ("fno", ColumnType.INTEGER)]))
-    system.create_table(TableSchema.build(
+    db.create_table(TableSchema.build(
         "HotelBookings",
         [("name", ColumnType.TEXT), ("hid", ColumnType.INTEGER)]))
 
     # Mickey and Donald arrive first (Figure 4's opening state).
-    mickey = system.submit(travel_program("Mickey", "Minnie"), "mickey")
-    donald = system.submit(travel_program("Donald", "Daffy", "1 HOURS"),
-                           "donald")
-    first = system.run_once()
+    mickey = db.session("mickey").run_script(
+        travel_program("Mickey", "Minnie"))
+    donald = db.session("donald").run_script(
+        travel_program("Donald", "Daffy", "1 HOURS"))
+    first = db.run()
     print(f"run 1: committed={first.committed} "
           f"returned to pool={sorted(first.returned_to_pool)}")
     print("  (neither can progress: no partners in the system yet)")
 
     # Minnie arrives; the second run plays out exactly as Figure 4.
-    minnie = system.submit(travel_program("Minnie", "Mickey"), "minnie")
-    second = system.run_once()
+    minnie = db.session("minnie").run_script(
+        travel_program("Minnie", "Mickey"))
+    second = db.run()
     print(f"run 2: committed={sorted(second.committed)} "
           f"returned={second.returned_to_pool} "
           f"evaluation rounds={second.evaluation_rounds}")
 
-    for name, handle in (("Mickey", mickey), ("Minnie", minnie)):
-        bindings = system.host_variables(handle)
+    for name, script in (("Mickey", mickey), ("Minnie", minnie)):
+        bindings = script.host_variables()
         print(f"  {name}: flight {bindings['@fno']}, "
               f"arrival {bindings['@ArrivalDay']}, hotel {bindings['@hid']}")
 
-    assert (system.host_variables(mickey)["@hid"]
-            == system.host_variables(minnie)["@hid"])
-    assert (system.host_variables(mickey)["@ArrivalDay"]
-            == system.host_variables(minnie)["@ArrivalDay"])
+    assert (mickey.host_variables()["@hid"]
+            == minnie.host_variables()["@hid"])
+    assert (mickey.host_variables()["@ArrivalDay"]
+            == minnie.host_variables()["@ArrivalDay"])
 
     # Donald keeps cycling until his 1-hour timeout lapses.
-    system.engine.clock.advance(3601.0)
-    third = system.run_once()
+    db.clock.advance(3601.0)
+    third = db.run()
     print(f"run 3: timed out={third.timed_out}")
-    assert system.ticket(donald).phase is TxnPhase.TIMED_OUT
+    assert donald.phase is TxnPhase.TIMED_OUT
     print("Donald's transaction timed out waiting for Daffy, as specified "
           "by WITH TIMEOUT (Section 3.1).")
+    db.close()
 
 
 if __name__ == "__main__":

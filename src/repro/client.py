@@ -1,0 +1,728 @@
+"""The unified client API: one ``connect()`` over the whole system.
+
+Before this module the library exposed three disjoint entry points that
+callers had to wire together by hand — the batch
+:class:`~repro.core.engine.EntangledTransactionEngine`, the
+:class:`~repro.core.interactive.InteractiveBroker` for
+statement-at-a-time use, and the raw storage engines.  ``connect()``
+replaces all three with a single façade:
+
+>>> import repro
+>>> db = repro.connect(shards=4, isolation="serializable")
+>>> alice = db.session("alice")
+>>> script = alice.run_script("BEGIN TRANSACTION; ...; COMMIT;")
+>>> db.drain(); script.succeeded
+True
+
+A :class:`Client` owns one storage ensemble (single engine or
+``shards``-way :class:`~repro.storage.sharding.ShardedStorageEngine`)
+and both coordinators on top of it.  Its :meth:`Client.session` returns
+a :class:`Session` — the **only** public way to run work:
+
+* **batch scripts** — :meth:`Session.run_script` submits a whole
+  transaction program (the paper's non-interactive model) and returns a
+  :class:`ScriptHandle`; :meth:`Client.run` / :meth:`Client.drain`
+  execute runs.
+* **interactive statements** — :meth:`Session.execute` runs one
+  statement immediately (the Section 4 interactive model).  An entangled
+  query does not block: it returns a :class:`PendingAnswer`, pollable
+  (:meth:`PendingAnswer.poll` / :meth:`PendingAnswer.result`) and
+  awaitable (``await pending`` inside an asyncio coroutine), that
+  resolves when a matching round finds partners.
+* **direct storage transactions** — :meth:`Session.transaction` opens a
+  classical ACID transaction against the storage layer (context
+  manager: commit on clean exit, abort on exception).
+
+Under the façade, ``connect(shards=N)`` also enables the per-shard
+thread-pool execution layer (:mod:`repro.core.executor`), so
+disjoint-shard work — commit WAL flushes above all — makes *wall-clock*
+progress concurrently; cross-shard commits still funnel through the
+ordered two-phase prepare and the global SSI tracker.
+
+:meth:`Client.close` (or using the client as a context manager) joins
+the worker threads, flushes every WAL, and checkpoints, so a subsequent
+restart replays almost nothing.
+
+The legacy entry points remain importable as thin adapters for one
+release of back-compat; their docstrings point here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Iterable, Sequence
+
+from repro.core.engine import (
+    EngineConfig,
+    EntangledTransactionEngine,
+    IsolationConfig,
+    RunReport,
+)
+from repro.core.interactive import (
+    InteractiveBroker,
+    InteractiveSession,
+    SessionState,
+    StatementResult,
+)
+from repro.core.policies import RunPolicy
+from repro.core.recovery import EntangledRecoveryReport, recover_entangled
+from repro.core.transaction import TxnPhase
+from repro.errors import EntanglementTimeout, MiddlewareError
+from repro.sim.costs import CostModel
+from repro.sql.ast import SelectStmt, TransactionProgram
+from repro.sql.compiler import compile_select
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Database
+from repro.storage.engine import StorageEngine, TxnIsolation
+from repro.storage.schema import TableSchema
+from repro.storage.sharding import ShardedStorageEngine, build_storage_engine
+from repro.storage.types import SQLValue
+
+
+class Durability(enum.Enum):
+    """How much the client pays for restart speed while running.
+
+    WAL — commits flush their shard's write-ahead log (always on; this
+        is the paper's durability story).  Restart replays the whole log
+        since the last explicit checkpoint.
+    CHECKPOINT — additionally write a quiescent checkpoint image every
+        ``checkpoint_every`` writing commits, so restart cost stays flat
+        no matter how long the client runs.
+    """
+
+    WAL = "wal"
+    CHECKPOINT = "checkpoint"
+
+
+def connect(
+    database: "str | Database | StorageEngine | ShardedStorageEngine | None" = None,
+    *,
+    shards: int = 1,
+    isolation: "IsolationConfig | str" = IsolationConfig.FULL,
+    durability: "Durability | str" = Durability.WAL,
+    executor: "bool | None" = None,
+    checkpoint_every: int = 64,
+    costs: CostModel | None = None,
+    config: EngineConfig | None = None,
+    policy: RunPolicy | None = None,
+) -> "Client":
+    """Open a :class:`Client` over a new (or supplied) storage ensemble.
+
+    ``database`` may be omitted (fresh in-memory database), a name for
+    one, a prebuilt :class:`~repro.storage.catalog.Database`, or an
+    existing storage engine (single or sharded) to adopt.  ``shards > 1``
+    builds a :class:`~repro.storage.sharding.ShardedStorageEngine`.
+
+    ``isolation`` is the engine-level configuration (an
+    :class:`~repro.core.engine.IsolationConfig` or its string value:
+    ``"full"``, ``"snapshot"``, ``"serializable"``, ...); interactive
+    sessions and direct transactions default to the matching
+    storage-level :class:`~repro.storage.engine.TxnIsolation`.
+
+    ``executor`` controls the per-shard thread pool; the default
+    (``None``) enables it exactly when the ensemble has more than one
+    shard — the configuration where real threads buy wall-clock
+    scaling.
+
+    ``config`` (optional) supplies every other engine tunable; its
+    ``isolation``/``shards``/``executor`` fields are overridden by the
+    explicit arguments above.
+    """
+    if isinstance(isolation, str):
+        isolation = IsolationConfig(isolation)
+    if isinstance(durability, str):
+        durability = Durability(durability)
+
+    if isinstance(database, (StorageEngine, ShardedStorageEngine)):
+        store = database
+        if shards != 1 and shards != store.n_shards:
+            raise MiddlewareError(
+                f"connect(shards={shards}) conflicts with the supplied "
+                f"engine's {store.n_shards} shard(s)"
+            )
+    elif isinstance(database, Database):
+        if shards != 1:
+            raise MiddlewareError(
+                "connect(shards>1) cannot adopt a single Database; pass a "
+                "ShardedStorageEngine or let connect() build one"
+            )
+        store = StorageEngine(database)
+    elif shards == 1 and isinstance(database, str):
+        store = StorageEngine(Database(database))
+    else:
+        store = build_storage_engine(shards)
+
+    if executor is None:
+        executor = store.n_shards > 1
+
+    # Copy a caller-supplied config: the engine keeps (and reads) the
+    # object, so overriding fields in place would rewire any other
+    # engine built from the same config.
+    engine_config = (
+        dataclasses.replace(config) if config is not None else EngineConfig()
+    )
+    engine_config.isolation = isolation
+    engine_config.shards = store.n_shards
+    engine_config.executor = executor
+    engine_config.costs = costs if costs is not None else engine_config.costs
+    if durability is Durability.CHECKPOINT:
+        store.checkpoint_interval = checkpoint_every
+
+    engine = EntangledTransactionEngine(store, engine_config, policy)
+    return Client(engine, durability=durability)
+
+
+class Client:
+    """One connection to the system: storage + both coordinators.
+
+    Build with :func:`connect`.  Usable as a context manager — leaving
+    the ``with`` block calls :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        engine: EntangledTransactionEngine,
+        *,
+        durability: Durability = Durability.WAL,
+    ):
+        self.engine = engine
+        self.store = engine.store
+        self.durability = durability
+        self.broker = InteractiveBroker(
+            self.store, default_isolation=engine._storage_isolation
+        )
+        self._sessions: list[Session] = []
+        self._closed = False
+
+    # -- catalog ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self._check_open()
+        self.store.create_table(schema)
+
+    def load(self, table: str, rows: Iterable[Sequence]) -> int:
+        self._check_open()
+        return self.store.load(table, rows)
+
+    # -- sessions -----------------------------------------------------------------
+
+    def session(
+        self,
+        client: str = "client",
+        isolation: TxnIsolation | None = None,
+    ) -> "Session":
+        """Open a :class:`Session` for one named client.
+
+        ``isolation`` overrides the storage-level protocol of the
+        session's interactive statements and direct transactions (batch
+        scripts always run under the engine's configuration).
+        """
+        self._check_open()
+        session = Session(self, client, isolation)
+        self._sessions.append(session)
+        return session
+
+    # -- run control --------------------------------------------------------------
+
+    @property
+    def clock(self):
+        """The engine's virtual clock (timeouts, cost accounting)."""
+        return self.engine.clock
+
+    @property
+    def run_reports(self) -> list[RunReport]:
+        return self.engine.run_reports
+
+    def run(self) -> RunReport:
+        """Execute one scheduler run over the dormant script pool."""
+        self._check_open()
+        return self.engine.run_once()
+
+    def tick(self) -> RunReport | None:
+        self._check_open()
+        return self.engine.tick()
+
+    def drain(self, max_runs: int = 10_000) -> list[RunReport]:
+        """Run until the script pool empties or stops progressing."""
+        self._check_open()
+        return self.engine.drain(max_runs)
+
+    def pump(self) -> int:
+        """One interactive matching round; returns #answered queries."""
+        self._check_open()
+        return self.broker.match_round()
+
+    # -- direct read-only queries --------------------------------------------------
+
+    def query(self, sql: str) -> list[tuple["SQLValue | None", ...]]:
+        """Execute a read-only classical SELECT in its own transaction."""
+        self._check_open()
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise MiddlewareError("Client.query only accepts SELECT")
+        compiled = compile_select(stmt, self.store.db, {})
+        txn = self.store.begin()
+        try:
+            rows = self.store.query(txn, compiled.plan)
+        except BaseException:
+            # A failed read (WouldBlock under contention, a pruned
+            # snapshot, ...) must abort — committing would both mask the
+            # original error and finalize a transaction that may still
+            # sit in a lock queue.
+            self.store.abort(txn)
+            raise
+        self.store.commit(txn)
+        return rows
+
+    # -- shutdown ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Shut the client down cleanly.
+
+        Tears down still-open sessions (their transactions abort and
+        release every lock and snapshot horizon), joins the per-shard
+        worker threads, flushes every shard's WAL, and — unless
+        ``checkpoint=False`` — writes a quiescent checkpoint so restart
+        replays almost nothing.  Idempotent.  A crash *between* the
+        flush and the checkpoint loses nothing: the flushed logs replay
+        every committed transaction (regression-tested).
+        """
+        if self._closed:
+            return
+        for session in self._sessions:
+            session.close()
+        self.engine.close()
+        for wal in self.store.wals():
+            wal.flush()
+        if checkpoint:
+            self.store.checkpoint()
+        self._closed = True
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- crash / restart (demos and tests) ----------------------------------------
+
+    def crash_and_recover(self) -> "tuple[Client, EntangledRecoveryReport]":
+        """Simulate a crash and entanglement-aware restart.
+
+        Returns a fresh :class:`Client` over the recovered database plus
+        the recovery report; this client must not be used afterwards.
+        """
+        crashed = self.store.crash()
+        self.engine.close()  # join the dead engine's worker threads
+        engine, report = recover_entangled(crashed, self.engine.config, None)
+        replacement = Client(engine, durability=self.durability)
+        self._closed = True
+        return replacement, report
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise MiddlewareError("client is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"Client(shards={self.store.n_shards}, "
+            f"isolation={self.engine.config.isolation.value}, {state})"
+        )
+
+
+class Session:
+    """One client's unit of work — batch, interactive, or direct.
+
+    Obtained from :meth:`Client.session`.  The three styles compose: a
+    session may submit batch scripts, haggle interactively, and run
+    direct storage transactions, all under one client name.
+    """
+
+    def __init__(
+        self,
+        client: Client,
+        name: str,
+        isolation: TxnIsolation | None = None,
+    ):
+        self.client = client
+        self.name = name
+        self.isolation = isolation
+        #: the broker-side interactive session, created lazily at the
+        #: first interactive statement (so batch-only sessions never
+        #: open a storage transaction at all).
+        self._interactive: InteractiveSession | None = None
+        self._pending: "PendingAnswer | None" = None
+
+    # -- batch scripts --------------------------------------------------------------
+
+    def run_script(
+        self,
+        program: "str | TransactionProgram",
+        *,
+        at: float | None = None,
+        shard_hint: int | None = None,
+    ) -> "ScriptHandle":
+        """Submit a whole transaction program (the non-interactive
+        model); returns a :class:`ScriptHandle`.
+
+        Nothing executes until the client runs the scheduler
+        (:meth:`Client.run` / :meth:`Client.drain` /
+        :meth:`ScriptHandle.wait`) — entangled scripts need their
+        partners submitted first, exactly as in the paper's run-based
+        model.  ``shard_hint`` pins the script to a home shard for the
+        thread-pool executor.
+        """
+        handle = self.client.engine.submit(
+            program, client=self.name, at=at, shard_hint=shard_hint
+        )
+        return ScriptHandle(self.client, handle)
+
+    # -- interactive statements -----------------------------------------------------
+
+    @property
+    def interactive(self) -> InteractiveSession:
+        """The underlying broker session (opened on first use)."""
+        if self._interactive is None:
+            self.client._check_open()
+            self._interactive = self.client.broker.open_session(
+                self.name, isolation=self.isolation
+            )
+        return self._interactive
+
+    def execute(self, sql: str) -> "StatementResult | PendingAnswer":
+        """Execute one statement immediately (the interactive model).
+
+        Classical statements return a
+        :class:`~repro.core.interactive.StatementResult` with their
+        rows.  An entangled query parks the session and returns a
+        :class:`PendingAnswer` instead — poll it, ``await`` it, or
+        cancel it; the session accepts no further statements until the
+        answer resolves or is cancelled.
+        """
+        session = self.interactive
+        result = session.execute(sql)
+        if result.pending:
+            assert session._pending_query is not None
+            self._pending = PendingAnswer(self, session._pending_query)
+            return self._pending
+        return result
+
+    @property
+    def env(self) -> dict[str, "SQLValue | None"]:
+        """The session's host-variable bindings (``AS @var`` results)."""
+        if self._interactive is None:
+            return {}
+        return dict(self._interactive.env)
+
+    @property
+    def state(self) -> SessionState:
+        if self._interactive is None:
+            return SessionState.OPEN
+        return self._interactive.state
+
+    def commit(self) -> bool:
+        """Commit the interactive transaction.  Returns True when
+        committed now; False while waiting for the session's
+        entanglement group (widow prevention)."""
+        if self._interactive is None:
+            raise MiddlewareError(
+                f"session {self.name!r} has no interactive transaction to "
+                f"commit (batch scripts commit through the scheduler)"
+            )
+        return self._interactive.commit()
+
+    def abort(self) -> None:
+        if self._interactive is None:
+            raise MiddlewareError(
+                f"session {self.name!r} has no interactive transaction to "
+                f"abort"
+            )
+        self._interactive.abort()
+
+    def close(self) -> None:
+        """Tear the session down: an active interactive transaction is
+        aborted (releasing its locks and snapshot horizon).  Idempotent;
+        safe in every state — including a session that never executed a
+        statement."""
+        if self._interactive is not None:
+            self._interactive.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None and self.state is SessionState.OPEN and (
+            self._interactive is not None
+        ):
+            self._interactive.commit()
+        self.close()
+
+    # -- direct storage transactions -------------------------------------------------
+
+    def transaction(
+        self, isolation: TxnIsolation | None = None
+    ) -> "StorageTransaction":
+        """Open a direct storage transaction (context manager).
+
+        The lowest API layer: classical ACID reads and writes with no
+        entanglement, straight against the (possibly sharded) storage
+        engine.  Commit on clean exit, abort on exception.
+        """
+        self.client._check_open()
+        chosen = (
+            isolation
+            or self.isolation
+            or self.client.broker.default_isolation
+        )
+        return StorageTransaction(self.client.store, chosen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Session({self.name!r}, state={self.state.value})"
+
+
+class ScriptHandle:
+    """The client-side view of one submitted batch script."""
+
+    def __init__(self, client: Client, handle: int):
+        self.client = client
+        self.handle = handle
+
+    @property
+    def _txn(self):
+        return self.client.engine.transaction(self.handle)
+
+    @property
+    def phase(self) -> TxnPhase:
+        return self._txn.phase
+
+    @property
+    def done(self) -> bool:
+        return self.phase.is_terminal
+
+    @property
+    def succeeded(self) -> bool:
+        return self.phase is TxnPhase.COMMITTED
+
+    @property
+    def abort_reason(self) -> str:
+        return self._txn.abort_reason
+
+    @property
+    def attempts(self) -> int:
+        return self._txn.stats.attempts
+
+    def host_variables(self) -> dict[str, "SQLValue | None"]:
+        """The committed script's ``AS @var`` bindings."""
+        if not self.succeeded:
+            raise MiddlewareError(
+                f"script {self.handle} is {self.phase.value}, not committed"
+            )
+        return dict(self._txn.env)
+
+    def wait(self, max_runs: int = 10_000) -> "ScriptHandle":
+        """Drain the scheduler, then return self (check :attr:`done`)."""
+        self.client.drain(max_runs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScriptHandle({self.handle}, {self.phase.value})"
+
+
+class PendingAnswer:
+    """A parked entangled query: pollable, blockable, awaitable.
+
+    Returned by :meth:`Session.execute` for entangled statements.  The
+    answer arrives when a matching round
+    (:meth:`Client.pump`, run by any caller) finds partners; until then
+    the session is parked and its snapshot horizon released if clean.
+
+    Duck-types as an empty pending
+    :class:`~repro.core.interactive.StatementResult` (``pending`` /
+    ``rows``), so call sites that only branch on ``result.pending`` work
+    unchanged.
+    """
+
+    def __init__(self, session: Session, query):
+        self._session = session
+        self.query_id = query.query_id
+        #: the host variables this query binds on delivery.
+        self.binds = tuple(var for var, _h, _p in query.var_bindings)
+        self.pending = True
+        self.rows: list = []
+
+    # -- state ----------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the answer was delivered (or the query came back
+        empty) and the session resumed."""
+        inner = self._session._interactive
+        return (
+            inner is not None
+            and not inner.waiting
+            and self._session._pending is self
+            and inner.state is not SessionState.ABORTED
+        )
+
+    @property
+    def cancelled(self) -> bool:
+        inner = self._session._interactive
+        return self._session._pending is not self or (
+            inner is not None and inner.state is SessionState.ABORTED
+        )
+
+    # -- resolution ------------------------------------------------------------------
+
+    def poll(self) -> bool:
+        """Run one matching round; returns :attr:`done`."""
+        if not self.done and not self.cancelled:
+            self._session.client.pump()
+        return self.done
+
+    def bindings(self) -> dict[str, "SQLValue | None"]:
+        """The delivered ``AS @var`` values (None = empty answer)."""
+        if self.cancelled:
+            raise MiddlewareError(
+                f"entangled query {self.query_id} was cancelled"
+            )
+        if not self.done:
+            raise MiddlewareError(
+                f"entangled query {self.query_id} has no answer yet"
+            )
+        env = self._session.interactive.env
+        return {var: env.get(var) for var in self.binds}
+
+    def result(self, max_rounds: int = 100) -> dict[str, "SQLValue | None"]:
+        """Pump matching rounds until answered; returns the bindings.
+
+        Raises :class:`~repro.errors.EntanglementTimeout` when no
+        partner materializes within ``max_rounds`` — the interactive
+        analogue of a batch script cycling dormant until its timeout.
+        """
+        for _ in range(max_rounds):
+            if self.poll():
+                return self.bindings()
+        if self.done:
+            return self.bindings()
+        raise EntanglementTimeout(
+            f"entangled query {self.query_id} found no partners in "
+            f"{max_rounds} matching rounds"
+        )
+
+    def cancel(self) -> None:
+        """Give up waiting; the session resumes and may issue other
+        statements (the paper's "decide to abort or issue another
+        command")."""
+        if self.done or self.cancelled:
+            return
+        self._session.interactive.cancel()
+        self._session._pending = None
+
+    def __await__(self):
+        """Awaitable form: cooperate with an event loop by yielding
+        between matching rounds until the answer lands."""
+        while not self.done:
+            if self.cancelled:
+                raise MiddlewareError(
+                    f"entangled query {self.query_id} was cancelled"
+                )
+            self._session.client.pump()
+            if self.done:
+                break
+            yield
+        return self.bindings()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "cancelled" if self.cancelled
+            else "done" if self.done else "pending"
+        )
+        return f"PendingAnswer({self.query_id}, {state})"
+
+
+class StorageTransaction:
+    """A direct classical transaction against the storage layer.
+
+    Context manager: commit on clean exit, abort on exception.  Reads
+    and writes go through the same lock/MVCC/SSI machinery as every
+    other path; under 2PL a conflicting statement raises
+    :class:`~repro.storage.engine.WouldBlock` — the caller suspends and
+    retries (cooperative protocol), it is never blocked on a thread.
+    """
+
+    def __init__(self, store, isolation: TxnIsolation):
+        self._store = store
+        self.isolation = isolation
+        self.txn = store.begin(isolation=isolation)
+        self._finished = False
+
+    # -- statements -----------------------------------------------------------------
+
+    def query(self, sql: str) -> list[tuple["SQLValue | None", ...]]:
+        """Run a SELECT inside this transaction."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise MiddlewareError("StorageTransaction.query only accepts SELECT")
+        compiled = compile_select(stmt, self._store.db, {})
+        return self._store.query(self.txn, compiled.plan)
+
+    def execute(self, sql: str) -> list[tuple["SQLValue | None", ...]]:
+        """Run one classical statement (SELECT/INSERT/UPDATE/DELETE)
+        inside this transaction; returns rows for SELECTs."""
+        from repro.core.interpreter import NullCostTap, _execute_classical
+        from repro.core.transaction import EntangledTransaction
+        from repro.sql.ast import TransactionProgram as _TP
+
+        stmt = parse_statement(sql)
+        if isinstance(stmt, SelectStmt):
+            return self.query(sql)
+        carrier = EntangledTransaction(
+            handle=0, client="direct", program=_TP((), None)
+        )
+        carrier.storage_txn = self.txn
+        _execute_classical(carrier, stmt, self._store, NullCostTap())
+        return []
+
+    def insert(self, table: str, values: Sequence[Any]):
+        return self._store.insert(self.txn, table, values)
+
+    def update(self, table: str, rid: int, values: Sequence[Any]):
+        return self._store.update(self.txn, table, rid, values)
+
+    def delete(self, table: str, rid: int):
+        return self._store.delete(self.txn, table, rid)
+
+    def read_table(self, table: str):
+        return self._store.read_table(self.txn, table)
+
+    # -- termination -----------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._finished = True
+        self._store.commit(self.txn)
+
+    def abort(self) -> None:
+        self._finished = True
+        self._store.abort(self.txn)
+
+    def __enter__(self) -> "StorageTransaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if not self._finished:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StorageTransaction({self.txn}, {self.isolation.value})"

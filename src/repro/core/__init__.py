@@ -14,6 +14,7 @@ from repro.core.engine import (
     IsolationConfig,
     RunReport,
 )
+from repro.core.executor import ExecutorClosed, ShardExecutor
 from repro.core.groups import GroupTracker
 from repro.core.interactive import (
     InteractiveBroker,
@@ -48,7 +49,9 @@ __all__ = [
     "EntangledRecoveryReport",
     "EntangledTransaction",
     "EntangledTransactionEngine",
+    "ExecutorClosed",
     "GroupTracker",
+    "ShardExecutor",
     "InteractiveBroker",
     "InteractiveSession",
     "IsolationConfig",

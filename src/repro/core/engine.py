@@ -26,9 +26,11 @@ Combines every piece of the execution model of Section 4:
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.core.executor import ShardExecutor
 from repro.core.groups import GroupTracker
 from repro.core.interpreter import (
     NullCostTap,
@@ -128,6 +130,16 @@ class EngineConfig:
     #: oracles/WALs/locks, vector snapshots, cross-shard two-phase
     #: commit) instead of a single StorageEngine.
     shards: int = 1
+    #: real-thread execution: dispatch each transaction's execution and
+    #: commit onto its home shard's worker thread
+    #: (:class:`~repro.core.executor.ShardExecutor`), so disjoint-shard
+    #: work — commit WAL flushes above all — overlaps in wall-clock
+    #: time.  The run loop's phase structure (execute / evaluate /
+    #: commit) and the cooperative ``WouldBlock`` protocol are
+    #: unchanged; evaluation stays on the coordinator thread.  Call
+    #: :meth:`EntangledTransactionEngine.close` (or use the
+    #: ``repro.client`` façade, which does) to join the workers.
+    executor: bool = False
     #: Non-transactional execution: "the same code without enclosing it
     #: within a transaction block" (the -Q workloads of Section 5.2.2).
     #: Each statement commits immediately, no transaction bracket cost is
@@ -187,7 +199,15 @@ class RunReport:
 
 
 class EntangledTransactionEngine:
-    """The middle tier supporting entanglement (Figure 5)."""
+    """The middle tier supporting entanglement (Figure 5).
+
+    .. deprecated:: 1.1
+        Legacy entry point, kept as a thin adapter for one release of
+        back-compat.  New code should use :func:`repro.connect`: a
+        :class:`repro.client.Client` owns this engine and exposes batch
+        scripts through ``Session.run_script`` without the construction
+        boilerplate.
+    """
 
     POOL_TABLE = "_youtopia_pool"
     EDGES_TABLE = "_youtopia_edges"
@@ -207,6 +227,13 @@ class EntangledTransactionEngine:
 
             self.store = build_storage_engine(self.config.shards)
         self.policy = policy or ManualPolicy()
+        self.executor = (
+            ShardExecutor(self.store.n_shards) if self.config.executor else None
+        )
+        #: guards run-report/stats mutations reachable from concurrent
+        #: commit-unit workers (a leaf lock: never held while calling
+        #: into the store).
+        self._report_lock = threading.Lock()
         self.clock = VirtualClock()
         self.groups = GroupTracker()
         self.recorder = ScheduleRecorder() if self.config.record_schedule else None
@@ -274,17 +301,30 @@ class EntangledTransactionEngine:
 
     # -- submission --------------------------------------------------------------------
 
+    def close(self) -> None:
+        """Join the per-shard worker threads (no-op without an executor).
+        The engine must not run again afterwards."""
+        if self.executor is not None:
+            self.executor.close()
+
     def submit(
         self,
         program: TransactionProgram | str,
         client: str = "client",
         at: float | None = None,
+        shard_hint: int | None = None,
     ) -> int:
         """Submit a transaction; returns its handle.
 
         ``at`` stamps the (virtual) arrival time; by default the current
         clock.  Arrival does not execute anything — the run policy decides
         when the next run starts (call :meth:`tick` or :meth:`run_once`).
+
+        ``shard_hint`` names the transaction's *home shard* for the
+        thread-pool executor (``EngineConfig.executor``): its statements
+        and its commit run on that shard's worker.  Callers that know
+        their data's routing (``shard_for_key``) should pass it; the
+        default spreads transactions round-robin by handle.
         """
         if isinstance(program, str):
             sql_text = program
@@ -299,7 +339,8 @@ class EntangledTransactionEngine:
         self._next_handle += 1
         arrival = self.clock.now if at is None else self.clock.advance_to(at)
         txn = EntangledTransaction(
-            handle=handle, client=client, program=program, submitted_at=arrival
+            handle=handle, client=client, program=program,
+            submitted_at=arrival, shard_hint=shard_hint,
         )
         self._transactions[handle] = txn
         self._dormant.append(handle)
@@ -400,15 +441,13 @@ class EntangledTransactionEngine:
         runnable = list(batch)
         while rounds < self.config.max_rounds_per_run:
             rounds += 1
-            # Phase 1: drive every runnable transaction to a stop point.
+            # Phase 1: drive every runnable transaction to a stop point —
+            # on the caller's thread, or (with the executor) each on its
+            # home shard's worker, concurrently.  Outcome bookkeeping
+            # happens back on the coordinator either way.
             next_lock_blocked: list[EntangledTransaction] = []
-            for txn in runnable:
-                if txn.phase is not TxnPhase.RUNNING:
-                    continue
-                outcome = run_until_block(
-                    txn, self.store, cost_tap,
-                    autocommit=self.config.autocommit,
-                )
+            executing = [t for t in runnable if t.phase is TxnPhase.RUNNING]
+            for txn, outcome in self._execute_step(executing, cost_tap):
                 if outcome is StepOutcome.COMPLETED:
                     txn.mark_ready()
                 elif outcome is StepOutcome.LOCK_BLOCKED:
@@ -537,6 +576,40 @@ class EntangledTransactionEngine:
             self.total_elapsed += report.elapsed
         self.run_reports.append(report)
         return report
+
+    def _home_shard(self, txn: EntangledTransaction) -> int:
+        """The executor worker a transaction runs on: its shard hint, or
+        round-robin by handle when the caller declared none."""
+        base = txn.shard_hint if txn.shard_hint is not None else txn.handle
+        return base % self.store.n_shards
+
+    def _execute_step(
+        self,
+        txns: list[EntangledTransaction],
+        cost_tap,
+    ) -> list[tuple[EntangledTransaction, StepOutcome]]:
+        """Run one execute phase over ``txns``; returns their outcomes.
+
+        Serially without an executor; otherwise each transaction's
+        ``run_until_block`` is dispatched to its home shard's worker —
+        transactions homed on different shards execute concurrently in
+        wall-clock time, same-shard transactions pipeline FIFO.
+        """
+
+        def step(txn: EntangledTransaction):
+            return (
+                txn,
+                run_until_block(
+                    txn, self.store, cost_tap,
+                    autocommit=self.config.autocommit,
+                ),
+            )
+
+        if self.executor is None or len(txns) <= 1:
+            return [step(txn) for txn in txns]
+        return self.executor.run(
+            [(self._home_shard(txn), lambda txn=txn: step(txn)) for txn in txns]
+        )
 
     def _lock_waiters_can_move(self, waiters: list[EntangledTransaction]) -> bool:
         """True when some waiter's blocking resource has been freed."""
@@ -752,16 +825,17 @@ class EntangledTransactionEngine:
             # No groups to widow: SSI failures surface from the commit
             # itself and are retried there (autocommit's trailing storage
             # transaction is empty and trivially clean).
-            for txn in ready:
-                self._commit_transaction(txn, report)
+            units = [[txn] for txn in ready]
         else:
-            # Commit group by group, SSI-validating each group
-            # *atomically* first: committing members one by one and
-            # failing midway would leave the earlier ones durably
-            # committed while the rest abort — a widowed group.  The
-            # validation simulates the in-order commits (including the
-            # edges the group's own earlier members create) against the
-            # tracker state left by the groups already committed here.
+            # Assemble commit units group by group; each unit is
+            # SSI-validated *atomically* before its first member commits:
+            # committing members one by one and failing midway would
+            # leave the earlier ones durably committed while the rest
+            # abort — a widowed group.  The validation simulates the
+            # in-order commits (including the edges the group's own
+            # earlier members create) against the tracker state left by
+            # the groups already committed here.
+            units = []
             emitted: set[int] = set()
             for txn in ready:
                 if txn.handle in emitted:
@@ -779,25 +853,44 @@ class EntangledTransactionEngine:
                 ):
                     continue
                 emitted.update(m.handle for m in members)
+                units.append(members)
+
+        def commit_unit(members: list[EntangledTransaction]) -> None:
+            # A unit of one cannot widow: let its commit raise (and
+            # classify the failure) directly.  Larger units validate and
+            # commit inside the store's commit funnel, so no concurrent
+            # worker's commit can wedge between the group validation and
+            # the members' commits.
+            if len(members) == 1:
+                self._commit_transaction(members[0], report)
+                return
+            with self.store.commit_funnel():
                 storage_txns = [
                     m.storage_txn for m in members if m.storage_txn is not None
                 ]
-                # A group of one cannot widow: let its commit raise (and
-                # classify the failure) directly.  Larger groups are
-                # validated atomically first.
-                if len(members) > 1 and self.store.serialization_doomed_group(
-                    storage_txns
-                ):
+                if self.store.serialization_doomed_group(storage_txns):
                     for member in members:
-                        member.stats.ssi_aborts += 1
-                        report.ssi_aborts += 1
+                        with self._report_lock:
+                            member.stats.ssi_aborts += 1
+                            report.ssi_aborts += 1
                         self._abort_attempt(
                             member, retry=True, report=report,
                             reason="serialization failure (SSI pre-commit "
                                    "group validation)")
-                    continue
+                    return
                 for member in members:
                     self._commit_transaction(member, report)
+
+        if self.executor is None or len(units) <= 1:
+            for unit in units:
+                commit_unit(unit)
+        else:
+            # Units homed on different shards flush their WALs
+            # concurrently — the wall-clock payoff of per-shard logs.
+            self.executor.run([
+                (self._home_shard(unit[0]), lambda unit=unit: commit_unit(unit))
+                for unit in units
+            ])
 
         for txn in batch:
             if txn.phase in (TxnPhase.COMMITTED, TxnPhase.ABORTED,
@@ -847,7 +940,8 @@ class EntangledTransactionEngine:
         except SerializationFailureError:
             # SSI rejected the commit: the attempt aborts and retries,
             # exactly like a write conflict discovered one step earlier.
-            txn.stats.ssi_aborts += 1
+            with self._report_lock:
+                txn.stats.ssi_aborts += 1
             self._abort_attempt(
                 txn, retry=True, report=report,
                 reason="serialization failure (SSI dangerous structure)")
@@ -862,12 +956,14 @@ class EntangledTransactionEngine:
                 self.config.costs.cross_shard_prepare_cost
                 if len(written) > 1 else 0.0
             )
-            for shard_idx in written:
-                self._shard_flush_loads[shard_idx] += per_shard
+            with self._report_lock:
+                for shard_idx in written:
+                    self._shard_flush_loads[shard_idx] += per_shard
         if self.recorder is not None:
             self.recorder.on_commit(txn.storage_txn)
         txn.mark_committed()
-        report.committed.append(txn.handle)
+        with self._report_lock:
+            report.committed.append(txn.handle)
 
     def _abort_attempt(
         self,
@@ -889,19 +985,22 @@ class EntangledTransactionEngine:
                 self.recorder.on_abort(txn.storage_txn)
         if not retry:
             txn.mark_aborted(reason)
-            report.aborted.append(txn.handle)
+            with self._report_lock:
+                report.aborted.append(txn.handle)
             self._persist_pool_remove(txn.handle)
             return
         if txn.is_expired(self.clock.now):
             self._finalize_timeout(txn, report)
             return
         txn.reset_for_retry()
-        self._dormant.append(txn.handle)
-        report.returned_to_pool.append(txn.handle)
+        with self._report_lock:
+            self._dormant.append(txn.handle)
+            report.returned_to_pool.append(txn.handle)
 
     def _finalize_timeout(self, txn: EntangledTransaction, report: RunReport) -> None:
         txn.mark_timed_out()
-        report.timed_out.append(txn.handle)
+        with self._report_lock:
+            report.timed_out.append(txn.handle)
         self._persist_pool_remove(txn.handle)
 
     # -- draining -----------------------------------------------------------------------------

@@ -28,6 +28,7 @@ group-commit rule applied at the session granularity).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -53,6 +54,10 @@ class SessionState(enum.Enum):
     COMMITTED = "committed"
     ABORTED = "aborted"
 
+    @property
+    def is_terminal(self) -> bool:
+        return self in (SessionState.COMMITTED, SessionState.ABORTED)
+
 
 @dataclass
 class StatementResult:
@@ -76,6 +81,11 @@ class InteractiveSession:
         self.state = SessionState.OPEN
         self.env: dict[str, "SQLValue | None"] = {}
         self.storage_txn = broker.store.begin(isolation=isolation)
+        # A session that has not executed anything yet must not pin the
+        # vacuum horizon: its snapshot is *parked* (deregistered from
+        # every shard oracle) until the first statement re-snapshots.
+        # Abandoned sessions therefore never block vacuum.
+        self._parked = broker.store.park_snapshot(self.storage_txn)
         self._pending_stmt: EntangledSelectStmt | None = None
         self._pending_query = None
         self._query_counter = 0
@@ -85,6 +95,11 @@ class InteractiveSession:
     def execute(self, sql: str) -> StatementResult:
         """Execute one statement; entangled queries park the session."""
         self._require(SessionState.OPEN)
+        if self._parked:
+            # First observation since open/cancel: take a fresh snapshot
+            # and rejoin the vacuum horizon.
+            self.broker.store.unpark_snapshot(self.storage_txn)
+            self._parked = False
         stmt = parse_statement(sql)
         return self._execute_parsed(stmt)
 
@@ -134,15 +149,21 @@ class InteractiveSession:
         decide to abort or issue another command").
 
         A SNAPSHOT session that has not yet read or written anything also
-        *releases its snapshot*: the engine re-snapshots it at the latest
-        commit timestamp, so the vacuum horizon is no longer pinned by an
-        idle waiter and subsequent statements see fresh data."""
+        fully *releases its snapshot horizon* (parks): the vacuum floor
+        is no longer pinned by an idle waiter — even one that waits
+        forever — and the next statement re-snapshots at the latest
+        commit timestamp.  A session that already observed state keeps
+        its snapshot (repeatability wins), falling back to an in-place
+        refresh when still clean enough."""
         self._require(SessionState.WAITING)
         self.broker._dequeue(self)
         self._pending_stmt = None
         self._pending_query = None
         self.state = SessionState.OPEN
-        self.broker.store.refresh_snapshot(self.storage_txn)
+        if self.broker.store.park_snapshot(self.storage_txn):
+            self._parked = True
+        else:
+            self.broker.store.refresh_snapshot(self.storage_txn)
 
     def _deliver(self, answer: QueryAnswer | None) -> None:
         assert self._pending_query is not None
@@ -179,6 +200,23 @@ class InteractiveSession:
         self.state = SessionState.ABORTED
         self.broker._on_abort(self)
 
+    def close(self) -> None:
+        """Tear the session down from *any* state (idempotent).
+
+        A non-terminal session — waiting, commit-pending, or one that
+        never executed a statement at all — aborts its storage
+        transaction, releasing every lock and (via the abort path or the
+        park taken at open) its snapshot horizon, so an abandoned
+        session can never pin vacuum.  Terminal sessions no-op.
+        """
+        if self.state.is_terminal:
+            return
+        if self.state is SessionState.COMMIT_PENDING:
+            # The group never completed; withdrawing the commit request
+            # aborts this member (and, by widow prevention, its group).
+            self.state = SessionState.OPEN
+        self.abort()
+
     def _require(self, expected: SessionState) -> None:
         if self.state is not expected:
             raise MiddlewareError(
@@ -187,7 +225,16 @@ class InteractiveSession:
 
 
 class InteractiveBroker:
-    """Coordinates entangled queries across interactive sessions."""
+    """Coordinates entangled queries across interactive sessions.
+
+    .. deprecated:: 1.1
+        Legacy entry point, kept as a thin adapter for one release of
+        back-compat.  New code should use :func:`repro.connect`: a
+        :class:`repro.client.Session`'s ``execute()`` subsumes this
+        broker (parked queries come back as awaitable/pollable
+        :class:`~repro.client.PendingAnswer` objects, and
+        ``Client.pump()`` drives the matching rounds).
+    """
 
     def __init__(
         self,
@@ -211,6 +258,9 @@ class InteractiveBroker:
         self._sessions: dict[int, InteractiveSession] = {}
         self._waiting: dict[int, InteractiveSession] = {}
         self._next_id = 1
+        #: guards session/group bookkeeping: sessions may be driven from
+        #: real client threads while commits cascade through groups.
+        self._mutex = threading.RLock()
 
     def open_session(
         self,
@@ -220,14 +270,15 @@ class InteractiveBroker:
         """Open a session; ``isolation`` chooses its read protocol, so
         SNAPSHOT readers and 2PL writers can share one broker (and one
         ``match_round``)."""
-        session = InteractiveSession(
-            self, self._next_id, client,
-            isolation=isolation or self.default_isolation,
-        )
-        self._next_id += 1
-        self._sessions[session.session_id] = session
-        self.groups.register(session.session_id)
-        return session
+        with self._mutex:
+            session = InteractiveSession(
+                self, self._next_id, client,
+                isolation=isolation or self.default_isolation,
+            )
+            self._next_id += 1
+            self._sessions[session.session_id] = session
+            self.groups.register(session.session_id)
+            return session
 
     # -- matching ---------------------------------------------------------------------
 
@@ -236,8 +287,15 @@ class InteractiveBroker:
 
         The interactive analogue of a run's evaluation phase: queries
         whose partners have arrived are answered and their sessions
-        resume; the rest keep waiting.
+        resume; the rest keep waiting.  Serialized under the broker
+        mutex — any client thread may pump (``PendingAnswer.poll`` /
+        ``Client.pump``), and two concurrent rounds would deliver the
+        same answers twice.
         """
+        with self._mutex:
+            return self._match_round_locked()
+
+    def _match_round_locked(self) -> int:
         waiting = [s for s in self._waiting.values() if s.waiting]
         if not waiting:
             return 0
@@ -308,10 +366,12 @@ class InteractiveBroker:
     # -- internals ----------------------------------------------------------------------
 
     def _enqueue(self, session: InteractiveSession) -> None:
-        self._waiting[session.session_id] = session
+        with self._mutex:
+            self._waiting[session.session_id] = session
 
     def _dequeue(self, session: InteractiveSession) -> None:
-        self._waiting.pop(session.session_id, None)
+        with self._mutex:
+            self._waiting.pop(session.session_id, None)
 
     def _try_group_commit(self, session: InteractiveSession) -> None:
         """Commit the whole group once every member requested commit.
@@ -323,40 +383,51 @@ class InteractiveBroker:
         guard below is a defense-in-depth net for failures the
         simulation could not foresee.
         """
-        group = self.groups.group_of(session.session_id)
-        members = [self._sessions[sid] for sid in sorted(group)
-                   if sid in self._sessions]
-        if not all(m.state is SessionState.COMMIT_PENDING for m in members):
-            return
-        # A group of one cannot widow; larger groups are validated as a
-        # unit so no member commits ahead of a failure.
-        if len(members) > 1 and self.store.serialization_doomed_group(
-            [m.storage_txn for m in members]
-        ):
-            # Aborting one member cascades to the whole group; surface
-            # the failure as ABORTED sessions the clients can retry.
-            members[0].abort()
-            return
-        for member in members:
-            try:
-                self.store.commit(member.storage_txn)
-            except SerializationFailureError:
-                member.abort()
+        with self._mutex:
+            group = self.groups.group_of(session.session_id)
+            members = [self._sessions[sid] for sid in sorted(group)
+                       if sid in self._sessions]
+            if not all(
+                m.state is SessionState.COMMIT_PENDING for m in members
+            ):
                 return
-            member.state = SessionState.COMMITTED
-        for member in members:
-            self.groups.forget(member.session_id)
+            # A group of one cannot widow; larger groups are validated as
+            # a unit — inside the store's commit funnel, so a concurrent
+            # thread's commit cannot wedge between the validation and
+            # the members' commits.
+            with self.store.commit_funnel():
+                if len(members) > 1 and self.store.serialization_doomed_group(
+                    [m.storage_txn for m in members]
+                ):
+                    # Aborting one member cascades to the whole group;
+                    # surface the failure as ABORTED sessions the clients
+                    # can retry.
+                    members[0].abort()
+                    return
+                for member in members:
+                    try:
+                        self.store.commit(member.storage_txn)
+                    except SerializationFailureError:
+                        member.abort()
+                        return
+                    member.state = SessionState.COMMITTED
+            for member in members:
+                self.groups.forget(member.session_id)
 
     def _on_abort(self, session: InteractiveSession) -> None:
         """Widow prevention: aborting a session aborts its whole group."""
-        group = self.groups.group_of(session.session_id) - {session.session_id}
-        self.groups.forget(session.session_id)
-        for sid in sorted(group):
-            member = self._sessions.get(sid)
-            if member is None or member.state in (
-                    SessionState.COMMITTED, SessionState.ABORTED):
-                continue
-            member.abort()
+        with self._mutex:
+            group = (
+                self.groups.group_of(session.session_id)
+                - {session.session_id}
+            )
+            self.groups.forget(session.session_id)
+            for sid in sorted(group):
+                member = self._sessions.get(sid)
+                if member is None or member.state in (
+                        SessionState.COMMITTED, SessionState.ABORTED):
+                    continue
+                member.abort()
 
 
 # Adapter plumbing for reusing the batch interpreter.

@@ -55,7 +55,15 @@ class TransactionTicket:
 
 
 class Youtopia:
-    """The middle tier supporting entanglement, as a client-facing API."""
+    """The middle tier supporting entanglement, as a client-facing API.
+
+    .. deprecated:: 1.1
+        Legacy entry point, kept as a thin adapter for one release of
+        back-compat.  New code should use :func:`repro.connect` — the
+        :class:`repro.client.Client` covers this front end (catalog
+        setup, ``query``, ``crash_and_recover``) and adds sessions,
+        interactive statements, and the thread-pool execution layer.
+    """
 
     def __init__(
         self,

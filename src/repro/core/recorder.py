@@ -18,6 +18,7 @@ schedules produced under full isolation are entangled-isolated
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,54 +28,71 @@ from repro.model.schedule import Schedule
 
 @dataclass
 class ScheduleRecorder:
-    """Accumulates model operations in engine execution order."""
+    """Accumulates model operations in engine execution order.
+
+    Thread-safe: the per-shard worker threads of
+    :mod:`repro.core.executor` report storage operations concurrently,
+    so every hook appends under one mutex — the recorded sequence is a
+    linearization of the actual execution (conflicting operations are
+    already serialized by the storage engine's locks before their
+    notifications fire).
+    """
 
     ops: list[Op] = field(default_factory=list)
     _next_eid: int = 1
     #: storage txns that performed at least one op (for trimming).
     _touched: set[int] = field(default_factory=set)
     _terminated: set[int] = field(default_factory=set)
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def on_read(
         self, storage_txn: int, table: str, reads_from: int | None = None
     ) -> None:
         """Record a read; ``reads_from`` is the MVCC version annotation
         (creator transaction of the version observed; None = current)."""
-        self.ops.append(R(storage_txn, table, reads_from=reads_from))
-        self._touched.add(storage_txn)
+        with self._mutex:
+            self.ops.append(R(storage_txn, table, reads_from=reads_from))
+            self._touched.add(storage_txn)
 
     def on_write(self, storage_txn: int, table: str) -> None:
-        self.ops.append(W(storage_txn, table))
-        self._touched.add(storage_txn)
+        with self._mutex:
+            self.ops.append(W(storage_txn, table))
+            self._touched.add(storage_txn)
 
     def on_grounding_read(
         self, storage_txn: int, table: str, reads_from: int | None = None
     ) -> None:
-        self.ops.append(RG(storage_txn, table, reads_from=reads_from))
-        self._touched.add(storage_txn)
+        with self._mutex:
+            self.ops.append(RG(storage_txn, table, reads_from=reads_from))
+            self._touched.add(storage_txn)
 
     def on_entangle(
         self, participants: dict[int, Any]
     ) -> int:
         """Record an entanglement; ``participants`` maps storage txn ->
         delivered answer payload.  Returns the entanglement id."""
-        eid = self._next_eid
-        self._next_eid += 1
-        self.ops.append(E(eid, *participants.keys(), answers=participants))
-        self._touched.update(participants.keys())
-        return eid
+        with self._mutex:
+            eid = self._next_eid
+            self._next_eid += 1
+            self.ops.append(E(eid, *participants.keys(), answers=participants))
+            self._touched.update(participants.keys())
+            return eid
 
     def on_commit(self, storage_txn: int) -> None:
-        if storage_txn not in self._terminated:
-            self.ops.append(C(storage_txn))
-            self._terminated.add(storage_txn)
-            self._touched.add(storage_txn)
+        with self._mutex:
+            if storage_txn not in self._terminated:
+                self.ops.append(C(storage_txn))
+                self._terminated.add(storage_txn)
+                self._touched.add(storage_txn)
 
     def on_abort(self, storage_txn: int) -> None:
-        if storage_txn not in self._terminated:
-            self.ops.append(A(storage_txn))
-            self._terminated.add(storage_txn)
-            self._touched.add(storage_txn)
+        with self._mutex:
+            if storage_txn not in self._terminated:
+                self.ops.append(A(storage_txn))
+                self._terminated.add(storage_txn)
+                self._touched.add(storage_txn)
 
     def schedule(self) -> Schedule:
         """The recorded schedule, validated against Appendix C.1.

@@ -88,6 +88,9 @@ class EntangledTransaction:
     #: transactions this one entangled with during the current attempt.
     partners: set[int] = field(default_factory=set)
     abort_reason: str = ""
+    #: home shard for the thread-pool executor (None = round-robin by
+    #: handle); survives retries — the data does not move between runs.
+    shard_hint: int | None = None
 
     @property
     def timeout_seconds(self) -> float | None:

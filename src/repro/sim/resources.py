@@ -14,6 +14,7 @@ matches the paper's uniformly sized transactions.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import BenchError
@@ -21,11 +22,19 @@ from repro.errors import BenchError
 
 @dataclass
 class ConnectionPool:
-    """Per-slot accumulated connection time within one accounting window."""
+    """Per-slot accumulated connection time within one accounting window.
+
+    Thread-safe: per-shard worker threads charge statement costs
+    concurrently when the engine runs under
+    :mod:`repro.core.executor`.
+    """
 
     capacity: int
     _loads: list[float] = field(default_factory=list)
     _next_slot: int = 0
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.capacity < 1:
@@ -34,14 +43,16 @@ class ConnectionPool:
 
     def charge(self, seconds: float) -> int:
         """Charge ``seconds`` to the next slot round-robin; returns slot."""
-        slot = self._next_slot
-        self._next_slot = (self._next_slot + 1) % self.capacity
-        self._loads[slot] += seconds
-        return slot
+        with self._mutex:
+            slot = self._next_slot
+            self._next_slot = (self._next_slot + 1) % self.capacity
+            self._loads[slot] += seconds
+            return slot
 
     def charge_slot(self, slot: int, seconds: float) -> None:
         """Charge additional work to a specific slot (same transaction)."""
-        self._loads[slot] += seconds
+        with self._mutex:
+            self._loads[slot] += seconds
 
     def elapsed(self) -> float:
         """The batch's elapsed time: the busiest slot's load."""

@@ -43,14 +43,21 @@ Setting ``granularity=LockGranularity.TABLE`` restores the coarse
 protocol (every 2PL read takes a table S lock) — kept as the baseline arm
 of the locking ablation benchmarks.
 
-The engine is single-threaded by design; concurrency is supplied by the
-run-based scheduler interleaving transaction programs, and by the
-discrete-event simulator when measuring performance.
+Transaction *logic* stays cooperative (the run-based scheduler
+interleaves transaction programs; WouldBlock suspends instead of
+blocking), but the engine itself is **thread-safe**: every public entry
+point runs under one re-entrant engine mutex, so the per-shard worker
+threads of :mod:`repro.core.executor` can drive disjoint transactions
+concurrently.  One engine is one serial pipeline — under sharding each
+shard is its own engine with its own mutex and WAL, which is exactly
+what lets commit flushes overlap across shards in wall-clock time.
 """
 
 from __future__ import annotations
 
 import enum
+import functools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -181,6 +188,18 @@ class TxnContext:
         return sorted({w.table for w in self.writes})
 
 
+def _locked(method):
+    """Run ``method`` under the engine mutex (re-entrant, so public
+    methods freely call each other)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self.mutex:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 def ssi_read_items(access: ReadAccess) -> list:
     """The SSI item(s) one observed access covers, in the lock manager's
     resource vocabulary (rows, index keys, table scans).  Shared with the
@@ -208,6 +227,8 @@ class StorageEngine:
         ssi_tracking: bool = True,
     ):
         self.db = db if db is not None else Database()
+        #: the engine mutex: one serial pipeline per engine (= per shard).
+        self.mutex = threading.RLock()
         self.locks = LockManager()
         self.wal = WriteAheadLog()
         self.locking = locking
@@ -283,6 +304,7 @@ class StorageEngine:
 
     # -- transaction lifecycle ------------------------------------------------------
 
+    @_locked
     def begin(
         self,
         isolation: TxnIsolation = TxnIsolation.TWO_PL,
@@ -343,7 +365,14 @@ class StorageEngine:
             )
         return ctx
 
-    def commit(self, txn: int, *, participants: "tuple[int, ...] | None" = None) -> list[int]:
+    @_locked
+    def commit(
+        self,
+        txn: int,
+        *,
+        participants: "tuple[int, ...] | None" = None,
+        flush: bool = True,
+    ) -> list[int]:
         """Commit: allocate a commit timestamp (writing transactions),
         flush WAL through the COMMIT record, stamp the version chains,
         release locks.
@@ -351,6 +380,14 @@ class StorageEngine:
         ``participants`` (sharded coordinator only) stamps the COMMIT
         record with the shard indexes the *global* transaction wrote in,
         so restart recovery can detect torn cross-shard commits.
+
+        ``flush=False`` (sharded coordinator only) skips the physical WAL
+        flush: the coordinator performs the in-memory commits of every
+        shard inside its global commit funnel, then flushes the written
+        shards' WALs *outside* it, so simulated fsync latencies overlap
+        across shards instead of serializing every commit globally.  The
+        coordinator must not acknowledge the commit before those flushes
+        complete (write-ahead rule at the ensemble level).
 
         SERIALIZABLE transactions are validated first: the SSI tracker
         sweeps the write set against concurrent readers and raises
@@ -375,7 +412,8 @@ class StorageEngine:
             LogRecordType.COMMIT, txn, commit_ts=commit_ts,
             participants=participants,
         )
-        self.wal.flush(record.lsn)  # write-ahead rule: commit is durable
+        if flush:
+            self.wal.flush(record.lsn)  # write-ahead rule: commit is durable
         if commit_ts is not None:
             ctx.commit_ts = commit_ts
             for name in written:
@@ -400,6 +438,7 @@ class StorageEngine:
                     self._commits_since_checkpoint = 0
         return woken
 
+    @_locked
     def abort(self, txn: int) -> list[int]:
         """Abort: discard pending versions, undo all physical changes in
         reverse order, release locks.
@@ -468,12 +507,14 @@ class StorageEngine:
         if outcome is LockOutcome.WAIT:
             raise WouldBlock(txn, resource)
 
+    @_locked
     def lock_table_shared(self, txn: int, table: str) -> None:
         """Take (or raise WouldBlock for) a table S lock — the coarse
         grounding-read lock, still used by tests and the TABLE baseline."""
         self._context(txn)
         self._lock(txn, table_resource(table), LockMode.SHARED)
 
+    @_locked
     def lock_read_access(self, txn: int, access: ReadAccess) -> None:
         """Acquire the locks one observed read access requires.
 
@@ -531,6 +572,7 @@ class StorageEngine:
         for columns, key in keys:
             self._lock(txn, index_key_resource(table_name, columns, key), mode)
 
+    @_locked
     def release_read_locks(self, txn: int) -> list[int]:
         """Ablation hook: early release of S locks (non-strict reads)."""
         self._context(txn)
@@ -546,8 +588,9 @@ class StorageEngine:
         never takes (or waits for) a read lock.
         """
         ctx = self._context(txn)
-        return SnapshotDatabase(self.db, txn, ctx.read_ts)
+        return SnapshotDatabase(self.db, txn, ctx.read_ts, mutex=self.mutex)
 
+    @_locked
     def observe_snapshot_read(self, txn: int, access) -> None:
         """Read observer for snapshot evaluation: count and (for
         SERIALIZABLE transactions) record the access in the SSI read
@@ -633,6 +676,43 @@ class StorageEngine:
                 return writer
         return 0
 
+    @_locked
+    def park_snapshot(self, txn: int) -> bool:
+        """Release a *clean* snapshot transaction's vacuum-horizon
+        registration without ending the transaction.
+
+        An idle waiter (an interactive session between statements, or one
+        that never executed a statement at all) holds no observations, so
+        nothing entitles it to pin the version-chain GC floor.  Parking
+        deregisters its snapshot from the oracle; the owner must call
+        :meth:`unpark_snapshot` before the next read or write, which
+        re-snapshots at the latest commit timestamp.  Returns True when
+        parked (snapshot transaction with no reads, writes, or delivered
+        answers), False otherwise.
+        """
+        ctx = self._context(txn)
+        if not ctx.isolation.uses_snapshot:
+            return False
+        if ctx.reads or ctx.writes or ctx.snapshot_pinned:
+            return False
+        self.oracle.release_snapshot(txn)
+        return True
+
+    @_locked
+    def unpark_snapshot(self, txn: int) -> None:
+        """Re-arm a parked transaction: take a fresh snapshot at the
+        latest commit timestamp and re-register it in the vacuum
+        horizon.  No-op for transactions that are not parked."""
+        ctx = self._context(txn)
+        if not ctx.isolation.uses_snapshot:
+            return
+        if self.oracle.snapshot_of(txn) is not None:
+            return  # never parked (or already unparked)
+        ctx.read_ts = self.oracle.last_commit_ts
+        self.oracle.register_snapshot(txn, ctx.read_ts)
+        self.ssi.refresh(txn, ctx.read_ts)
+
+    @_locked
     def pin_snapshot(self, txn: int) -> None:
         """Mark ``txn``'s snapshot as observed: information derived from
         it (an entangled answer) reached the client, so
@@ -640,6 +720,7 @@ class StorageEngine:
         wins over freshness."""
         self._context(txn).snapshot_pinned = True
 
+    @_locked
     def refresh_snapshot(self, txn: int) -> bool:
         """Re-snapshot a SNAPSHOT transaction that has not observed any
         state yet — no reads, no writes, no delivered entangled answer
@@ -669,6 +750,7 @@ class StorageEngine:
         """The vacuum horizon: no active snapshot reads below this."""
         return self.oracle.oldest_active()
 
+    @_locked
     def vacuum(self, horizon: int | None = None) -> int:
         """Prune version chains up to ``horizon`` (default: the oldest
         active snapshot).  Returns the number of versions removed.
@@ -715,6 +797,7 @@ class StorageEngine:
 
     # -- checkpointing ----------------------------------------------------------------
 
+    @_locked
     def checkpoint(self):
         """Write a CHECKPOINT image and truncate the log before it.
 
@@ -754,6 +837,13 @@ class StorageEngine:
     @property
     def n_shards(self) -> int:
         return 1
+
+    def commit_funnel(self):
+        """The engine's commit critical section (the sharded engine
+        overrides this with its global two-phase funnel): coordinators
+        hold it across the validate+commit sequence of an atomic commit
+        group.  For a single engine it is simply the engine mutex."""
+        return self.mutex
 
     def wals(self) -> list[WriteAheadLog]:
         """Every WAL backing this engine (one per shard)."""
@@ -799,6 +889,7 @@ class StorageEngine:
 
     # -- reads ------------------------------------------------------------------------
 
+    @_locked
     def query(
         self,
         txn: int,
@@ -847,6 +938,7 @@ class StorageEngine:
 
         return evaluate(query, self.db, params, read_observer=observe)
 
+    @_locked
     def read_table(self, txn: int, table: str) -> list[Row]:
         """Full-table read (used by tests and the recovery manager)."""
         ctx = self._context(txn)
@@ -865,6 +957,7 @@ class StorageEngine:
 
     # -- writes -----------------------------------------------------------------------
 
+    @_locked
     def insert(
         self,
         txn: int,
@@ -902,6 +995,7 @@ class StorageEngine:
         self._notify(txn, "write", table_name)
         return row
 
+    @_locked
     def update(
         self,
         txn: int,
@@ -961,6 +1055,7 @@ class StorageEngine:
         self._notify(txn, "write", table_name)
         return old, new
 
+    @_locked
     def delete(self, txn: int, table_name: str, rid: int) -> Row:
         ctx = self._context(txn)
         self._lock(txn, table_resource(table_name), LockMode.INTENTION_EXCLUSIVE)
@@ -988,6 +1083,7 @@ class StorageEngine:
         self._notify(txn, "write", table_name)
         return old
 
+    @_locked
     def update_where(
         self,
         txn: int,
@@ -1012,6 +1108,7 @@ class StorageEngine:
                 changed += 1
         return changed
 
+    @_locked
     def delete_where(
         self,
         txn: int,

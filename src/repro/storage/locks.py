@@ -25,7 +25,13 @@ that lock manager.  It supports:
 
 The manager is *cooperative*: it never blocks a thread.  A conflicting
 request returns :data:`LockOutcome.WAIT` after enqueueing the waiter; the
-scheduler decides whether to suspend or abort the transaction.
+scheduler decides whether to suspend or abort the transaction.  It is
+also **thread-safe**: every public operation runs under an internal
+mutex, so the per-shard worker threads of
+:mod:`repro.core.executor` can acquire and release concurrently.  Shard
+ensembles that share one waits-for graph share the mutex too (see
+:meth:`LockManager.share_waits_for`), so the deadlock DFS observes a
+consistent cross-shard edge map.
 
 Under MVCC (``TxnIsolation.SNAPSHOT``) readers bypass this manager
 entirely — snapshot reads are served from version chains without S/IS
@@ -38,6 +44,7 @@ the grant decides which of them loses.
 from __future__ import annotations
 
 import enum
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
@@ -147,6 +154,9 @@ class LockManager:
         self._locks: dict[Resource, _LockState] = defaultdict(_LockState)
         self._held: dict[int, set[Resource]] = defaultdict(set)
         self._waits_for: dict[int, set[int]] = defaultdict(set)
+        #: guards all manager state; replaced by a *shared* mutex when the
+        #: waits-for graph is shared across a shard ensemble.
+        self._mutex = threading.RLock()
         #: statistics for benchmarks and tests.  ``read_grants`` counts
         #: S/IS grants specifically: the MVCC ablation asserts snapshot
         #: transactions drive it to exactly zero (readers never lock).
@@ -158,7 +168,11 @@ class LockManager:
             "read_grants": 0,
         }
 
-    def share_waits_for(self, graph: "dict[int, set[int]]") -> None:
+    def share_waits_for(
+        self,
+        graph: "dict[int, set[int]]",
+        mutex: "threading.RLock | None" = None,
+    ) -> None:
         """Adopt a shared waits-for graph (sharded ensembles).
 
         Shard-local lock managers see only their own half of a
@@ -167,31 +181,42 @@ class LockManager:
         receives the closing request.  Transaction ids are globally
         unique across shards, so edges compose without translation.
         Must be called before any lock is requested.
+
+        ``mutex`` (when given) replaces the manager's internal mutex, so
+        every manager sharing the graph also shares one lock — the
+        deadlock DFS walks edges contributed by *other* shards' managers
+        and must never observe them mid-update.
         """
         if self._waits_for:
             raise LockError("cannot share a waits-for graph mid-flight")
         self._waits_for = graph
+        if mutex is not None:
+            self._mutex = mutex
 
     # -- introspection -------------------------------------------------------------
 
     def holders(self, resource: Resource) -> dict[int, LockMode]:
-        return dict(self._locks[resource].holders)
+        with self._mutex:
+            return dict(self._locks[resource].holders)
 
     def holds(self, txn: int, resource: Resource, mode: LockMode | None = None) -> bool:
-        held = self._locks[resource].holders.get(txn)
+        with self._mutex:
+            held = self._locks[resource].holders.get(txn)
         if held is None:
             return False
         return mode is None or held.covers(mode)
 
     def held_resources(self, txn: int) -> frozenset[Resource]:
-        return frozenset(self._held.get(txn, ()))
+        with self._mutex:
+            return frozenset(self._held.get(txn, ()))
 
     def waiting(self, txn: int) -> bool:
-        return any(
-            waiter == txn
-            for state in self._locks.values()
-            for waiter, _ in state.queue
-        )
+        with self._mutex:
+            return any(
+                waiter == txn
+                for state in self._locks.values()
+                for waiter, _ in state.queue
+            )
 
     # -- acquisition ---------------------------------------------------------------
 
@@ -203,40 +228,41 @@ class LockManager:
         are recorded.  Raises :class:`DeadlockError` (and leaves no residue)
         when granting-by-waiting would create a waits-for cycle.
         """
-        state = self._locks[resource]
-        current = state.holders.get(txn)
+        with self._mutex:
+            state = self._locks[resource]
+            current = state.holders.get(txn)
 
-        if current is not None:
-            if current.covers(mode):
-                return LockOutcome.GRANTED  # already sufficient
-            # Conversion: move up the lattice to the supremum of the held
-            # and requested modes, provided no *other* holder conflicts
-            # with the target.
-            target = current.combine(mode)
-            others = [
-                holder
-                for holder, held_mode in state.holders.items()
-                if holder != txn and not held_mode.compatible(target)
-            ]
-            if not others:
-                state.holders[txn] = target
-                self.stats["upgrades"] += 1
+            if current is not None:
+                if current.covers(mode):
+                    return LockOutcome.GRANTED  # already sufficient
+                # Conversion: move up the lattice to the supremum of the held
+                # and requested modes, provided no *other* holder conflicts
+                # with the target.
+                target = current.combine(mode)
+                others = [
+                    holder
+                    for holder, held_mode in state.holders.items()
+                    if holder != txn and not held_mode.compatible(target)
+                ]
+                if not others:
+                    state.holders[txn] = target
+                    self.stats["upgrades"] += 1
+                    return LockOutcome.GRANTED
+                self._enqueue(txn, resource, target, blockers=others)
+                return LockOutcome.WAIT
+
+            blockers = self._blockers(txn, resource, mode)
+            if not blockers and not self._must_queue_behind(txn, state, mode):
+                state.holders[txn] = mode
+                self._held[txn].add(resource)
+                self.stats["acquired"] += 1
+                if mode in (LockMode.SHARED, LockMode.INTENTION_SHARED):
+                    self.stats["read_grants"] += 1
                 return LockOutcome.GRANTED
-            self._enqueue(txn, resource, target, blockers=others)
+
+            queue_blockers = blockers or [w for w, _ in state.queue if w != txn]
+            self._enqueue(txn, resource, mode, blockers=queue_blockers)
             return LockOutcome.WAIT
-
-        blockers = self._blockers(txn, resource, mode)
-        if not blockers and not self._must_queue_behind(txn, state, mode):
-            state.holders[txn] = mode
-            self._held[txn].add(resource)
-            self.stats["acquired"] += 1
-            if mode in (LockMode.SHARED, LockMode.INTENTION_SHARED):
-                self.stats["read_grants"] += 1
-            return LockOutcome.GRANTED
-
-        queue_blockers = blockers or [w for w, _ in state.queue if w != txn]
-        self._enqueue(txn, resource, mode, blockers=queue_blockers)
-        return LockOutcome.WAIT
 
     def _must_queue_behind(self, txn: int, state: _LockState, mode: LockMode) -> bool:
         """FIFO fairness: a new request queues behind an incompatible waiter
@@ -301,29 +327,31 @@ class LockManager:
         Returns transaction ids whose queued requests became grantable and
         were granted — the scheduler uses this to wake suspended work.
         """
-        for resource in list(self._held.pop(txn, ())):
-            state = self._locks[resource]
-            state.holders.pop(txn, None)
-        for resource, state in list(self._locks.items()):
-            state.queue = [(w, m) for (w, m) in state.queue if w != txn]
-            if not state.holders and not state.queue:
-                del self._locks[resource]
-        self._waits_for.pop(txn, None)
-        for edges in self._waits_for.values():
-            edges.discard(txn)
-        return self._promote_waiters()
+        with self._mutex:
+            for resource in list(self._held.pop(txn, ())):
+                state = self._locks[resource]
+                state.holders.pop(txn, None)
+            for resource, state in list(self._locks.items()):
+                state.queue = [(w, m) for (w, m) in state.queue if w != txn]
+                if not state.holders and not state.queue:
+                    del self._locks[resource]
+            self._waits_for.pop(txn, None)
+            for edges in self._waits_for.values():
+                edges.discard(txn)
+            return self._promote_waiters()
 
     def release_shared(self, txn: int) -> list[int]:
         """Early release of all read locks (S and IS) held by ``txn``
         (isolation-relaxation ablation; Section 3.3.3 'altering the length
         of time locks are held')."""
-        for resource in list(self._held.get(txn, ())):
-            state = self._locks[resource]
-            held = state.holders.get(txn)
-            if held is LockMode.SHARED or held is LockMode.INTENTION_SHARED:
-                del state.holders[txn]
-                self._held[txn].discard(resource)
-        return self._promote_waiters()
+        with self._mutex:
+            for resource in list(self._held.get(txn, ())):
+                state = self._locks[resource]
+                held = state.holders.get(txn)
+                if held is LockMode.SHARED or held is LockMode.INTENTION_SHARED:
+                    del state.holders[txn]
+                    self._held[txn].discard(resource)
+            return self._promote_waiters()
 
     def _promote_waiters(self) -> list[int]:
         """Grant queued requests that no longer conflict, FIFO per resource."""

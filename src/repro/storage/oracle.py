@@ -17,16 +17,21 @@ A :class:`TimestampOracle` owns two pieces of state:
   (:meth:`oldest_active`): no live snapshot reads below it, so version
   chains may be pruned up to it.
 
-Single-threaded like the engine: no latching, calls never race.
+Thread-safe: allocation and the snapshot registry run under a small
+internal lock, because the per-shard worker threads of
+:mod:`repro.core.executor` begin, commit and vacuum concurrently.
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class TimestampOracle:
     """Commit-timestamp allocation plus active-snapshot bookkeeping."""
 
     def __init__(self, start: int = 0):
+        self._mutex = threading.Lock()
         self._last_commit_ts = start
         #: txn -> read timestamp of its live snapshot.  Kept O(active)
         #: so the vacuum horizon never scans every transaction ever begun.
@@ -41,22 +46,26 @@ class TimestampOracle:
 
     def allocate(self) -> int:
         """Allocate the next commit timestamp (writing commits only)."""
-        self._last_commit_ts += 1
-        return self._last_commit_ts
+        with self._mutex:
+            self._last_commit_ts += 1
+            return self._last_commit_ts
 
     def advance_to(self, commit_ts: int) -> None:
         """Fast-forward the timeline (recovery replaying logged commits)."""
-        self._last_commit_ts = max(self._last_commit_ts, commit_ts)
+        with self._mutex:
+            self._last_commit_ts = max(self._last_commit_ts, commit_ts)
 
     # -- active snapshots ----------------------------------------------------------
 
     def register_snapshot(self, txn: int, read_ts: int) -> None:
         """Record (or move) ``txn``'s live snapshot at ``read_ts``."""
-        self._active_snapshots[txn] = read_ts
+        with self._mutex:
+            self._active_snapshots[txn] = read_ts
 
     def release_snapshot(self, txn: int) -> None:
         """Drop ``txn``'s snapshot from the horizon (commit/abort)."""
-        self._active_snapshots.pop(txn, None)
+        with self._mutex:
+            self._active_snapshots.pop(txn, None)
 
     def snapshot_of(self, txn: int) -> int | None:
         return self._active_snapshots.get(txn)
@@ -66,7 +75,10 @@ class TimestampOracle:
 
     def oldest_active(self) -> int:
         """The vacuum horizon: no live snapshot reads below this."""
-        return min(self._active_snapshots.values(), default=self._last_commit_ts)
+        with self._mutex:
+            return min(
+                self._active_snapshots.values(), default=self._last_commit_ts
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -75,6 +75,7 @@ and index-key/table items name the same logical objects in every shard.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -171,22 +172,35 @@ class ShardedTableView:
         return [s.db.table(self._name) for s in self._engine.shards]
 
     def __len__(self) -> int:
-        return sum(len(t) for t in self._tables())
+        total = 0
+        for shard in self._engine.shards:
+            with shard.mutex:
+                total += len(shard.db.table(self._name))
+        return total
 
     def scan(self) -> Iterator[Row]:
-        rows = [row for t in self._tables() for row in t.scan()]
+        # Each shard's fragment is read under that shard's engine mutex
+        # (one at a time, never nested) so a concurrent worker-thread
+        # write to another row of the table cannot upset the traversal.
+        rows: list[Row] = []
+        for shard in self._engine.shards:
+            with shard.mutex:
+                rows.extend(shard.db.table(self._name).scan())
         return iter(sorted(rows, key=lambda r: r.rid))
 
     def lookup_pk(self, key: tuple) -> Row | None:
         home = self._engine.route_key(self._name, key)
-        return self._engine.shards[home].db.table(self._name).lookup_pk(key)
+        shard = self._engine.shards[home]
+        with shard.mutex:
+            return shard.db.table(self._name).lookup_pk(key)
 
     def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
-        rows = [
-            row
-            for t in self._tables()
-            for row in t.lookup_index(column_names, key)
-        ]
+        rows: list[Row] = []
+        for shard in self._engine.shards:
+            with shard.mutex:
+                rows.extend(
+                    shard.db.table(self._name).lookup_index(column_names, key)
+                )
         return sorted(rows, key=lambda r: r.rid)
 
     def has_index(self, column_names: Sequence[str]) -> bool:
@@ -279,7 +293,10 @@ class ShardedSnapshotView:
 
     def _views(self) -> list[SnapshotView]:
         return [
-            SnapshotView(shard.db.table(self._name), self._txn, read_ts)
+            SnapshotView(
+                shard.db.table(self._name), self._txn, read_ts,
+                mutex=shard.mutex,
+            )
             for shard, read_ts in zip(self._engine.shards, self._vector)
         ]
 
@@ -298,6 +315,7 @@ class ShardedSnapshotView:
         return SnapshotView(
             self._engine.shards[home].db.table(self._name),
             self._txn, self._vector[home],
+            mutex=self._engine.shards[home].mutex,
         ).lookup_pk(key)
 
     def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
@@ -347,6 +365,10 @@ class ShardedTxnContext:
     read_seq: int
     #: per-shard begin timestamps — the vector snapshot.
     vector: tuple[int, ...]
+    #: per-shard WAL positions at begin: everything the vector cut can
+    #: observe lives at-or-below these LSNs, so a writing commit must
+    #: not become durable before they are (reads-from durability).
+    dep_lsns: tuple[int, ...] = ()
     status: TxnStatus = TxnStatus.ACTIVE
     #: global commit-sequence number stamped at commit (writers only).
     commit_seq: int | None = None
@@ -423,14 +445,26 @@ class ShardedStorageEngine:
             ]
         self.locking = locking
         self.granularity = granularity
+        #: the global commit funnel: holds every ensemble-visibility
+        #: transition (vector capture at begin, two-phase commit, vector
+        #: refresh) so per-shard worker threads always observe
+        #: prefix-consistent cuts.  Physical WAL flushes happen *outside*
+        #: it — see :meth:`commit` — so fsync latencies overlap.
+        self._commit_lock = threading.RLock()
+        #: guards the small coordinator counters that are not worth the
+        #: commit funnel (mvcc tallies, abort counts).
+        self._meta_lock = threading.Lock()
         # One waits-for graph across all shard lock managers: a 2PL
         # wait cycle that spans shards (A blocks in shard 0, B in shard
         # 1) is invisible to either manager alone; sharing the edge map
         # lets the closing request raise DeadlockError exactly as it
-        # would on a single-shard engine.
+        # would on a single-shard engine.  The managers share one mutex
+        # with the map, so the deadlock DFS never reads another shard's
+        # edges mid-update.
         shared_waits: dict[int, set[int]] = defaultdict(set)
+        shared_waits_mutex = threading.RLock()
         for shard in self.shards:
-            shard.locks.share_waits_for(shared_waits)
+            shard.locks.share_waits_for(shared_waits, shared_waits_mutex)
         self.locks = _AggregateLocks(self)
         self.db = ShardedDatabase(self)
         #: the single global SSI tracker (see module docstring) running
@@ -517,26 +551,32 @@ class ShardedStorageEngine:
     # -- transaction lifecycle ------------------------------------------------------
 
     def begin(self, isolation: TxnIsolation = TxnIsolation.TWO_PL) -> int:
-        txn = self._next_txn
-        self._next_txn += 1
-        vector = tuple(s.oracle.last_commit_ts for s in self.shards)
-        ctx = ShardedTxnContext(
-            txn, isolation, read_seq=self._commit_seq, vector=vector
-        )
-        self._contexts[txn] = ctx
-        if isolation.uses_snapshot:
-            # The vector is captured (and pinned into every shard's
-            # vacuum horizon) eagerly even though shard-local
-            # transactions begin lazily: the cut must be the begin-time
-            # one, and no shard may prune below it meanwhile.
-            self._active_seqs[txn] = ctx.read_seq
-            for shard, read_ts in zip(self.shards, vector):
-                shard.oracle.register_snapshot(txn, read_ts)
-        self.ssi.begin(
-            txn, ctx.read_seq,
-            serializable=isolation is TxnIsolation.SERIALIZABLE,
-        )
-        return txn
+        # Under the commit funnel so the vector is a prefix-consistent
+        # cut even while other threads run two-phase commits: no begin
+        # can observe shard A past a cross-shard commit but shard B
+        # before it.
+        with self._commit_lock:
+            txn = self._next_txn
+            self._next_txn += 1
+            vector = tuple(s.oracle.last_commit_ts for s in self.shards)
+            ctx = ShardedTxnContext(
+                txn, isolation, read_seq=self._commit_seq, vector=vector,
+                dep_lsns=tuple(s.wal.last_lsn for s in self.shards),
+            )
+            self._contexts[txn] = ctx
+            if isolation.uses_snapshot:
+                # The vector is captured (and pinned into every shard's
+                # vacuum horizon) eagerly even though shard-local
+                # transactions begin lazily: the cut must be the begin-time
+                # one, and no shard may prune below it meanwhile.
+                self._active_seqs[txn] = ctx.read_seq
+                for shard, read_ts in zip(self.shards, vector):
+                    shard.oracle.register_snapshot(txn, read_ts)
+            self.ssi.begin(
+                txn, ctx.read_seq,
+                serializable=isolation is TxnIsolation.SERIALIZABLE,
+            )
+            return txn
 
     def _context(self, txn: int) -> ShardedTxnContext:
         try:
@@ -579,64 +619,111 @@ class ShardedStorageEngine:
         raises :class:`~repro.errors.SerializationFailureError` before
         any shard committed anything (the caller aborts and retries).
         Phase 2 — commit each begun shard in shard order; each allocates
-        its own commit timestamp and flushes its own WAL.  Single-
-        threaded, so nothing interleaves between the phases.
+        its own commit timestamp.  Both phases run inside the global
+        commit funnel, so nothing interleaves between them even with the
+        per-shard worker threads active; the physical WAL flushes run
+        *after* the funnel is released — fsync latencies of commits
+        landing on different shards overlap in wall-clock time, and the
+        commit is acknowledged (this method returns) only once every
+        written shard's log is durable.
         """
         ctx = self._context(txn)
-        written = sorted(ctx.written)
-        self.ssi.on_commit(
-            txn, self._commit_seq + 1 if written else self._commit_seq
-        )
-        # Cross-shard writers stamp the participant set on every shard's
-        # COMMIT record: a crash between the per-shard flushes leaves at
-        # least one durable COMMIT naming the shards that must also have
-        # one, which is how recovery detects (and rolls back) torn
-        # commits.
-        participants = tuple(written) if len(written) > 1 else None
-        woken: list[int] = []
-        for shard_idx in sorted(ctx.begun):
-            woken.extend(
-                self.shards[shard_idx].commit(txn, participants=participants)
+        with self._commit_lock:
+            written = sorted(ctx.written)
+            self.ssi.on_commit(
+                txn, self._commit_seq + 1 if written else self._commit_seq
             )
-        if written:
-            self._commit_seq += 1
-            ctx.commit_seq = self._commit_seq
-            for name in ctx.written_tables():
-                self._table_writers.setdefault(name, []).append(
-                    (self._commit_seq, txn)
+            # Cross-shard writers stamp the participant set on every shard's
+            # COMMIT record: a crash between the per-shard flushes leaves at
+            # least one durable COMMIT naming the shards that must also have
+            # one, which is how recovery detects (and rolls back) torn
+            # commits.
+            participants = tuple(written) if len(written) > 1 else None
+            woken: list[int] = []
+            for shard_idx in sorted(ctx.begun):
+                woken.extend(
+                    self.shards[shard_idx].commit(
+                        txn, participants=participants, flush=False
+                    )
                 )
-            if len(written) > 1:
-                self.cross_shard_commit_count += 1
-        if ctx.isolation.uses_snapshot:
-            self._active_seqs.pop(txn, None)
-            for shard in self.shards:
-                shard.oracle.release_snapshot(txn)
-        ctx.status = TxnStatus.COMMITTED
-        self._active_writers.discard(txn)
-        self.commit_count += 1
-        self._notify(txn, "commit", "")
+            if written:
+                self._commit_seq += 1
+                ctx.commit_seq = self._commit_seq
+                for name in ctx.written_tables():
+                    self._table_writers.setdefault(name, []).append(
+                        (self._commit_seq, txn)
+                    )
+                if len(written) > 1:
+                    self.cross_shard_commit_count += 1
+            if ctx.isolation.uses_snapshot:
+                self._active_seqs.pop(txn, None)
+                for shard in self.shards:
+                    shard.oracle.release_snapshot(txn)
+            ctx.status = TxnStatus.COMMITTED
+            self._active_writers.discard(txn)
+            self.commit_count += 1
+            self._notify(txn, "commit", "")
+            # Flush targets, captured inside the funnel: the shards this
+            # transaction wrote or begun in (their logs now hold its
+            # COMMIT, and a 2PL read begins its shard transaction), plus
+            # — for writers — every shard its begin-time vector could
+            # have observed (``dep_lsns``): durable state must stay
+            # closed under reads-from, or a crash could keep this commit
+            # while losing a commit it read.  Dependencies that are
+            # already durable cost nothing below.
+            flush_targets: dict[int, int] = {}
+            if written:
+                for shard_idx in set(ctx.begun) | set(written):
+                    flush_targets[shard_idx] = (
+                        self.shards[shard_idx].wal.last_lsn
+                    )
+                if ctx.isolation.uses_snapshot:
+                    for shard_idx, dep_lsn in enumerate(ctx.dep_lsns):
+                        if flush_targets.get(shard_idx, 0) < dep_lsn:
+                            flush_targets[shard_idx] = dep_lsn
+        for shard_idx, lsn in sorted(flush_targets.items()):
+            wal = self.shards[shard_idx].wal
+            # Skip already-durable targets without touching the WAL
+            # mutex (a dependency mid-fsync would otherwise stall us for
+            # nothing when our own target is already covered).
+            if wal.flushed_lsn < lsn:
+                wal.flush(lsn)
         if written and self._checkpoint_interval:
-            self._commits_since_checkpoint += 1
-            if self._commits_since_checkpoint >= self._checkpoint_interval:
-                if self.checkpoint():
-                    self._commits_since_checkpoint = 0
+            with self._commit_lock:
+                self._commits_since_checkpoint += 1
+                if self._commits_since_checkpoint >= self._checkpoint_interval:
+                    if self.checkpoint():
+                        self._commits_since_checkpoint = 0
         return woken
 
     def abort(self, txn: int) -> list[int]:
-        ctx = self._context(txn)
-        woken: list[int] = []
-        for shard_idx in sorted(ctx.begun):
-            woken.extend(self.shards[shard_idx].abort(txn))
-        if ctx.isolation.uses_snapshot:
-            self._active_seqs.pop(txn, None)
-            for shard in self.shards:
-                shard.oracle.release_snapshot(txn)
-        ctx.status = TxnStatus.ABORTED
-        self._active_writers.discard(txn)
-        self.abort_count += 1
-        self.ssi.on_abort(txn)
-        self._notify(txn, "abort", "")
-        return woken
+        # Under the commit funnel like commit/begin/vacuum: ``_active_seqs``
+        # and the context status are read under it everywhere else, so the
+        # one writer that skipped it would race them.
+        with self._commit_lock:
+            ctx = self._context(txn)
+            woken: list[int] = []
+            for shard_idx in sorted(ctx.begun):
+                woken.extend(self.shards[shard_idx].abort(txn))
+            if ctx.isolation.uses_snapshot:
+                self._active_seqs.pop(txn, None)
+                for shard in self.shards:
+                    shard.oracle.release_snapshot(txn)
+            ctx.status = TxnStatus.ABORTED
+            self._active_writers.discard(txn)
+            with self._meta_lock:
+                self.abort_count += 1
+            self.ssi.on_abort(txn)
+            self._notify(txn, "abort", "")
+            return woken
+
+    def commit_funnel(self):
+        """The ensemble's commit critical section: coordinators hold it
+        across the validate+commit sequence of an atomic commit group so
+        no other thread's commit can wedge between a group validation
+        and its members' commits (which would re-admit widowed groups).
+        Re-entrant — :meth:`commit` re-acquires it freely."""
+        return self._commit_lock
 
     # -- locking ---------------------------------------------------------------------
 
@@ -681,7 +768,8 @@ class ShardedStorageEngine:
         return ShardedSnapshotDatabase(self, txn, ctx.vector)
 
     def observe_snapshot_read(self, txn: int, access: ReadAccess) -> None:
-        self._mvcc_local["snapshot_reads"] += 1
+        with self._meta_lock:
+            self._mvcc_local["snapshot_reads"] += 1
         self.ssi.record_read(txn, ssi_read_items(access))
 
     def serialization_doomed(self, txn: int) -> bool:
@@ -723,25 +811,64 @@ class ShardedStorageEngine:
     def pin_snapshot(self, txn: int) -> None:
         self._context(txn).snapshot_pinned = True
 
+    def park_snapshot(self, txn: int) -> bool:
+        """Release a clean transaction's horizon registrations in every
+        shard oracle (see :meth:`StorageEngine.park_snapshot`): an idle
+        vector snapshot pins N vacuum horizons at once, so abandoning it
+        matters N times as much."""
+        with self._commit_lock:
+            ctx = self._context(txn)
+            if not ctx.isolation.uses_snapshot:
+                return False
+            if ctx.reads or ctx.writes or ctx.snapshot_pinned:
+                return False
+            self._active_seqs.pop(txn, None)
+            for shard in self.shards:
+                shard.oracle.release_snapshot(txn)
+            return True
+
+    def unpark_snapshot(self, txn: int) -> None:
+        """Re-arm a parked transaction on a fresh vector cut."""
+        with self._commit_lock:
+            ctx = self._context(txn)
+            if not ctx.isolation.uses_snapshot:
+                return
+            if txn in self._active_seqs:
+                return  # never parked (or already unparked)
+            ctx.vector = tuple(s.oracle.last_commit_ts for s in self.shards)
+            ctx.read_seq = self._commit_seq
+            self._active_seqs[txn] = ctx.read_seq
+            # Begun shard transactions re-arm through their own unpark
+            # (which also moves their shard-local read_ts); the rest just
+            # re-register in their shard's horizon.
+            for shard_idx in ctx.begun:
+                self.shards[shard_idx].unpark_snapshot(txn)
+            for shard, read_ts in zip(self.shards, ctx.vector):
+                if shard.oracle.snapshot_of(txn) is None:
+                    shard.oracle.register_snapshot(txn, read_ts)
+            self.ssi.refresh(txn, ctx.read_seq)
+
     def refresh_snapshot(self, txn: int) -> bool:
-        ctx = self._context(txn)
-        if not ctx.isolation.uses_snapshot:
-            return False
-        if ctx.reads or ctx.writes or ctx.snapshot_pinned:
-            return False
-        vector = tuple(s.oracle.last_commit_ts for s in self.shards)
-        if ctx.read_seq == self._commit_seq and ctx.vector == vector:
-            return False
-        ctx.vector = vector
-        ctx.read_seq = self._commit_seq
-        self._active_seqs[txn] = ctx.read_seq
-        for shard, read_ts in zip(self.shards, vector):
-            shard.oracle.register_snapshot(txn, read_ts)
-        for shard_idx in ctx.begun:
-            self.shards[shard_idx].refresh_snapshot(txn)
-        self.ssi.refresh(txn, ctx.read_seq)
-        self._mvcc_local["snapshot_refreshes"] += 1
-        return True
+        with self._commit_lock:
+            ctx = self._context(txn)
+            if not ctx.isolation.uses_snapshot:
+                return False
+            if ctx.reads or ctx.writes or ctx.snapshot_pinned:
+                return False
+            vector = tuple(s.oracle.last_commit_ts for s in self.shards)
+            if ctx.read_seq == self._commit_seq and ctx.vector == vector:
+                return False
+            ctx.vector = vector
+            ctx.read_seq = self._commit_seq
+            self._active_seqs[txn] = ctx.read_seq
+            for shard, read_ts in zip(self.shards, vector):
+                shard.oracle.register_snapshot(txn, read_ts)
+            for shard_idx in ctx.begun:
+                self.shards[shard_idx].refresh_snapshot(txn)
+            self.ssi.refresh(txn, ctx.read_seq)
+            with self._meta_lock:
+                self._mvcc_local["snapshot_refreshes"] += 1
+            return True
 
     def oldest_snapshot_vector(self) -> tuple[int, ...]:
         """Per-shard vacuum horizons (each shard's oldest registration)."""
@@ -771,16 +898,19 @@ class ShardedStorageEngine:
         # Trim the global reads-from log exactly as the single-shard
         # engine trims its per-table writer log: keep the newest entry
         # at-or-below every live snapshot's sequence.
-        seq_horizon = min(self._active_seqs.values(), default=self._commit_seq)
-        for log in self._table_writers.values():
-            cut = 0
-            for i, (commit_seq, _writer) in enumerate(log):
-                if commit_seq <= seq_horizon:
-                    cut = i
-                else:
-                    break
-            if cut:
-                del log[:cut]
+        with self._commit_lock:
+            seq_horizon = min(
+                self._active_seqs.values(), default=self._commit_seq
+            )
+            for log in self._table_writers.values():
+                cut = 0
+                for i, (commit_seq, _writer) in enumerate(log):
+                    if commit_seq <= seq_horizon:
+                        cut = i
+                    else:
+                        break
+                if cut:
+                    del log[:cut]
         return removed
 
     def version_stats(self) -> dict[str, int]:
@@ -849,15 +979,16 @@ class ShardedStorageEngine:
         present.  Returns the per-shard CHECKPOINT records, or [] when
         skipped (some transaction holds writes).
         """
-        if self._active_writers:
-            for shard in self.shards:
-                shard.checkpoint_stats["skipped"] += 1
-            return []
-        records = [shard.checkpoint() for shard in self.shards]
-        assert all(record is not None for record in records), (
-            "shard checkpoint skipped despite global quiescence"
-        )
-        return records
+        with self._commit_lock:
+            if self._active_writers:
+                for shard in self.shards:
+                    shard.checkpoint_stats["skipped"] += 1
+                return []
+            records = [shard.checkpoint() for shard in self.shards]
+            assert all(record is not None for record in records), (
+                "shard checkpoint skipped despite global quiescence"
+            )
+            return records
 
     @property
     def checkpoint_stats(self) -> dict[str, int]:
@@ -1064,7 +1195,8 @@ class ShardedStorageEngine:
                         LockMode.INTENTION_EXCLUSIVE,
                     )
                     view = SnapshotView(
-                        shard.db.table(table_name), txn, ctx.vector[shard_idx]
+                        shard.db.table(table_name), txn,
+                        ctx.vector[shard_idx], mutex=shard.mutex,
                     )
                     if is_pk:
                         row = view.lookup_pk(key)
@@ -1083,7 +1215,8 @@ class ShardedStorageEngine:
                         LockMode.INTENTION_EXCLUSIVE,
                     )
                     view = SnapshotView(
-                        shard.db.table(table_name), txn, ctx.vector[shard_idx]
+                        shard.db.table(table_name), txn,
+                        ctx.vector[shard_idx], mutex=shard.mutex,
                     )
                     rows.extend(view.scan())
             rows.sort(key=lambda r: r.rid)

@@ -25,6 +25,7 @@ attempt and retries on a fresh snapshot (a *read restart*).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator, Sequence
 
 from repro.errors import SnapshotTooOldError
@@ -34,12 +35,20 @@ from repro.storage.table import Table
 
 
 class SnapshotView:
-    """A read-only, versioned view of one table at one snapshot."""
+    """A read-only, versioned view of one table at one snapshot.
 
-    def __init__(self, table: Table, txn: int, read_ts: int):
+    ``mutex`` (optional) is the owning engine's mutex: when the per-shard
+    worker threads of :mod:`repro.core.executor` are active, version
+    chains mutate concurrently with snapshot traversals, so each read
+    entry point materializes its result while holding it.  ``None`` (the
+    default) keeps the lock-free single-threaded behavior.
+    """
+
+    def __init__(self, table: Table, txn: int, read_ts: int, mutex=None):
         self._table = table
         self._txn = txn
         self._read_ts = read_ts
+        self._mutex = mutex if mutex is not None else contextlib.nullcontext()
         self.schema = table.schema
 
     @property
@@ -68,53 +77,58 @@ class SnapshotView:
 
     def scan(self) -> Iterator[Row]:
         """Yield the visible version of every row, in rid order."""
-        self._check_serveable()
-        for rid in self._table.snapshot_rids():
-            row = self._visible(rid)
-            if row is not None:
-                yield row
+        with self._mutex:
+            self._check_serveable()
+            rows = []
+            for rid in self._table.snapshot_rids():
+                row = self._visible(rid)
+                if row is not None:
+                    rows.append(row)
+        return iter(rows)
 
     def lookup_pk(self, key: tuple) -> Row | None:
-        self._check_serveable()
-        rid = self._table.pk_rid(key)
-        if rid is not None:
-            row = self._visible(rid)
-            if row is not None and self.schema.key_of(row.values) == key:
-                return row
-        # The key may have lived on a row that was since deleted or
-        # re-keyed; only the rids that ever held *this* key are tracked
-        # in its history bucket, so a miss stays O(per-key history)
-        # rather than degrading to a scan of every historic rid.
-        for rid in sorted(self._table.history_rids_for_pk(key)):
-            row = self._visible(rid)
-            if row is not None and self.schema.key_of(row.values) == key:
-                return row
-        return None
+        with self._mutex:
+            self._check_serveable()
+            rid = self._table.pk_rid(key)
+            if rid is not None:
+                row = self._visible(rid)
+                if row is not None and self.schema.key_of(row.values) == key:
+                    return row
+            # The key may have lived on a row that was since deleted or
+            # re-keyed; only the rids that ever held *this* key are tracked
+            # in its history bucket, so a miss stays O(per-key history)
+            # rather than degrading to a scan of every historic rid.
+            for rid in sorted(self._table.history_rids_for_pk(key)):
+                row = self._visible(rid)
+                if row is not None and self.schema.key_of(row.values) == key:
+                    return row
+            return None
 
     def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
-        self._check_serveable()
-        wanted = tuple(column_names)
-        index = self._table.secondary_index(wanted)
-        if index is None:
-            self._table.fallback_scans += 1
-            candidates = self._table.snapshot_rids()
-        else:
-            # Current-index matches plus the rids that historically
-            # carried this key: O(matching + per-key history), immune to
-            # delete/re-key churn elsewhere in the table.
-            candidates = sorted(
-                set(index.lookup(key))
-                | self._table.history_rids_for_index(index.column_names, key)
-            )
-        positions = [self.schema.column_index(c) for c in wanted]
-        rows = []
-        for rid in candidates:
-            row = self._visible(rid)
-            if row is None:
-                continue
-            if tuple(row.values[p] for p in positions) == tuple(key):
-                rows.append(row)
-        return rows
+        with self._mutex:
+            self._check_serveable()
+            wanted = tuple(column_names)
+            index = self._table.secondary_index(wanted)
+            if index is None:
+                self._table.fallback_scans += 1
+                candidates = self._table.snapshot_rids()
+            else:
+                # Current-index matches plus the rids that historically
+                # carried this key: O(matching + per-key history), immune to
+                # delete/re-key churn elsewhere in the table.
+                candidates = sorted(
+                    set(index.lookup(key))
+                    | self._table.history_rids_for_index(index.column_names, key)
+                )
+            positions = [self.schema.column_index(c) for c in wanted]
+            rows = []
+            for rid in candidates:
+                row = self._visible(rid)
+                if row is None:
+                    continue
+                if tuple(row.values[p] for p in positions) == tuple(key):
+                    rows.append(row)
+            return rows
 
     def has_index(self, column_names: Sequence[str]) -> bool:
         return self._table.has_index(column_names)
@@ -126,13 +140,16 @@ class SnapshotView:
 class SnapshotDatabase:
     """TableProvider serving every table as of one snapshot timestamp."""
 
-    def __init__(self, db: Database, txn: int, read_ts: int):
+    def __init__(self, db: Database, txn: int, read_ts: int, mutex=None):
         self._db = db
         self.txn = txn
         self.read_ts = read_ts
+        self._mutex = mutex
 
     def table(self, name: str) -> SnapshotView:
-        return SnapshotView(self._db.table(name), self.txn, self.read_ts)
+        return SnapshotView(
+            self._db.table(name), self.txn, self.read_ts, mutex=self._mutex
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SnapshotDatabase(txn={self.txn}, read_ts={self.read_ts})"

@@ -48,16 +48,19 @@ Aborting on in+out without proving a full cycle admits false positives
 (Cahill's simplification); the bench ablation measures that abort tax
 against the SNAPSHOT and 2PL arms.
 
-Single-threaded by design, like the engine: calls are never concurrent,
-so no latching.  Write sets are recorded for *every* transaction (a
-SNAPSHOT writer can still be the W of an R → W edge); read sets only for
-SERIALIZABLE transactions.  Committed state is garbage-collected once no
-live serializable snapshot predates the commit.
+Thread-safe: every public entry runs under one internal mutex, because
+the sharded engine runs ONE global tracker that the per-shard worker
+threads of :mod:`repro.core.executor` all report into.  Write sets are
+recorded for *every* transaction (a SNAPSHOT writer can still be the W
+of an R → W edge); read sets only for SERIALIZABLE transactions.
+Committed state is garbage-collected once no live serializable snapshot
+predates the commit.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
@@ -98,6 +101,9 @@ class SSITracker:
     """Tracks rw antidependencies and aborts dangerous structures."""
 
     def __init__(self) -> None:
+        #: one mutex over all tracker state: the tracker is global under
+        #: sharding, so per-shard worker threads call in concurrently.
+        self._mutex = threading.RLock()
         self._txns: dict[int, _SSITxn] = {}
         #: inverted index item -> committed transactions that wrote it,
         #: so a read's sweep for superseding committed writers is
@@ -121,47 +127,51 @@ class SSITracker:
     # -- lifecycle ------------------------------------------------------------------
 
     def begin(self, txn: int, read_ts: int, *, serializable: bool) -> None:
-        self._txns[txn] = _SSITxn(txn, read_ts, serializable)
+        with self._mutex:
+            self._txns[txn] = _SSITxn(txn, read_ts, serializable)
 
     def refresh(self, txn: int, read_ts: int) -> None:
         """Follow ``StorageEngine.refresh_snapshot``: the transaction
         re-snapshots because nothing it observed escaped, so any reads
         recorded for a discarded grounding attempt — and the edges they
         formed — are dropped along with the old snapshot."""
-        state = self._txns.get(txn)
-        if state is None:
-            return
-        state.read_ts = read_ts
-        state.reads.clear()
-        for other in state.out_rw:
-            peer = self._txns.get(other)
-            if peer is not None:
-                peer.in_rw.discard(txn)
-        state.out_rw.clear()
-        state.doomed = False
+        with self._mutex:
+            state = self._txns.get(txn)
+            if state is None:
+                return
+            state.read_ts = read_ts
+            state.reads.clear()
+            for other in state.out_rw:
+                peer = self._txns.get(other)
+                if peer is not None:
+                    peer.in_rw.discard(txn)
+            state.out_rw.clear()
+            state.doomed = False
 
     def on_abort(self, txn: int) -> None:
         """Discard an aborted transaction and every edge through it."""
-        state = self._txns.pop(txn, None)
-        if state is None:
-            return
-        for other in state.in_rw:
-            peer = self._txns.get(other)
-            if peer is not None:
-                peer.out_rw.discard(txn)
-        for other in state.out_rw:
-            peer = self._txns.get(other)
-            if peer is not None:
-                peer.in_rw.discard(txn)
-        self._collect()
+        with self._mutex:
+            state = self._txns.pop(txn, None)
+            if state is None:
+                return
+            for other in state.in_rw:
+                peer = self._txns.get(other)
+                if peer is not None:
+                    peer.out_rw.discard(txn)
+            for other in state.out_rw:
+                peer = self._txns.get(other)
+                if peer is not None:
+                    peer.in_rw.discard(txn)
+            self._collect()
 
     # -- recording ------------------------------------------------------------------
 
     def record_write(self, txn: int, items: Iterable[Item]) -> None:
         """Add items to ``txn``'s write set (any isolation level)."""
-        state = self._txns.get(txn)
-        if state is not None:
-            state.writes.update(items)
+        with self._mutex:
+            state = self._txns.get(txn)
+            if state is not None:
+                state.writes.update(items)
 
     def record_read(self, txn: int, items: Iterable[Item]) -> None:
         """Add items to a SERIALIZABLE ``txn``'s read set and form the
@@ -172,27 +182,28 @@ class SSITracker:
         reader (its own commit fails), so this is safe to call from the
         grounding read observers inside batch evaluation.
         """
-        state = self._txns.get(txn)
-        if state is None or not state.serializable:
-            return
-        fresh = [i for i in items if i not in state.reads]
-        if not fresh:
-            return
-        state.reads.update(fresh)
-        for item in fresh:
-            for writer_id in self._committed_writes.get(item, ()):
-                if writer_id == txn:
-                    continue
-                writer = self._txns[writer_id]
-                if writer.commit_ts is None or writer.commit_ts <= state.read_ts:
-                    continue  # visible to the snapshot: no antidependency
-                self._add_edge(reader=state, writer=writer)
-                if writer.out_rw - {txn}:
-                    # The committed writer is now a pivot; it can no
-                    # longer abort, so the reader must.
-                    if not state.doomed:
-                        state.doomed = True
-                        self.stats["doomed_reads"] += 1
+        with self._mutex:
+            state = self._txns.get(txn)
+            if state is None or not state.serializable:
+                return
+            fresh = [i for i in items if i not in state.reads]
+            if not fresh:
+                return
+            state.reads.update(fresh)
+            for item in fresh:
+                for writer_id in self._committed_writes.get(item, ()):
+                    if writer_id == txn:
+                        continue
+                    writer = self._txns[writer_id]
+                    if writer.commit_ts is None or writer.commit_ts <= state.read_ts:
+                        continue  # visible to the snapshot: no antidependency
+                    self._add_edge(reader=state, writer=writer)
+                    if writer.out_rw - {txn}:
+                        # The committed writer is now a pivot; it can no
+                        # longer abort, so the reader must.
+                        if not state.doomed:
+                            state.doomed = True
+                            self.stats["doomed_reads"] += 1
 
     # -- commit ---------------------------------------------------------------------
 
@@ -215,6 +226,10 @@ class SSITracker:
         :meth:`on_commit` raises on, including edges contributed by the
         group's own earlier members.
         """
+        with self._mutex:
+            return self._group_doomed_locked(txns)
+
+    def _group_doomed_locked(self, txns: Sequence[int]) -> bool:
         virtual_out: dict[int, set[int]] = {}
         virtual_in: dict[int, set[int]] = {}
         virtual_committed: set[int] = set()
@@ -266,6 +281,10 @@ class SSITracker:
         Otherwise the edges are applied and the transaction is retained
         as committed until the GC horizon passes it.
         """
+        with self._mutex:
+            self._on_commit_locked(txn, commit_ts)
+
+    def _on_commit_locked(self, txn: int, commit_ts: int) -> None:
         state = self._txns.get(txn)
         if state is None:
             return
@@ -397,4 +416,5 @@ class SSITracker:
 
     def tracked(self) -> int:
         """Number of transactions currently retained (tests, reports)."""
-        return len(self._txns)
+        with self._mutex:
+            return len(self._txns)

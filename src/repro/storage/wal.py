@@ -11,11 +11,23 @@ Durability is simulated: the log survives a :class:`~repro.storage.engine.
 StorageEngine` crash while the in-memory tables do not.  A ``flushed``
 watermark models the volatile log tail — records beyond it are lost on
 crash, which lets tests exercise the commit-not-durable path.
+
+Two additions for real-thread execution (:mod:`repro.core.executor`):
+
+* the log is **thread-safe** — append/flush/truncate run under one
+  internal mutex, which also models the serial fsync pipeline a real log
+  device is;
+* ``flush_latency`` (seconds, default 0) makes each watermark-advancing
+  flush *sleep*, standing in for the fsync a durable commit pays.  It is
+  what the wall-clock shard ablation measures: per-shard WALs flush
+  concurrently on per-shard worker threads, one WAL flushes serially.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
@@ -99,9 +111,12 @@ class WriteAheadLog:
     """An append-only, LSN-stamped log with an explicit flush watermark."""
 
     def __init__(self):
+        self._mutex = threading.RLock()
         self._records: list[LogRecord] = []
         self._flushed_lsn = 0
         self._next_lsn = 1
+        #: simulated fsync latency per watermark-advancing flush (seconds).
+        self.flush_latency = 0.0
 
     # -- appending -----------------------------------------------------------------
 
@@ -117,13 +132,14 @@ class WriteAheadLog:
         image: CheckpointImage | None = None,
         participants: "tuple[int, ...] | None" = None,
     ) -> LogRecord:
-        record = LogRecord(
-            self._next_lsn, type, txn, table, rid, before, after, commit_ts,
-            image, participants,
-        )
-        self._records.append(record)
-        self._next_lsn += 1
-        return record
+        with self._mutex:
+            record = LogRecord(
+                self._next_lsn, type, txn, table, rid, before, after,
+                commit_ts, image, participants,
+            )
+            self._records.append(record)
+            self._next_lsn += 1
+            return record
 
     def commit_timestamps(self, durable_only: bool = True) -> dict[int, int]:
         """``txn -> commit_ts`` for every (durable) stamped COMMIT record."""
@@ -138,13 +154,21 @@ class WriteAheadLog:
 
         Commit durability requires the COMMIT record to be flushed before
         the engine acknowledges the commit (write-ahead rule).
+
+        A watermark-advancing flush sleeps ``flush_latency`` seconds
+        (simulated fsync) while holding the log mutex — one log is one
+        serial flush pipeline; different shards' logs flush concurrently.
         """
-        target = self._records[-1].lsn if self._records else 0
-        if upto_lsn is not None:
-            if upto_lsn > target:
-                raise WALError(f"cannot flush to unwritten LSN {upto_lsn}")
-            target = upto_lsn
-        self._flushed_lsn = max(self._flushed_lsn, target)
+        with self._mutex:
+            target = self._records[-1].lsn if self._records else 0
+            if upto_lsn is not None:
+                if upto_lsn > target:
+                    raise WALError(f"cannot flush to unwritten LSN {upto_lsn}")
+                target = upto_lsn
+            advanced = target > self._flushed_lsn
+            self._flushed_lsn = max(self._flushed_lsn, target)
+            if advanced and self.flush_latency > 0.0:
+                time.sleep(self.flush_latency)
 
     # -- reading -------------------------------------------------------------------
 
@@ -158,31 +182,36 @@ class WriteAheadLog:
 
     def records(self, durable_only: bool = False) -> Iterator[LogRecord]:
         """Iterate records in LSN order; optionally only the flushed prefix."""
-        for record in self._records:
-            if durable_only and record.lsn > self._flushed_lsn:
+        with self._mutex:
+            snapshot = list(self._records)
+            flushed = self._flushed_lsn
+        for record in snapshot:
+            if durable_only and record.lsn > flushed:
                 return
             yield record
 
     def truncate_to_flushed(self) -> int:
         """Simulate a crash: drop the volatile tail.  Returns #records lost."""
-        kept = [r for r in self._records if r.lsn <= self._flushed_lsn]
-        lost = len(self._records) - len(kept)
-        self._records = kept
-        return lost
+        with self._mutex:
+            kept = [r for r in self._records if r.lsn <= self._flushed_lsn]
+            lost = len(self._records) - len(kept)
+            self._records = kept
+            return lost
 
     def truncate_before(self, lsn: int) -> int:
         """Drop the (flushed) prefix strictly before ``lsn`` — called after
         a checkpoint at ``lsn``, whose image subsumes those records.
         Returns #records dropped."""
-        if lsn > self._flushed_lsn:
-            raise WALError(
-                f"cannot truncate before unflushed LSN {lsn} "
-                f"(flushed {self._flushed_lsn})"
-            )
-        kept = [r for r in self._records if r.lsn >= lsn]
-        dropped = len(self._records) - len(kept)
-        self._records = kept
-        return dropped
+        with self._mutex:
+            if lsn > self._flushed_lsn:
+                raise WALError(
+                    f"cannot truncate before unflushed LSN {lsn} "
+                    f"(flushed {self._flushed_lsn})"
+                )
+            kept = [r for r in self._records if r.lsn >= lsn]
+            dropped = len(self._records) - len(kept)
+            self._records = kept
+            return dropped
 
     def last_checkpoint(self, durable_only: bool = True) -> LogRecord | None:
         """The newest (durable) CHECKPOINT record carrying an image."""

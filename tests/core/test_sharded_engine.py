@@ -218,6 +218,11 @@ class TestInteractiveSharded:
             store.load(name, [(KEY_OF[name], 10)])
         reader = broker.open_session("r", isolation=TxnIsolation.SNAPSHOT)
         writer = broker.open_session("w")
+        # The session's vector snapshot anchors at its *first statement*
+        # (an idle session is parked and pins no vacuum horizon), so the
+        # reader observes T0 before the writer runs to fix its cut.
+        first = reader.execute(f"SELECT v AS @v FROM T0 WHERE k = {KEY_OF['T0']};")
+        assert first.rows[0][0] == 10
         for name in TABLES:
             writer.execute(
                 f"UPDATE {name} SET v = 99 WHERE k = {KEY_OF[name]};"

@@ -80,6 +80,10 @@ KEY_OF = {"T0": 0, "T1": 1, "T2": 2}
 
 ISOLATION_ARM = os.environ.get("REPRO_ISOLATION", "").lower()
 N_SHARDS = int(os.environ.get("REPRO_SHARDS", "1"))
+#: ``REPRO_EXECUTOR=1`` runs every arm under the per-shard thread-pool
+#: executor (real worker threads driving the same seeded workloads), so
+#: the isolation oracles also vet the thread-safety layer.
+USE_EXECUTOR = os.environ.get("REPRO_EXECUTOR", "") == "1"
 only_2pl = pytest.mark.skipif(
     ISOLATION_ARM not in ("", "2pl"), reason="different CI isolation arm"
 )
@@ -103,7 +107,9 @@ def build_engine(mode: IsolationConfig) -> EntangledTransactionEngine:
             primary_key=["k"],
         ))
         store.load(name, [(KEY_OF[name], 10)])
-    config = EngineConfig(isolation=mode, record_schedule=True)
+    config = EngineConfig(
+        isolation=mode, record_schedule=True, executor=USE_EXECUTOR
+    )
     return EntangledTransactionEngine(store, config, ManualPolicy())
 
 
@@ -150,6 +156,7 @@ def run_workload(mode: IsolationConfig, workload):
         engine.run_once(handles=shuffled[position:position + size])
         position += size
     engine.drain()
+    engine.close()  # join executor workers; the recorded schedule stays
     for handle in handles:
         assert engine.transaction(handle).phase is TxnPhase.COMMITTED, (
             f"transaction {handle} did not commit: "

@@ -14,7 +14,9 @@ PACKAGES = [
     "repro.bench.fig6b",
     "repro.bench.fig6c",
     "repro.bench.harness",
+    "repro.client",
     "repro.core",
+    "repro.core.executor",
     "repro.entangled",
     "repro.errors",
     "repro.model",
@@ -42,7 +44,41 @@ def test_all_exports_resolve(name):
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
+
+
+def test_all_is_importable_and_complete():
+    """``repro.__all__`` resolves name by name and carries the whole
+    public surface: the connect() façade, the once-missing legacy names
+    (InteractiveBroker, ShardedStorageEngine, TxnIsolation, RunReport),
+    and the user-facing error types."""
+    for symbol in repro.__all__:
+        assert getattr(repro, symbol, None) is not None, symbol
+    assert len(set(repro.__all__)) == len(repro.__all__), "duplicate exports"
+    required = {
+        # the unified client API
+        "connect", "Client", "Session", "PendingAnswer", "ScriptHandle",
+        "StorageTransaction", "Durability",
+        # previously missing public names
+        "InteractiveBroker", "ShardedStorageEngine", "TxnIsolation",
+        "RunReport",
+        # error types from repro.errors
+        "ReproError", "StorageError", "EngineError", "MiddlewareError",
+        "DeadlockError", "WriteConflictError", "SnapshotTooOldError",
+        "SerializationFailureError", "EntanglementTimeout",
+        "SafetyViolationError", "TransactionAborted", "SQLError",
+    }
+    missing = required - set(repro.__all__)
+    assert not missing, f"missing from repro.__all__: {sorted(missing)}"
+
+
+def test_legacy_entry_points_emit_deprecation_pointer():
+    """The three legacy entry points still work and their docstrings
+    point migrators at repro.connect()."""
+    for cls in (repro.EntangledTransactionEngine, repro.InteractiveBroker,
+                repro.Youtopia):
+        assert "connect" in (cls.__doc__ or ""), cls.__name__
+        assert "deprecated" in (cls.__doc__ or "").lower(), cls.__name__
 
 
 def test_error_hierarchy():
