@@ -196,6 +196,17 @@ class RunReport:
     #: (table -> {chain length -> #rids}) — the GC-pressure signal the
     #: horizon-aware vacuum is meant to keep flat.
     chain_histograms: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: planner deltas for this run: ordered-index range scans taken,
+    #: sequential scans those ranges replaced, and ORDER BY sorts elided
+    #: by riding an ordered scan.
+    index_range_scans: int = 0
+    seq_scans_avoided: int = 0
+    sorts_elided: int = 0
+    #: per-table index-miss scans (``Table.fallback_scans`` deltas):
+    #: probes that degenerated into full scans because no declared index
+    #: covered the requested columns.  An indexed workload should keep
+    #: every entry at zero.
+    fallback_scans: dict[str, int] = field(default_factory=dict)
 
 
 class EntangledTransactionEngine:
@@ -397,6 +408,9 @@ class EntangledTransactionEngine:
         self.policy.on_run_started(self.clock.now)
         lock_stats_before = dict(self.store.locks.stats)
         ssi_stats_before = dict(self.store.ssi.stats)
+        plan_stats_before = dict(getattr(self.store, "plan_stats", {}))
+        fallback_counts = getattr(self.store, "fallback_scan_counts", None)
+        fallback_before = fallback_counts() if fallback_counts else {}
         shard_stats_before = self.store.shard_stats()
         cross_shard_before = getattr(self.store, "cross_shard_commit_count", 0)
         #: per-shard commit-flush accounting: each shard's WAL/group
@@ -526,6 +540,24 @@ class EntangledTransactionEngine:
         )
         report.max_version_chain = self.store.version_stats()["max_chain"]
         report.chain_histograms = self.store.chain_histograms()
+        plan_stats = getattr(self.store, "plan_stats", {})
+        report.index_range_scans = (
+            plan_stats.get("index_range_scans", 0)
+            - plan_stats_before.get("index_range_scans", 0)
+        )
+        report.seq_scans_avoided = (
+            plan_stats.get("seq_scans_avoided", 0)
+            - plan_stats_before.get("seq_scans_avoided", 0)
+        )
+        report.sorts_elided = (
+            plan_stats.get("sorts_elided", 0)
+            - plan_stats_before.get("sorts_elided", 0)
+        )
+        if fallback_counts:
+            report.fallback_scans = {
+                name: count - fallback_before.get(name, 0)
+                for name, count in fallback_counts().items()
+            }
         shard_stats = self.store.shard_stats()
         report.shard_commits = [
             after["commits"] - before["commits"]

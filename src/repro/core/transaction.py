@@ -61,6 +61,10 @@ class TxnStats:
     read_restarts: int = 0
     #: SERIALIZABLE attempts aborted by SSI (dangerous-structure pivots).
     ssi_aborts: int = 0
+    #: index probes that degenerated into full scans because no declared
+    #: index covered the requested columns (``Table.fallback_scans``
+    #: deltas attributed to this transaction's SELECTs).
+    fallback_scans: int = 0
     #: storage shards the committed attempt touched (1 for single-shard
     #: transactions; >1 means the commit ran the cross-shard two-phase
     #: prepare).  0 until the transaction commits.

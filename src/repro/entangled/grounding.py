@@ -159,6 +159,9 @@ class _PositionalTable:
         # possible (frozen dataclass); we translate names on access instead.
         self.schema = _PositionalSchema(schema)
 
+    def __len__(self):
+        return len(self._table)
+
     def scan(self):
         return self._table.scan()
 
@@ -168,6 +171,17 @@ class _PositionalTable:
     def lookup_index(self, column_names, key):
         real_names = [self.schema.real_name(c) for c in column_names]
         return self._table.lookup_index(real_names, key)
+
+    def has_ordered_index(self, column_names):
+        real_names = [self.schema.real_name(c) for c in column_names]
+        return self._table.has_ordered_index(real_names)
+
+    def range_scan(self, column_names, lo, hi, *, lo_inc=True, hi_inc=True,
+                   reverse=False):
+        real_names = [self.schema.real_name(c) for c in column_names]
+        return self._table.range_scan(
+            real_names, lo, hi, lo_inc=lo_inc, hi_inc=hi_inc, reverse=reverse
+        )
 
     def canonical_index(self, column_names):
         # Translate positional ``__col<i>`` names back to the real schema

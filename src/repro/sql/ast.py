@@ -105,7 +105,11 @@ class TableSource:
 
 @dataclass(frozen=True)
 class SelectStmt(Statement):
-    """Classical SELECT (select-project-join + DISTINCT/LIMIT)."""
+    """Classical SELECT (select-project-join + DISTINCT/ORDER BY/LIMIT).
+
+    ``order_by`` holds ``(column name, descending)`` pairs, in clause
+    order; names may be alias-qualified like WHERE columns.
+    """
 
     items: tuple[SelectItem, ...]
     tables: tuple[TableSource, ...] = ()
@@ -113,6 +117,7 @@ class SelectStmt(Statement):
     distinct: bool = False
     limit: int | None = None
     star: bool = False
+    order_by: tuple[tuple[str, bool], ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         cols = "*" if self.star else ", ".join(

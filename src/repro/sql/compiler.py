@@ -120,7 +120,8 @@ def _inline_select(stmt: SelectStmt, env: Env) -> SelectStmt:
         for item in stmt.items
     )
     where = None if stmt.where is None else inline_hostvars(stmt.where, env)
-    return SelectStmt(items, stmt.tables, where, stmt.distinct, stmt.limit, stmt.star)
+    return SelectStmt(items, stmt.tables, where, stmt.distinct, stmt.limit,
+                      stmt.star, stmt.order_by)
 
 
 # ---------------------------------------------------------------------------
@@ -203,8 +204,23 @@ def compile_select(stmt: SelectStmt, db: Database, env: Env) -> CompiledSelect:
             schemas,
             resolve_bare,
         )
+    order_by: list[tuple[str, bool]] = []
+    for name, descending in stmt.order_by:
+        if "." in name:
+            alias, bare = name.split(".", 1)
+            if alias not in schemas:
+                raise UnknownColumnError(
+                    f"unknown alias {alias!r} in ORDER BY"
+                )
+            if not schemas[alias].has_column(bare):
+                raise UnknownColumnError(
+                    f"no column {bare!r} in {alias!r}"
+                )
+            order_by.append((name, descending))
+        else:
+            order_by.append((resolve_bare(name), descending))
     plan = SPJQuery(refs, tuple(select), tuple(names), where,
-                    stmt.distinct, stmt.limit)
+                    stmt.distinct, stmt.limit, tuple(order_by))
     return CompiledSelect(plan, tuple(bindings))
 
 

@@ -197,12 +197,30 @@ class Parser:
         where = None
         if self.accept_keyword("WHERE"):
             where = self.parse_expr()
+        order_by: list[tuple[str, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept(TokenType.COMMA):
+                order_by.append(self.parse_order_item())
         limit = None
         if self.accept_keyword("LIMIT"):
             limit = int(self.expect(TokenType.NUMBER).value)
         return SelectStmt(
-            tuple(items), tuple(tables), where, distinct, limit, star
+            tuple(items), tuple(tables), where, distinct, limit, star,
+            tuple(order_by),
         )
+
+    def parse_order_item(self) -> tuple[str, bool]:
+        name = self.expect_identifier()
+        if self.accept(TokenType.DOT):
+            name = f"{name}.{self.expect_identifier()}"
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return name, descending
 
     def parse_entangled_tail(self, items: list[SelectItem]) -> EntangledSelectStmt:
         self.expect_keyword("INTO")
@@ -443,7 +461,7 @@ class Parser:
                     continue
                 if token.matches_keyword(
                     "FROM", "WHERE", "INTO", "AND", "OR", "CHOOSE", "AS",
-                    "LIMIT",
+                    "LIMIT", "ORDER",
                 ):
                     return False
             offset += 1

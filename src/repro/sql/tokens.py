@@ -34,6 +34,7 @@ KEYWORDS = frozenset(
         "SET", "DELETE", "AND", "OR", "NOT", "IN", "AS", "IS", "NULL",
         "BEGIN", "TRANSACTION", "COMMIT", "ROLLBACK", "WITH", "TIMEOUT",
         "ANSWER", "CHOOSE", "LIMIT", "DISTINCT", "TRUE", "FALSE",
+        "ORDER", "BY", "ASC", "DESC",
         "DAYS", "DAY", "HOURS", "HOUR", "MINUTES", "MINUTE", "SECONDS",
         "SECOND",
     }

@@ -114,6 +114,12 @@ def unparse_select(stmt: SelectStmt) -> str:
         parts.append(f"FROM {tables}")
     if stmt.where is not None:
         parts.append(f"WHERE {unparse_expr(stmt.where)}")
+    if stmt.order_by:
+        ordering = ", ".join(
+            f"{name} DESC" if descending else name
+            for name, descending in stmt.order_by
+        )
+        parts.append(f"ORDER BY {ordering}")
     if stmt.limit is not None:
         parts.append(f"LIMIT {stmt.limit}")
     return " ".join(parts)

@@ -211,6 +211,15 @@ def ssi_read_items(access: ReadAccess) -> list:
     if access.kind is AccessKind.INDEX_KEY:
         assert access.index is not None and access.key is not None
         return [index_key_resource(access.table, access.index, access.key)]
+    if access.kind is AccessKind.INDEX_RANGE:
+        # A key *interval*, not a point: the tracker matches it against
+        # committed/later writes of any ixkey inside the bounds, which is
+        # how serializable range reads see phantom rw-antidependencies.
+        assert access.index is not None
+        return [(
+            "ixrange", access.table, access.index,
+            access.lo, access.hi, access.lo_inc, access.hi_inc,
+        )]
     assert access.rid is not None
     return [RowId(access.table, access.rid)]
 
@@ -225,6 +234,7 @@ class StorageEngine:
         locking: bool = True,
         granularity: LockGranularity = LockGranularity.FINE,
         ssi_tracking: bool = True,
+        ordered_indexes: bool = True,
     ):
         self.db = db if db is not None else Database()
         #: the engine mutex: one serial pipeline per engine (= per shard).
@@ -233,6 +243,16 @@ class StorageEngine:
         self.wal = WriteAheadLog()
         self.locking = locking
         self.granularity = granularity
+        #: planner knob: may queries use B+ tree range/ordered access
+        #: paths?  Tables maintain the trees either way; False is the
+        #: hash-only baseline arm of the range benchmark.
+        self.ordered_indexes = ordered_indexes
+        #: plan counters the planner accumulates (surfaced in RunReport).
+        self.plan_stats = {
+            "index_range_scans": 0,
+            "seq_scans_avoided": 0,
+            "sorts_elided": 0,
+        }
         self._contexts: dict[int, TxnContext] = {}
         #: active transactions holding writes — maintained so the
         #: checkpoint quiescence test is O(1) instead of scanning every
@@ -543,6 +563,35 @@ class StorageEngine:
                 index_key_resource(access.table, access.index, access.key),
                 LockMode.SHARED,
             )
+        elif access.kind is AccessKind.INDEX_RANGE:
+            # Next-key locking: IS on the table, S on every index key
+            # currently inside the bounds, and S on the right fencepost —
+            # the first existing key past the upper bound (SUPREMUM when
+            # none).  An inserter IX-locks the successor of each key it
+            # creates, so a phantom landing anywhere in the range meets
+            # one of these S locks.  Zero table S locks involved.
+            self._lock(
+                txn, table_resource(access.table), LockMode.INTENTION_SHARED
+            )
+            assert access.index is not None
+            table = self.db.table(access.table)
+            for key in table.ordered_keys_in_range(
+                access.index, access.lo, access.hi,
+                lo_inc=access.lo_inc, hi_inc=access.hi_inc,
+            ):
+                self._lock(
+                    txn,
+                    index_key_resource(access.table, access.index, key),
+                    LockMode.SHARED,
+                )
+            fence = table.successor_key(
+                access.index, access.hi, strict=access.hi_inc
+            )
+            self._lock(
+                txn,
+                index_key_resource(access.table, access.index, fence),
+                LockMode.SHARED,
+            )
         else:  # AccessKind.ROW
             self._lock(
                 txn, table_resource(access.table), LockMode.INTENTION_SHARED
@@ -571,6 +620,33 @@ class StorageEngine:
             return
         for columns, key in keys:
             self._lock(txn, index_key_resource(table_name, columns, key), mode)
+
+    def _lock_gap_successors(
+        self,
+        txn: int,
+        table,
+        table_name: str,
+        keys: Iterable[tuple[tuple[str, ...], tuple]],
+    ) -> None:
+        """IX-lock the *successor* of every key a write is about to create
+        — the other half of next-key locking.  A range reader S-locks each
+        in-range key plus its right fencepost; an inserter of key ``k``
+        IX-locks the first existing key strictly above ``k`` (SUPREMUM
+        when none), so a phantom insert into a scanned range conflicts
+        with the reader while same-gap inserters (IX/IX) stay compatible.
+        Must run *before* the physical write, while ``k`` is still absent.
+        """
+        if not self.locking or self.granularity is not LockGranularity.FINE:
+            return
+        for columns, key in keys:
+            if not table.has_ordered_index(columns):
+                continue
+            fence = table.successor_key(columns, key, strict=True)
+            self._lock(
+                txn,
+                index_key_resource(table_name, columns, fence),
+                LockMode.INTENTION_EXCLUSIVE,
+            )
 
     @_locked
     def release_read_locks(self, txn: int) -> list[int]:
@@ -925,7 +1001,8 @@ class StorageEngine:
                     )
 
             return evaluate(query, provider, params,
-                            read_observer=observe_snapshot)
+                            read_observer=observe_snapshot,
+                            hints=self._plan_hints())
 
         def observe(access: ReadAccess) -> None:
             self._lock_read_access(txn, access)
@@ -936,7 +1013,24 @@ class StorageEngine:
                 ctx.reads.append(access.table)
                 self._notify(txn, "read", access.table)
 
-        return evaluate(query, self.db, params, read_observer=observe)
+        return evaluate(query, self.db, params, read_observer=observe,
+                        hints=self._plan_hints())
+
+    def _plan_hints(self):
+        from repro.storage.planner import PlanHints
+
+        return PlanHints(
+            ordered_indexes=self.ordered_indexes, stats=self.plan_stats
+        )
+
+    def fallback_scan_counts(self) -> dict[str, int]:
+        """Per-table full-scan counters (``Table.fallback_scans``),
+        surfaced in run reports so workloads can assert an indexed range
+        query never degenerated into a scan."""
+        return {
+            name: getattr(self.db.table(name), "fallback_scans", 0)
+            for name in self.db.table_names()
+        }
 
     @_locked
     def read_table(self, txn: int, table: str) -> list[Row]:
@@ -983,6 +1077,7 @@ class StorageEngine:
         )
         keys = table.index_keys(canonical)
         self._lock_index_keys(txn, table_name, keys)
+        self._lock_gap_successors(txn, table, table_name, keys)
         row = table.insert(canonical, validated=True, writer=txn)
         self._lock(txn, RowId(table_name, row.rid), LockMode.EXCLUSIVE)
         self._ssi_record_write(txn, table_name, row.rid, keys)
@@ -1028,6 +1123,11 @@ class StorageEngine:
             # may mix NULL with values, which don't compare directly.
             self._lock_index_keys(
                 txn, table_name, sorted(old_keys ^ new_keys, key=repr)
+            )
+            # Keys the row *gains* are inserts from a range reader's
+            # perspective: gap-lock their successors too.
+            self._lock_gap_successors(
+                txn, table, table_name, sorted(new_keys - old_keys, key=repr)
             )
             old, new = table.update(
                 rid, canonical, validated=True, writer=txn,
@@ -1227,6 +1327,7 @@ class StorageEngine:
             locking=self.locking,
             granularity=self.granularity,
             ssi_tracking=self.ssi_tracking,
+            ordered_indexes=self.ordered_indexes,
         )
         for schema in self.db.schemas():
             survivor.db.create_table(schema)

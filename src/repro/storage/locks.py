@@ -160,12 +160,15 @@ class LockManager:
         #: statistics for benchmarks and tests.  ``read_grants`` counts
         #: S/IS grants specifically: the MVCC ablation asserts snapshot
         #: transactions drive it to exactly zero (readers never lock).
+        #: ``table_s_grants`` counts whole-table S grants — the range
+        #: bench asserts next-key-locked range scans drive it to zero.
         self.stats = {
             "acquired": 0,
             "waits": 0,
             "deadlocks": 0,
             "upgrades": 0,
             "read_grants": 0,
+            "table_s_grants": 0,
         }
 
     def share_waits_for(
@@ -258,6 +261,8 @@ class LockManager:
                 self.stats["acquired"] += 1
                 if mode in (LockMode.SHARED, LockMode.INTENTION_SHARED):
                     self.stats["read_grants"] += 1
+                if mode is LockMode.SHARED and _is_table_resource(resource):
+                    self.stats["table_s_grants"] += 1
                 return LockOutcome.GRANTED
 
             queue_blockers = blockers or [w for w, _ in state.queue if w != txn]
@@ -375,10 +380,20 @@ class LockManager:
                         self.stats["acquired"] += 1
                         if mode in (LockMode.SHARED, LockMode.INTENTION_SHARED):
                             self.stats["read_grants"] += 1
+                        if mode is LockMode.SHARED and _is_table_resource(resource):
+                            self.stats["table_s_grants"] += 1
                     self._waits_for.pop(waiter, None)
                     woken.append(waiter)
                     progress = True
         return woken
+
+
+def _is_table_resource(resource: Resource) -> bool:
+    return (
+        isinstance(resource, tuple)
+        and len(resource) == 2
+        and resource[0] == "table"
+    )
 
 
 def _parent_resource(resource: Resource):

@@ -74,6 +74,8 @@ class SPJQuery:
             the SQL compiler before reaching this layer).
         select_names: output column names, parallel to ``select``.
         distinct: drop duplicate output rows.
+        order_by: ``(column name, descending)`` pairs applied after
+            projection; column names are qualified like SELECT columns.
         limit: keep at most this many output rows (None = no limit).
     """
 
@@ -83,6 +85,7 @@ class SPJQuery:
     where: Expr | None = None
     distinct: bool = False
     limit: int | None = None
+    order_by: tuple[tuple[str, bool], ...] = ()
 
     def __post_init__(self):
         if len(self.select) != len(self.select_names):
@@ -97,6 +100,7 @@ class AccessKind(enum.Enum):
 
     TABLE_SCAN = "scan"
     INDEX_KEY = "index-key"
+    INDEX_RANGE = "index-range"
     ROW = "row"
 
 
@@ -109,6 +113,12 @@ class ReadAccess:
     * ``INDEX_KEY`` — an index (or primary key) was probed with ``key`` on
       ``index`` columns; reported even when no row matched, so negative
       reads stay repeatable.  The engine answers with IS-table + key S.
+    * ``INDEX_RANGE`` — an ordered index on ``index`` columns was scanned
+      between ``lo`` and ``hi`` (either may be None for an open end;
+      ``lo_inc``/``hi_inc`` give bound inclusivity).  The engine answers
+      with IS-table + *next-key* S locks: every in-range key plus the
+      right-fencepost successor, so phantom inserts collide without any
+      table S lock.
     * ``ROW`` — a row produced by an index probe; the engine answers with
       IS-table + row S.
     """
@@ -118,6 +128,10 @@ class ReadAccess:
     rid: int | None = None
     index: tuple[str, ...] | None = None
     key: tuple | None = None
+    lo: tuple | None = None
+    hi: tuple | None = None
+    lo_inc: bool = True
+    hi_inc: bool = True
 
     @classmethod
     def scan(cls, table: str) -> "ReadAccess":
@@ -133,6 +147,27 @@ class ReadAccess:
     ) -> "ReadAccess":
         return cls(
             AccessKind.INDEX_KEY, table, index=tuple(columns), key=tuple(key)
+        )
+
+    @classmethod
+    def index_range(
+        cls,
+        table: str,
+        columns: Sequence[str],
+        lo: Sequence | None,
+        hi: Sequence | None,
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+    ) -> "ReadAccess":
+        return cls(
+            AccessKind.INDEX_RANGE,
+            table,
+            index=tuple(columns),
+            lo=tuple(lo) if lo is not None else None,
+            hi=tuple(hi) if hi is not None else None,
+            lo_inc=lo_inc,
+            hi_inc=hi_inc,
         )
 
 
@@ -262,6 +297,7 @@ def evaluate(
     provider: TableProvider,
     params: Mapping[str, "SQLValue | None"] | None = None,
     read_observer: ReadObserver | None = None,
+    hints=None,
 ) -> list[tuple["SQLValue | None", ...]]:
     """Evaluate an SPJ query, returning output tuples in deterministic order.
 
@@ -270,7 +306,16 @@ def evaluate(
     rows it covers are used — the transactional engine uses this to take
     fine-grained read locks, so an observer that raises (e.g. on a lock
     conflict) aborts the evaluation with no unlocked data consumed.
+
+    Execution is delegated to the cost-based planner
+    (:mod:`repro.storage.planner`), which assembles a volcano pipeline
+    choosing point / range / scan access per table position.  ``hints``
+    (a :class:`~repro.storage.planner.PlanHints`) carries the engine's
+    planner knobs and stat counters; None means defaults (ordered
+    indexes allowed, no counters).
     """
+    from repro.storage.planner import execute as _plan_execute
+
     tables = [provider.table(ref.name) for ref in query.tables]
 
     reported: set[ReadAccess] = set()
@@ -280,57 +325,8 @@ def evaluate(
             reported.add(access)
             read_observer(access)
 
-    # Column names occurring in more than one table must stay qualified.
-    seen: set[str] = set()
-    ambiguous: set[str] = set()
-    for table in tables:
-        for col in table.schema.column_names:
-            if col in seen:
-                ambiguous.add(col)
-            seen.add(col)
-
     base_env: dict[str, "SQLValue | None"] = dict(params or {})
-    conjuncts = split_conjuncts(query.where)
-    results: list[tuple["SQLValue | None", ...]] = []
-    dedup: set[tuple["SQLValue | None", ...]] = set()
-
-    def recurse(position: int, env: dict[str, "SQLValue | None"], pending: list[Expr]) -> bool:
-        """Depth-first join; returns False once the LIMIT is reached."""
-        if position == len(tables):
-            if not all(is_satisfied(conj, env) for conj in pending):
-                return True
-            output = tuple(expr.eval(env) for expr in query.select)
-            if query.distinct:
-                if output in dedup:
-                    return True
-                dedup.add(output)
-            results.append(output)
-            return query.limit is None or len(results) < query.limit
-
-        ref, table = query.tables[position], tables[position]
-        bindings, residual = _constant_eq_conjuncts(pending, ref, table, env)
-
-        # Conjuncts that can now be fully evaluated are checked at this
-        # level; the rest are deferred deeper.
-        for row in _candidate_rows(ref.name, table, bindings, observe):
-            env2 = _env_for(ref, row, table, env, ambiguous)
-            deeper: list[Expr] = []
-            ok = True
-            for conj in pending:
-                try:
-                    if not is_satisfied(conj, env2):
-                        ok = False
-                        break
-                except UnknownColumnError:
-                    deeper.append(conj)
-            if not ok:
-                continue
-            if not recurse(position + 1, env2, deeper):
-                return False
-        return True
-
-    recurse(0, base_env, conjuncts)
-    return results
+    return _plan_execute(query, tables, base_env, observe, hints)
 
 
 def equality_bindings(
@@ -359,6 +355,7 @@ def evaluate_single(
     provider: TableProvider,
     params: Mapping[str, "SQLValue | None"] | None = None,
     read_observer: ReadObserver | None = None,
+    hints=None,
 ) -> tuple["SQLValue | None", ...] | None:
     """Evaluate and return the first row, or None when empty."""
     limited = SPJQuery(
@@ -368,6 +365,7 @@ def evaluate_single(
         where=query.where,
         distinct=query.distinct,
         limit=1,
+        order_by=query.order_by,
     )
-    rows = evaluate(limited, provider, params, read_observer)
+    rows = evaluate(limited, provider, params, read_observer, hints)
     return rows[0] if rows else None

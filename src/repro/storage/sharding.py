@@ -82,6 +82,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import TransactionStateError, UnknownTableError
+from repro.storage.bptree import sort_key
 from repro.storage.catalog import Database, _sort_key
 from repro.storage.engine import (
     LockGranularity,
@@ -151,6 +152,22 @@ def shard_for_key(key: Sequence, n_shards: int, table_name: str = "") -> int:
 # -- union views over the shards ----------------------------------------------------
 
 
+def _merge_key_order(
+    schema: TableSchema,
+    column_names: Sequence[str],
+    rows: list[Row],
+    reverse: bool,
+) -> list[Row]:
+    """Re-establish global (index key, rid) order over per-shard ordered
+    fragments — the sharded half of ``Table.range_scan``'s contract."""
+    positions = [schema.column_index(c) for c in column_names]
+    rows.sort(
+        key=lambda r: (sort_key(tuple(r.values[p] for p in positions)), r.rid),
+        reverse=reverse,
+    )
+    return rows
+
+
 class ShardedTableView:
     """The live union of one table's shard-local fragments.
 
@@ -205,6 +222,34 @@ class ShardedTableView:
 
     def has_index(self, column_names: Sequence[str]) -> bool:
         return self._tables()[0].has_index(column_names)
+
+    def has_ordered_index(self, column_names: Sequence[str]) -> bool:
+        return self._tables()[0].has_ordered_index(column_names)
+
+    def range_scan(
+        self,
+        column_names: Sequence[str],
+        lo: "tuple | None",
+        hi: "tuple | None",
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+        reverse: bool = False,
+    ) -> list[Row]:
+        """Union ordered-range scan: each shard's B+ tree fragment is
+        walked under that shard's mutex, then the fragments merge back
+        into one global key order (rid-tiebroken, like the shard scans
+        themselves)."""
+        rows: list[Row] = []
+        for shard in self._engine.shards:
+            with shard.mutex:
+                rows.extend(
+                    shard.db.table(self._name).range_scan(
+                        column_names, lo, hi,
+                        lo_inc=lo_inc, hi_inc=hi_inc,
+                    )
+                )
+        return _merge_key_order(self.schema, column_names, rows, reverse)
 
     def canonical_index(self, column_names: Sequence[str]) -> tuple[str, ...]:
         return self._tables()[0].canonical_index(column_names)
@@ -329,6 +374,30 @@ class ShardedSnapshotView:
     def has_index(self, column_names: Sequence[str]) -> bool:
         return self._engine.shards[0].db.table(self._name).has_index(column_names)
 
+    def has_ordered_index(self, column_names: Sequence[str]) -> bool:
+        return self._engine.shards[0].db.table(self._name).has_ordered_index(
+            column_names
+        )
+
+    def range_scan(
+        self,
+        column_names: Sequence[str],
+        lo: "tuple | None",
+        hi: "tuple | None",
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+        reverse: bool = False,
+    ) -> list[Row]:
+        rows = [
+            row
+            for view in self._views()
+            for row in view.range_scan(
+                column_names, lo, hi, lo_inc=lo_inc, hi_inc=hi_inc
+            )
+        ]
+        return _merge_key_order(self.schema, column_names, rows, reverse)
+
     def canonical_index(self, column_names: Sequence[str]) -> tuple[str, ...]:
         return self._engine.shards[0].db.table(self._name).canonical_index(
             column_names
@@ -428,6 +497,7 @@ class ShardedStorageEngine:
         locking: bool = True,
         granularity: LockGranularity = LockGranularity.FINE,
         shards: "list[StorageEngine] | None" = None,
+        ordered_indexes: bool = True,
     ):
         if shards is not None:
             self.shards = shards
@@ -440,11 +510,21 @@ class ShardedStorageEngine:
                     locking=locking,
                     granularity=granularity,
                     ssi_tracking=False,
+                    ordered_indexes=ordered_indexes,
                 )
                 for i in range(n_shards)
             ]
         self.locking = locking
         self.granularity = granularity
+        self.ordered_indexes = ordered_indexes
+        #: coordinator-level planner counters (the coordinator plans the
+        #: query once over the union views, so counters live here, not in
+        #: any shard).
+        self.plan_stats = {
+            "index_range_scans": 0,
+            "seq_scans_avoided": 0,
+            "sorts_elided": 0,
+        }
         #: the global commit funnel: holds every ensemble-visibility
         #: transition (vector capture at begin, two-phase commit, vector
         #: refresh) so per-shard worker threads always observe
@@ -1023,7 +1103,8 @@ class ShardedStorageEngine:
                     )
 
             return evaluate(query, provider, params,
-                            read_observer=observe_snapshot)
+                            read_observer=observe_snapshot,
+                            hints=self._plan_hints())
 
         def observe(access: ReadAccess) -> None:
             self.lock_read_access(txn, access)
@@ -1032,7 +1113,25 @@ class ShardedStorageEngine:
                 ctx.reads.append(access.table)
                 self._notify(txn, "read", access.table)
 
-        return evaluate(query, self.db, params, read_observer=observe)
+        return evaluate(query, self.db, params, read_observer=observe,
+                        hints=self._plan_hints())
+
+    def _plan_hints(self):
+        from repro.storage.planner import PlanHints
+
+        return PlanHints(
+            ordered_indexes=self.ordered_indexes, stats=self.plan_stats
+        )
+
+    def fallback_scan_counts(self) -> dict[str, int]:
+        """Per-table full-scan counters, summed across the shards."""
+        counts: dict[str, int] = {}
+        for name in self.db.table_names():
+            counts[name] = sum(
+                getattr(shard.db.table(name), "fallback_scans", 0)
+                for shard in self.shards
+            )
+        return counts
 
     def read_table(self, txn: int, table: str) -> list[Row]:
         ctx = self._context(txn)
@@ -1312,6 +1411,7 @@ class ShardedStorageEngine:
             locking=self.locking,
             granularity=self.granularity,
             shards=[shard.crash() for shard in self.shards],
+            ordered_indexes=self.ordered_indexes,
         )
         # Fresh per-shard engines come back with default rid namespaces;
         # restore the congruence classes before recovery re-inserts rows.
@@ -1339,15 +1439,20 @@ def build_storage_engine(
     *,
     locking: bool = True,
     granularity: LockGranularity = LockGranularity.FINE,
+    ordered_indexes: bool = True,
 ) -> "StorageEngine | ShardedStorageEngine":
     """The one construction policy for store-less middle-tier entry
     points (`EngineConfig.shards`, `InteractiveBroker(shards=...)`):
     one shard means a plain engine, more means the sharded router."""
     if shards > 1:
         return ShardedStorageEngine(
-            shards, locking=locking, granularity=granularity
+            shards, locking=locking, granularity=granularity,
+            ordered_indexes=ordered_indexes,
         )
-    return StorageEngine(locking=locking, granularity=granularity)
+    return StorageEngine(
+        locking=locking, granularity=granularity,
+        ordered_indexes=ordered_indexes,
+    )
 
 
 # -- restart recovery -----------------------------------------------------------------

@@ -29,6 +29,7 @@ import contextlib
 from typing import Iterator, Sequence
 
 from repro.errors import SnapshotTooOldError
+from repro.storage.bptree import sort_key
 from repro.storage.catalog import Database
 from repro.storage.row import Row
 from repro.storage.table import Table
@@ -132,6 +133,53 @@ class SnapshotView:
 
     def has_index(self, column_names: Sequence[str]) -> bool:
         return self._table.has_index(column_names)
+
+    def has_ordered_index(self, column_names: Sequence[str]) -> bool:
+        return self._table.has_ordered_index(column_names)
+
+    def range_scan(
+        self,
+        column_names: Sequence[str],
+        lo: tuple | None,
+        hi: tuple | None,
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+        reverse: bool = False,
+    ) -> list[Row]:
+        """Versioned range read: visible rows whose index key falls in the
+        bounds, ordered by (key, rid).
+
+        Candidates are the *current* B+ tree postings in the bounds plus
+        the per-key history buckets whose key falls in the bounds — the
+        same O(matching + in-range history) recipe as point probes.  Each
+        candidate's *visible* version is re-keyed and re-checked against
+        the bounds, because a historic rid's visible key need not match
+        the bucket it was found under.
+        """
+        with self._mutex:
+            self._check_serveable()
+            cols = tuple(column_names)
+            positions = [self.schema.column_index(c) for c in cols]
+            slo = sort_key(lo) if lo is not None else None
+            shi = sort_key(hi) if hi is not None else None
+            keyed: list[tuple[tuple, int, Row]] = []
+            for rid in sorted(
+                self._table.range_candidate_rids(
+                    cols, lo, hi, lo_inc=lo_inc, hi_inc=hi_inc
+                )
+            ):
+                row = self._visible(rid)
+                if row is None:
+                    continue
+                skey = sort_key(tuple(row.values[p] for p in positions))
+                if slo is not None and not (skey >= slo if lo_inc else skey > slo):
+                    continue
+                if shi is not None and not (skey <= shi if hi_inc else skey < shi):
+                    continue
+                keyed.append((skey, rid, row))
+            keyed.sort(key=lambda item: (item[0], item[1]), reverse=reverse)
+            return [row for _skey, _rid, row in keyed]
 
     def canonical_index(self, column_names: Sequence[str]) -> tuple[str, ...]:
         return self._table.canonical_index(column_names)

@@ -65,9 +65,61 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
 from repro.errors import SerializationFailureError
+from repro.storage.bptree import sort_key
 
-#: An SSI item: a lock-manager resource (RowId / index key / table).
+#: An SSI item: a lock-manager resource (RowId / index key / table), or a
+#: range read ``("ixrange", table, cols, lo, hi, lo_inc, hi_inc)`` — the
+#: predicate form of an ordered-index scan, matched against ixkey writes
+#: by interval containment so phantom inserts form rw edges too.
 Item = Hashable
+
+
+def _is_range_item(item: Item) -> bool:
+    return (
+        isinstance(item, tuple) and len(item) == 7 and item[0] == "ixrange"
+    )
+
+
+def _range_covers(range_item, key_item) -> bool:
+    """Does an ixrange read item cover an ixkey write item?
+
+    True exactly when the write touches the same table + index columns and
+    its key falls inside the recorded interval — i.e. the written key
+    would have qualified for (or newly entered) the scanned range.
+    """
+    if not (
+        isinstance(key_item, tuple)
+        and len(key_item) == 4
+        and key_item[0] == "ixkey"
+    ):
+        return False
+    _tag, table, cols, lo, hi, lo_inc, hi_inc = range_item
+    if key_item[1] != table or key_item[2] != cols:
+        return False
+    skey = sort_key(key_item[3])
+    if lo is not None:
+        slo = sort_key(lo)
+        if skey < slo or (skey == slo and not lo_inc):
+            return False
+    if hi is not None:
+        shi = sort_key(hi)
+        if skey > shi or (skey == shi and not hi_inc):
+            return False
+    return True
+
+
+def _reads_overlap(reads: "set[Item]", writes: "set[Item]") -> bool:
+    """Read-set/write-set overlap, extended with interval containment:
+    plain items intersect as sets; an ixrange read overlaps any ixkey
+    write it covers."""
+    if reads & writes:
+        return True
+    ranges = [r for r in reads if _is_range_item(r)]
+    if not ranges:
+        return False
+    return any(
+        _range_covers(r, w) for r in ranges for w in writes
+    )
 
 
 class _SSIStatus(enum.Enum):
@@ -191,7 +243,18 @@ class SSITracker:
                 return
             state.reads.update(fresh)
             for item in fresh:
-                for writer_id in self._committed_writes.get(item, ()):
+                if _is_range_item(item):
+                    # Sweep committed ixkey writes the interval covers —
+                    # a phantom the range read *didn't* see on its
+                    # snapshot still forms the outbound edge.  Linear in
+                    # committed items, which GC keeps bounded.
+                    writer_ids: set[int] = set()
+                    for witem, writers in self._committed_writes.items():
+                        if _range_covers(item, witem):
+                            writer_ids.update(writers)
+                else:
+                    writer_ids = self._committed_writes.get(item, set())
+                for writer_id in writer_ids:
                     if writer_id == txn:
                         continue
                     writer = self._txns[writer_id]
@@ -358,7 +421,7 @@ class SSITracker:
                 and reader.commit_ts <= writer.read_ts
             ):
                 continue
-            if reader.reads & writer.writes:
+            if _reads_overlap(reader.reads, writer.writes):
                 readers.append(reader)
         return readers
 

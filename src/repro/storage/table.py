@@ -22,6 +22,7 @@ from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import DuplicateKeyError, StorageError
+from repro.storage.bptree import SUPREMUM, BPlusTree, sort_key
 from repro.storage.row import Row, RowVersion, ValueTuple
 from repro.storage.schema import TableSchema
 from repro.storage.types import SQLValue
@@ -82,6 +83,23 @@ class Table:
         self._secondary: list[HashIndex] = [
             HashIndex(cols, schema) for cols in schema.indexes
         ]
+        #: every indexed column set (primary key included) also keeps an
+        #: ordered B+ tree twin, so range predicates and ORDER BY pushdown
+        #: have in-order access paths.  Maintained unconditionally — the
+        #: planner's ``ordered_indexes`` flag gates *use*, not upkeep.
+        self._ordered: dict[tuple[str, ...], BPlusTree] = {}
+        self._ordered_positions: dict[tuple[str, ...], tuple[int, ...]] = {}
+        ordered_cols: list[tuple[str, ...]] = []
+        if schema.primary_key:
+            ordered_cols.append(tuple(schema.primary_key))
+        ordered_cols.extend(tuple(cols) for cols in schema.indexes)
+        for cols in ordered_cols:
+            if cols in self._ordered:
+                continue
+            self._ordered[cols] = BPlusTree()
+            self._ordered_positions[cols] = tuple(
+                schema.column_index(c) for c in cols
+            )
         #: how often :meth:`lookup_index` fell back to a linear scan because
         #: no matching index was declared — an unindexed hot path shows up
         #: here (and in benchmark reports) instead of hiding in latency.
@@ -212,6 +230,116 @@ class Table:
             keys.append((index.column_names, index.key_for(values)))
         return keys
 
+    # -- ordered (B+ tree) access ---------------------------------------------------
+
+    def _ordered_key(self, cols: tuple[str, ...], values: ValueTuple) -> tuple:
+        return tuple(values[p] for p in self._ordered_positions[cols])
+
+    def _ordered_add(self, rid: int, values: ValueTuple) -> None:
+        for cols, tree in self._ordered.items():
+            tree.add(self._ordered_key(cols, values), rid)
+
+    def _ordered_remove(self, rid: int, values: ValueTuple) -> None:
+        for cols, tree in self._ordered.items():
+            tree.remove(self._ordered_key(cols, values), rid)
+
+    def has_ordered_index(self, column_names: Sequence[str]) -> bool:
+        return tuple(column_names) in self._ordered
+
+    def ordered_index(self, column_names: Sequence[str]) -> BPlusTree | None:
+        return self._ordered.get(tuple(column_names))
+
+    def ordered_keys_in_range(
+        self,
+        column_names: Sequence[str],
+        lo: tuple | None,
+        hi: tuple | None,
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+    ) -> list[tuple]:
+        """The current index keys inside the bounds — what a next-key
+        range reader S-locks (plus the successor fencepost)."""
+        tree = self._ordered[tuple(column_names)]
+        return tree.keys_in_range(lo, hi, lo_inc=lo_inc, hi_inc=hi_inc)
+
+    def successor_key(
+        self,
+        column_names: Sequence[str],
+        bound: tuple | None,
+        *,
+        strict: bool = True,
+    ) -> tuple:
+        """The right fencepost after ``bound`` (``SUPREMUM`` when none).
+
+        Range readers lock the successor of their upper bound; inserters
+        lock the successor of each key they are about to create — that
+        shared fencepost is what makes phantoms collide.
+        """
+        tree = self._ordered.get(tuple(column_names))
+        if tree is None:
+            return SUPREMUM
+        return tree.successor(bound, strict=strict)
+
+    def range_scan(
+        self,
+        column_names: Sequence[str],
+        lo: tuple | None,
+        hi: tuple | None,
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+        reverse: bool = False,
+    ) -> list[Row]:
+        """Current rows whose index key falls in the bounds, key-ordered
+        (rid-ordered within equal keys)."""
+        tree = self._ordered[tuple(column_names)]
+        rows: list[Row] = []
+        for _key, rids in tree.items(
+            lo, hi, lo_inc=lo_inc, hi_inc=hi_inc, reverse=reverse
+        ):
+            rows.extend(self._rows[rid] for rid in sorted(rids))
+        return rows
+
+    def range_candidate_rids(
+        self,
+        column_names: Sequence[str],
+        lo: tuple | None,
+        hi: tuple | None,
+        *,
+        lo_inc: bool = True,
+        hi_inc: bool = True,
+    ) -> set[int]:
+        """Every rid a *snapshot* range read must consider: current
+        postings in the bounds plus per-key history buckets whose key
+        falls in the bounds (rids that once carried an in-range key)."""
+        cols = tuple(column_names)
+        tree = self._ordered[cols]
+        rids: set[int] = set()
+        for _key, posting in tree.items(lo, hi, lo_inc=lo_inc, hi_inc=hi_inc):
+            rids |= posting
+
+        slo = sort_key(lo) if lo is not None else None
+        shi = sort_key(hi) if hi is not None else None
+
+        def in_bounds(key: tuple) -> bool:
+            skey = sort_key(key)
+            if slo is not None and not (skey >= slo if lo_inc else skey > slo):
+                return False
+            if shi is not None and not (skey <= shi if hi_inc else skey < shi):
+                return False
+            return True
+
+        history: dict[tuple, set[int]]
+        if cols == tuple(self.schema.primary_key):
+            history = self._history_by_pk
+        else:
+            history = self._history_by_index.get(cols, {})
+        for key, bucket in history.items():
+            if in_bounds(key):
+                rids |= bucket
+        return rids
+
     # -- mutations ----------------------------------------------------------------
 
     def insert(
@@ -247,6 +375,7 @@ class Table:
             self._pk_index[key] = rid
         for index in self._secondary:
             index.add(rid, canonical)
+        self._ordered_add(rid, canonical)
         if versioned:
             self._chain_insert(rid, canonical, writer)
         return row
@@ -275,6 +404,7 @@ class Table:
             self._pk_index[key] = rid
         for index in self._secondary:
             index.add(rid, canonical)
+        self._ordered_add(rid, canonical)
         if versioned:
             self._chain_insert(rid, canonical, writer)
         return row
@@ -320,6 +450,8 @@ class Table:
         for index in self._secondary:
             index.remove(rid, old.values)
             index.add(rid, canonical)
+        self._ordered_remove(rid, old.values)
+        self._ordered_add(rid, canonical)
         if versioned:
             # Only key-changing updates leave a historic rid behind: a
             # row whose index keys are unchanged stays reachable through
@@ -351,6 +483,7 @@ class Table:
             del self._pk_index[key]
         for index in self._secondary:
             index.remove(rid, old.values)
+        self._ordered_remove(rid, old.values)
         if versioned:
             self._chain_supersede(
                 rid, writer, values=old.values, prune_horizon=prune_horizon
@@ -653,6 +786,8 @@ class Table:
         self._pk_index.clear()
         for index in self._secondary:
             index.clear()
+        for tree in self._ordered.values():
+            tree.clear()
         self._versions.clear()
         self._history.clear()
         self._history_by_pk.clear()

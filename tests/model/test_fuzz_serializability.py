@@ -84,6 +84,14 @@ N_SHARDS = int(os.environ.get("REPRO_SHARDS", "1"))
 #: executor (real worker threads driving the same seeded workloads), so
 #: the isolation oracles also vet the thread-safety layer.
 USE_EXECUTOR = os.environ.get("REPRO_EXECUTOR", "") == "1"
+#: ``REPRO_RANGE_PREDICATES=1`` makes the generated workloads read
+#: through bounded range predicates (``k >= lo AND k <= hi``) instead of
+#: point probes only: the planner routes them through the B+ tree's
+#: index-range path, 2PL takes next-key locks, SSI records ``ixrange``
+#: read intervals — and the same serializability oracles must still hold
+#: for every seeded interleaving.  The bounds always cover the table's
+#: single row, so the model-level read set is unchanged.
+RANGE_PREDICATES = os.environ.get("REPRO_RANGE_PREDICATES", "") == "1"
 only_2pl = pytest.mark.skipif(
     ISOLATION_ARM not in ("", "2pl"), reason="different CI isolation arm"
 )
@@ -124,9 +132,17 @@ def workloads(draw):
             table = draw(st.sampled_from(TABLES))
             key = KEY_OF[table]
             if draw(st.booleans()):
-                statements.append(
-                    f"SELECT v AS @r{t}_{i} FROM {table} WHERE k = {key};"
-                )
+                if RANGE_PREDICATES:
+                    lo = key - draw(st.integers(min_value=0, max_value=2))
+                    hi = key + draw(st.integers(min_value=0, max_value=2))
+                    statements.append(
+                        f"SELECT v AS @r{t}_{i} FROM {table} "
+                        f"WHERE k >= {lo} AND k <= {hi};"
+                    )
+                else:
+                    statements.append(
+                        f"SELECT v AS @r{t}_{i} FROM {table} WHERE k = {key};"
+                    )
             else:
                 delta = draw(st.integers(min_value=1, max_value=3))
                 statements.append(

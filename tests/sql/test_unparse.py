@@ -28,6 +28,10 @@ EXAMPLES = [
     "SET @x = ((1 + 2) * 3)",
     "SELECT x FROM T WHERE x IN (1, 2, 3)",
     "SELECT x FROM T WHERE (NOT (x IS NULL)) AND (y IS NOT NULL)",
+    "SELECT fno FROM Flights WHERE dest = 'LA' ORDER BY fno",
+    "SELECT fno, fdate FROM Flights ORDER BY fdate DESC, fno LIMIT 2",
+    "SELECT a FROM T AS x, U AS y WHERE x.k = y.k ORDER BY x.k DESC, y.k",
+    "SELECT DISTINCT dest FROM Flights ORDER BY dest ASC LIMIT 1",
     "ROLLBACK",
 ]
 
@@ -133,6 +137,32 @@ def test_property_expression_round_trip(expr):
     parser = Parser(rendered)
     reparsed = parser.parse_expr()
     assert reparsed == expr, rendered
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    table=identifiers,
+    columns=st.lists(identifiers, min_size=1, max_size=3, unique=True),
+    order_by=st.lists(
+        st.tuples(identifiers, st.booleans()), max_size=3
+    ),
+    limit=st.one_of(st.none(), st.integers(0, 9)),
+)
+def test_property_select_order_by_round_trip(table, columns, order_by, limit):
+    """ORDER BY survives the round trip for any column list, any mix of
+    ASC/DESC, with and without LIMIT."""
+    sql = f"SELECT {', '.join(columns)} FROM {table}"
+    if order_by:
+        sql += " ORDER BY " + ", ".join(
+            f"{name} DESC" if descending else name
+            for name, descending in order_by
+        )
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    first = parse_statement(sql)
+    assert first.order_by == tuple(order_by)
+    second = parse_statement(unparse_statement(first))
+    assert first == second
 
 
 @settings(max_examples=60, deadline=None)
