@@ -49,6 +49,7 @@ See ``examples/quickstart.py`` for the full Mickey-and-Minnie scenario.
 """
 
 from repro.client import (
+    AdmissionConfig,
     Client,
     Durability,
     PendingAnswer,
@@ -59,6 +60,7 @@ from repro.client import (
 )
 from repro.core import (
     ArrivalCountPolicy,
+    DrainReports,
     EmptyAnswerPolicy,
     EngineConfig,
     EntangledTransactionEngine,
@@ -88,6 +90,7 @@ from repro.errors import (
     EntanglementTimeout,
     LockError,
     MiddlewareError,
+    OverloadError,
     ReproError,
     SafetyViolationError,
     SerializationFailureError,
@@ -119,6 +122,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     # the unified client API
+    "AdmissionConfig",
     "Client",
     "Durability",
     "PendingAnswer",
@@ -128,6 +132,7 @@ __all__ = [
     "connect",
     # engine / coordinator surface (legacy entry points included)
     "ArrivalCountPolicy",
+    "DrainReports",
     "EmptyAnswerPolicy",
     "EngineConfig",
     "EntangledTransactionEngine",
@@ -155,6 +160,7 @@ __all__ = [
     "EntanglementTimeout",
     "LockError",
     "MiddlewareError",
+    "OverloadError",
     "ReproError",
     "SQLError",
     "SafetyViolationError",

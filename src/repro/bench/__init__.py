@@ -6,6 +6,11 @@
 * :mod:`repro.bench.fig6c` — entanglement complexity (coordinating-set
   size, Spoke-hub vs. Cycle).
 
+Beyond the paper's figures: :mod:`repro.bench.contention` (locking /
+MVCC / SSI / sharding ablations, ``BENCH_contention.json``) and
+:mod:`repro.bench.traffic` (the open-workload goodput-vs-offered-load
+harness with admission control, ``BENCH_traffic.json``).
+
 Each module has a ``run()`` returning
 :class:`~repro.sim.metrics.Measurements`, a ``check_shapes()`` verifying
 the paper's qualitative claims, and a ``main()`` for command-line use

@@ -1,0 +1,566 @@
+"""Open-workload traffic harness: goodput vs. offered load.
+
+Every other bench in this package is *closed-loop*: submit a batch,
+drain it, measure the makespan.  Closed loops cannot show what overload
+does, because the workload politely waits for the system — the arrival
+rate is whatever the system can serve.  This harness is *open-loop*:
+arrivals come from an external schedule (Poisson or bursty) at a
+configurable offered rate, whether or not the engine has kept up.
+
+The driver injects each arrival at its scheduled (virtual) instant,
+runs the scheduler whenever work is pending, and records per-transaction
+**end-to-end latency**: commit instant minus *intended arrival instant*
+— queueing delay included, which is the whole point.  A transaction is
+*timely* when its latency is within the deadline SLO; **goodput** is
+timely commits per virtual second of makespan.
+
+The curves this produces are the classic open-workload story:
+
+* below saturation, goodput tracks offered load and latency is flat;
+* past saturation **without admission control**, the dormant pool grows
+  without bound, every commit lands later than the one before, and
+  goodput *collapses* — the engine is still committing at full rate,
+  but nothing finishes inside its deadline;
+* past saturation **with admission control**
+  (:class:`repro.client.AdmissionConfig` — a queue-depth bound that
+  sheds with the retryable :class:`~repro.errors.OverloadError`),
+  excess arrivals bounce before touching storage and the admitted
+  remainder still commits in time: goodput *plateaus* at capacity.
+
+Two scenario arms ride the harness: the low-contention payment ledger
+with temporal queries (:class:`repro.workloads.PaymentLedger`) and the
+hot-row flash-sale storm (:class:`repro.workloads.FlashSale`).
+
+Run as a script::
+
+    PYTHONPATH=src python -m repro.bench.traffic --json-out BENCH_traffic.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.contention import results_to_json
+from repro.client import AdmissionConfig, connect
+from repro.core.engine import EngineConfig
+from repro.errors import OverloadError, WorkloadError
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.metrics import LatencySummary, Measurements
+from repro.workloads.flashsale import FlashSale
+from repro.workloads.payments import PaymentLedger
+
+#: connection slots for the traffic engine.  Deliberately far below the
+#: Figure-6 default of 100: capacity must be reachable by the arrival
+#: rates we can afford to simulate, so the saturation knee lands inside
+#: the measured range.
+TRAFFIC_CONNECTIONS = 8
+
+#: offered load points, as multiples of the calibrated service rate μ.
+#: Three below the knee, one at it, three past it.
+DEFAULT_LOAD_FACTORS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 4.0)
+
+#: arrivals per measured point (horizon follows: n / rate).
+DEFAULT_ARRIVALS = 240
+
+#: deadline SLO in virtual seconds — a few multiples of the uncongested
+#: p99 (see :func:`run`'s printout), so timeliness is forgiving of
+#: batching jitter but unforgiving of queue growth.  Must stay well
+#: below each point's horizon (``n_arrivals / rate``) or overload can
+#: never produce a late commit.
+DEFAULT_DEADLINE = 0.5
+
+#: dormant-pool bound for the shedding arms: a couple of full service
+#: batches of headroom.  Sized so the queueing delay of a full pool
+#: stays inside the deadline — a deeper queue absorbs more burst but
+#: turns overload into lateness instead of sheds.
+DEFAULT_QUEUE_DEPTH = 16
+
+
+# -- arrival schedules --------------------------------------------------------
+
+
+def poisson_arrivals(
+    rate: float, n: int, *, seed: int = 0, start: float = 0.0
+) -> list[float]:
+    """``n`` arrival instants of a Poisson process at ``rate``/s.
+
+    Exponential inter-arrival times — the memoryless open-workload
+    baseline.  Deterministic for a given seed.
+    """
+    if rate <= 0:
+        raise WorkloadError(f"arrival rate must be positive, got {rate}")
+    if n < 1:
+        raise WorkloadError(f"need at least one arrival, got {n}")
+    rng = random.Random(seed)
+    t = start
+    out = []
+    for _ in range(n):
+        t += rng.expovariate(rate)
+        out.append(t)
+    return out
+
+
+def bursty_arrivals(
+    rate: float,
+    n: int,
+    *,
+    seed: int = 0,
+    start: float = 0.0,
+    burst_factor: float = 5.0,
+    duty: float = 0.1,
+) -> list[float]:
+    """``n`` arrivals of an on/off (interrupted Poisson) process.
+
+    The *average* rate is ``rate``, but arrivals concentrate in "on"
+    windows covering a ``duty`` fraction of time at ``burst_factor``×
+    the base intensity, separated by quiet gaps — the flash-sale shape.
+    Peak intensity is ``rate * burst_factor``; the quiet remainder
+    carries the rest so the long-run average stays ``rate``, which
+    requires ``duty * burst_factor < 1`` (the bursts alone may not
+    exceed the average they are supposed to make up).
+    """
+    if rate <= 0:
+        raise WorkloadError(f"arrival rate must be positive, got {rate}")
+    if n < 1:
+        raise WorkloadError(f"need at least one arrival, got {n}")
+    if burst_factor <= 1.0:
+        raise WorkloadError(
+            f"burst_factor must exceed 1, got {burst_factor}")
+    if not 0.0 < duty < 1.0:
+        raise WorkloadError(f"duty must be in (0, 1), got {duty}")
+    if duty * burst_factor >= 1.0:
+        raise WorkloadError(
+            f"duty*burst_factor must stay below 1 (got "
+            f"{duty * burst_factor:.2f}): the off-windows would need "
+            f"negative intensity to keep the average at `rate`")
+    on_rate = rate * burst_factor
+    # Mass balance: duty·on + (1-duty)·off = 1 (in units of `rate`).
+    off_rate = rate * (1.0 - duty * burst_factor) / (1.0 - duty)
+    # Window lengths chosen so each on-window carries ~n/8 arrivals.
+    on_len = (n / 8.0) / on_rate
+    off_len = on_len * (1.0 - duty) / duty
+    rng = random.Random(seed)
+    t = start
+    window_end = start + on_len
+    in_burst = True
+    out: list[float] = []
+    while len(out) < n:
+        t += rng.expovariate(on_rate if in_burst else off_rate)
+        while t >= window_end:
+            in_burst = not in_burst
+            window_end += on_len if in_burst else off_len
+        out.append(t)
+    return out
+
+
+# -- one measured point -------------------------------------------------------
+
+
+@dataclass
+class TrafficPoint:
+    """Everything measured at one offered-load point of one arm."""
+
+    offered: float                # arrivals per virtual second
+    committed: int = 0
+    timely: int = 0               # committed within the deadline
+    shed: int = 0                 # bounced by admission control
+    aborted: int = 0
+    makespan: float = 0.0         # virtual seconds, first arrival → quiesce
+    runs: int = 0
+    latency: "LatencySummary | None" = None
+    latencies: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def goodput(self) -> float:
+        """Timely commits per virtual second."""
+        return self.timely / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.committed / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def shed_share(self) -> float:
+        total = self.committed + self.shed + self.aborted
+        return self.shed / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "goodput": self.goodput,
+            "throughput": self.throughput,
+            "committed": self.committed,
+            "timely": self.timely,
+            "shed": self.shed,
+            "aborted": self.aborted,
+            "shed_share": self.shed_share,
+            "makespan": self.makespan,
+            "runs": self.runs,
+            "latency": self.latency.as_dict() if self.latency else None,
+        }
+
+
+def run_traffic_point(
+    scenario,
+    arrivals: list[float],
+    *,
+    deadline: float,
+    admission: "AdmissionConfig | None" = None,
+    connections: int = TRAFFIC_CONNECTIONS,
+    max_runs: int = 100_000,
+) -> TrafficPoint:
+    """Drive one arrival schedule through a fresh engine.
+
+    The open-loop discipline: the (virtual) clock advances only while
+    the engine runs, so the driver alternates *inject everything that
+    has arrived by now* with *run once if anything is pending*; when the
+    engine goes idle before the next arrival, the clock jumps forward
+    to it.  Shed arrivals (:class:`~repro.errors.OverloadError`) are
+    counted and dropped — an open workload does not wait to retry.
+    """
+    if not arrivals:
+        raise WorkloadError("no arrivals to drive")
+    arrivals = sorted(arrivals)
+    start = arrivals[0]
+    horizon = arrivals[-1] - start
+    offered = len(arrivals) / horizon if horizon > 0 else float("inf")
+
+    db = connect(
+        config=EngineConfig(connections=connections),
+        costs=DEFAULT_COSTS,
+        admission=admission,
+    )
+    point = TrafficPoint(offered=offered)
+    try:
+        scenario.install(db)
+        session = db.session("traffic")
+        db.clock.advance_to(start)
+
+        arrived_at: dict[int, float] = {}   # engine handle -> intended instant
+        next_arrival = 0
+
+        def settle(report) -> None:
+            """Account one run's commits/aborts against arrival times."""
+            now = db.clock.now
+            point.runs += 1
+            for handle in report.committed:
+                t = arrived_at.pop(handle, None)
+                if t is None:
+                    continue
+                latency = now - t
+                point.committed += 1
+                point.latencies.append(latency)
+                if latency <= deadline:
+                    point.timely += 1
+            for handle in report.aborted + report.timed_out:
+                if arrived_at.pop(handle, None) is not None:
+                    point.aborted += 1
+
+        while next_arrival < len(arrivals) or db.engine.dormant_count:
+            # Inject everything whose scheduled instant has passed.
+            while (next_arrival < len(arrivals)
+                   and arrivals[next_arrival] <= db.clock.now):
+                t = arrivals[next_arrival]
+                next_arrival += 1
+                program = scenario.program(at=t)
+                try:
+                    handle = session.run_script(program, at=t)
+                except OverloadError:
+                    point.shed += 1
+                else:
+                    arrived_at[handle.handle] = t
+            if db.engine.dormant_count:
+                settle(db.run())
+            elif next_arrival < len(arrivals):
+                # Idle server: virtual time jumps to the next arrival.
+                db.clock.advance_to(arrivals[next_arrival])
+            if point.runs >= max_runs:  # pragma: no cover - defensive
+                raise WorkloadError(
+                    f"traffic point exceeded {max_runs} runs without "
+                    f"quiescing")
+
+        point.makespan = max(db.clock.now - start, horizon)
+        if point.latencies:
+            point.latency = LatencySummary.of(point.latencies)
+    finally:
+        db.close()
+    return point
+
+
+# -- calibration --------------------------------------------------------------
+
+
+def calibrate(
+    make_scenario,
+    *,
+    waves: int = 25,
+    connections: int = TRAFFIC_CONNECTIONS,
+) -> float:
+    """Closed-loop service rate μ (commits per virtual second).
+
+    Submits work in *waves* of ``connections`` transactions and drains
+    each before the next, so the engine runs at full connection
+    occupancy without the self-inflicted lock thrashing a single huge
+    batch would add (hundreds of concurrent transfers retrying against
+    each other measures contention collapse, not service capacity).
+    Submissions within a wave get distinct nanosecond-offset arrival
+    stamps, as real open-loop arrivals would — identical stamps make
+    the scheduler thrash on ordering ties and halve the measured rate.
+    μ is total commits over total elapsed virtual time — the saturation
+    point the offered-load factors multiply.
+    """
+    scenario = make_scenario()
+    db = connect(
+        config=EngineConfig(connections=connections), costs=DEFAULT_COSTS
+    )
+    try:
+        scenario.install(db)
+        session = db.session("calibrate")
+        t0 = db.clock.now
+        committed = 0
+        for _ in range(waves):
+            for i in range(connections):
+                at = db.clock.now + i * 1e-9
+                session.run_script(scenario.program(at=at), at=at)
+            committed += sum(len(r.committed) for r in db.drain())
+        elapsed = db.clock.now - t0
+        if committed == 0 or elapsed <= 0:
+            raise WorkloadError(
+                f"calibration of {scenario.name} made no progress")
+        return committed / elapsed
+    finally:
+        db.close()
+
+
+# -- the experiment -----------------------------------------------------------
+
+ARMS = {
+    "payment-ledger": {
+        "make": lambda: PaymentLedger(n_accounts=128, query_share=0.25),
+        "schedule": poisson_arrivals,
+        # Low contention: the default bound keeps full-pool queueing
+        # delay inside the deadline.
+        "queue_depth": DEFAULT_QUEUE_DEPTH,
+    },
+    "flash-sale": {
+        "make": lambda: FlashSale(n_hot=4),
+        "schedule": bursty_arrivals,
+        # Hot rows serialize the pool, so the same depth costs ~4× the
+        # queueing delay; halve it to keep admitted work timely during
+        # bursts.
+        "queue_depth": 8,
+    },
+}
+
+
+def run(
+    *,
+    load_factors: tuple = DEFAULT_LOAD_FACTORS,
+    n_arrivals: int = DEFAULT_ARRIVALS,
+    deadline: float = DEFAULT_DEADLINE,
+    queue_depth: "int | None" = None,
+    arms: "tuple[str, ...] | None" = None,
+    seed: int = 7,
+    verbose: bool = True,
+) -> "dict[str, dict[str, Measurements]]":
+    """The full experiment: each arm, each load point, shed vs. not.
+
+    Returns ``{arm: {table: Measurements}}`` — the shape
+    :func:`repro.bench.contention.results_to_json` serializes.  Each
+    arm gets three tables: ``goodput`` (offered vs. goodput for the
+    no-admission and admission arms), ``latency`` (p50/p95/p99 with
+    admission), and ``admission`` (shed share, throughput).
+
+    ``queue_depth`` overrides every arm's dormant-pool bound; the
+    default (``None``) uses each arm's own (contention-tuned) depth
+    from :data:`ARMS`.
+    """
+    groups: dict[str, dict[str, Measurements]] = {}
+    for arm_name in arms or tuple(ARMS):
+        arm = ARMS[arm_name]
+        depth = queue_depth if queue_depth is not None else arm["queue_depth"]
+        mu = calibrate(arm["make"])
+        if verbose:
+            print(f"[{arm_name}] calibrated service rate μ = {mu:.1f}/s")
+
+        goodput = Measurements(
+            experiment=f"{arm_name}: goodput vs offered load",
+            x_label="offered (fraction of μ)",
+            y_label="goodput (timely commits/s)",
+        )
+        latency = Measurements(
+            experiment=f"{arm_name}: latency vs offered load (with shedding)",
+            x_label="offered (fraction of μ)",
+            y_label="end-to-end latency (virtual s)",
+        )
+        admission_t = Measurements(
+            experiment=f"{arm_name}: admission control vs offered load",
+            x_label="offered (fraction of μ)",
+            y_label="share / rate",
+        )
+
+        for factor in load_factors:
+            rate = mu * factor
+            arrivals = arm["schedule"](rate, n_arrivals, seed=seed)
+            unshed = run_traffic_point(
+                arm["make"](), arrivals, deadline=deadline)
+            shed = run_traffic_point(
+                arm["make"](), arrivals, deadline=deadline,
+                admission=AdmissionConfig(max_queue_depth=depth))
+
+            goodput.add("offered", factor, unshed.offered)
+            goodput.add("no-admission", factor, unshed.goodput)
+            goodput.add("with-shedding", factor, shed.goodput)
+            if shed.latency is not None:
+                latency.add("p50", factor, shed.latency.p50)
+                latency.add("p95", factor, shed.latency.p95)
+                latency.add("p99", factor, shed.latency.p99)
+            admission_t.add("shed-share", factor, shed.shed_share)
+            admission_t.add("throughput", factor, shed.throughput)
+            if verbose:
+                print(
+                    f"[{arm_name}] {factor:>4}×μ  offered={unshed.offered:7.1f}"
+                    f"  goodput: no-adm={unshed.goodput:7.1f}"
+                    f"  shed={shed.goodput:7.1f}"
+                    f"  shed-share={shed.shed_share:.2f}"
+                    f"  p99={shed.latency.p99 if shed.latency else float('nan'):.3f}"
+                )
+
+        groups[arm_name] = {
+            "goodput": goodput,
+            "latency": latency,
+            "admission": admission_t,
+        }
+    return groups
+
+
+# -- shape checks (CI) --------------------------------------------------------
+
+
+def check_traffic_shapes(
+    groups: "dict[str, dict[str, Measurements]]",
+    *,
+    saturation: float = 1.0,
+) -> list[str]:
+    """Sanity assertions on the measured curves; returns violations.
+
+    Checked per arm:
+
+    * goodput (with shedding) is monotone non-decreasing below
+      saturation, within a 10% measurement tolerance;
+    * every latency percentile is finite;
+    * past saturation the shedding arm actually sheds (share > 0);
+    * goodput with shedding *plateaus* past saturation — the worst
+      post-saturation point keeps at least 70% of the best measured
+      goodput — while the no-admission arm is strictly worse there.
+    """
+    problems: list[str] = []
+    for arm, tables in groups.items():
+        g = tables["goodput"]
+        factors = g.series_named("with-shedding").xs()
+        shed_ys = g.series_named("with-shedding").ys()
+        noadm_ys = g.series_named("no-admission").ys()
+
+        below = [(x, y) for x, y in zip(factors, shed_ys) if x < saturation]
+        for (x0, y0), (x1, y1) in zip(below, below[1:]):
+            if y1 < y0 * 0.9:
+                problems.append(
+                    f"{arm}: goodput not monotone below saturation "
+                    f"({y0:.1f}@{x0} -> {y1:.1f}@{x1})")
+
+        for name, series in tables["latency"].series.items():
+            for x, y in series.points:
+                if not math.isfinite(y):
+                    problems.append(
+                        f"{arm}: latency {name} not finite at {x}×μ")
+
+        past = [x for x in factors if x > saturation]
+        shed_share = tables["admission"].series_named("shed-share")
+        for x in past:
+            if shed_share.y_at(x) <= 0.0:
+                problems.append(
+                    f"{arm}: no shedding at {x}×μ despite overload")
+
+        if past and shed_ys:
+            best = max(shed_ys)
+            worst_past = min(
+                y for x, y in zip(factors, shed_ys) if x > saturation)
+            if worst_past < 0.7 * best:
+                problems.append(
+                    f"{arm}: goodput collapses past saturation even with "
+                    f"shedding ({worst_past:.1f} < 70% of {best:.1f})")
+            worst_noadm = min(
+                y for x, y in zip(factors, noadm_ys) if x > saturation)
+            if worst_noadm >= worst_past:
+                problems.append(
+                    f"{arm}: no-admission goodput ({worst_noadm:.1f}) not "
+                    f"worse than shedding ({worst_past:.1f}) past saturation")
+    return problems
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--factors", default=None,
+        help="comma-separated offered-load factors (multiples of μ)")
+    parser.add_argument("--arrivals", type=int, default=DEFAULT_ARRIVALS)
+    parser.add_argument("--deadline", type=float, default=DEFAULT_DEADLINE)
+    parser.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="override every arm's dormant-pool bound "
+             "(default: per-arm depths from ARMS)")
+    parser.add_argument(
+        "--arms", default=None,
+        help=f"comma-separated arm names (default: {','.join(ARMS)})")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json-out", default=None,
+                        help="write all results as JSON to this path")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when curve shapes are wrong")
+    args = parser.parse_args()
+
+    factors = (
+        tuple(float(f) for f in args.factors.split(","))
+        if args.factors else DEFAULT_LOAD_FACTORS
+    )
+    arms = tuple(args.arms.split(",")) if args.arms else None
+    groups = run(
+        load_factors=factors,
+        n_arrivals=args.arrivals,
+        deadline=args.deadline,
+        queue_depth=args.queue_depth,
+        arms=arms,
+        seed=args.seed,
+    )
+    print()
+    for tables in groups.values():
+        for table in tables.values():
+            print(table.render())
+            print()
+
+    problems = check_traffic_shapes(groups)
+    if args.json_out:
+        document = results_to_json(groups, extra={
+            "bench": "traffic",
+            "deadline": args.deadline,
+            "queue_depth": args.queue_depth if args.queue_depth is not None
+            else {name: arm["queue_depth"] for name, arm in ARMS.items()},
+            "n_arrivals": args.arrivals,
+            "shape_check": {"passed": not problems, "problems": problems},
+        })
+        with open(args.json_out, "w") as fh:
+            json.dump(document, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    if problems:
+        for problem in problems:
+            print(f"SHAPE VIOLATION: {problem}")
+        if args.check:
+            raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

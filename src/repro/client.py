@@ -51,9 +51,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import threading
+import time
 from typing import Any, Iterable, Sequence
 
 from repro.core.engine import (
+    DrainReports,
     EngineConfig,
     EntangledTransactionEngine,
     IsolationConfig,
@@ -68,7 +71,7 @@ from repro.core.interactive import (
 from repro.core.policies import RunPolicy
 from repro.core.recovery import EntangledRecoveryReport, recover_entangled
 from repro.core.transaction import TxnPhase
-from repro.errors import EntanglementTimeout, MiddlewareError
+from repro.errors import EntanglementTimeout, MiddlewareError, OverloadError
 from repro.sim.costs import CostModel
 from repro.sql.ast import SelectStmt, TransactionProgram
 from repro.sql.compiler import compile_select
@@ -78,6 +81,38 @@ from repro.storage.engine import StorageEngine, TxnIsolation
 from repro.storage.schema import TableSchema
 from repro.storage.sharding import ShardedStorageEngine, build_storage_engine
 from repro.storage.types import SQLValue
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission control for one client: fail fast instead of queueing.
+
+    Offered load past saturation must be *shed*, not absorbed — an
+    unbounded queue turns overload into unbounded latency for everyone.
+    Every limiter here raises the retryable
+    :class:`~repro.errors.OverloadError` **before** any storage side
+    effect, so a shed transaction costs nothing and can simply be
+    resubmitted after ``retry_after``.
+
+    Attributes:
+        max_queue_depth: bound on the engine's dormant script pool;
+            :meth:`Session.run_script` sheds arrivals that find it full
+            (``reason="queue-depth"``).
+        max_sessions: bound on concurrently open sessions;
+            :meth:`Client.session` sheds past it
+            (``reason="session-pool"``).  Closed sessions free slots.
+        session_rate: per-session token-bucket rate limit, in
+            submissions per second of the client's (virtual) clock;
+            both :meth:`Session.run_script` and :meth:`Session.execute`
+            charge it (``reason="rate-limit"``).
+        session_burst: the token bucket's capacity — how many
+            submissions a session may burst before the rate applies.
+    """
+
+    max_queue_depth: "int | None" = None
+    max_sessions: "int | None" = None
+    session_rate: "float | None" = None
+    session_burst: int = 1
 
 
 class Durability(enum.Enum):
@@ -106,6 +141,7 @@ def connect(
     costs: CostModel | None = None,
     config: EngineConfig | None = None,
     policy: RunPolicy | None = None,
+    admission: AdmissionConfig | None = None,
 ) -> "Client":
     """Open a :class:`Client` over a new (or supplied) storage ensemble.
 
@@ -128,6 +164,11 @@ def connect(
     ``config`` (optional) supplies every other engine tunable; its
     ``isolation``/``shards``/``executor`` fields are overridden by the
     explicit arguments above.
+
+    ``admission`` (optional) enables admission control — bounded session
+    pool, per-session rate limits, and queue-depth shedding with the
+    retryable :class:`~repro.errors.OverloadError`.  See
+    :class:`AdmissionConfig`; the default admits everything.
     """
     if isinstance(isolation, str):
         isolation = IsolationConfig(isolation)
@@ -166,11 +207,13 @@ def connect(
     engine_config.shards = store.n_shards
     engine_config.executor = executor
     engine_config.costs = costs if costs is not None else engine_config.costs
+    if admission is not None and admission.max_queue_depth is not None:
+        engine_config.max_queue_depth = admission.max_queue_depth
     if durability is Durability.CHECKPOINT:
         store.checkpoint_interval = checkpoint_every
 
     engine = EntangledTransactionEngine(store, engine_config, policy)
-    return Client(engine, durability=durability)
+    return Client(engine, durability=durability, admission=admission)
 
 
 class Client:
@@ -185,14 +228,24 @@ class Client:
         engine: EntangledTransactionEngine,
         *,
         durability: Durability = Durability.WAL,
+        admission: AdmissionConfig | None = None,
     ):
         self.engine = engine
         self.store = engine.store
         self.durability = durability
+        self.admission = admission
         self.broker = InteractiveBroker(
             self.store, default_isolation=engine._storage_isolation
         )
         self._sessions: list[Session] = []
+        #: wakes threads blocked on a :class:`PendingAnswer` — notified
+        #: whenever a matching round answers queries or a pending answer
+        #: is cancelled, so blocked waiters never busy-spin ``pump()``.
+        self._answer_cond = threading.Condition()
+        #: client-side admission counters (the engine tracks queue-depth
+        #: sheds itself).
+        self._sessions_shed = 0
+        self._rate_limited = 0
         self._closed = False
 
     # -- catalog ------------------------------------------------------------------
@@ -217,11 +270,36 @@ class Client:
         ``isolation`` overrides the storage-level protocol of the
         session's interactive statements and direct transactions (batch
         scripts always run under the engine's configuration).
+
+        With :class:`AdmissionConfig.max_sessions` configured, opening a
+        session past the bound sheds with the retryable
+        :class:`~repro.errors.OverloadError` (closed sessions free their
+        slots).
         """
         self._check_open()
+        if self.admission is not None and self.admission.max_sessions is not None:
+            self._sessions = [s for s in self._sessions if not s.closed]
+            if len(self._sessions) >= self.admission.max_sessions:
+                self._sessions_shed += 1
+                raise OverloadError(
+                    f"session pool is at its bound "
+                    f"({self.admission.max_sessions}); close a session or "
+                    f"retry later",
+                    reason="session-pool",
+                )
         session = Session(self, client, isolation)
         self._sessions.append(session)
         return session
+
+    @property
+    def admission_stats(self) -> dict[str, int]:
+        """Cumulative admission counters across every limiter."""
+        return {
+            "admitted": self.engine.admission_admitted,
+            "shed_queue_depth": self.engine.admission_shed,
+            "shed_sessions": self._sessions_shed,
+            "shed_rate_limit": self._rate_limited,
+        }
 
     # -- run control --------------------------------------------------------------
 
@@ -243,15 +321,30 @@ class Client:
         self._check_open()
         return self.engine.tick()
 
-    def drain(self, max_runs: int = 10_000) -> list[RunReport]:
-        """Run until the script pool empties or stops progressing."""
+    def drain(self, max_runs: int = 10_000) -> DrainReports:
+        """Run until the script pool empties or stops progressing.
+
+        Returns :class:`~repro.core.engine.DrainReports` — a list of
+        :class:`RunReport` whose ``truncated`` flag is ``True`` when the
+        ``max_runs`` cap stopped the drain with work still dormant.  A
+        capped drain is *not* quiescence; check the flag (or
+        :meth:`Client.engine`'s ``unfinished()``) before relying on it.
+        """
         self._check_open()
         return self.engine.drain(max_runs)
 
     def pump(self) -> int:
         """One interactive matching round; returns #answered queries."""
         self._check_open()
-        return self.broker.match_round()
+        answered = self.broker.match_round()
+        if answered:
+            self._notify_answer_waiters()
+        return answered
+
+    def _notify_answer_waiters(self) -> None:
+        """Wake every thread blocked on a :class:`PendingAnswer`."""
+        with self._answer_cond:
+            self._answer_cond.notify_all()
 
     # -- direct read-only queries --------------------------------------------------
 
@@ -360,6 +453,41 @@ class Session:
         #: open a storage transaction at all).
         self._interactive: InteractiveSession | None = None
         self._pending: "PendingAnswer | None" = None
+        self._closed = False
+        # Per-session token bucket (AdmissionConfig.session_rate), run
+        # on the client's virtual clock: full at open, refilled by the
+        # passage of clock time.
+        admission = client.admission
+        self._bucket_tokens = float(
+            admission.session_burst if admission is not None else 0
+        )
+        self._bucket_stamp = client.clock.now
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _admit(self) -> None:
+        """Charge the per-session rate limit; shed when exhausted."""
+        admission = self.client.admission
+        if admission is None or admission.session_rate is None:
+            return
+        now = self.client.clock.now
+        self._bucket_tokens = min(
+            float(admission.session_burst),
+            self._bucket_tokens
+            + (now - self._bucket_stamp) * admission.session_rate,
+        )
+        self._bucket_stamp = now
+        if self._bucket_tokens < 1.0:
+            self.client._rate_limited += 1
+            raise OverloadError(
+                f"session {self.name!r} exceeded its rate limit "
+                f"({admission.session_rate}/s)",
+                reason="rate-limit",
+                retry_after=(1.0 - self._bucket_tokens) / admission.session_rate,
+            )
+        self._bucket_tokens -= 1.0
 
     # -- batch scripts --------------------------------------------------------------
 
@@ -379,7 +507,13 @@ class Session:
         partners submitted first, exactly as in the paper's run-based
         model.  ``shard_hint`` pins the script to a home shard for the
         thread-pool executor.
+
+        Under admission control this is the shedding path: the
+        per-session rate limit and the engine's queue-depth bound both
+        raise the retryable :class:`~repro.errors.OverloadError` here,
+        before any storage side effect.
         """
+        self._admit()
         handle = self.client.engine.submit(
             program, client=self.name, at=at, shard_hint=shard_hint
         )
@@ -407,6 +541,7 @@ class Session:
         cancel it; the session accepts no further statements until the
         answer resolves or is cancelled.
         """
+        self._admit()
         session = self.interactive
         result = session.execute(sql)
         if result.pending:
@@ -451,9 +586,25 @@ class Session:
         """Tear the session down: an active interactive transaction is
         aborted (releasing its locks and snapshot horizon).  Idempotent;
         safe in every state — including a session that never executed a
-        statement."""
+        statement.
+
+        An unresolved :class:`PendingAnswer` is cancelled *first*: its
+        cancellation unparks the waiting query's snapshot (so an
+        abandoned interactive answer never pins the vacuum horizon) and
+        wakes any thread blocked in :meth:`PendingAnswer.block` /
+        :meth:`PendingAnswer.result`, which then raise instead of
+        waiting out their timeout on a session that no longer exists.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        pending = self._pending
+        if pending is not None:
+            pending.cancel()  # no-op when already resolved/cancelled
+        self._pending = None
         if self._interactive is not None:
             self._interactive.close()
+        self.client._notify_answer_waiters()
 
     def __enter__(self) -> "Session":
         return self
@@ -600,16 +751,51 @@ class PendingAnswer:
         env = self._session.interactive.env
         return {var: env.get(var) for var in self.binds}
 
+    #: backoff window between pump attempts while blocked: starts small
+    #: (a partner may be microseconds away) and doubles to the cap, so a
+    #: long wait costs a bounded number of pump calls instead of a busy
+    #: spin.  Another thread's pump (or a cancel) interrupts the wait
+    #: through the client's condition variable.
+    BASE_BACKOFF = 0.0005
+    MAX_BACKOFF = 0.01
+
+    def _wait_for_pump(self, timeout: float) -> None:
+        """Sleep until another thread's matching round (or a cancel)
+        notifies, or ``timeout`` elapses — never a busy spin."""
+        cond = self._session.client._answer_cond
+        with cond:
+            if not self.done and not self.cancelled:
+                cond.wait(timeout)
+
     def result(self, max_rounds: int = 100) -> dict[str, "SQLValue | None"]:
         """Pump matching rounds until answered; returns the bindings.
 
         Raises :class:`~repro.errors.EntanglementTimeout` when no
         partner materializes within ``max_rounds`` — the interactive
-        analogue of a batch script cycling dormant until its timeout.
+        analogue of a batch script cycling dormant until its timeout —
+        and :class:`~repro.errors.MiddlewareError` as soon as the
+        pending answer is cancelled (e.g. by :meth:`Session.close` from
+        another thread).
+
+        Between rounds the calling thread waits on the client's
+        condition variable with bounded exponential backoff
+        (:attr:`BASE_BACKOFF` doubling to :attr:`MAX_BACKOFF`), so the
+        total number of ``pump()`` calls is bounded by ``max_rounds``
+        even while no partner exists; a partner delivered by another
+        thread's pump wakes this one immediately.
         """
+        backoff = self.BASE_BACKOFF
         for _ in range(max_rounds):
+            if self.cancelled:
+                raise MiddlewareError(
+                    f"entangled query {self.query_id} was cancelled"
+                )
             if self.poll():
                 return self.bindings()
+            self._wait_for_pump(backoff)
+            if self.done:
+                return self.bindings()
+            backoff = min(backoff * 2, self.MAX_BACKOFF)
         if self.done:
             return self.bindings()
         raise EntanglementTimeout(
@@ -617,28 +803,80 @@ class PendingAnswer:
             f"{max_rounds} matching rounds"
         )
 
-    def cancel(self) -> None:
-        """Give up waiting; the session resumes and may issue other
-        statements (the paper's "decide to abort or issue another
-        command")."""
-        if self.done or self.cancelled:
-            return
-        self._session.interactive.cancel()
-        self._session._pending = None
+    def block(self, timeout: float | None = None) -> dict[str, "SQLValue | None"]:
+        """Block the calling thread until the answer lands.
 
-    def __await__(self):
-        """Awaitable form: cooperate with an event loop by yielding
-        between matching rounds until the answer lands."""
-        while not self.done:
+        Wall-clock twin of :meth:`result`: waits up to ``timeout`` real
+        seconds (forever when ``None``), pumping a matching round only
+        after each condition-variable wait expires — with bounded
+        exponential backoff, so the number of pump calls grows
+        logarithmically at first and is capped at one per
+        :attr:`MAX_BACKOFF` thereafter, never a busy spin.  A matching
+        round run by *any other* thread (or a cancel) wakes this one
+        immediately through the client's condition variable.
+
+        Raises :class:`~repro.errors.EntanglementTimeout` on timeout and
+        :class:`~repro.errors.MiddlewareError` on cancellation.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        backoff = self.BASE_BACKOFF
+        while True:
             if self.cancelled:
                 raise MiddlewareError(
                     f"entangled query {self.query_id} was cancelled"
                 )
-            self._session.client.pump()
+            if self.poll():
+                return self.bindings()
+            wait = backoff
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise EntanglementTimeout(
+                        f"entangled query {self.query_id} found no partners "
+                        f"within {timeout} seconds"
+                    )
+                wait = min(wait, remaining)
+            self._wait_for_pump(wait)
             if self.done:
-                break
+                return self.bindings()
+            backoff = min(backoff * 2, self.MAX_BACKOFF)
+
+    def cancel(self) -> None:
+        """Give up waiting; the session resumes and may issue other
+        statements (the paper's "decide to abort or issue another
+        command").  Wakes every thread blocked on this answer."""
+        if self.done or self.cancelled:
+            return
+        self._session.interactive.cancel()
+        self._session._pending = None
+        self._session.client._notify_answer_waiters()
+
+    def __await__(self):
+        """Awaitable form: cooperate with an event loop by yielding
+        between matching rounds until the answer lands.
+
+        Pump calls back off exponentially in yields (rounds 1, 2, 4,
+        8, ...), so an event loop spinning this awaitable while no
+        partner exists performs O(log n) matching rounds over n
+        scheduler passes instead of one per pass; every resume still
+        checks for an answer delivered by someone else's pump.
+        """
+        spins = 0
+        next_pump = 1
+        while True:
+            if self.cancelled:
+                raise MiddlewareError(
+                    f"entangled query {self.query_id} was cancelled"
+                )
+            if self.done:
+                return self.bindings()
+            spins += 1
+            if spins >= next_pump:
+                self._session.client.pump()
+                next_pump = spins * 2
+                if self.done:
+                    return self.bindings()
             yield
-        return self.bindings()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = (

@@ -8,6 +8,7 @@ records every execution as a formal-model schedule.
 """
 
 from repro.core.engine import (
+    DrainReports,
     EmptyAnswerPolicy,
     EngineConfig,
     EntangledTransactionEngine,
@@ -44,6 +45,7 @@ from repro.core.transaction import EntangledTransaction, TxnPhase, TxnStats
 
 __all__ = [
     "ArrivalCountPolicy",
+    "DrainReports",
     "EmptyAnswerPolicy",
     "EngineConfig",
     "EntangledRecoveryReport",

@@ -45,6 +45,7 @@ from repro.entangled.evaluator import QueryOutcome, evaluate_batch
 from repro.errors import (
     EngineError,
     MiddlewareError,
+    OverloadError,
     SafetyViolationError,
     SerializationFailureError,
 )
@@ -148,6 +149,14 @@ class EngineConfig:
     #: max evaluate/resume rounds per run (defensive; the paper's runs
     #: always converge because answered queries strictly advance programs).
     max_rounds_per_run: int = 1_000
+    #: admission control: bound on the dormant pool.  ``None`` admits
+    #: everything (closed-loop benches); an integer makes :meth:`submit`
+    #: *shed* arrivals that find the pool full, raising the retryable
+    #: :class:`~repro.errors.OverloadError` before any storage side
+    #: effect.  This is what keeps open-workload latency bounded past
+    #: saturation: offered load beyond capacity fails fast instead of
+    #: inflating the queue (and every queued transaction's latency).
+    max_queue_depth: "int | None" = None
 
 
 @dataclass
@@ -207,6 +216,27 @@ class RunReport:
     #: covered the requested columns.  An indexed workload should keep
     #: every entry at zero.
     fallback_scans: dict[str, int] = field(default_factory=dict)
+    #: admission deltas since the previous run: arrivals admitted into
+    #: the dormant pool, and arrivals shed by the queue-depth bound
+    #: (``EngineConfig.max_queue_depth``) with an
+    #: :class:`~repro.errors.OverloadError`.
+    admitted: int = 0
+    shed: int = 0
+
+
+class DrainReports(list):
+    """The run reports of one :meth:`EntangledTransactionEngine.drain`.
+
+    A plain ``list[RunReport]`` (full back-compat) plus a
+    :attr:`truncated` flag: ``True`` when draining stopped because it
+    hit the ``max_runs`` cap while the dormant pool still held
+    transactions.  Callers that treat a finished drain as quiescence
+    must check it — a capped drain is *not* quiescence.
+    """
+
+    def __init__(self, reports=(), *, truncated: bool = False):
+        super().__init__(reports)
+        self.truncated = truncated
 
 
 class EntangledTransactionEngine:
@@ -250,6 +280,11 @@ class EntangledTransactionEngine:
         self.recorder = ScheduleRecorder() if self.config.record_schedule else None
         self._transactions: dict[int, EntangledTransaction] = {}
         self._dormant: list[int] = []
+        #: cumulative admission counters (per-run deltas land on each
+        #: :class:`RunReport` as ``admitted`` / ``shed``).
+        self.admission_admitted = 0
+        self.admission_shed = 0
+        self._admission_stamped = (0, 0)
         self._next_handle = 1
         self._run_index = 0
         self._shard_flush_loads: list[float] = [0.0] * self.store.n_shards
@@ -336,7 +371,21 @@ class EntangledTransactionEngine:
         and its commit run on that shard's worker.  Callers that know
         their data's routing (``shard_for_key``) should pass it; the
         default spreads transactions round-robin by handle.
+
+        With ``EngineConfig.max_queue_depth`` set, an arrival that finds
+        the dormant pool full is **shed**: nothing is enqueued, no
+        storage transaction begins, and the retryable
+        :class:`~repro.errors.OverloadError` is raised.
         """
+        depth_bound = self.config.max_queue_depth
+        if depth_bound is not None and len(self._dormant) >= depth_bound:
+            self.admission_shed += 1
+            raise OverloadError(
+                f"dormant pool is at its bound ({depth_bound}); "
+                f"retry after the next run drains it",
+                reason="queue-depth",
+                retry_after=self._estimate_drain_time(),
+            )
         if isinstance(program, str):
             sql_text = program
             program = parse_transaction(program)
@@ -355,10 +404,21 @@ class EntangledTransactionEngine:
         )
         self._transactions[handle] = txn
         self._dormant.append(handle)
+        self.admission_admitted += 1
         self.groups.register(handle)
         self._persist_pool_add(txn, sql_text)
         self.policy.on_arrival(self.clock.now, len(self._dormant))
         return handle
+
+    def _estimate_drain_time(self) -> float:
+        """A retry-after hint: roughly one run's virtual time."""
+        if self.config.costs is None:
+            return 0.0
+        costs = self.config.costs
+        per_txn = costs.txn_bracket_cost + 3 * costs.statement_cost
+        slots = max(1, self.config.connections)
+        batch = max(1, len(self._dormant))
+        return costs.run_overhead + per_txn * batch / slots
 
     def transaction(self, handle: int) -> EntangledTransaction:
         try:
@@ -590,6 +650,11 @@ class EntangledTransactionEngine:
             ssi_stats["conservative_aborts"]
             - ssi_stats_before["conservative_aborts"]
         )
+
+        admitted_before, shed_before = self._admission_stamped
+        report.admitted = self.admission_admitted - admitted_before
+        report.shed = self.admission_shed - shed_before
+        self._admission_stamped = (self.admission_admitted, self.admission_shed)
 
         # Advance the virtual clock by this run's elapsed time.
         if self.config.costs is not None:
@@ -1037,7 +1102,7 @@ class EntangledTransactionEngine:
 
     # -- draining -----------------------------------------------------------------------------
 
-    def drain(self, max_runs: int = 10_000) -> list[RunReport]:
+    def drain(self, max_runs: int = 10_000) -> DrainReports:
         """Run until the dormant pool empties or stops making progress.
 
         Transactions that can never find partners keep cycling dormant
@@ -1045,8 +1110,13 @@ class EntangledTransactionEngine:
         forever, so when a full run commits nothing and returns everyone
         to the pool, draining stops (the caller can inspect
         :meth:`unfinished`).
+
+        Returns :class:`DrainReports`: the run reports, with
+        ``truncated=True`` when the ``max_runs`` cap stopped a drain
+        that was still making progress — the pool is **not** empty and
+        the caller must not mistake the capped drain for quiescence.
         """
-        reports = []
+        reports = DrainReports()
         for _ in range(max_runs):
             if not self._dormant:
                 break
@@ -1056,6 +1126,8 @@ class EntangledTransactionEngine:
             after = set(self._dormant)
             if before == after and not report.committed and not report.timed_out:
                 break
+        else:
+            reports.truncated = bool(self._dormant)
         return reports
 
     # -- model bridge ---------------------------------------------------------------------------

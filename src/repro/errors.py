@@ -206,6 +206,41 @@ class MiddlewareError(EngineError):
     """The middle tier was used incorrectly (unknown handles, etc.)."""
 
 
+class OverloadError(EngineError):
+    """Admission control shed this work before it touched storage.
+
+    Raised on the submit path (never mid-transaction), so a shed
+    transaction has **zero** storage side effects: no storage
+    transaction was begun, no locks taken, no WAL records written.  The
+    error is *retryable* — back off for at least :attr:`retry_after`
+    (virtual or wall seconds, matching the clock the limiter runs on)
+    and resubmit.
+
+    Attributes:
+        reason: which limiter shed the work — ``"queue-depth"`` (the
+            engine's dormant pool is at its configured bound),
+            ``"session-pool"`` (the client's bounded session pool is
+            exhausted), ``"rate-limit"`` (a per-session rate limit), or
+            ``"executor-queue"`` (a shard worker's dispatch queue is at
+            its bound).
+        retry_after: a hint — how long until a retry has a chance.
+    """
+
+    #: overload is transient by construction; callers may always retry.
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overload",
+        retry_after: float = 0.0,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 # ---------------------------------------------------------------------------
 # Workloads / bench
 # ---------------------------------------------------------------------------

@@ -4,14 +4,21 @@ accounting, the Figure-6-calibrated cost model, and measurement series.
 
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import DEFAULT_COSTS, CostModel
-from repro.sim.metrics import Measurements, MetricSeries
+from repro.sim.metrics import (
+    LatencySummary,
+    Measurements,
+    MetricSeries,
+    percentile,
+)
 from repro.sim.resources import ConnectionPool
 
 __all__ = [
     "ConnectionPool",
     "CostModel",
     "DEFAULT_COSTS",
+    "LatencySummary",
     "Measurements",
     "MetricSeries",
     "VirtualClock",
+    "percentile",
 ]

@@ -108,6 +108,64 @@ def ratio_series(
     return series
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default (``interpolation="linear"``) so reported
+    p50/p95/p99 latencies mean what readers of the traffic bench expect.
+    Raises ``ValueError`` on an empty sample — a latency percentile over
+    nothing is a bug in the caller, not a zero.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    return data[low] + (data[high] - data[low]) * fraction
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """End-to-end latency percentiles of one measured traffic arm."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def of(latencies: Iterable[float]) -> "LatencySummary":
+        data = sorted(latencies)
+        if not data:
+            raise ValueError("no latencies to summarize")
+        return LatencySummary(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=percentile(data, 50),
+            p95=percentile(data, 95),
+            p99=percentile(data, 99),
+            max=data[-1],
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
 def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e9:
         return str(int(value))

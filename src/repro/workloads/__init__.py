@@ -5,6 +5,11 @@ offline — see DESIGN.md), the Appendix D travel schema and population,
 the six NoSocial/Social/Entangled × {-T, -Q} workloads, the
 pending-transaction batch designs of Figure 6(b), and the Spoke-hub and
 Cycle coordination structures of Figure 6(c).
+
+Two further arms feed the open-workload traffic harness
+(:mod:`repro.bench.traffic`): the low-contention payment ledger with
+temporal queries (:mod:`repro.workloads.payments`) and the hot-row
+flash-sale registration storm (:mod:`repro.workloads.flashsale`).
 """
 
 from repro.workloads.batches import (
@@ -12,6 +17,8 @@ from repro.workloads.batches import (
     build_pending_plan,
     paired_batch,
 )
+from repro.workloads.flashsale import FlashSale, flashsale_schema
+from repro.workloads.payments import PaymentLedger, payment_schema
 from repro.workloads.programs import (
     DEFAULT_TIMEOUT,
     WorkloadItem,
@@ -39,6 +46,8 @@ from repro.workloads.traveldb import (
 __all__ = [
     "AIRPORTS",
     "DEFAULT_TIMEOUT",
+    "FlashSale",
+    "PaymentLedger",
     "PendingBatchPlan",
     "SocialNetwork",
     "StructureKind",
@@ -50,10 +59,12 @@ __all__ = [
     "entangled_program",
     "example_schema",
     "figure1_rows",
+    "flashsale_schema",
     "generate_structures",
     "generate_workload",
     "nosocial_program",
     "paired_batch",
+    "payment_schema",
     "social_program",
     "spoke_hub_structure",
     "travel_schema",

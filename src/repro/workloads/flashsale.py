@@ -1,0 +1,106 @@
+"""Flash-sale / registration-storm scenario: hot rows under a burst.
+
+The adversarial arm for the traffic harness: a drop goes live, every
+arrival wants one of a handful of items, and all writes collide on the
+same stock counters.  Each registration is a read-check-decrement-insert
+transaction::
+
+    SELECT stock AS @s FROM Items WHERE item=h;
+    UPDATE Items SET stock = stock - 1 WHERE item=h;
+    INSERT INTO Registrations (reg, item, buyer, at) VALUES (...);
+
+Where :mod:`repro.workloads.payments` spreads writes across a wide
+account pool (service-capacity-limited), this arm funnels them through
+``n_hot`` rows, so lock queueing on the hot items — not raw service
+rate — sets the saturation point.  It is the scenario where admission
+control earns its keep: without shedding, the dormant pool grows without
+bound during a burst and every commit lands late; with a queue-depth
+bound, excess arrivals bounce with :class:`~repro.errors.OverloadError`
+and the admitted remainder still commits within its deadline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType
+
+
+def flashsale_schema() -> list[TableSchema]:
+    return [
+        TableSchema.build(
+            "Items",
+            [("item", ColumnType.INTEGER), ("title", ColumnType.TEXT),
+             ("stock", ColumnType.INTEGER)],
+            primary_key=["item"],
+        ),
+        TableSchema.build(
+            "Registrations",
+            [("reg", ColumnType.INTEGER), ("item", ColumnType.INTEGER),
+             ("buyer", ColumnType.INTEGER), ("at", ColumnType.FLOAT)],
+            primary_key=["reg"],
+            indexes=[["item"]],
+        ),
+    ]
+
+
+@dataclass
+class FlashSale:
+    """Deterministic generator for the registration-storm traffic arm.
+
+    Attributes:
+        n_hot: number of items on sale — the hot-row count.  Smaller is
+            hotter; 1 serializes every write behind a single lock.
+        initial_stock: stock per item.  Set high enough that the sale
+            never sells out during the measured horizon (stock
+            exhaustion would change the program mix mid-run and muddy
+            the latency curves).
+        seed: RNG seed for the buyer/item draws.
+    """
+
+    n_hot: int = 4
+    initial_stock: int = 1_000_000
+    seed: int = 1789
+    _rng: random.Random = field(init=False, repr=False)
+    _reg: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self):
+        if self.n_hot < 1:
+            raise WorkloadError(f"need at least 1 hot item, got {self.n_hot}")
+        if self.initial_stock < 1:
+            raise WorkloadError(
+                f"initial stock must be positive, got {self.initial_stock}")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def name(self) -> str:
+        return "flash-sale"
+
+    def install(self, client) -> None:
+        for schema in flashsale_schema():
+            client.create_table(schema)
+        client.load("Items", [
+            (i, f"drop{i}", self.initial_stock) for i in range(self.n_hot)
+        ])
+
+    def program(self, at: float) -> str:
+        return self.registration_program(at)
+
+    def registration_program(self, at: float) -> str:
+        """One buyer grabbing one unit of a uniformly drawn hot item."""
+        item = self._rng.randrange(self.n_hot)
+        buyer = self._rng.randrange(1_000_000)
+        self._reg += 1
+        # Fixed-point formatting: repr() of a small/large float drifts
+        # into exponent notation, which the SQL lexer rejects.
+        return f"""
+            BEGIN TRANSACTION;
+            SELECT stock AS @s FROM Items WHERE item={item};
+            UPDATE Items SET stock = stock - 1 WHERE item={item};
+            INSERT INTO Registrations (reg, item, buyer, at)
+                VALUES ({self._reg}, {item}, {buyer}, {at:.9f});
+            COMMIT;
+        """

@@ -1,0 +1,141 @@
+"""Payment-ledger scenario: an append-only temporal ledger under load.
+
+The shape comes from the Ethereum temporal-multigraph analyses in
+PAPERS.md: a payment network is an edge stream — ``(src, dst, amount,
+at)`` — whose analytical queries are *temporal* (activity within a time
+window, ordered by time), while its transactional writes are classical
+transfers.  This module supplies both halves for the open-workload
+traffic harness (:mod:`repro.bench.traffic`):
+
+* **transfer transactions** — read the source balance, move money
+  between two accounts, append the ledger edge stamped with its
+  (virtual) arrival time;
+* **temporal queries** — bounded ``at`` ranges over the ledger with
+  ``ORDER BY at``, which the planner serves from the B+ tree ordered
+  index (an index range scan with next-key locks, never a table scan).
+
+Transfers pick account pairs uniformly from a wide pool, so the arm is
+low-contention: its saturation point measures the engine's *service*
+capacity, not lock queueing — the clean baseline for goodput-vs-offered
+curves.  Contrast with :mod:`repro.workloads.flashsale`, which aims all
+arrivals at hot rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType
+
+
+def payment_schema() -> list[TableSchema]:
+    """The two tables of the scenario.
+
+    ``Ledger.at`` carries a secondary index so its B+ tree twin serves
+    the temporal range queries; ``src`` is indexed for per-account
+    history lookups.
+    """
+    return [
+        TableSchema.build(
+            "Accounts",
+            [("id", ColumnType.INTEGER), ("owner", ColumnType.TEXT),
+             ("balance", ColumnType.FLOAT)],
+            primary_key=["id"],
+        ),
+        TableSchema.build(
+            "Ledger",
+            [("entry", ColumnType.INTEGER), ("src", ColumnType.INTEGER),
+             ("dst", ColumnType.INTEGER), ("amount", ColumnType.FLOAT),
+             ("at", ColumnType.FLOAT)],
+            primary_key=["entry"],
+            indexes=[["at"], ["src"]],
+        ),
+    ]
+
+
+@dataclass
+class PaymentLedger:
+    """Deterministic generator for the payment-ledger traffic arm.
+
+    Attributes:
+        n_accounts: size of the account pool (transfers draw uniform
+            pairs from it, so contention falls as it grows).
+        query_share: fraction of arrivals that are temporal read
+            queries instead of transfers (the read-heavy-users mix).
+        window: width, in virtual seconds, of each temporal query's
+            ``at`` range.
+        seed: RNG seed — the whole arrival stream is deterministic.
+    """
+
+    n_accounts: int = 256
+    query_share: float = 0.25
+    window: float = 5.0
+    seed: int = 2011
+    _rng: random.Random = field(init=False, repr=False)
+    _entry: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self):
+        if self.n_accounts < 2:
+            raise WorkloadError(
+                f"need at least 2 accounts, got {self.n_accounts}")
+        if not 0.0 <= self.query_share <= 1.0:
+            raise WorkloadError(
+                f"query_share must be in [0, 1], got {self.query_share}")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def name(self) -> str:
+        return "payment-ledger"
+
+    def install(self, client) -> None:
+        """Create the schema and seed the account pool."""
+        for schema in payment_schema():
+            client.create_table(schema)
+        client.load("Accounts", [
+            (i, f"acct{i}", 1000.0) for i in range(self.n_accounts)
+        ])
+
+    def program(self, at: float) -> str:
+        """One arrival's transaction program, stamped ``at`` its
+        (virtual) arrival time."""
+        if self._rng.random() < self.query_share:
+            return self.temporal_query_program(at)
+        return self.transfer_program(at)
+
+    def transfer_program(self, at: float) -> str:
+        """Move money between two uniformly drawn accounts and append
+        the ledger edge."""
+        src, dst = self._rng.sample(range(self.n_accounts), 2)
+        amount = round(self._rng.uniform(1.0, 50.0), 2)
+        self._entry += 1
+        # Fixed-point formatting: repr() of a small/large float drifts
+        # into exponent notation, which the SQL lexer rejects.
+        return f"""
+            BEGIN TRANSACTION;
+            SELECT balance AS @b FROM Accounts WHERE id={src};
+            UPDATE Accounts SET balance = balance - {amount:.2f} WHERE id={src};
+            UPDATE Accounts SET balance = balance + {amount:.2f} WHERE id={dst};
+            INSERT INTO Ledger (entry, src, dst, amount, at)
+                VALUES ({self._entry}, {src}, {dst}, {amount:.2f}, {at:.9f});
+            COMMIT;
+        """
+
+    def temporal_query_program(self, at: float) -> str:
+        """Recent activity in a bounded time window, time-ordered.
+
+        The temporal-multigraph query shape: a snapshot of the payment
+        graph's edges within ``[at - window, at]``.  The bounded range
+        plus ``ORDER BY at`` rides the ledger's ordered index (range
+        scan, sort elided).
+        """
+        lo = max(0.0, at - self.window)
+        return f"""
+            BEGIN TRANSACTION;
+            SELECT entry, src, dst, amount FROM Ledger
+                WHERE at >= {lo:.9f} AND at <= {at:.9f}
+                ORDER BY at LIMIT 50;
+            COMMIT;
+        """

@@ -133,3 +133,53 @@ class TestMeasurements:
         assert rows[0] == ["x", "a", "b"]
         assert rows[1] == ["1", "10", "-"]
         assert rows[2] == ["2", "-", "20"]
+
+
+class TestPercentile:
+    def test_linear_interpolation_matches_numpy_convention(self):
+        from repro.sim import percentile
+
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 4.0
+        assert percentile(data, 50) == 2.5
+        assert percentile(data, 25) == 1.75
+
+    def test_order_independent_and_single_sample(self):
+        from repro.sim import percentile
+
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_validation(self):
+        from repro.sim import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        from repro.sim import LatencySummary
+
+        summary = LatencySummary.of([0.1 * i for i in range(1, 101)])
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(5.05)
+        assert summary.p50 == pytest.approx(5.05)
+        assert summary.p99 == pytest.approx(9.901)
+        assert summary.max == pytest.approx(10.0)
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+
+    def test_as_dict(self):
+        from repro.sim import LatencySummary
+
+        doc = LatencySummary.of([1.0, 2.0]).as_dict()
+        assert set(doc) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+    def test_empty_sample_is_an_error(self):
+        from repro.sim import LatencySummary
+
+        with pytest.raises(ValueError):
+            LatencySummary.of([])

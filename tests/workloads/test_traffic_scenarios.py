@@ -1,0 +1,116 @@
+"""The two traffic-harness scenario arms: payment ledger (temporal
+queries) and flash sale (hot-row registration storm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import connect, parse_transaction
+from repro.errors import WorkloadError
+from repro.workloads import (
+    FlashSale,
+    PaymentLedger,
+    flashsale_schema,
+    payment_schema,
+)
+
+
+class TestPaymentLedger:
+    def test_schema_has_temporal_index(self):
+        tables = {s.name: s for s in payment_schema()}
+        assert ("at",) in tables["Ledger"].indexes
+        assert ("src",) in tables["Ledger"].indexes
+
+    def test_programs_parse(self):
+        scen = PaymentLedger(n_accounts=8)
+        for i in range(20):
+            parse_transaction(scen.program(at=i * 0.37))
+        parse_transaction(scen.temporal_query_program(at=100.0))
+
+    def test_generator_is_deterministic_per_seed(self):
+        a = PaymentLedger(n_accounts=8, seed=5)
+        b = PaymentLedger(n_accounts=8, seed=5)
+        assert [a.program(at=1.0) for _ in range(6)] \
+            == [b.program(at=1.0) for _ in range(6)]
+
+    def test_small_arrival_stamps_stay_parseable(self):
+        # repr() of tiny floats is exponent notation, which the SQL
+        # lexer rejects; the programs must format fixed-point.
+        scen = PaymentLedger(n_accounts=8, query_share=0.0)
+        parse_transaction(scen.program(at=6.4e-05))
+
+    def test_transfers_conserve_total_balance(self):
+        scen = PaymentLedger(n_accounts=8, query_share=0.0, seed=3)
+        db = connect()
+        scen.install(db)
+        session = db.session("pay")
+        for i in range(12):
+            session.run_script(scen.program(at=float(i)))
+        db.drain()
+        total = sum(v for (v,) in db.query("SELECT balance FROM Accounts"))
+        assert total == pytest.approx(8 * 1000.0)
+        assert len(db.query("SELECT entry FROM Ledger")) == 12
+        db.close()
+
+    def test_temporal_query_window_is_bounded(self):
+        scen = PaymentLedger(n_accounts=8, query_share=0.0, window=2.0)
+        db = connect()
+        scen.install(db)
+        session = db.session("pay")
+        for i in range(10):
+            session.run_script(scen.program(at=float(i)))
+        db.drain()
+        rows = db.query(
+            "SELECT entry FROM Ledger WHERE at >= 3.0 AND at <= 6.0 "
+            "ORDER BY at")
+        assert len(rows) == 4     # entries stamped at 3, 4, 5, 6
+        db.close()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PaymentLedger(n_accounts=1)
+        with pytest.raises(WorkloadError):
+            PaymentLedger(query_share=1.5)
+
+
+class TestFlashSale:
+    def test_schema(self):
+        tables = {s.name: s for s in flashsale_schema()}
+        assert tables["Items"].primary_key == ("item",)
+        assert ("item",) in tables["Registrations"].indexes
+
+    def test_programs_parse(self):
+        scen = FlashSale(n_hot=2)
+        for i in range(10):
+            parse_transaction(scen.program(at=i * 0.01))
+
+    def test_stock_decrements_match_registrations(self):
+        scen = FlashSale(n_hot=2, initial_stock=100, seed=4)
+        db = connect()
+        scen.install(db)
+        session = db.session("storm")
+        for i in range(10):
+            session.run_script(scen.program(at=float(i)))
+        db.drain()
+        stock = dict(db.query("SELECT item, stock FROM Items"))
+        sold = {0: 0, 1: 0}
+        for (item,) in db.query("SELECT item FROM Registrations"):
+            sold[item] += 1
+        assert sum(sold.values()) == 10
+        for item in (0, 1):
+            assert stock[item] == 100 - sold[item]
+        db.close()
+
+    def test_all_writes_hit_the_hot_items(self):
+        scen = FlashSale(n_hot=3, seed=9)
+        items = set()
+        for i in range(30):
+            program = scen.program(at=float(i))
+            items.add(int(program.split("item=")[1].split(";")[0]))
+        assert items == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FlashSale(n_hot=0)
+        with pytest.raises(WorkloadError):
+            FlashSale(initial_stock=0)
