@@ -17,7 +17,6 @@ from repro.bench.harness import make_travel_env, run_single_batch
 from repro.core.engine import EngineConfig, IsolationConfig
 from repro.sim.costs import DEFAULT_COSTS
 from repro.workloads import WorkloadKind, generate_workload
-from repro.workloads.socialnet import SocialNetwork
 
 
 def _run_with(network, *, isolation=IsolationConfig.FULL, autocommit=False,

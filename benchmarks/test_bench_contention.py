@@ -10,10 +10,6 @@ fine-grained-locking refactor; measured speedups are far larger.
 import pytest
 
 from repro.bench.contention import (
-    FINE_SERIES,
-    MVCC_SERIES,
-    TABLE_SERIES,
-    TWO_PL_SERIES,
     check_mvcc_shapes,
     check_shapes,
     mvcc_speedup_series,

@@ -53,6 +53,7 @@ from repro.client import (
     Client,
     Durability,
     PendingAnswer,
+    RetryPolicy,
     ScriptHandle,
     Session,
     StorageTransaction,
@@ -126,6 +127,7 @@ __all__ = [
     "Client",
     "Durability",
     "PendingAnswer",
+    "RetryPolicy",
     "ScriptHandle",
     "Session",
     "StorageTransaction",

@@ -1,0 +1,41 @@
+"""Concurrency-discipline tooling: named latches, lockdep, latchlint.
+
+Two cooperating checkers live here:
+
+- :mod:`repro.analysis.latch` — the named-latch registry (the
+  :class:`~repro.analysis.latch.Latch` wrapper every lock-holding
+  module uses) and the ``REPRO_LOCKDEP=1`` runtime lock-order witness.
+- :mod:`repro.analysis.latchlint` — the AST-based static pass over
+  ``src/repro`` that enforces the same lattice at review time:
+  ``python -m repro.analysis.latchlint src/repro``.
+"""
+
+from repro.analysis.latch import (
+    LATTICE,
+    Latch,
+    LatchError,
+    LatchOrderError,
+    allow_blocking,
+    assert_may_block,
+    disable_lockdep,
+    enable_lockdep,
+    latch_condition,
+    lockdep_edges,
+    lockdep_enabled,
+    reset_lockdep,
+)
+
+__all__ = [
+    "LATTICE",
+    "Latch",
+    "LatchError",
+    "LatchOrderError",
+    "allow_blocking",
+    "assert_may_block",
+    "disable_lockdep",
+    "enable_lockdep",
+    "latch_condition",
+    "lockdep_edges",
+    "lockdep_enabled",
+    "reset_lockdep",
+]

@@ -1,0 +1,766 @@
+"""latchlint — the AST half of the latch-discipline toolchain.
+
+A static pass over ``src/repro`` that enforces, at review time, the
+same lattice the runtime witness (:mod:`repro.analysis.latch`) checks
+at run time:
+
+``LL001`` bare-lock construction
+    ``threading.Lock()/RLock()/Condition()/Semaphore()`` may only be
+    constructed inside the named-latch registry itself
+    (``analysis/latch.py``).  Everything else must use :class:`Latch`
+    or :func:`latch_condition`, so every lock has a name and a rank.
+
+``LL002`` lattice order
+    Nested ``with``-acquisitions inside one function must follow the
+    declared rank order (:data:`~repro.analysis.latch.LATTICE`),
+    outermost-lowest.  Latch attributes are resolved from
+    ``self.<attr> = Latch("name")`` assignments; ``commit_funnel()``
+    helpers resolve to the commit funnel.
+
+``LL003`` blocking under the commit funnel
+    While a no-block latch (the commit funnel) is held, no blocking
+    call may run: ``flush``/``sleep``/``wait``/``block``/``join``
+    calls are flagged, as is any ``*.commit(...)`` that does not defer
+    its WAL flush with ``flush=False``.  The check propagates through
+    same-class helper methods.  ``with allow_blocking("reason")`` is
+    the sanctioned in-code waiver and must carry a justification.
+
+``LL004`` engine entry discipline
+    Public methods of a class owning the engine mutex (a
+    ``Latch("engine-mutex")`` attribute) must take it first — via the
+    ``@_locked`` decorator or an immediate ``with self.mutex`` — or be
+    waived.  Read-only accessors over GIL-atomic state are the usual
+    waivers.
+
+``LL005`` coordinator state outside its latch
+    Classes may declare ``_GUARDED_FIELDS = {"attr": "latch-name"}``;
+    any mutation of a declared attribute outside a ``with`` block on a
+    latch of that name (or ``__init__``) is flagged.  The sharded
+    coordinator declares its funnel-guarded bookkeeping this way.
+
+Violations print as ``path:line: CODE message`` and exit 1.  Intended
+exceptions go in the waiver file (default ``latchlint.waivers`` next
+to this module), one per line::
+
+    LL004 repro/storage/engine.py::StorageEngine.status -- read-only snapshot of GIL-atomic fields
+
+The justification after ``--`` is mandatory; unused waivers are
+themselves errors, so the file can only shrink when code improves.
+
+Run: ``python -m repro.analysis.latchlint src/repro``
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.latch import LATTICE, NO_BLOCK_LATCHES
+
+#: threading constructors that create an (unnamed) latch.
+_BARE_LOCKS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: method names that (may) block the calling thread.
+_BLOCKING_NAMES = {"flush", "sleep", "wait", "block", "join"}
+
+#: files allowed to construct raw threading primitives: the registry
+#: itself (its internal graph lock is excluded from the discipline it
+#: enforces).
+_RAW_LOCK_FILES = {"analysis/latch.py"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    code: str
+    path: str  # repo-relative, posix separators
+    line: int
+    target: str  # waiver key: path::qualname (or path::- for module level)
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass
+class Waiver:
+    code: str
+    target: str
+    justification: str
+    line: int
+    used: bool = False
+
+
+def load_waivers(path: Path) -> list[Waiver]:
+    """Parse the waiver file: ``CODE target -- justification`` lines."""
+    waivers: list[Waiver] = []
+    if not path.exists():
+        return waivers
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, sep, justification = line.partition("--")
+        if not sep or not justification.strip():
+            raise SystemExit(
+                f"{path}:{lineno}: waiver missing '-- justification': {raw!r}"
+            )
+        parts = head.split()
+        if len(parts) != 2:
+            raise SystemExit(
+                f"{path}:{lineno}: expected 'CODE path::qualname -- why', "
+                f"got: {raw!r}"
+            )
+        waivers.append(
+            Waiver(parts[0], parts[1], justification.strip(), lineno)
+        )
+    return waivers
+
+
+# -- pass 1: the latch registry map ---------------------------------------------------
+
+
+def _latch_name_of_call(call: ast.Call) -> "str | None":
+    """The latch name if ``call`` constructs a named latch."""
+    func = call.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name not in ("Latch", "latch_condition"):
+        return None
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _latch_call_in(node: ast.AST) -> "tuple[str, ast.Call] | None":
+    """Find a named-latch construction inside an assignment value.
+
+    Handles the direct form and the dataclass-field form
+    ``field(default_factory=lambda: Latch("name"))``.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            latch = _latch_name_of_call(sub)
+            if latch is not None:
+                return latch, sub
+    return None
+
+
+@dataclass
+class ClassInfo:
+    module: str  # repo-relative path
+    qualname: str
+    node: ast.ClassDef
+    #: attribute name -> latch name, from self.<attr> = Latch("...").
+    latch_attrs: dict[str, str] = field(default_factory=dict)
+    #: attr -> latch name, from a ``_GUARDED_FIELDS`` declaration.
+    guarded_fields: dict[str, str] = field(default_factory=dict)
+    #: methods decorated @_locked (hold the engine mutex for the body).
+    locked_methods: set[str] = field(default_factory=set)
+
+
+def collect_classes(tree: ast.Module, module: str) -> list[ClassInfo]:
+    classes: list[ClassInfo] = []
+
+    def visit_class(node: ast.ClassDef, prefix: str) -> None:
+        info = ClassInfo(module, f"{prefix}{node.name}", node)
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                value = sub.value
+                if value is None:
+                    continue
+                found = _latch_call_in(value)
+                for target in targets:
+                    if (
+                        found is not None
+                        and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.latch_attrs[target.attr] = found[0]
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "_GUARDED_FIELDS"
+                        and isinstance(value, ast.Dict)
+                    ):
+                        for key, val in zip(value.keys, value.values):
+                            if (
+                                isinstance(key, ast.Constant)
+                                and isinstance(val, ast.Constant)
+                            ):
+                                info.guarded_fields[key.value] = val.value
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in stmt.decorator_list:
+                    deco_name = (
+                        deco.id if isinstance(deco, ast.Name)
+                        else deco.attr if isinstance(deco, ast.Attribute)
+                        else None
+                    )
+                    if deco_name == "_locked":
+                        info.locked_methods.add(stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                visit_class(stmt, f"{info.qualname}.")
+        classes.append(info)
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            visit_class(stmt, "")
+    return classes
+
+
+# -- the per-module checker -----------------------------------------------------------
+
+
+def _decorator_names(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+    names = set()
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+class ModuleChecker:
+    def __init__(
+        self,
+        path: Path,
+        relpath: str,
+        tree: ast.Module,
+        global_attr_map: dict[str, str],
+    ):
+        self.relpath = relpath
+        self.tree = tree
+        self.classes = {c.node: c for c in collect_classes(tree, relpath)}
+        self.global_attrs = global_attr_map
+        self.violations: list[Violation] = []
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _emit(
+        self, code: str, node: ast.AST, qualname: str, message: str
+    ) -> None:
+        self.violations.append(
+            Violation(
+                code,
+                self.relpath,
+                getattr(node, "lineno", 0),
+                f"{self.relpath}::{qualname}",
+                message,
+            )
+        )
+
+    def _resolve_latch(
+        self, expr: ast.expr, cls: "ClassInfo | None"
+    ) -> "str | None":
+        """The latch name a ``with`` context expression acquires, if any."""
+        # with self.<attr>: / with obj.<attr>:
+        if isinstance(expr, ast.Attribute):
+            if (
+                cls is not None
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in cls.latch_attrs
+            ):
+                return cls.latch_attrs[expr.attr]
+            return self.global_attrs.get(expr.attr)
+        # with x.commit_funnel(): / with commit_funnel():
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else None
+            )
+            if name == "commit_funnel":
+                return "commit-funnel"
+        return None
+
+    @staticmethod
+    def _is_allow_blocking(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        name = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name)
+            else None
+        )
+        return name == "allow_blocking"
+
+    # -- LL001 ------------------------------------------------------------------------
+
+    def check_bare_locks(self) -> None:
+        if any(self.relpath.endswith(allowed) for allowed in _RAW_LOCK_FILES):
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            bare = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+                and func.attr in _BARE_LOCKS
+            )
+            if bare:
+                self._emit(
+                    "LL001", node, "-",
+                    f"bare threading.{func.attr}() outside the named-latch "
+                    f"registry; use repro.analysis.latch.Latch (or "
+                    f"latch_condition) so the lock has a name and rank",
+                )
+
+    # -- LL002 / LL003 ----------------------------------------------------------------
+
+    def _blocking_methods(self, cls: ClassInfo) -> set[str]:
+        """Same-class methods that (transitively) contain a blocking call.
+
+        A method is blocking if it directly calls a ``_BLOCKING_NAMES``
+        method outside an ``allow_blocking`` scope, or calls a
+        same-class blocking method via ``self.<m>()``.  Fixpoint over
+        the class; cross-module propagation is the runtime witness's
+        job.
+        """
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        def direct_calls(fn: ast.AST) -> tuple[set[str], bool]:
+            self_calls: set[str] = set()
+            blocks = False
+            waived: set[int] = set()
+            for sub in ast.walk(fn):
+                if isinstance(sub, (ast.With, ast.AsyncWith)) and any(
+                    self._is_allow_blocking(item.context_expr)
+                    for item in sub.items
+                ):
+                    for inner in ast.walk(sub):
+                        waived.add(id(inner))
+            for sub in ast.walk(fn):
+                if not isinstance(sub, ast.Call) or id(sub) in waived:
+                    continue
+                func = sub.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr in _BLOCKING_NAMES:
+                        blocks = True
+                    if (
+                        isinstance(func.value, ast.Name)
+                        and func.value.id == "self"
+                    ):
+                        self_calls.add(func.attr)
+                elif isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+                    blocks = True
+            return self_calls, blocks
+
+        facts = {name: direct_calls(fn) for name, fn in methods.items()}
+        blocking = {name for name, (_, blocks) in facts.items() if blocks}
+        changed = True
+        while changed:
+            changed = False
+            for name, (calls, _) in facts.items():
+                if name not in blocking and calls & blocking:
+                    blocking.add(name)
+                    changed = True
+        return blocking
+
+    def check_functions(self) -> None:
+        for cls_node, cls in self.classes.items():
+            blocking = self._blocking_methods(cls)
+            for stmt in cls_node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    held: list[str] = []
+                    if stmt.name in cls.locked_methods:
+                        held.append("engine-mutex")
+                    self._walk_function(stmt, cls, stmt.name, held, blocking)
+        # module-level functions
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_function(stmt, None, stmt.name, [], set())
+
+    def _walk_function(
+        self,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        cls: "ClassInfo | None",
+        qualname: str,
+        held: list[str],
+        blocking_methods: set[str],
+    ) -> None:
+        full = f"{cls.qualname}.{qualname}" if cls is not None else qualname
+
+        def visit(node: ast.AST, held: list[str], allow: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                now_allow = allow
+                for item in node.items:
+                    if self._is_allow_blocking(item.context_expr):
+                        now_allow = True
+                        call = item.context_expr
+                        has_reason = (
+                            isinstance(call, ast.Call)
+                            and call.args
+                            and isinstance(call.args[0], ast.Constant)
+                            and isinstance(call.args[0].value, str)
+                            and call.args[0].value.strip()
+                        )
+                        if not has_reason:
+                            self._emit(
+                                "LL003", node, full,
+                                "allow_blocking() without a literal "
+                                "justification string",
+                            )
+                        continue
+                    latch = self._resolve_latch(item.context_expr, cls)
+                    if latch is None:
+                        continue
+                    rank = LATTICE[latch]
+                    for outer in held:
+                        if outer == latch:
+                            continue  # re-entrant / ordered peers: runtime
+                        if rank <= LATTICE[outer]:
+                            self._emit(
+                                "LL002", node, full,
+                                f"acquires {latch!r} (rank {rank}) while "
+                                f"holding {outer!r} (rank {LATTICE[outer]}); "
+                                f"the lattice orders them the other way",
+                            )
+                    acquired.append(latch)
+                inner_held = held + acquired
+                for child in node.body:
+                    visit(child, inner_held, now_allow)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # nested defs execute later, with unknown held set
+                self._walk_function(node, cls, f"{qualname}.{node.name}",
+                                    [], blocking_methods)
+                return
+            if isinstance(node, ast.Call):
+                self._check_blocking_call(
+                    node, full, held, allow, blocking_methods
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held, allow)
+
+        for child in fn.body:
+            visit(child, held, False)
+
+    def _check_blocking_call(
+        self,
+        node: ast.Call,
+        qualname: str,
+        held: list[str],
+        allow: bool,
+        blocking_methods: set[str],
+    ) -> None:
+        no_block_held = [
+            latch for latch in held if latch in NO_BLOCK_LATCHES
+        ]
+        if not no_block_held or allow:
+            return
+        func = node.func
+        name = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name)
+            else None
+        )
+        if name is None:
+            return
+        is_self_call = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        )
+        if name in _BLOCKING_NAMES or (
+            is_self_call and name in blocking_methods
+        ):
+            self._emit(
+                "LL003", node, qualname,
+                f"blocking call {name!r} reachable while holding no-block "
+                f"latch {no_block_held[0]!r}; hoist it outside the latch "
+                f"or wrap a justified allow_blocking()",
+            )
+            return
+        if name == "commit" and not is_self_call:
+            defers = any(
+                kw.arg == "flush"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            )
+            if not defers:
+                self._emit(
+                    "LL003", node, qualname,
+                    f"commit() with an eager WAL flush inside no-block "
+                    f"latch {no_block_held[0]!r}; pass flush=False and "
+                    f"flush_commits() after releasing it",
+                )
+
+    # -- LL004 ------------------------------------------------------------------------
+
+    def check_engine_entries(self) -> None:
+        for cls_node, cls in self.classes.items():
+            engine_attrs = {
+                attr for attr, latch in cls.latch_attrs.items()
+                if latch == "engine-mutex"
+            }
+            if not engine_attrs:
+                continue
+            for stmt in cls_node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name.startswith("_"):
+                    continue
+                decos = _decorator_names(stmt)
+                if "property" in decos or "staticmethod" in decos:
+                    continue
+                if stmt.name in cls.locked_methods:
+                    continue
+                if self._opens_with_latch(stmt, cls, engine_attrs):
+                    continue
+                self._emit(
+                    "LL004", stmt, f"{cls.qualname}.{stmt.name}",
+                    f"public engine entry {cls.qualname}.{stmt.name} does "
+                    f"not take the engine mutex first (@_locked or an "
+                    f"immediate 'with self.mutex')",
+                )
+
+    def _opens_with_latch(
+        self,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        cls: ClassInfo,
+        attrs: set[str],
+    ) -> bool:
+        for stmt in fn.body:
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            ):
+                continue  # docstring
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                        and expr.attr in attrs
+                    ):
+                        return True
+            return False
+        return False
+
+    # -- LL005 ------------------------------------------------------------------------
+
+    def check_guarded_fields(self) -> None:
+        for cls_node, cls in self.classes.items():
+            if not cls.guarded_fields:
+                continue
+            for stmt in cls_node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "__init__":
+                    continue
+                self._check_guarded_in(stmt, cls, stmt.name)
+
+    _MUTATORS = {
+        "add", "append", "pop", "discard", "remove", "clear", "update",
+        "extend", "setdefault", "insert",
+    }
+
+    def _check_guarded_in(
+        self,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        cls: ClassInfo,
+        name: str,
+    ) -> None:
+        full = f"{cls.qualname}.{name}"
+        guarded = cls.guarded_fields
+
+        def guarding_latch(held: list[str], attr: str) -> bool:
+            return guarded[attr] in held
+
+        def self_attr(expr: ast.expr) -> "str | None":
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in guarded
+            ):
+                return expr.attr
+            return None
+
+        def visit(node: ast.AST, held: list[str]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired = []
+                for item in node.items:
+                    latch = self._resolve_latch(item.context_expr, cls)
+                    if latch is not None:
+                        acquired.append(latch)
+                inner = held + acquired
+                for child in node.body:
+                    visit(child, inner)
+                return
+            attr: "str | None" = None
+            verb = "written"
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = self_attr(target) or (
+                        self_attr(target.value)
+                        if isinstance(target, ast.Subscript) else None
+                    )
+                    if attr:
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._MUTATORS
+                ):
+                    attr = self_attr(func.value)
+                    verb = f"mutated ({func.attr})"
+            if attr is not None and not guarding_latch(held, attr):
+                self._emit(
+                    "LL005", node, full,
+                    f"guarded field self.{attr} {verb} outside its "
+                    f"declared latch {guarded[attr]!r}",
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        visit_held: list[str] = []
+        if name in cls.locked_methods:
+            visit_held.append("engine-mutex")
+        for child in fn.body:
+            visit(child, visit_held)
+
+
+# -- driver ---------------------------------------------------------------------------
+
+
+def _build_global_attr_map(trees: dict[str, ast.Module]) -> dict[str, str]:
+    """attr name -> latch name, for attrs unambiguous across the tree.
+
+    Lets ``with shard.mutex`` (a non-``self`` receiver) resolve: the
+    attr ``mutex`` maps to exactly one latch name repo-wide.
+    Ambiguous attrs (``_mutex`` names several latches) resolve only
+    through ``self`` within their own class.
+    """
+    seen: dict[str, set[str]] = {}
+    for relpath, tree in trees.items():
+        for cls in collect_classes(tree, relpath):
+            for attr, latch in cls.latch_attrs.items():
+                seen.setdefault(attr, set()).add(latch)
+    return {
+        attr: next(iter(latches))
+        for attr, latches in seen.items()
+        if len(latches) == 1
+    }
+
+
+def run(
+    roots: list[Path], waiver_path: Path
+) -> tuple[list[Violation], list[Waiver]]:
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    trees: dict[str, ast.Module] = {}
+    for path in files:
+        relpath = _relpath(path)
+        trees[relpath] = ast.parse(path.read_text(), filename=str(path))
+    global_attrs = _build_global_attr_map(trees)
+
+    violations: list[Violation] = []
+    for path in files:
+        relpath = _relpath(path)
+        checker = ModuleChecker(path, relpath, trees[relpath], global_attrs)
+        checker.check_bare_locks()
+        checker.check_functions()
+        checker.check_engine_entries()
+        checker.check_guarded_fields()
+        violations.extend(checker.violations)
+
+    waivers = load_waivers(waiver_path)
+    remaining: list[Violation] = []
+    for violation in violations:
+        for waiver in waivers:
+            if (
+                waiver.code == violation.code
+                and waiver.target == violation.target
+            ):
+                waiver.used = True
+                break
+        else:
+            remaining.append(violation)
+    return remaining, waivers
+
+
+def _relpath(path: Path) -> str:
+    """Path relative to the nearest ``src`` ancestor (posix form)."""
+    resolved = path.resolve()
+    for parent in resolved.parents:
+        if parent.name == "src":
+            return resolved.relative_to(parent).as_posix()
+    return resolved.name
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.latchlint",
+        description="Latch-discipline static checks over the repro tree.",
+    )
+    parser.add_argument(
+        "paths", nargs="+", type=Path,
+        help="files or directories to check (e.g. src/repro)",
+    )
+    parser.add_argument(
+        "--waivers", type=Path,
+        default=Path(__file__).with_name("latchlint.waivers"),
+        help="waiver file (default: latchlint.waivers next to this module)",
+    )
+    args = parser.parse_args(argv)
+
+    violations, waivers = run(args.paths, args.waivers)
+    failed = False
+    for violation in violations:
+        print(violation.render())
+        failed = True
+    for waiver in waivers:
+        if not waiver.used:
+            print(
+                f"{args.waivers}:{waiver.line}: unused waiver "
+                f"{waiver.code} {waiver.target} — delete it"
+            )
+            failed = True
+    if failed:
+        return 1
+    print(
+        f"latchlint: OK — {len(waivers)} waiver(s), "
+        f"lattice of {len(LATTICE)} latches"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

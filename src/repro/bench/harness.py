@@ -15,11 +15,11 @@ absolute seconds are model outputs.  EXPERIMENTS.md tabulates both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.engine import EngineConfig, EntangledTransactionEngine
-from repro.core.policies import ArrivalCountPolicy, ManualPolicy, RunPolicy
+from repro.core.policies import ManualPolicy, RunPolicy
 from repro.core.transaction import TxnPhase
 from repro.errors import BenchError
 from repro.sim.costs import DEFAULT_COSTS, CostModel

@@ -39,13 +39,15 @@ Run as a script::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import heapq
 import json
 import math
 import random
 from dataclasses import dataclass, field
 
 from repro.bench.contention import results_to_json
-from repro.client import AdmissionConfig, connect
+from repro.client import AdmissionConfig, RetryPolicy, connect
 from repro.core.engine import EngineConfig
 from repro.errors import OverloadError, WorkloadError
 from repro.sim.costs import DEFAULT_COSTS
@@ -167,7 +169,9 @@ class TrafficPoint:
     offered: float                # arrivals per virtual second
     committed: int = 0
     timely: int = 0               # committed within the deadline
-    shed: int = 0                 # bounced by admission control
+    shed: int = 0                 # bounces off admission control
+    retried: int = 0              # resubmissions scheduled after a shed
+    exhausted: int = 0            # arrivals dropped with retry budget spent
     aborted: int = 0
     makespan: float = 0.0         # virtual seconds, first arrival → quiesce
     runs: int = 0
@@ -196,6 +200,8 @@ class TrafficPoint:
             "committed": self.committed,
             "timely": self.timely,
             "shed": self.shed,
+            "retried": self.retried,
+            "exhausted": self.exhausted,
             "aborted": self.aborted,
             "shed_share": self.shed_share,
             "makespan": self.makespan,
@@ -210,8 +216,10 @@ def run_traffic_point(
     *,
     deadline: float,
     admission: "AdmissionConfig | None" = None,
+    retry: "RetryPolicy | None" = None,
     connections: int = TRAFFIC_CONNECTIONS,
     max_runs: int = 100_000,
+    retry_seed: int = 0x5EED,
 ) -> TrafficPoint:
     """Drive one arrival schedule through a fresh engine.
 
@@ -220,7 +228,17 @@ def run_traffic_point(
     has arrived by now* with *run once if anything is pending*; when the
     engine goes idle before the next arrival, the clock jumps forward
     to it.  Shed arrivals (:class:`~repro.errors.OverloadError`) are
-    counted and dropped — an open workload does not wait to retry.
+    counted and, by default, dropped — a pure open workload does not
+    wait to retry.
+
+    With a :class:`~repro.client.RetryPolicy`, shed arrivals are instead
+    resubmitted after the policy's jittered exponential backoff (floored
+    by the limiter's ``retry_after`` hint), on the same virtual clock;
+    an arrival whose retry budget runs out is dropped and counted as
+    ``exhausted``.  Latency is always measured from the *original*
+    intended arrival instant, so a retried commit pays its backoff in
+    full — retries trade sheds for lateness, which is exactly the
+    trade-off worth measuring.
     """
     if not arrivals:
         raise WorkloadError("no arrivals to drive")
@@ -242,6 +260,34 @@ def run_traffic_point(
 
         arrived_at: dict[int, float] = {}   # engine handle -> intended instant
         next_arrival = 0
+        #: min-heap of (due instant, seq, intended instant, attempt) for
+        #: shed arrivals awaiting their backoff (retry policy only).
+        retries: list[tuple[float, int, float, int]] = []
+        retry_rng = random.Random(retry_seed)
+        retry_seq = 0
+
+        def submit(intended: float, attempt: int) -> None:
+            """Submit one (re)arrival; on shed, back off or give up."""
+            nonlocal retry_seq
+            program = scenario.program(at=intended)
+            try:
+                handle = session.run_script(program, at=intended)
+            except OverloadError as exc:
+                point.shed += 1
+                if retry is None:
+                    return
+                if retry.should_retry(attempt):
+                    delay = retry.delay_for(attempt, exc, rng=retry_rng)
+                    retry_seq += 1
+                    heapq.heappush(
+                        retries,
+                        (db.clock.now + delay, retry_seq, intended, attempt + 1),
+                    )
+                    point.retried += 1
+                else:
+                    point.exhausted += 1
+            else:
+                arrived_at[handle.handle] = intended
 
         def settle(report) -> None:
             """Account one run's commits/aborts against arrival times."""
@@ -260,24 +306,30 @@ def run_traffic_point(
                 if arrived_at.pop(handle, None) is not None:
                     point.aborted += 1
 
-        while next_arrival < len(arrivals) or db.engine.dormant_count:
-            # Inject everything whose scheduled instant has passed.
+        while (next_arrival < len(arrivals) or retries
+               or db.engine.dormant_count):
+            # Inject everything whose scheduled instant has passed —
+            # fresh arrivals and retries whose backoff expired.
             while (next_arrival < len(arrivals)
                    and arrivals[next_arrival] <= db.clock.now):
                 t = arrivals[next_arrival]
                 next_arrival += 1
-                program = scenario.program(at=t)
-                try:
-                    handle = session.run_script(program, at=t)
-                except OverloadError:
-                    point.shed += 1
-                else:
-                    arrived_at[handle.handle] = t
+                submit(t, attempt=1)
+            while retries and retries[0][0] <= db.clock.now:
+                _due, _seq, intended, attempt = heapq.heappop(retries)
+                submit(intended, attempt=attempt)
             if db.engine.dormant_count:
                 settle(db.run())
-            elif next_arrival < len(arrivals):
-                # Idle server: virtual time jumps to the next arrival.
-                db.clock.advance_to(arrivals[next_arrival])
+            else:
+                # Idle server: virtual time jumps to whichever comes
+                # first — the next scheduled arrival or the next retry.
+                upcoming = []
+                if next_arrival < len(arrivals):
+                    upcoming.append(arrivals[next_arrival])
+                if retries:
+                    upcoming.append(retries[0][0])
+                if upcoming:
+                    db.clock.advance_to(max(min(upcoming), db.clock.now))
             if point.runs >= max_runs:  # pragma: no cover - defensive
                 raise WorkloadError(
                     f"traffic point exceeded {max_runs} runs without "
@@ -364,6 +416,7 @@ def run(
     deadline: float = DEFAULT_DEADLINE,
     queue_depth: "int | None" = None,
     arms: "tuple[str, ...] | None" = None,
+    retry: "RetryPolicy | None" = None,
     seed: int = 7,
     verbose: bool = True,
 ) -> "dict[str, dict[str, Measurements]]":
@@ -378,6 +431,13 @@ def run(
     ``queue_depth`` overrides every arm's dormant-pool bound; the
     default (``None``) uses each arm's own (contention-tuned) depth
     from :data:`ARMS`.
+
+    ``retry`` (optional) makes the admission arm resubmit shed arrivals
+    under the given :class:`~repro.client.RetryPolicy` instead of
+    dropping them; the admission table then also reports per-point
+    ``retried`` and ``exhausted`` counts.  The CI shape checks
+    (:func:`check_traffic_shapes`) assume drop-on-shed, so retries stay
+    off unless asked for.
     """
     groups: dict[str, dict[str, Measurements]] = {}
     for arm_name in arms or tuple(ARMS):
@@ -410,7 +470,8 @@ def run(
                 arm["make"](), arrivals, deadline=deadline)
             shed = run_traffic_point(
                 arm["make"](), arrivals, deadline=deadline,
-                admission=AdmissionConfig(max_queue_depth=depth))
+                admission=AdmissionConfig(max_queue_depth=depth),
+                retry=retry)
 
             goodput.add("offered", factor, unshed.offered)
             goodput.add("no-admission", factor, unshed.goodput)
@@ -421,6 +482,9 @@ def run(
                 latency.add("p99", factor, shed.latency.p99)
             admission_t.add("shed-share", factor, shed.shed_share)
             admission_t.add("throughput", factor, shed.throughput)
+            if retry is not None:
+                admission_t.add("retried", factor, float(shed.retried))
+                admission_t.add("exhausted", factor, float(shed.exhausted))
             if verbose:
                 print(
                     f"[{arm_name}] {factor:>4}×μ  offered={unshed.offered:7.1f}"
@@ -516,6 +580,13 @@ def main() -> None:
     parser.add_argument(
         "--arms", default=None,
         help=f"comma-separated arm names (default: {','.join(ARMS)})")
+    parser.add_argument(
+        "--retry", action="store_true",
+        help="resubmit shed arrivals with jittered exponential backoff "
+             "(RetryPolicy defaults) instead of dropping them")
+    parser.add_argument(
+        "--retry-attempts", type=int, default=None,
+        help="override RetryPolicy.max_attempts (implies --retry)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json-out", default=None,
                         help="write all results as JSON to this path")
@@ -528,12 +599,19 @@ def main() -> None:
         if args.factors else DEFAULT_LOAD_FACTORS
     )
     arms = tuple(args.arms.split(",")) if args.arms else None
+    retry = None
+    if args.retry or args.retry_attempts is not None:
+        retry = (
+            RetryPolicy(max_attempts=args.retry_attempts)
+            if args.retry_attempts is not None else RetryPolicy()
+        )
     groups = run(
         load_factors=factors,
         n_arrivals=args.arrivals,
         deadline=args.deadline,
         queue_depth=args.queue_depth,
         arms=arms,
+        retry=retry,
         seed=args.seed,
     )
     print()
@@ -550,6 +628,7 @@ def main() -> None:
             "queue_depth": args.queue_depth if args.queue_depth is not None
             else {name: arm["queue_depth"] for name, arm in ARMS.items()},
             "n_arrivals": args.arrivals,
+            "retry": dataclasses.asdict(retry) if retry is not None else None,
             "shape_check": {"passed": not problems, "problems": problems},
         })
         with open(args.json_out, "w") as fh:

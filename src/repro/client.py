@@ -51,10 +51,11 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import threading
+import random
 import time
 from typing import Any, Iterable, Sequence
 
+from repro.analysis.latch import latch_condition
 from repro.core.engine import (
     DrainReports,
     EngineConfig,
@@ -113,6 +114,90 @@ class AdmissionConfig:
     max_sessions: "int | None" = None
     session_rate: "float | None" = None
     session_burst: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry discipline for :class:`~repro.errors.OverloadError`.
+
+    Admission control *sheds*; what the shed caller does next is policy.
+    Dropping is correct for a pure open workload, but a real client
+    usually wants to resubmit — and naive immediate resubmission turns
+    one overload spike into a retry storm that keeps the system pinned
+    at its bound.  This policy is the classic antidote: **jittered
+    exponential backoff**, floored by the error's own
+    :attr:`~repro.errors.OverloadError.retry_after` hint (the limiter
+    knows when capacity frees up; backing off less than that is a
+    guaranteed bounce).
+
+    The policy is pure arithmetic — it computes *when* to retry; the
+    caller owns the clock and the resubmission (see
+    :func:`repro.bench.traffic.run_traffic_point` for the open-loop
+    driver's use).  Frozen so one instance is safely shared by every
+    session of a client.
+
+    Attributes:
+        max_attempts: total tries including the first submission; once
+            exhausted the caller should give up (the traffic harness
+            counts these as ``exhausted``).
+        base_backoff: backoff before the first retry, in the caller's
+            clock seconds.
+        multiplier: exponential growth factor per retry.
+        max_backoff: cap on the un-jittered backoff.
+        jitter: fraction of the backoff randomized away, in ``[0, 1]``:
+            the delay is drawn uniformly from
+            ``[backoff * (1 - jitter), backoff]`` (AWS-style "equal
+            jitter" keeps a floor so retries never collapse onto the
+            same instant).
+    """
+
+    max_attempts: int = 5
+    base_backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise MiddlewareError(
+                f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise MiddlewareError("backoff bounds must be non-negative")
+        if self.multiplier < 1.0:
+            raise MiddlewareError(
+                f"multiplier must be at least 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise MiddlewareError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+
+    def should_retry(self, attempt: int) -> bool:
+        """True while ``attempt`` (1-based, the try that just shed)
+        leaves budget for another submission."""
+        return attempt < self.max_attempts
+
+    def delay_for(
+        self,
+        attempt: int,
+        error: "OverloadError | None" = None,
+        rng: "random.Random | None" = None,
+    ) -> float:
+        """Seconds to wait after shed number ``attempt`` (1-based).
+
+        Exponential in the attempt, jittered, capped — and never less
+        than the shedding limiter's ``retry_after`` hint.
+        """
+        if attempt < 1:
+            raise MiddlewareError(
+                f"attempt is 1-based, got {attempt}")
+        backoff = min(
+            self.max_backoff,
+            self.base_backoff * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter > 0.0:
+            draw = (rng or random).random()
+            backoff *= 1.0 - self.jitter * draw
+        floor = error.retry_after if error is not None else 0.0
+        return max(backoff, floor)
 
 
 class Durability(enum.Enum):
@@ -241,7 +326,7 @@ class Client:
         #: wakes threads blocked on a :class:`PendingAnswer` — notified
         #: whenever a matching round answers queries or a pending answer
         #: is cancelled, so blocked waiters never busy-spin ``pump()``.
-        self._answer_cond = threading.Condition()
+        self._answer_cond = latch_condition("answer-cond")
         #: client-side admission counters (the engine tracks queue-depth
         #: sheds itself).
         self._sessions_shed = 0

@@ -26,10 +26,10 @@ Combines every piece of the execution model of Section 4:
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
+from repro.analysis.latch import Latch
 from repro.core.executor import ShardExecutor
 from repro.core.groups import GroupTracker
 from repro.core.interpreter import (
@@ -38,7 +38,7 @@ from repro.core.interpreter import (
     deliver_answer,
     run_until_block,
 )
-from repro.core.policies import ArrivalCountPolicy, ManualPolicy, RunPolicy
+from repro.core.policies import ManualPolicy, RunPolicy
 from repro.core.recorder import ScheduleRecorder
 from repro.core.transaction import EntangledTransaction, TxnPhase
 from repro.entangled.evaluator import QueryOutcome, evaluate_batch
@@ -54,10 +54,8 @@ from repro.sim.costs import CostModel
 from repro.sim.resources import ConnectionPool
 from repro.sql.ast import TransactionProgram
 from repro.sql.parser import parse_transaction
-from repro.storage.catalog import Database
-from repro.storage.engine import StorageEngine, TxnIsolation, WouldBlock
+from repro.storage.engine import StorageEngine, TxnIsolation
 from repro.storage.expressions import Cmp, CmpOp, Col, Const
-from repro.storage.locks import LockMode, table_resource
 from repro.storage.schema import TableSchema
 from repro.storage.types import ColumnType
 
@@ -274,7 +272,7 @@ class EntangledTransactionEngine:
         #: guards run-report/stats mutations reachable from concurrent
         #: commit-unit workers (a leaf lock: never held while calling
         #: into the store).
-        self._report_lock = threading.Lock()
+        self._report_lock = Latch("run-report", reentrant=False)
         self.clock = VirtualClock()
         self.groups = GroupTracker()
         self.recorder = ScheduleRecorder() if self.config.record_schedule else None
@@ -961,6 +959,7 @@ class EntangledTransactionEngine:
             if len(members) == 1:
                 self._commit_transaction(members[0], report)
                 return
+            committed: list[int] = []
             with self.store.commit_funnel():
                 storage_txns = [
                     m.storage_txn for m in members if m.storage_txn is not None
@@ -975,8 +974,15 @@ class EntangledTransactionEngine:
                             reason="serialization failure (SSI pre-commit "
                                    "group validation)")
                     return
+                # Members commit with their WAL flushes *deferred*: the
+                # funnel must never be held across an fsync (it stalls
+                # every other session's commit), so the physical flushes
+                # run below, after the funnel is released — one merged
+                # flush per shard log, the classic group-commit batch.
                 for member in members:
-                    self._commit_transaction(member, report)
+                    if self._commit_transaction(member, report, flush=False):
+                        committed.append(member.storage_txn)
+            self.store.flush_commits(committed)
 
         if self.executor is None or len(units) <= 1:
             for unit in units:
@@ -1006,7 +1012,19 @@ class EntangledTransactionEngine:
             if not txn.phase.is_terminal:
                 self.groups.register(txn.handle)
 
-    def _commit_transaction(self, txn: EntangledTransaction, report: RunReport) -> None:
+    def _commit_transaction(
+        self,
+        txn: EntangledTransaction,
+        report: RunReport,
+        *,
+        flush: bool = True,
+    ) -> bool:
+        """Commit one member; returns True iff the storage commit stuck.
+
+        ``flush=False`` is the group-commit path: the caller holds the
+        commit funnel and flushes the members' WALs itself afterwards
+        via :meth:`~repro.storage.engine.StorageEngine.flush_commits`.
+        """
         assert txn.storage_txn is not None
         if self.config.persist_state:
             group = sorted(self.groups.group_of(txn.handle))
@@ -1033,7 +1051,7 @@ class EntangledTransactionEngine:
                 where=Cmp(CmpOp.EQ, Col("handle"), Const(handle)),
             )
         try:
-            self.store.commit(txn.storage_txn)
+            self.store.commit(txn.storage_txn, flush=flush)
         except SerializationFailureError:
             # SSI rejected the commit: the attempt aborts and retries,
             # exactly like a write conflict discovered one step earlier.
@@ -1042,7 +1060,7 @@ class EntangledTransactionEngine:
             self._abort_attempt(
                 txn, retry=True, report=report,
                 reason="serialization failure (SSI dangerous structure)")
-            return
+            return False
         txn.stats.shards_touched = self.store.shards_touched(txn.storage_txn)
         if self.config.costs is not None:
             # Charge the commit flush to every shard the transaction
@@ -1061,6 +1079,7 @@ class EntangledTransactionEngine:
         txn.mark_committed()
         with self._report_lock:
             report.committed.append(txn.handle)
+        return True
 
     def _abort_attempt(
         self,

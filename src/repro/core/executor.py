@@ -39,6 +39,7 @@ import queue
 import threading
 from typing import Any, Callable, Sequence
 
+from repro.analysis.latch import Latch
 from repro.errors import OverloadError
 
 
@@ -101,7 +102,7 @@ class ShardExecutor:
         #: the coordinator must never lose a dispatch mid-run).
         self._max_queue_depth = max_queue_depth
         self._pending = [0] * n_shards
-        self._pending_lock = threading.Lock()
+        self._pending_lock = Latch("executor-pending", reentrant=False)
         self.shed_count = 0
         self._closed = False
         self._threads = [

@@ -28,18 +28,14 @@ group-commit rule applied at the session granularity).
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.latch import Latch
 from repro.core.groups import GroupTracker
 from repro.entangled.answers import QueryAnswer
 from repro.entangled.evaluator import QueryOutcome, evaluate_batch
-from repro.errors import (
-    EngineError,
-    MiddlewareError,
-    SerializationFailureError,
-)
+from repro.errors import MiddlewareError, SerializationFailureError
 from repro.sql.ast import EntangledSelectStmt, SelectStmt, Statement
 from repro.sql.compiler import compile_entangled, compile_select
 from repro.sql.parser import parse_statement
@@ -260,7 +256,7 @@ class InteractiveBroker:
         self._next_id = 1
         #: guards session/group bookkeeping: sessions may be driven from
         #: real client threads while commits cascade through groups.
-        self._mutex = threading.RLock()
+        self._mutex = Latch("interactive-broker")
 
     def open_session(
         self,
@@ -395,6 +391,7 @@ class InteractiveBroker:
             # a unit — inside the store's commit funnel, so a concurrent
             # thread's commit cannot wedge between the validation and
             # the members' commits.
+            committed: list[int] = []
             with self.store.commit_funnel():
                 if len(members) > 1 and self.store.serialization_doomed_group(
                     [m.storage_txn for m in members]
@@ -404,13 +401,25 @@ class InteractiveBroker:
                     # can retry.
                     members[0].abort()
                     return
+                # WAL flushes are deferred past the funnel (it must not
+                # be held across an fsync); the members' logs flush in
+                # one merged batch below, before the sessions report
+                # COMMITTED state to any client.
+                failed = False
                 for member in members:
                     try:
-                        self.store.commit(member.storage_txn)
+                        self.store.commit(member.storage_txn, flush=False)
                     except SerializationFailureError:
                         member.abort()
-                        return
+                        failed = True
+                        break
+                    committed.append(member.storage_txn)
                     member.state = SessionState.COMMITTED
+            # Outside the funnel (even on the failure path: members that
+            # did commit before the failure must still become durable).
+            self.store.flush_commits(committed)
+            if failed:
+                return
             for member in members:
                 self.groups.forget(member.session_id)
 

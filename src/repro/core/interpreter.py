@@ -14,18 +14,15 @@ wires to the virtual clock's connection accounting.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Protocol
 
 from repro.entangled.answers import QueryAnswer
 from repro.errors import (
-    CompileError,
     DeadlockError,
     EngineError,
     ReproError,
     SerializationFailureError,
     SnapshotTooOldError,
-    StorageError,
     TransactionAborted,
     WriteConflictError,
 )

@@ -16,14 +16,14 @@ tests and demos).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.core.engine import (
     EngineConfig,
     EntangledTransactionEngine,
     RunReport,
 )
-from repro.core.policies import ManualPolicy, RunPolicy
+from repro.core.policies import RunPolicy
 from repro.core.recovery import EntangledRecoveryReport, recover_entangled
 from repro.core.transaction import TxnPhase
 from repro.errors import MiddlewareError

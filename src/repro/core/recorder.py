@@ -18,10 +18,10 @@ schedules produced under full isolation are entangled-isolated
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.latch import Latch
 from repro.model.ops import A, C, E, Op, R, RG, W
 from repro.model.schedule import Schedule
 
@@ -43,8 +43,10 @@ class ScheduleRecorder:
     #: storage txns that performed at least one op (for trimming).
     _touched: set[int] = field(default_factory=set)
     _terminated: set[int] = field(default_factory=set)
-    _mutex: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _mutex: Latch = field(
+        default_factory=lambda: Latch("schedule-recorder", reentrant=False),
+        repr=False,
+        compare=False,
     )
 
     def on_read(

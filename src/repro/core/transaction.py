@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.entangled.ir import EntangledQuery
 from repro.errors import EngineError

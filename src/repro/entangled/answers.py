@@ -10,11 +10,10 @@ coordinating set; each query then receives its own head tuples from it.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import AnswerRelationError
-from repro.storage.types import SQLValue
 
 #: A fully ground answer tuple.
 AnswerTuple = tuple["SQLValue | None", ...]

@@ -19,10 +19,10 @@ quasi-reads on entanglement partners (Section 3.3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Mapping
 
 from repro.entangled.answers import GroundAtom
-from repro.entangled.ir import Atom, EntangledQuery, Val, Var
+from repro.entangled.ir import EntangledQuery, Val
 from repro.errors import EntangledQueryError
 from repro.storage.expressions import And, Cmp, CmpOp, Col, Const, Expr, conjoin
 from repro.storage.query import (
@@ -100,14 +100,7 @@ def compile_body(query: EntangledQuery) -> SPJQuery:
 def _rewrite_vars(expr: Expr, mapping: Mapping[str, Col]) -> Expr:
     """Replace variable references in the residual predicate with the
     positional columns chosen by :func:`compile_body`."""
-    from repro.storage.expressions import (
-        Arith,
-        InList,
-        IsNull,
-        Not,
-        Or,
-        substitute,
-    )
+    from repro.storage.expressions import Arith, InList, IsNull, Not, Or
 
     if isinstance(expr, Col):
         return mapping.get(expr.name, expr)

@@ -14,7 +14,7 @@ variables, which the SQL WHERE clause may contribute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Union
 
 from repro.errors import RangeRestrictionError, SchemaError

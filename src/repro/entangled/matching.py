@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.entangled.answers import AnswerRelationSet, GroundAtom
 from repro.entangled.grounding import Grounding

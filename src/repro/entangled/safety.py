@@ -30,9 +30,9 @@ which the evaluator applies before touching any data:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Sequence
 
-from repro.entangled.ir import Atom, EntangledQuery, check_arity_consistency
+from repro.entangled.ir import EntangledQuery, check_arity_consistency
 from repro.errors import SafetyViolationError
 
 

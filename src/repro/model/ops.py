@@ -20,7 +20,7 @@ for executable schedules — the answers delivered to each participant.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.errors import InvalidScheduleError

@@ -21,7 +21,7 @@ Theorem 3.6 introduces (Appendix C.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Protocol, Sequence
+from typing import Any, Mapping, Protocol, Sequence
 
 from repro.errors import OracleError
 from repro.model.ops import O, Op, OpKind, RV

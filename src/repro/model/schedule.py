@@ -18,7 +18,7 @@ lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import InvalidScheduleError

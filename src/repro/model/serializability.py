@@ -18,7 +18,7 @@ inputs.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.model.conflicts import topological_orders

@@ -11,7 +11,7 @@ keeps every experiment deterministic and independent of host speed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -9,7 +9,7 @@ x, one column per series).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
 
 @dataclass

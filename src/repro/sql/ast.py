@@ -13,8 +13,7 @@ and ``InAnswer`` (tuple-IN-ANSWER — the entanglement postcondition).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.storage.expressions import Expr
 

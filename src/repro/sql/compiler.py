@@ -23,7 +23,7 @@ Two jobs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.entangled.ir import Atom, EntangledQuery, Val, Var
 from repro.errors import CompileError, UnknownColumnError
@@ -35,7 +35,6 @@ from repro.sql.ast import (
     InsertStmt,
     SelectItem,
     SelectStmt,
-    TableSource,
     UpdateStmt,
 )
 from repro.storage.catalog import Database

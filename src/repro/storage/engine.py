@@ -57,10 +57,10 @@ from __future__ import annotations
 
 import enum
 import functools
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.analysis.latch import Latch
 from repro.errors import (
     StorageError,
     TransactionStateError,
@@ -238,7 +238,10 @@ class StorageEngine:
     ):
         self.db = db if db is not None else Database()
         #: the engine mutex: one serial pipeline per engine (= per shard).
-        self.mutex = threading.RLock()
+        #: ``ordered=True``: shard peers may nest only in creation
+        #: (= shard-index) order, which is how the sharded commit visits
+        #: them.
+        self.mutex = Latch("engine-mutex", ordered=True)
         self.locks = LockManager()
         self.wal = WriteAheadLog()
         self.locking = locking
@@ -308,9 +311,11 @@ class StorageEngine:
 
     # -- DDL / loading (non-transactional, as in the paper's setup phase) ---------
 
+    @_locked
     def create_table(self, schema: TableSchema):
         return self.db.create_table(schema)
 
+    @_locked
     def load(self, table: str, rows: Iterable[Sequence]) -> int:
         """Bulk-load through a system transaction so the data is WAL-logged
         (and therefore survives crash recovery)."""
@@ -367,6 +372,7 @@ class StorageEngine:
         self.wal.append(LogRecordType.BEGIN, txn)
         return txn
 
+    @_locked
     def isolation_of(self, txn: int) -> TxnIsolation:
         """The isolation a transaction was begun with (any status)."""
         try:
@@ -458,6 +464,18 @@ class StorageEngine:
                     self._commits_since_checkpoint = 0
         return woken
 
+    def flush_commits(self, txns: Iterable[int]) -> None:
+        """Flush the WAL behind commits taken with ``flush=False``.
+
+        The single-engine counterpart of
+        :meth:`~repro.storage.sharding.ShardedStorageEngine.flush_commits`:
+        one log, so one watermark flush covers every deferred commit in
+        the batch.  Deliberately *not* under the engine mutex — the
+        whole point of deferring is to fsync outside latches.
+        """
+        del txns  # one serial log: flushing to the tail covers them all
+        self.wal.flush()
+
     @_locked
     def abort(self, txn: int) -> list[int]:
         """Abort: discard pending versions, undo all physical changes in
@@ -505,12 +523,14 @@ class StorageEngine:
         self._notify(txn, "abort", "")
         return self.locks.release_all(txn) if self.locking else []
 
+    @_locked
     def status(self, txn: int) -> TxnStatus:
         try:
             return self._contexts[txn].status
         except KeyError:
             raise TransactionStateError(f"unknown transaction {txn}") from None
 
+    @_locked
     def context(self, txn: int) -> TxnContext:
         """Expose read/write sets for the model recorder (any status)."""
         try:
@@ -656,6 +676,7 @@ class StorageEngine:
 
     # -- MVCC helpers -----------------------------------------------------------------
 
+    @_locked
     def snapshot_provider(self, txn: int) -> SnapshotDatabase:
         """A lock-free table provider bound to ``txn``'s snapshot.
 
@@ -694,12 +715,14 @@ class StorageEngine:
         )
         self.ssi.record_write(txn, items)
 
+    @_locked
     def serialization_doomed(self, txn: int) -> bool:
         """Side-effect-free pre-check: would committing ``txn`` now fail
         SSI validation?  Coordinators use this to keep a doomed member
         from poisoning its commit group after partners committed."""
         return self.ssi.serialization_doomed(txn)
 
+    @_locked
     def serialization_doomed_group(self, txns: Sequence[int]) -> bool:
         """Side-effect-free pre-check for an *atomic commit group*: would
         committing ``txns`` in this order fail for any member, counting
@@ -708,6 +731,7 @@ class StorageEngine:
         midway would widow the already-committed ones."""
         return self.ssi.group_doomed(txns)
 
+    @_locked
     def grounding_hooks(self, txn: int):
         """``(read_observer, provider_or_None)`` for grounding ``txn``'s
         entangled queries — the single definition of the isolation split
@@ -730,6 +754,7 @@ class StorageEngine:
             None,
         )
 
+    @_locked
     def reads_from(self, txn: int, table: str) -> int | None:
         """Which committed transaction's version of ``table`` a read by
         ``txn`` observes: None for current (2PL) reads, for snapshot
@@ -822,6 +847,7 @@ class StorageEngine:
         self.mvcc_stats["snapshot_refreshes"] += 1
         return True
 
+    @_locked
     def oldest_snapshot_ts(self) -> int:
         """The vacuum horizon: no active snapshot reads below this."""
         return self.oracle.oldest_active()
@@ -854,6 +880,7 @@ class StorageEngine:
         self._commits_since_vacuum = 0
         return removed
 
+    @_locked
     def version_stats(self) -> dict[str, int]:
         """Aggregate version-chain footprint across all tables."""
         total = 0
@@ -864,6 +891,7 @@ class StorageEngine:
             longest = max(longest, table_longest)
         return {"versions": total, "max_chain": longest}
 
+    @_locked
     def chain_histograms(self) -> dict[str, dict[int, int]]:
         """Per-table version-chain-length histograms (length -> #rids)."""
         return {
@@ -929,14 +957,17 @@ class StorageEngine:
         """Transactions whose commit survived to durable storage."""
         return self.wal.committed_txns(durable_only=True)
 
+    @_locked
     def written_shards(self, txn: int) -> list[int]:
         """Shard indexes ``txn`` wrote to (commit-flush cost accounting)."""
         ctx = self._contexts.get(txn)
         return [0] if ctx is not None and ctx.writes else []
 
+    @_locked
     def shards_touched(self, txn: int) -> int:
         return 1
 
+    @_locked
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard counters for RunReport (one entry per shard)."""
         return [{
@@ -1023,6 +1054,7 @@ class StorageEngine:
             ordered_indexes=self.ordered_indexes, stats=self.plan_stats
         )
 
+    @_locked
     def fallback_scan_counts(self) -> dict[str, int]:
         """Per-table full-scan counters (``Table.fallback_scans``),
         surfaced in run reports so workloads can assert an indexed range

@@ -44,11 +44,11 @@ the grant decides which of them loses.
 from __future__ import annotations
 
 import enum
-import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
+from repro.analysis.latch import Latch
 from repro.errors import DeadlockError, LockError
 
 #: A lockable resource.  The engine uses ("table", name), RowId values, and
@@ -156,7 +156,7 @@ class LockManager:
         self._waits_for: dict[int, set[int]] = defaultdict(set)
         #: guards all manager state; replaced by a *shared* mutex when the
         #: waits-for graph is shared across a shard ensemble.
-        self._mutex = threading.RLock()
+        self._mutex = Latch("lock-manager")
         #: statistics for benchmarks and tests.  ``read_grants`` counts
         #: S/IS grants specifically: the MVCC ablation asserts snapshot
         #: transactions drive it to exactly zero (readers never lock).
@@ -174,7 +174,7 @@ class LockManager:
     def share_waits_for(
         self,
         graph: "dict[int, set[int]]",
-        mutex: "threading.RLock | None" = None,
+        mutex: "Latch | None" = None,
     ) -> None:
         """Adopt a shared waits-for graph (sharded ensembles).
 

@@ -24,14 +24,14 @@ internal lock, because the per-shard worker threads of
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.latch import Latch
 
 
 class TimestampOracle:
     """Commit-timestamp allocation plus active-snapshot bookkeeping."""
 
     def __init__(self, start: int = 0):
-        self._mutex = threading.Lock()
+        self._mutex = Latch("oracle", reentrant=False)
         self._last_commit_ts = start
         #: txn -> read timestamp of its live snapshot.  Kept O(active)
         #: so the vacuum horizon never scans every transaction ever begun.

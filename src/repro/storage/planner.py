@@ -25,8 +25,8 @@ B+ trees regardless, the flag gates *use* only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping, MutableMapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, MutableMapping, Sequence
 
 from repro.errors import UnknownColumnError
 from repro.storage.bptree import value_sort_key

@@ -25,20 +25,11 @@ evaluation without any result escaping unlocked.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
 
 from repro.errors import CompileError, UnknownColumnError
-from repro.storage.expressions import (
-    Cmp,
-    CmpOp,
-    Col,
-    Const,
-    Expr,
-    conjoin,
-    is_satisfied,
-    split_conjuncts,
-)
+from repro.storage.expressions import Cmp, CmpOp, Col, Expr, split_conjuncts
 from repro.storage.row import Row
 from repro.storage.table import Table
 from repro.storage.types import SQLValue

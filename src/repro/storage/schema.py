@@ -8,7 +8,7 @@ them as value objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError

@@ -75,12 +75,12 @@ and index-key/table items name the same logical objects in every shard.
 
 from __future__ import annotations
 
-import threading
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.analysis.latch import Latch, allow_blocking
 from repro.errors import TransactionStateError, UnknownTableError
 from repro.storage.bptree import sort_key
 from repro.storage.catalog import Database, _sort_key
@@ -448,6 +448,9 @@ class ShardedTxnContext:
     written: set[int] = field(default_factory=set)
     reads: list[str] = field(default_factory=list)
     writes: list[RowId] = field(default_factory=list)
+    #: per-shard WAL flush targets parked by ``commit(flush=False)``
+    #: until the coordinator's :meth:`ShardedStorageEngine.flush_commits`.
+    flush_targets: dict[int, int] = field(default_factory=dict)
 
     def written_tables(self) -> list[str]:
         return sorted({w.table for w in self.writes})
@@ -490,6 +493,27 @@ class ShardedStorageEngine:
     to a plain :class:`StorageEngine`).
     """
 
+    #: Latch discipline, machine-checked by ``latchlint`` (LL005): the
+    #: coordinator's mutable bookkeeping and the latch each field may
+    #: only be *written* under.  Visibility-ordering state rides the
+    #: commit funnel; counters too cheap for the funnel take the meta
+    #: latch.  Mutating any of these outside its declared latch is a
+    #: lint error.
+    _GUARDED_FIELDS = {
+        "_contexts": "commit-funnel",
+        "_next_txn": "commit-funnel",
+        "_commit_seq": "commit-funnel",
+        "_active_seqs": "commit-funnel",
+        "_table_writers": "commit-funnel",
+        "commit_count": "commit-funnel",
+        "cross_shard_commit_count": "commit-funnel",
+        "_commits_since_checkpoint": "commit-funnel",
+        "_active_writers": "shard-meta",
+        "abort_count": "shard-meta",
+        "plan_stats": "shard-meta",
+        "_mvcc_local": "shard-meta",
+    }
+
     def __init__(
         self,
         n_shards: int = 2,
@@ -530,10 +554,10 @@ class ShardedStorageEngine:
         #: refresh) so per-shard worker threads always observe
         #: prefix-consistent cuts.  Physical WAL flushes happen *outside*
         #: it — see :meth:`commit` — so fsync latencies overlap.
-        self._commit_lock = threading.RLock()
+        self._commit_lock = Latch("commit-funnel")
         #: guards the small coordinator counters that are not worth the
         #: commit funnel (mvcc tallies, abort counts).
-        self._meta_lock = threading.Lock()
+        self._meta_lock = Latch("shard-meta", reentrant=False)
         # One waits-for graph across all shard lock managers: a 2PL
         # wait cycle that spans shards (A blocks in shard 0, B in shard
         # 1) is invisible to either manager alone; sharing the edge map
@@ -542,7 +566,7 @@ class ShardedStorageEngine:
         # with the map, so the deadlock DFS never reads another shard's
         # edges mid-update.
         shared_waits: dict[int, set[int]] = defaultdict(set)
-        shared_waits_mutex = threading.RLock()
+        shared_waits_mutex = Latch("lock-manager")
         for shard in self.shards:
             shard.locks.share_waits_for(shared_waits, shared_waits_mutex)
         self.locks = _AggregateLocks(self)
@@ -692,7 +716,7 @@ class ShardedStorageEngine:
             ctx.begun.append(shard_idx)
         return shard
 
-    def commit(self, txn: int) -> list[int]:
+    def commit(self, txn: int, *, flush: bool = True) -> list[int]:
         """Ordered two-phase commit across the touched shards.
 
         Phase 1 — validate with no side effects: the global SSI tracker
@@ -706,6 +730,13 @@ class ShardedStorageEngine:
         landing on different shards overlap in wall-clock time, and the
         commit is acknowledged (this method returns) only once every
         written shard's log is durable.
+
+        ``flush=False`` defers the physical flushes entirely: the
+        targets are parked on the transaction's context and the caller
+        *must* follow up with :meth:`flush_commits` before
+        acknowledging the commit.  Group-commit coordinators use this —
+        they hold the (re-entrant) funnel across every member's commit,
+        so an eager flush here would block inside it.
         """
         ctx = self._context(txn)
         with self._commit_lock:
@@ -740,7 +771,8 @@ class ShardedStorageEngine:
                 for shard in self.shards:
                     shard.oracle.release_snapshot(txn)
             ctx.status = TxnStatus.COMMITTED
-            self._active_writers.discard(txn)
+            with self._meta_lock:
+                self._active_writers.discard(txn)
             self.commit_count += 1
             self._notify(txn, "commit", "")
             # Flush targets, captured inside the funnel: the shards this
@@ -761,13 +793,9 @@ class ShardedStorageEngine:
                     for shard_idx, dep_lsn in enumerate(ctx.dep_lsns):
                         if flush_targets.get(shard_idx, 0) < dep_lsn:
                             flush_targets[shard_idx] = dep_lsn
-        for shard_idx, lsn in sorted(flush_targets.items()):
-            wal = self.shards[shard_idx].wal
-            # Skip already-durable targets without touching the WAL
-            # mutex (a dependency mid-fsync would otherwise stall us for
-            # nothing when our own target is already covered).
-            if wal.flushed_lsn < lsn:
-                wal.flush(lsn)
+            ctx.flush_targets = flush_targets
+        if flush:
+            self.flush_commits((txn,))
         if written and self._checkpoint_interval:
             with self._commit_lock:
                 self._commits_since_checkpoint += 1
@@ -775,6 +803,33 @@ class ShardedStorageEngine:
                     if self.checkpoint():
                         self._commits_since_checkpoint = 0
         return woken
+
+    def flush_commits(self, txns: Iterable[int]) -> None:
+        """Flush the WALs behind commits taken with ``flush=False``.
+
+        Per-transaction targets (parked on each context by
+        :meth:`commit`) are merged so each shard's log flushes at most
+        once to the maximum required LSN — the group-commit batching a
+        real engine gets from sharing one fsync.  Must be called with
+        the commit funnel *released*: flushes block, the funnel must
+        not.
+        """
+        merged: dict[int, int] = {}
+        for txn in txns:
+            ctx = self._contexts.get(txn)
+            if ctx is None:
+                continue
+            for shard_idx, lsn in ctx.flush_targets.items():
+                if merged.get(shard_idx, 0) < lsn:
+                    merged[shard_idx] = lsn
+            ctx.flush_targets = {}
+        for shard_idx, lsn in sorted(merged.items()):
+            wal = self.shards[shard_idx].wal
+            # Skip already-durable targets without touching the WAL
+            # mutex (a dependency mid-fsync would otherwise stall us for
+            # nothing when our own target is already covered).
+            if wal.flushed_lsn < lsn:
+                wal.flush(lsn)
 
     def abort(self, txn: int) -> list[int]:
         # Under the commit funnel like commit/begin/vacuum: ``_active_seqs``
@@ -790,8 +845,8 @@ class ShardedStorageEngine:
                 for shard in self.shards:
                     shard.oracle.release_snapshot(txn)
             ctx.status = TxnStatus.ABORTED
-            self._active_writers.discard(txn)
             with self._meta_lock:
+                self._active_writers.discard(txn)
                 self.abort_count += 1
             self.ssi.on_abort(txn)
             self._notify(txn, "abort", "")
@@ -1060,11 +1115,23 @@ class ShardedStorageEngine:
         skipped (some transaction holds writes).
         """
         with self._commit_lock:
-            if self._active_writers:
+            with self._meta_lock:
+                busy = bool(self._active_writers)
+            if busy:
                 for shard in self.shards:
                     shard.checkpoint_stats["skipped"] += 1
                 return []
-            records = [shard.checkpoint() for shard in self.shards]
+            # Latch-discipline waiver: the per-shard checkpoint flushes
+            # (and truncates) each WAL *under* the commit funnel.  That
+            # is deliberate — the whole method exists to cut every log
+            # at one globally-quiescent instant, so the flushes cannot
+            # be hoisted outside without re-admitting the torn-evidence
+            # races described above.  Checkpoints are rare (cadence- or
+            # shutdown-driven) and the ensemble is quiescent here, so
+            # no commit is stalled behind these fsyncs.
+            with allow_blocking("quiescent ensemble checkpoint cuts all "
+                                "shard WALs at one instant"):
+                records = [shard.checkpoint() for shard in self.shards]
             assert all(record is not None for record in records), (
                 "shard checkpoint skipped despite global quiescence"
             )
@@ -1088,39 +1155,53 @@ class ShardedStorageEngine:
     ) -> list[tuple["SQLValue | None", ...]]:
         ctx = self._context(txn)
         seen_tables: set[str] = set()
+        # Plan counters land in a query-local dict and merge under the
+        # meta latch after evaluation: the coordinator plans without any
+        # latch held, so incrementing the shared ``plan_stats`` in place
+        # would race concurrent workers' queries (lost updates).
+        local_stats: dict[str, int] = {}
 
-        if ctx.isolation.uses_snapshot:
-            provider = self.snapshot_provider(txn)
+        try:
+            if ctx.isolation.uses_snapshot:
+                provider = self.snapshot_provider(txn)
 
-            def observe_snapshot(access: ReadAccess) -> None:
-                self.observe_snapshot_read(txn, access)
+                def observe_snapshot(access: ReadAccess) -> None:
+                    self.observe_snapshot_read(txn, access)
+                    if access.table not in seen_tables:
+                        seen_tables.add(access.table)
+                        reads_from = self.reads_from(txn, access.table)
+                        ctx.reads.append(access.table)
+                        self._notify(
+                            txn, "read", access.table, reads_from=reads_from
+                        )
+
+                return evaluate(query, provider, params,
+                                read_observer=observe_snapshot,
+                                hints=self._plan_hints(local_stats))
+
+            def observe(access: ReadAccess) -> None:
+                self.lock_read_access(txn, access)
                 if access.table not in seen_tables:
                     seen_tables.add(access.table)
-                    reads_from = self.reads_from(txn, access.table)
                     ctx.reads.append(access.table)
-                    self._notify(
-                        txn, "read", access.table, reads_from=reads_from
-                    )
+                    self._notify(txn, "read", access.table)
 
-            return evaluate(query, provider, params,
-                            read_observer=observe_snapshot,
-                            hints=self._plan_hints())
+            return evaluate(query, self.db, params, read_observer=observe,
+                            hints=self._plan_hints(local_stats))
+        finally:
+            if local_stats:
+                with self._meta_lock:
+                    for key, count in local_stats.items():
+                        self.plan_stats[key] = (
+                            self.plan_stats.get(key, 0) + count
+                        )
 
-        def observe(access: ReadAccess) -> None:
-            self.lock_read_access(txn, access)
-            if access.table not in seen_tables:
-                seen_tables.add(access.table)
-                ctx.reads.append(access.table)
-                self._notify(txn, "read", access.table)
-
-        return evaluate(query, self.db, params, read_observer=observe,
-                        hints=self._plan_hints())
-
-    def _plan_hints(self):
+    def _plan_hints(self, stats: "dict[str, int] | None" = None):
         from repro.storage.planner import PlanHints
 
         return PlanHints(
-            ordered_indexes=self.ordered_indexes, stats=self.plan_stats
+            ordered_indexes=self.ordered_indexes,
+            stats=self.plan_stats if stats is None else stats,
         )
 
     def fallback_scan_counts(self) -> dict[str, int]:
@@ -1140,7 +1221,8 @@ class ShardedStorageEngine:
             reads_from = self.reads_from(txn, table)
             ctx.reads.append(table)
             self._notify(txn, "read", table, reads_from=reads_from)
-            self._mvcc_local["snapshot_reads"] += 1
+            with self._meta_lock:
+                self._mvcc_local["snapshot_reads"] += 1
             self.ssi.record_read(txn, ssi_read_items(ReadAccess.scan(table)))
             return list(view.scan())
         self.lock_table_shared(txn, table)
@@ -1156,7 +1238,12 @@ class ShardedStorageEngine:
     ) -> None:
         ctx.written.add(shard_idx)
         ctx.writes.append(RowId(table_name, rid))
-        self._active_writers.add(ctx.txn_id)
+        # Under the meta latch, not the funnel: this runs on every write
+        # statement, and the funnel is reserved for commit-visibility
+        # transitions.  Readers of ``_active_writers`` (checkpoint
+        # quiescence, commit/abort cleanup) take the same latch.
+        with self._meta_lock:
+            self._active_writers.add(ctx.txn_id)
         items: list = [RowId(table_name, rid), table_resource(table_name)]
         items.extend(
             index_key_resource(table_name, columns, key)

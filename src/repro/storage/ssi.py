@@ -60,10 +60,10 @@ predates the commit.
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
+from repro.analysis.latch import Latch
 from repro.errors import SerializationFailureError
 from repro.storage.bptree import sort_key
 
@@ -155,7 +155,7 @@ class SSITracker:
     def __init__(self) -> None:
         #: one mutex over all tracker state: the tracker is global under
         #: sharding, so per-shard worker threads call in concurrently.
-        self._mutex = threading.RLock()
+        self._mutex = Latch("ssi-tracker")
         self._txns: dict[int, _SSITxn] = {}
         #: inverted index item -> committed transactions that wrote it,
         #: so a read's sweep for superseding committed writers is

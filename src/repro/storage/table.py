@@ -19,13 +19,12 @@ undo/redo paths use it, because rollback of chains is handled separately.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import DuplicateKeyError, StorageError
 from repro.storage.bptree import SUPREMUM, BPlusTree, sort_key
 from repro.storage.row import Row, RowVersion, ValueTuple
 from repro.storage.schema import TableSchema
-from repro.storage.types import SQLValue
 from repro.storage.wal import TableImage
 
 

@@ -26,11 +26,11 @@ Two additions for real-thread execution (:mod:`repro.core.executor`):
 from __future__ import annotations
 
 import enum
-import threading
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterator, Mapping
 
+from repro.analysis.latch import Latch, assert_may_block
 from repro.errors import WALError
 from repro.storage.row import ValueTuple
 
@@ -111,7 +111,7 @@ class WriteAheadLog:
     """An append-only, LSN-stamped log with an explicit flush watermark."""
 
     def __init__(self):
-        self._mutex = threading.RLock()
+        self._mutex = Latch("wal")
         self._records: list[LogRecord] = []
         self._flushed_lsn = 0
         self._next_lsn = 1
@@ -159,6 +159,7 @@ class WriteAheadLog:
         (simulated fsync) while holding the log mutex — one log is one
         serial flush pipeline; different shards' logs flush concurrently.
         """
+        assert_may_block("wal-flush")
         with self._mutex:
             target = self._records[-1].lsn if self._records else 0
             if upto_lsn is not None:

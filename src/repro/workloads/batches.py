@@ -17,7 +17,7 @@ experiments involved 10000 transactions which were run to completion."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.workloads.programs import WorkloadItem, WorkloadKind, entangled_program

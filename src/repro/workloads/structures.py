@@ -25,7 +25,6 @@ comparable with the travel workloads.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.workloads.programs import DEFAULT_TIMEOUT, WorkloadItem, WorkloadKind

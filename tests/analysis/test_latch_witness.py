@@ -1,0 +1,240 @@
+"""The runtime lock-order witness (repro.analysis.latch).
+
+Self-tests for the lockdep machinery itself: cycle detection, rank
+enforcement, ordered-peer discipline, re-entrancy, the no-block rule,
+and — just as important — that a disabled witness records nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import latch as latchmod
+from repro.analysis.latch import (
+    LATTICE,
+    Latch,
+    LatchError,
+    LatchOrderError,
+    allow_blocking,
+    assert_may_block,
+    disable_lockdep,
+    enable_lockdep,
+    latch_condition,
+    lockdep_edges,
+    lockdep_enabled,
+    reset_lockdep,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_witness():
+    """Every test starts with lockdep ON and an empty graph, and leaves
+    the process-wide witness the way the suite's environment had it."""
+    was_enabled = lockdep_enabled()
+    reset_lockdep()
+    enable_lockdep()
+    yield
+    reset_lockdep()
+    if was_enabled:
+        enable_lockdep()
+    else:
+        disable_lockdep()
+
+
+def test_unknown_latch_name_is_rejected():
+    with pytest.raises(LatchError, match="unknown latch name"):
+        Latch("made-up-latch")
+
+
+def test_rank_order_is_allowed_and_recorded():
+    low = Latch("commit-funnel")
+    high = Latch("wal")
+    with low:
+        with high:
+            pass
+    assert "wal" in lockdep_edges().get("commit-funnel", set())
+
+
+def test_rank_inversion_raises_immediately():
+    low = Latch("commit-funnel")
+    high = Latch("wal")
+    with high:
+        with pytest.raises(LatchOrderError, match="lattice inversion"):
+            low.acquire()
+    # The held stack unwound cleanly: the same order taken apart works.
+    with low:
+        pass
+    with high:
+        pass
+
+
+def test_synthetic_graph_cycle_raises():
+    """A→B then B→A through the acquisition-order *graph* itself.
+
+    In the shipped lattice every recorded edge increases rank, so the
+    graph is a DAG by construction and the cycle detector is the last
+    line of defense (it would fire if the rank table were ever edited
+    into an ambiguity).  Drive the graph engine directly: observe
+    oracle→wal, then closing wal→oracle must raise with the cycle path
+    in the message."""
+    witness = latchmod._Witness()
+    witness.enabled = True
+    a = Latch("oracle")
+    b = Latch("wal")
+    witness._record_edges([latchmod._Held(a)], b)   # oracle -> wal
+    assert witness._reaches("oracle", "wal")
+    with pytest.raises(LatchOrderError, match="lock-order cycle"):
+        witness._record_edges([latchmod._Held(b)], a)  # closes the cycle
+
+
+def test_ordered_peers_allow_instance_order_only():
+    """Per-shard engine mutexes: creation order is the legal order."""
+    shard0 = Latch("engine-mutex", ordered=True)
+    shard1 = Latch("engine-mutex", ordered=True)
+    with shard0:
+        with shard1:   # ascending instance order: fine
+            pass
+    with shard1:
+        with pytest.raises(LatchOrderError, match="instance order"):
+            shard0.acquire()
+
+
+def test_unordered_same_name_peers_never_nest():
+    a = Latch("wal")
+    b = Latch("wal")
+    with a:
+        with pytest.raises(LatchOrderError):
+            b.acquire()
+
+
+def test_cross_thread_inversion_detected_without_deadlock():
+    """Thread 1 nests shard0→shard1; thread 2 then tries shard1→shard0.
+    The witness must raise on thread 2's second acquire — *before* it
+    blocks — instead of letting the process deadlock."""
+    shard0 = Latch("engine-mutex", ordered=True)
+    shard1 = Latch("engine-mutex", ordered=True)
+
+    with shard0:
+        with shard1:
+            pass
+
+    outcomes: list[BaseException] = []
+
+    def reversed_order():
+        try:
+            with shard1:
+                try:
+                    shard0.acquire()
+                except LatchOrderError as exc:
+                    outcomes.append(exc)
+                else:  # pragma: no cover - would deadlock instead
+                    shard0.release()
+        except BaseException as exc:  # pragma: no cover - defensive
+            outcomes.append(exc)
+
+    t = threading.Thread(target=reversed_order)
+    t.start()
+    t.join(timeout=10)
+    assert not t.is_alive(), "witness failed to prevent the deadlock"
+    assert len(outcomes) == 1
+    assert isinstance(outcomes[0], LatchOrderError)
+
+
+def test_reentrant_same_latch_is_allowed():
+    m = Latch("engine-mutex")
+    with m:
+        with m:
+            with m:
+                pass
+    # Fully released: another thread-order check starts from scratch.
+    with m:
+        pass
+
+
+def test_nonreentrant_latch_condition_roundtrip():
+    cond = latch_condition("answer-cond")
+    with cond:
+        cond.notify_all()
+    # A second acquire cycle must work (the witness popped the release).
+    with cond:
+        pass
+
+
+def test_condition_wait_releases_the_witness_stack():
+    """While a waiter sleeps in ``Condition.wait`` the latch is *not*
+    held — a notifier thread must pass the witness check and acquire
+    it without tripping the same-name peer rule."""
+    cond = latch_condition("answer-cond")
+    woke = threading.Event()
+
+    def waiter():
+        with cond:
+            cond.wait(timeout=10)
+            woke.set()
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    # Let the waiter reach wait(); then notify from this thread.
+    for _ in range(1000):
+        if t.is_alive():
+            break
+    acquired = cond.acquire(timeout=10)
+    assert acquired
+    try:
+        cond.notify_all()
+    finally:
+        cond.release()
+    t.join(timeout=10)
+    assert not t.is_alive()
+
+
+def test_disabled_witness_records_no_edges():
+    disable_lockdep()
+    low = Latch("commit-funnel")
+    high = Latch("wal")
+    with low:
+        with high:
+            pass
+    assert lockdep_edges() == {}
+    # Even a rank inversion passes silently when disabled — zero
+    # overhead means zero checking.
+    with high:
+        low.acquire()
+        low.release()
+
+
+def test_no_block_latch_rejects_blocking_operation():
+    funnel = Latch("commit-funnel")
+    with funnel:
+        with pytest.raises(LatchOrderError, match="no-block"):
+            assert_may_block("wal-flush")
+
+
+def test_allow_blocking_waives_with_justification():
+    funnel = Latch("commit-funnel")
+    with funnel:
+        with allow_blocking("test fixture: deliberate quiescent flush"):
+            assert_may_block("wal-flush")
+        # The waiver ends with its scope.
+        with pytest.raises(LatchOrderError, match="no-block"):
+            assert_may_block("wal-flush")
+
+
+def test_allow_blocking_requires_reason():
+    with pytest.raises(LatchError, match="justification"):
+        with allow_blocking("   "):
+            pass
+
+
+def test_blocking_outside_no_block_latch_is_fine():
+    with Latch("wal"):
+        assert_may_block("wal-flush")
+
+
+def test_lattice_ranks_are_unique_and_funnel_is_no_block():
+    ranks = list(LATTICE.values())
+    assert len(ranks) == len(set(ranks))
+    assert Latch("commit-funnel").no_block
+    assert not Latch("wal").no_block

@@ -1,0 +1,252 @@
+"""The static latch-discipline checker (repro.analysis.latchlint).
+
+Each rule gets a minimal synthetic module that violates it (and a twin
+that does not), driven through :func:`repro.analysis.latchlint.run`
+exactly as the CLI would.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.latchlint import load_waivers, main, run
+
+
+def lint(tmp_path, source: str, waivers: str = ""):
+    """Lint one synthetic module rooted under a ``src/`` dir (so the
+    checker's repo-relative paths resolve the same way as in-tree)."""
+    srcdir = tmp_path / "src" / "demo"
+    srcdir.mkdir(parents=True, exist_ok=True)
+    mod = srcdir / "mod.py"
+    mod.write_text(textwrap.dedent(source))
+    wpath = tmp_path / "demo.waivers"
+    wpath.write_text(waivers)
+    return run([mod], wpath)
+
+
+def codes(violations) -> list[str]:
+    return [v.code for v in violations]
+
+
+def test_clean_module_passes(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch
+
+        class Thing:
+            def __init__(self):
+                self.funnel = Latch("commit-funnel")
+                self.wal_mutex = Latch("wal")
+
+            def fine(self):
+                with self.funnel:
+                    with self.wal_mutex:
+                        return 1
+        """,
+    )
+    assert violations == []
+
+
+def test_ll001_bare_threading_lock(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        import threading
+
+        guard = threading.Lock()
+        """,
+    )
+    assert codes(violations) == ["LL001"]
+    assert violations[0].target == "demo/mod.py::-"
+
+
+def test_ll002_rank_inversion_in_nested_with(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch
+
+        class Thing:
+            def __init__(self):
+                self.funnel = Latch("commit-funnel")
+                self.wal_mutex = Latch("wal")
+
+            def inverted(self):
+                with self.wal_mutex:
+                    with self.funnel:
+                        pass
+        """,
+    )
+    assert codes(violations) == ["LL002"]
+    assert "Thing.inverted" in violations[0].target
+
+
+def test_ll003_blocking_call_under_commit_funnel(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch
+
+        class Coordinator:
+            def __init__(self, wal):
+                self.funnel = Latch("commit-funnel")
+                self.wal = wal
+
+            def bad(self):
+                with self.funnel:
+                    self.wal.flush()
+        """,
+    )
+    assert "LL003" in codes(violations)
+
+
+def test_ll003_allow_blocking_literal_waives(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch, allow_blocking
+
+        class Coordinator:
+            def __init__(self, wal):
+                self.funnel = Latch("commit-funnel")
+                self.wal = wal
+
+            def checkpointish(self):
+                with self.funnel:
+                    with allow_blocking("quiescent cut needs the flush inside"):
+                        self.wal.flush()
+        """,
+    )
+    assert violations == []
+
+
+def test_ll003_allow_blocking_demands_literal_reason(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch, allow_blocking
+
+        class Coordinator:
+            def __init__(self, wal, why):
+                self.funnel = Latch("commit-funnel")
+                self.wal = wal
+                self.why = why
+
+            def sneaky(self):
+                with self.funnel:
+                    with allow_blocking(self.why):
+                        self.wal.flush()
+        """,
+    )
+    assert "LL003" in codes(violations)
+
+
+def test_ll004_public_engine_entry_must_latch(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch
+
+        class StorageEngine:
+            def __init__(self):
+                self.mutex = Latch("engine-mutex")
+
+            def unguarded(self):
+                return 1
+
+            def guarded(self):
+                with self.mutex:
+                    return 2
+
+            def _private_is_exempt(self):
+                return 3
+        """,
+    )
+    assert codes(violations) == ["LL004"]
+    assert "StorageEngine.unguarded" in violations[0].target
+
+
+def test_ll005_guarded_field_written_outside_latch(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        from repro.analysis.latch import Latch
+
+        class Registry:
+            _GUARDED_FIELDS = {"_items": "commit-funnel"}
+
+            def __init__(self):
+                self.funnel = Latch("commit-funnel")
+                self._items = []
+
+            def bad_add(self, item):
+                self._items.append(item)
+
+            def good_add(self, item):
+                with self.funnel:
+                    self._items.append(item)
+        """,
+    )
+    assert codes(violations) == ["LL005"]
+    assert "Registry.bad_add" in violations[0].target
+
+
+def test_waiver_suppresses_and_unused_waiver_reported(tmp_path):
+    source = """
+        import threading
+
+        guard = threading.Lock()
+    """
+    violations, waivers = lint(
+        tmp_path,
+        source,
+        waivers=(
+            "LL001 demo/mod.py::- -- synthetic fixture lock\n"
+            "LL002 demo/other.py::Gone.method -- stale entry\n"
+        ),
+    )
+    assert violations == []
+    used = {w.target: w.used for w in waivers}
+    assert used["demo/mod.py::-"] is True
+    assert used["demo/other.py::Gone.method"] is False
+
+
+def test_waiver_without_justification_is_fatal(tmp_path):
+    wpath = tmp_path / "bad.waivers"
+    wpath.write_text("LL001 demo/mod.py::- --\n")
+    with pytest.raises(SystemExit, match="justification"):
+        load_waivers(wpath)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    srcdir = tmp_path / "src" / "demo"
+    srcdir.mkdir(parents=True)
+    clean = srcdir / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = srcdir / "dirty.py"
+    dirty.write_text("import threading\nlock = threading.Lock()\n")
+    empty_waivers = tmp_path / "w"
+    empty_waivers.write_text("")
+
+    assert main([str(clean), "--waivers", str(empty_waivers)]) == 0
+    assert "latchlint: OK" in capsys.readouterr().out
+
+    assert main([str(dirty), "--waivers", str(empty_waivers)]) == 1
+    assert "LL001" in capsys.readouterr().out
+
+
+def test_the_real_tree_is_clean():
+    """The acceptance criterion, as a regression test: the shipped
+    source tree lints clean with the shipped waiver file."""
+    from pathlib import Path
+
+    import repro
+
+    src = Path(repro.__file__).resolve().parent
+    waivers = src / "analysis" / "latchlint.waivers"
+    violations, loaded = run([src], waivers)
+    assert violations == [], [v.render() for v in violations]
+    assert all(w.used for w in loaded)

@@ -10,7 +10,6 @@ from repro.workloads import (
     TravelDatabase,
     example_schema,
     figure1_rows,
-    travel_schema,
 )
 
 

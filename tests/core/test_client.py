@@ -6,7 +6,6 @@ from __future__ import annotations
 
 import pytest
 
-import repro
 from repro import (
     ColumnType,
     EngineConfig,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     ArrivalCountPolicy,
-    EngineConfig,
     GroupTracker,
     ManualPolicy,
     TimeIntervalPolicy,

@@ -3,19 +3,17 @@
 Includes the Figure 4 walk-through as an executable test.
 """
 
-import pytest
 
 from repro.core import (
     ArrivalCountPolicy,
     EmptyAnswerPolicy,
     EngineConfig,
-    EntangledTransactionEngine,
     IsolationConfig,
     TxnPhase,
     Youtopia,
 )
 from repro.model import find_widowed_transactions, is_entangled_isolated
-from repro.storage import ColumnType, StorageEngine, TableSchema
+from repro.storage import ColumnType, TableSchema
 from repro.workloads import example_schema, figure1_rows
 
 

@@ -27,7 +27,6 @@ from repro.core.engine import (
 from repro.core.executor import ExecutorClosed, ShardExecutor
 from repro.core.policies import ManualPolicy
 from repro.core.recorder import ScheduleRecorder
-from repro.core.transaction import TxnPhase
 from repro.errors import (
     DeadlockError,
     SerializationFailureError,
@@ -39,7 +38,6 @@ from repro.model.serializability import find_serialization_order
 from repro.storage import (
     ColumnType,
     ShardedStorageEngine,
-    StorageEngine,
     TableSchema,
     TxnIsolation,
 )

@@ -8,7 +8,6 @@ schedules remain entangled-isolated — the model-layer oracle certifies no
 new anomalies were admitted in exchange for the throughput.
 """
 
-import pytest
 
 from repro.core import EngineConfig, IsolationConfig, Youtopia
 from repro.model import IsolationLevel, check_isolation

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.core.interactive import (
-    InteractiveBroker,
-    SessionState,
-    StatementResult,
-)
+from repro.core.interactive import InteractiveBroker, SessionState
 from repro.errors import MiddlewareError
 from repro.storage import ColumnType, StorageEngine, TableSchema
 

@@ -5,9 +5,8 @@ paper's own workloads avoid (see DESIGN.md "Known behaviors"); the tests
 pin them so a change in behavior is noticed and re-documented.
 """
 
-import pytest
 
-from repro.core import EngineConfig, TxnPhase, Youtopia
+from repro.core import Youtopia
 from repro.storage import ColumnType, TableSchema
 
 

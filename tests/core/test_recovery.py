@@ -5,14 +5,8 @@ manages to commit prior to a crash, both must be rolled back during
 recovery."
 """
 
-import pytest
 
-from repro.core import (
-    EngineConfig,
-    TxnPhase,
-    Youtopia,
-    find_partial_groups,
-)
+from repro.core import EngineConfig, Youtopia, find_partial_groups
 from repro.storage import ColumnType, TableSchema
 from repro.storage.wal import LogRecordType
 from repro.workloads import example_schema, figure1_rows

@@ -1,0 +1,122 @@
+"""RetryPolicy: jittered exponential backoff for shed work.
+
+Covers the arithmetic (growth, cap, jitter window, ``retry_after``
+floor), the validation, and the traffic harness's retry-instead-of-drop
+driver mode.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import RetryPolicy
+from repro.bench.traffic import poisson_arrivals, run_traffic_point
+from repro.client import AdmissionConfig
+from repro.errors import MiddlewareError, OverloadError
+from repro.workloads.payments import PaymentLedger
+
+
+class FixedRandom:
+    """A stand-in rng whose ``random()`` always returns one value."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def random(self) -> float:
+        return self.value
+
+
+def test_backoff_grows_exponentially_without_jitter():
+    policy = RetryPolicy(
+        base_backoff=0.1, multiplier=2.0, max_backoff=10.0, jitter=0.0
+    )
+    delays = [policy.delay_for(a) for a in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.4, 0.8]
+
+
+def test_backoff_is_capped():
+    policy = RetryPolicy(
+        base_backoff=0.1, multiplier=10.0, max_backoff=0.5, jitter=0.0
+    )
+    assert policy.delay_for(5) == 0.5
+
+
+def test_jitter_window_and_floor():
+    policy = RetryPolicy(base_backoff=1.0, multiplier=1.0, jitter=0.5)
+    # draw = 1.0 -> lowest point of the window: backoff * (1 - jitter)
+    assert policy.delay_for(1, rng=FixedRandom(1.0)) == pytest.approx(0.5)
+    # draw = 0.0 -> the full backoff
+    assert policy.delay_for(1, rng=FixedRandom(0.0)) == pytest.approx(1.0)
+    # Sampled draws always land inside [0.5, 1.0].
+    rng = random.Random(42)
+    for _ in range(200):
+        assert 0.5 <= policy.delay_for(1, rng=rng) <= 1.0
+
+
+def test_retry_after_hint_is_a_floor():
+    policy = RetryPolicy(base_backoff=0.01, multiplier=2.0, jitter=0.0)
+    slow = OverloadError("x", reason="rate-limit", retry_after=3.0)
+    assert policy.delay_for(1, slow) == 3.0
+    fast = OverloadError("x", reason="rate-limit", retry_after=0.001)
+    assert policy.delay_for(1, fast) == pytest.approx(0.01)
+
+
+def test_attempt_budget():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(1)
+    assert policy.should_retry(2)
+    assert not policy.should_retry(3)
+
+
+def test_validation():
+    with pytest.raises(MiddlewareError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(MiddlewareError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(MiddlewareError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(MiddlewareError):
+        RetryPolicy(base_backoff=-1.0)
+    with pytest.raises(MiddlewareError):
+        policy = RetryPolicy()
+        policy.delay_for(0)
+
+
+def test_traffic_harness_retries_instead_of_dropping():
+    """Same overloaded schedule, drop-on-shed vs. retry: retrying must
+    convert sheds into commits (and record its own bookkeeping)."""
+    arrivals = poisson_arrivals(400.0, 80, seed=3)
+    admission = AdmissionConfig(max_queue_depth=4)
+
+    drop = run_traffic_point(
+        PaymentLedger(n_accounts=64), arrivals, deadline=0.5,
+        admission=admission,
+    )
+    retry = run_traffic_point(
+        PaymentLedger(n_accounts=64), arrivals, deadline=0.5,
+        admission=admission, retry=RetryPolicy(),
+    )
+
+    assert drop.retried == 0 and drop.exhausted == 0
+    assert retry.retried > 0
+    assert retry.committed > drop.committed
+    # Conservation: every arrival either committed, aborted, or ran out
+    # of retry budget — nothing silently vanishes.
+    assert retry.committed + retry.aborted + retry.exhausted == len(arrivals)
+    assert drop.committed + drop.aborted + drop.shed == len(arrivals)
+
+
+def test_traffic_retry_is_deterministic():
+    arrivals = poisson_arrivals(300.0, 40, seed=9)
+    kwargs = dict(
+        deadline=0.5,
+        admission=AdmissionConfig(max_queue_depth=4),
+        retry=RetryPolicy(),
+    )
+    a = run_traffic_point(PaymentLedger(n_accounts=32), arrivals, **kwargs)
+    b = run_traffic_point(PaymentLedger(n_accounts=32), arrivals, **kwargs)
+    assert (a.committed, a.shed, a.retried, a.exhausted) == (
+        b.committed, b.shed, b.retried, b.exhausted
+    )

@@ -7,7 +7,6 @@ oracle-serializable.  This is the strongest end-to-end guarantee the
 paper makes, checked mechanically.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,8 +4,6 @@ The Figure 3 scenarios are encoded exactly: (a) the widowed transaction,
 (b) Donald's write making Mickey's quasi-read unrepeatable.
 """
 
-import networkx as nx
-import pytest
 
 from repro.model import (
     A,
@@ -21,7 +19,6 @@ from repro.model import (
     conflict_edges,
     conflict_graph,
     find_all_anomalies,
-    find_conflict_cycles,
     find_cycle,
     find_dirty_reads,
     find_read_from_aborted,

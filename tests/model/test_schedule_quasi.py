@@ -11,7 +11,6 @@ from repro.model import (
     OpKind,
     R,
     RG,
-    RQ,
     Schedule,
     W,
     expand_quasi_reads,

@@ -12,7 +12,7 @@ from repro.sql import (
     compile_update,
     parse_statement,
 )
-from repro.storage import ColumnType, Database, TableSchema, evaluate
+from repro.storage import ColumnType, TableSchema, evaluate
 
 
 @pytest.fixture

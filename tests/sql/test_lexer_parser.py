@@ -7,7 +7,6 @@ from repro.sql import (
     DeleteStmt,
     EntangledSelectStmt,
     InAnswer,
-    InSelect,
     InsertStmt,
     RollbackStmt,
     SelectStmt,
@@ -19,7 +18,7 @@ from repro.sql import (
     tokenize,
 )
 from repro.sql.tokens import TokenType
-from repro.storage.expressions import Arith, Cmp, CmpOp, Col, Const, InList, Not
+from repro.storage.expressions import Arith, Cmp, Col, Const, InList, Not
 
 
 class TestLexer:

@@ -10,7 +10,6 @@ from repro.sql import (
     unparse_statement,
     unparse_transaction,
 )
-from repro.sql.ast import TransactionProgram
 
 
 EXAMPLES = [

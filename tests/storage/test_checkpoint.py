@@ -7,7 +7,6 @@ newest durable image and replays only the log suffix.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.storage import (
     ColumnType,

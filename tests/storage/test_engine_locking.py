@@ -15,7 +15,6 @@ from repro.storage import (
     Col,
     ColumnType,
     Const,
-    Database,
     LockGranularity,
     LockMode,
     SPJQuery,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import DeadlockError, TransactionStateError
 from repro.storage import (
     ColumnType,
-    Database,
     LogRecordType,
     StorageEngine,
     TableSchema,
@@ -13,7 +12,6 @@ from repro.storage import (
     WouldBlock,
     recover,
 )
-from repro.storage.locks import LockMode, table_resource
 
 
 @pytest.fixture

@@ -8,12 +8,9 @@ from repro.storage import (
     CmpOp,
     Col,
     Const,
-    Database,
     ReadAccess,
     SPJQuery,
     TableRef,
-    TableSchema,
-    ColumnType,
     And,
     equality_bindings,
     evaluate,

@@ -12,7 +12,6 @@ of what each table should contain.  Invariants:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -24,7 +23,7 @@ from hypothesis.stateful import (
 )
 
 from repro.errors import DuplicateKeyError
-from repro.storage import ColumnType, StorageEngine, TableSchema, TxnStatus
+from repro.storage import ColumnType, StorageEngine, TableSchema
 from repro.storage.recovery import recover
 
 KEYS = list(range(8))

@@ -9,7 +9,6 @@ import pytest
 
 from repro.bench.traffic import (
     ARMS,
-    TrafficPoint,
     bursty_arrivals,
     calibrate,
     check_traffic_shapes,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import WorkloadError
 from repro.sql import parse_transaction
 from repro.sql.ast import EntangledSelectStmt
-from repro.storage import StorageEngine
 from repro.workloads import (
     AIRPORTS,
     SocialNetwork,
