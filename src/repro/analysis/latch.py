@@ -17,11 +17,14 @@ the declared latch order (outermost first)::
     lock-manager         40   transaction-lock tables + waits-for graph
     oracle               50 ┐
     ssi-tracker          51 │
-    wal                  52 │ leaf latches: never held across a call
-    schedule-recorder    53 │ into another subsystem
-    shard-meta           54 │
+    wal                  52 │
+    schedule-recorder    53 │ leaf latches: never held across a call
+    shard-meta           54 │ into another subsystem
     run-report           55 │
-    executor-pending     56 ┘
+    executor-pending     56 │
+    deadlock-probe       57 ┘
+    transport-state      58   coordinator RPC pending-table (process mode)
+    transport-send       59   per-connection frame-write pipeline
     answer-cond          60   client-side answer condvar (innermost)
 
 With ``REPRO_LOCKDEP=1`` (or after :func:`enable_lockdep`), every
@@ -84,6 +87,9 @@ LATTICE: dict[str, int] = {
     "shard-meta": 54,
     "run-report": 55,
     "executor-pending": 56,
+    "deadlock-probe": 57,
+    "transport-state": 58,
+    "transport-send": 59,
     "answer-cond": 60,
 }
 

@@ -5,10 +5,14 @@ same lattice the runtime witness (:mod:`repro.analysis.latch`) checks
 at run time:
 
 ``LL001`` bare-lock construction
-    ``threading.Lock()/RLock()/Condition()/Semaphore()`` may only be
-    constructed inside the named-latch registry itself
-    (``analysis/latch.py``).  Everything else must use :class:`Latch`
-    or :func:`latch_condition`, so every lock has a name and a rank.
+    ``threading.Lock()/RLock()/Condition()/Semaphore()`` — and their
+    ``multiprocessing`` twins — may only be constructed inside the
+    named-latch registry itself (``analysis/latch.py``).  Everything
+    else must use :class:`Latch` or :func:`latch_condition`, so every
+    lock has a name and a rank.  The process-mode coordinator's
+    transport latches are ordinary named latches; worker processes
+    each run their own witness, so no cross-process primitive is ever
+    needed.
 
 ``LL002`` lattice order
     Nested ``with``-acquisitions inside one function must follow the
@@ -62,6 +66,10 @@ from repro.analysis.latch import LATTICE, NO_BLOCK_LATCHES
 
 #: threading constructors that create an (unnamed) latch.
 _BARE_LOCKS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: modules whose lock constructors are banned outside the registry:
+#: ``threading`` and ``multiprocessing`` (commonly aliased ``mp``).
+_BARE_LOCK_MODULES = {"threading", "multiprocessing", "mp"}
 
 #: method names that (may) block the calling thread.
 _BLOCKING_NAMES = {"flush", "sleep", "wait", "block", "join"}
@@ -310,16 +318,25 @@ class ModuleChecker:
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            bare = (
-                isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "threading"
-                and func.attr in _BARE_LOCKS
-            )
-            if bare:
+            module = None
+            if isinstance(func, ast.Attribute) and func.attr in _BARE_LOCKS:
+                # threading.Lock() / multiprocessing.RLock() / mp.Lock()
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in _BARE_LOCK_MODULES
+                ):
+                    module = func.value.id
+                # mp_context.Lock() via multiprocessing.get_context(...)
+                elif (
+                    isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Attribute)
+                    and func.value.func.attr == "get_context"
+                ):
+                    module = "multiprocessing"
+            if module is not None:
                 self._emit(
                     "LL001", node, "-",
-                    f"bare threading.{func.attr}() outside the named-latch "
+                    f"bare {module}.{func.attr}() outside the named-latch "
                     f"registry; use repro.analysis.latch.Latch (or "
                     f"latch_condition) so the lock has a name and rank",
                 )

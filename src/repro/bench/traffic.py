@@ -27,9 +27,19 @@ The curves this produces are the classic open-workload story:
   excess arrivals bounce before touching storage and the admitted
   remainder still commits in time: goodput *plateaus* at capacity.
 
-Two scenario arms ride the harness: the low-contention payment ledger
-with temporal queries (:class:`repro.workloads.PaymentLedger`) and the
-hot-row flash-sale storm (:class:`repro.workloads.FlashSale`).
+Three scenario arms ride the harness: the low-contention payment ledger
+with temporal queries (:class:`repro.workloads.PaymentLedger`), the
+hot-row flash-sale storm (:class:`repro.workloads.FlashSale`), and the
+write-amplified social-feed fanout
+(:class:`repro.workloads.SocialFeed`) over a sharded engine, where each
+post's timeline inserts spread across shards inside one transaction.
+
+Each (arm, load) point is measured three ways: without admission
+control, with shedding, and with shedding under ``SERIALIZABLE``
+isolation.  The serializable pass also reports SSI precision — what
+share of its SSI aborts were *unproven* pivots
+(``pivot_aborts_unproven``: the dangerous structure was never shown
+complete) — per offered-load point.
 
 Run as a script::
 
@@ -54,6 +64,7 @@ from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.metrics import LatencySummary, Measurements
 from repro.workloads.flashsale import FlashSale
 from repro.workloads.payments import PaymentLedger
+from repro.workloads.socialfeed import SocialFeed
 
 #: connection slots for the traffic engine.  Deliberately far below the
 #: Figure-6 default of 100: capacity must be reachable by the arrival
@@ -177,6 +188,10 @@ class TrafficPoint:
     runs: int = 0
     latency: "LatencySummary | None" = None
     latencies: list[float] = field(default_factory=list, repr=False)
+    #: SSI tracker counters (meaningful under SERIALIZABLE; zero else).
+    pivot_aborts: int = 0
+    conservative_aborts: int = 0
+    unproven_pivot_aborts: int = 0
 
     @property
     def goodput(self) -> float:
@@ -191,6 +206,17 @@ class TrafficPoint:
     def shed_share(self) -> float:
         total = self.committed + self.shed + self.aborted
         return self.shed / total if total else 0.0
+
+    @property
+    def ssi_aborts(self) -> int:
+        """Total SSI validation aborts (pivots plus conservative)."""
+        return self.pivot_aborts + self.conservative_aborts
+
+    @property
+    def unproven_share(self) -> float:
+        """``pivot_aborts_unproven`` as a share of all SSI aborts."""
+        return (self.unproven_pivot_aborts / self.ssi_aborts
+                if self.ssi_aborts else 0.0)
 
     def as_dict(self) -> dict:
         return {
@@ -207,6 +233,11 @@ class TrafficPoint:
             "makespan": self.makespan,
             "runs": self.runs,
             "latency": self.latency.as_dict() if self.latency else None,
+            "ssi_aborts": self.ssi_aborts,
+            "pivot_aborts": self.pivot_aborts,
+            "conservative_aborts": self.conservative_aborts,
+            "unproven_pivot_aborts": self.unproven_pivot_aborts,
+            "unproven_share": self.unproven_share,
         }
 
 
@@ -218,6 +249,8 @@ def run_traffic_point(
     admission: "AdmissionConfig | None" = None,
     retry: "RetryPolicy | None" = None,
     connections: int = TRAFFIC_CONNECTIONS,
+    isolation: str = "full",
+    shards: int = 1,
     max_runs: int = 100_000,
     retry_seed: int = 0x5EED,
 ) -> TrafficPoint:
@@ -239,6 +272,14 @@ def run_traffic_point(
     intended arrival instant, so a retried commit pays its backoff in
     full — retries trade sheds for lateness, which is exactly the
     trade-off worth measuring.
+
+    ``isolation`` is the engine-level isolation (``"full"``,
+    ``"snapshot"``, ``"serializable"``, ...); under ``"serializable"``
+    the point also captures the SSI tracker's abort counters —
+    ``pivot_aborts``, ``conservative_aborts`` and the unproven-pivot
+    count whose share of total SSI aborts measures validation
+    precision.  ``shards > 1`` drives the schedule through a sharded
+    engine (the fanout arms' cross-shard commit path).
     """
     if not arrivals:
         raise WorkloadError("no arrivals to drive")
@@ -248,6 +289,8 @@ def run_traffic_point(
     offered = len(arrivals) / horizon if horizon > 0 else float("inf")
 
     db = connect(
+        shards=shards,
+        isolation=isolation,
         config=EngineConfig(connections=connections),
         costs=DEFAULT_COSTS,
         admission=admission,
@@ -338,6 +381,15 @@ def run_traffic_point(
         point.makespan = max(db.clock.now - start, horizon)
         if point.latencies:
             point.latency = LatencySummary.of(point.latencies)
+        # Fresh engine per point, so cumulative tracker counters are
+        # exactly this point's counts.
+        ssi_stats = db.engine.store.ssi.stats
+        point.pivot_aborts = ssi_stats["pivot_aborts"]
+        point.conservative_aborts = ssi_stats["conservative_aborts"]
+        point.unproven_pivot_aborts = ssi_stats["pivot_aborts_unproven"]
+        verify = getattr(scenario, "verify", None)
+        if verify is not None:
+            verify(db)
     finally:
         db.close()
     return point
@@ -351,6 +403,7 @@ def calibrate(
     *,
     waves: int = 25,
     connections: int = TRAFFIC_CONNECTIONS,
+    shards: int = 1,
 ) -> float:
     """Closed-loop service rate μ (commits per virtual second).
 
@@ -367,7 +420,9 @@ def calibrate(
     """
     scenario = make_scenario()
     db = connect(
-        config=EngineConfig(connections=connections), costs=DEFAULT_COSTS
+        shards=shards,
+        config=EngineConfig(connections=connections),
+        costs=DEFAULT_COSTS,
     )
     try:
         scenario.install(db)
@@ -397,6 +452,7 @@ ARMS = {
         # Low contention: the default bound keeps full-pool queueing
         # delay inside the deadline.
         "queue_depth": DEFAULT_QUEUE_DEPTH,
+        "shards": 1,
     },
     "flash-sale": {
         "make": lambda: FlashSale(n_hot=4),
@@ -405,6 +461,18 @@ ARMS = {
         # queueing delay; halve it to keep admitted work timely during
         # bursts.
         "queue_depth": 8,
+        "shards": 1,
+    },
+    "social-feed": {
+        "make": lambda: SocialFeed(n_users=64, fanout=8, read_share=0.5),
+        "schedule": poisson_arrivals,
+        # Fanout writes make each post several times heavier than a
+        # transfer; a shallower queue keeps admitted posts timely.
+        "queue_depth": 8,
+        # The point of the arm: each post's timeline inserts spread
+        # across shards, so the cross-shard commit path carries the
+        # steady-state write load.
+        "shards": 4,
     },
 }
 
@@ -424,9 +492,11 @@ def run(
 
     Returns ``{arm: {table: Measurements}}`` — the shape
     :func:`repro.bench.contention.results_to_json` serializes.  Each
-    arm gets three tables: ``goodput`` (offered vs. goodput for the
-    no-admission and admission arms), ``latency`` (p50/p95/p99 with
-    admission), and ``admission`` (shed share, throughput).
+    arm gets four tables: ``goodput`` (offered vs. goodput for the
+    no-admission, admission and serializable-with-admission arms),
+    ``latency`` (p50/p95/p99 with admission), ``admission`` (shed
+    share, throughput), and ``ssi_precision`` (the serializable pass's
+    SSI aborts and the unproven-pivot share of them, per load point).
 
     ``queue_depth`` overrides every arm's dormant-pool bound; the
     default (``None``) uses each arm's own (contention-tuned) depth
@@ -443,7 +513,8 @@ def run(
     for arm_name in arms or tuple(ARMS):
         arm = ARMS[arm_name]
         depth = queue_depth if queue_depth is not None else arm["queue_depth"]
-        mu = calibrate(arm["make"])
+        arm_shards = arm.get("shards", 1)
+        mu = calibrate(arm["make"], shards=arm_shards)
         if verbose:
             print(f"[{arm_name}] calibrated service rate μ = {mu:.1f}/s")
 
@@ -462,20 +533,38 @@ def run(
             x_label="offered (fraction of μ)",
             y_label="share / rate",
         )
+        precision = Measurements(
+            experiment=f"{arm_name}: SSI precision vs offered load "
+                       f"(serializable, with shedding)",
+            x_label="offered (fraction of μ)",
+            y_label="count / share",
+        )
 
         for factor in load_factors:
             rate = mu * factor
             arrivals = arm["schedule"](rate, n_arrivals, seed=seed)
             unshed = run_traffic_point(
-                arm["make"](), arrivals, deadline=deadline)
+                arm["make"](), arrivals, deadline=deadline,
+                shards=arm_shards)
             shed = run_traffic_point(
                 arm["make"](), arrivals, deadline=deadline,
                 admission=AdmissionConfig(max_queue_depth=depth),
-                retry=retry)
+                retry=retry, shards=arm_shards)
+            strict = run_traffic_point(
+                arm["make"](), arrivals, deadline=deadline,
+                admission=AdmissionConfig(max_queue_depth=depth),
+                retry=retry, isolation="serializable", shards=arm_shards)
 
             goodput.add("offered", factor, unshed.offered)
             goodput.add("no-admission", factor, unshed.goodput)
             goodput.add("with-shedding", factor, shed.goodput)
+            goodput.add("serializable", factor, strict.goodput)
+            precision.add("ssi-aborts", factor, float(strict.ssi_aborts))
+            precision.add("pivot-aborts", factor, float(strict.pivot_aborts))
+            precision.add(
+                "unproven-pivots", factor,
+                float(strict.unproven_pivot_aborts))
+            precision.add("unproven-share", factor, strict.unproven_share)
             if shed.latency is not None:
                 latency.add("p50", factor, shed.latency.p50)
                 latency.add("p95", factor, shed.latency.p95)
@@ -490,7 +579,10 @@ def run(
                     f"[{arm_name}] {factor:>4}×μ  offered={unshed.offered:7.1f}"
                     f"  goodput: no-adm={unshed.goodput:7.1f}"
                     f"  shed={shed.goodput:7.1f}"
+                    f"  serial={strict.goodput:7.1f}"
                     f"  shed-share={shed.shed_share:.2f}"
+                    f"  ssi-aborts={strict.ssi_aborts}"
+                    f" (unproven {strict.unproven_share:.2f})"
                     f"  p99={shed.latency.p99 if shed.latency else float('nan'):.3f}"
                 )
 
@@ -498,6 +590,7 @@ def run(
             "goodput": goodput,
             "latency": latency,
             "admission": admission_t,
+            "ssi_precision": precision,
         }
     return groups
 
@@ -520,7 +613,12 @@ def check_traffic_shapes(
     * past saturation the shedding arm actually sheds (share > 0);
     * goodput with shedding *plateaus* past saturation — the worst
       post-saturation point keeps at least 70% of the best measured
-      goodput — while the no-admission arm is strictly worse there.
+      goodput — while the no-admission arm is strictly worse there;
+    * the serializable pass commits timely work somewhere on the
+      curve, and its SSI precision numbers are coherent — the unproven-pivot share is
+      a valid ratio in [0, 1] and unproven pivots never exceed total
+      SSI aborts.  (Whether the share is *large* is the measurement,
+      not an assertion.)
     """
     problems: list[str] = []
     for arm, tables in groups.items():
@@ -563,6 +661,27 @@ def check_traffic_shapes(
                 problems.append(
                     f"{arm}: no-admission goodput ({worst_noadm:.1f}) not "
                     f"worse than shedding ({worst_past:.1f}) past saturation")
+
+        if "serializable" in g.series:
+            serial_pts = g.series_named("serializable").points
+            if serial_pts and max(y for _x, y in serial_pts) <= 0.0:
+                problems.append(
+                    f"{arm}: serializable arm never made timely progress")
+
+        precision = tables.get("ssi_precision")
+        if precision is not None and "unproven-share" in precision.series:
+            totals = dict(precision.series_named("ssi-aborts").points)
+            unproven = dict(precision.series_named("unproven-pivots").points)
+            for x, y in precision.series_named("unproven-share").points:
+                if not 0.0 <= y <= 1.0:
+                    problems.append(
+                        f"{arm}: unproven-pivot share {y:.2f} outside "
+                        f"[0, 1] at {x}×μ")
+                if unproven.get(x, 0.0) > totals.get(x, 0.0):
+                    problems.append(
+                        f"{arm}: unproven pivots ({unproven.get(x, 0.0):.0f})"
+                        f" exceed SSI aborts ({totals.get(x, 0.0):.0f}) "
+                        f"at {x}×μ")
     return problems
 
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import os
 import random
 import time
 from typing import Any, Iterable, Sequence
@@ -82,6 +83,7 @@ from repro.storage.engine import StorageEngine, TxnIsolation
 from repro.storage.schema import TableSchema
 from repro.storage.sharding import ShardedStorageEngine, build_storage_engine
 from repro.storage.types import SQLValue
+from repro.transport.process import ProcessShardedStorageEngine
 
 
 @dataclasses.dataclass(frozen=True)
@@ -221,7 +223,7 @@ def connect(
     shards: int = 1,
     isolation: "IsolationConfig | str" = IsolationConfig.FULL,
     durability: "Durability | str" = Durability.WAL,
-    executor: "bool | None" = None,
+    executor: "bool | str | None" = None,
     checkpoint_every: int = 64,
     costs: CostModel | None = None,
     config: EngineConfig | None = None,
@@ -241,10 +243,17 @@ def connect(
     sessions and direct transactions default to the matching
     storage-level :class:`~repro.storage.engine.TxnIsolation`.
 
-    ``executor`` controls the per-shard thread pool; the default
-    (``None``) enables it exactly when the ensemble has more than one
-    shard — the configuration where real threads buy wall-clock
-    scaling.
+    ``executor`` picks the execution mode: ``"serial"`` (or ``False``)
+    runs every shard inline, ``"pool"`` (or ``True``) dispatches onto
+    per-shard worker *threads*, and ``"process"`` runs each shard's
+    complete engine in its own worker *process* behind the message
+    transport (:mod:`repro.transport`) — the mode where CPU-bound
+    transaction processing scales past the GIL.  The default (``None``)
+    picks the thread pool exactly when the ensemble has more than one
+    shard; when connect() is building the ensemble itself, the
+    ``REPRO_EXECUTOR`` environment variable (e.g. ``process``) can
+    override that default — which is how CI re-runs the threaded
+    suites against process-backed shards.
 
     ``config`` (optional) supplies every other engine tunable; its
     ``isolation``/``shards``/``executor`` fields are overridden by the
@@ -260,12 +269,34 @@ def connect(
     if isinstance(durability, str):
         durability = Durability(durability)
 
-    if isinstance(database, (StorageEngine, ShardedStorageEngine)):
+    prebuilt = isinstance(database, (StorageEngine, ShardedStorageEngine))
+    if executor is None and not prebuilt and shards > 1:
+        executor = os.environ.get("REPRO_EXECUTOR") or None
+    process_mode = False
+    if isinstance(executor, str):
+        if executor == "process":
+            process_mode = True
+        elif executor == "pool":
+            executor = True
+        elif executor == "serial":
+            executor = False
+        else:
+            raise MiddlewareError(
+                f"unknown executor mode {executor!r}; expected 'serial', "
+                f"'pool', or 'process'"
+            )
+
+    if prebuilt:
         store = database
         if shards != 1 and shards != store.n_shards:
             raise MiddlewareError(
                 f"connect(shards={shards}) conflicts with the supplied "
                 f"engine's {store.n_shards} shard(s)"
+            )
+        if process_mode and not isinstance(store, ProcessShardedStorageEngine):
+            raise MiddlewareError(
+                "executor='process' cannot adopt an in-process engine; "
+                "pass shards and let connect() build the worker fleet"
             )
     elif isinstance(database, Database):
         if shards != 1:
@@ -273,7 +304,14 @@ def connect(
                 "connect(shards>1) cannot adopt a single Database; pass a "
                 "ShardedStorageEngine or let connect() build one"
             )
+        if process_mode:
+            raise MiddlewareError(
+                "executor='process' cannot adopt a single Database; let "
+                "connect() build the worker fleet"
+            )
         store = StorageEngine(database)
+    elif process_mode:
+        store = ProcessShardedStorageEngine(shards)
     elif shards == 1 and isinstance(database, str):
         store = StorageEngine(Database(database))
     else:
@@ -290,7 +328,11 @@ def connect(
     )
     engine_config.isolation = isolation
     engine_config.shards = store.n_shards
-    engine_config.executor = executor
+    # Process mode still wants the per-shard dispatch threads: they
+    # spend their shard's statement time blocked on the transport
+    # (GIL released), which is what lets N worker processes run
+    # engine code truly in parallel.
+    engine_config.executor = True if process_mode else executor
     engine_config.costs = costs if costs is not None else engine_config.costs
     if admission is not None and admission.max_queue_depth is not None:
         engine_config.max_queue_depth = admission.max_queue_depth
@@ -479,6 +521,11 @@ class Client:
             wal.flush()
         if checkpoint:
             self.store.checkpoint()
+        # Process-backed stores own worker processes; shut the fleet
+        # down after the final flush/checkpoint round-trips.
+        closer = getattr(self.store, "close", None)
+        if closer is not None:
+            closer()
         self._closed = True
 
     def __enter__(self) -> "Client":

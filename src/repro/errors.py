@@ -242,6 +242,22 @@ class OverloadError(EngineError):
 
 
 # ---------------------------------------------------------------------------
+# Transport (process-per-shard execution)
+# ---------------------------------------------------------------------------
+
+
+class TransportError(ReproError):
+    """The shard-worker message transport failed.
+
+    Raised coordinator-side for frame-level faults: a worker process
+    died mid-frame, a response could not be unpickled, or a remote
+    exception could not be mapped back onto the :class:`ReproError`
+    hierarchy.  Engine-level errors raised inside a worker are *not*
+    wrapped in this — they are re-raised as their original classes.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Workloads / bench
 # ---------------------------------------------------------------------------
 

@@ -221,6 +221,56 @@ class LockManager:
                 for waiter, _ in state.queue
             )
 
+    def waits_edges(self) -> dict[int, set[int]]:
+        """A consistent snapshot of the waits-for graph: waiter → blockers.
+
+        The distributed deadlock detector (process-per-shard mode) probes
+        each shard's manager for its local edges and unions them on the
+        coordinator — transaction ids are globally unique across shards,
+        so edges compose without translation, exactly as they do for
+        :meth:`share_waits_for` ensembles.
+        """
+        with self._mutex:
+            return {
+                waiter: set(blockers)
+                for waiter, blockers in self._waits_for.items()
+                if blockers
+            }
+
+    # -- distributed deadlock support ------------------------------------------------
+
+    def cancel_wait(self, txn: int, resource: Resource) -> bool:
+        """Withdraw ``txn``'s queued request on ``resource`` (victim path).
+
+        The coordinator's probe-based deadlock detector chooses a victim
+        *after* the wait is already enqueued in the shard process (the
+        shard-local manager saw no cycle — it only has its half of the
+        edges).  Cancelling removes the queued request and the waiter's
+        outgoing waits-for edges, then promotes any request the removal
+        unblocked.  Counts as a detected deadlock when something was
+        actually withdrawn.  Returns True when a wait was removed.
+        """
+        with self._mutex:
+            state = self._locks.get(resource)
+            removed = False
+            if state is not None:
+                before = len(state.queue)
+                state.queue = [(w, m) for (w, m) in state.queue if w != txn]
+                removed = len(state.queue) != before
+                if not state.holders and not state.queue:
+                    del self._locks[resource]
+            if removed:
+                # Only this resource's wait is withdrawn; with one queued
+                # request per cooperative transaction the waiter has no
+                # other outgoing edges to keep.  Requests queued behind
+                # the withdrawn one are promoted by the next release_all
+                # (which re-scans every resource) — the victim's own
+                # abort at the latest — so the scheduler's wake channel
+                # stays the release path.
+                self._waits_for.pop(txn, None)
+                self.stats["deadlocks"] += 1
+            return removed
+
     # -- acquisition ---------------------------------------------------------------
 
     def acquire(self, txn: int, resource: Resource, mode: LockMode) -> LockOutcome:

@@ -338,11 +338,8 @@ class ShardedSnapshotView:
 
     def _views(self) -> list[SnapshotView]:
         return [
-            SnapshotView(
-                shard.db.table(self._name), self._txn, read_ts,
-                mutex=shard.mutex,
-            )
-            for shard, read_ts in zip(self._engine.shards, self._vector)
+            self._engine._snapshot_view(i, self._name, self._txn, read_ts)
+            for i, read_ts in enumerate(self._vector)
         ]
 
     def __len__(self) -> int:
@@ -357,10 +354,8 @@ class ShardedSnapshotView:
         # home shard (inserts route there; re-routing pk updates migrate
         # the row), so one shard's versioned probe answers exactly.
         home = self._engine.route_key(self._name, key)
-        return SnapshotView(
-            self._engine.shards[home].db.table(self._name),
-            self._txn, self._vector[home],
-            mutex=self._engine.shards[home].mutex,
+        return self._engine._snapshot_view(
+            home, self._name, self._txn, self._vector[home]
         ).lookup_pk(key)
 
     def lookup_index(self, column_names: Sequence[str], key: tuple) -> list[Row]:
@@ -716,6 +711,39 @@ class ShardedStorageEngine:
             ctx.begun.append(shard_idx)
         return shard
 
+    def _snapshot_view(
+        self, shard_idx: int, name: str, txn: int, read_ts: int
+    ) -> SnapshotView:
+        """One shard's versioned view of ``name`` at ``read_ts``.
+
+        The single point where shard-local version chains are read at a
+        vector component — the process-per-shard engine overrides it
+        with a remote view that serves the same probes over the
+        transport (the chains live in the worker process).
+        """
+        shard = self.shards[shard_idx]
+        return SnapshotView(
+            shard.db.table(name), txn, read_ts, mutex=shard.mutex
+        )
+
+    def _prepare_shards(self, ctx: ShardedTxnContext) -> None:
+        """Phase-1 hook: collect the written shards' effects before SSI
+        validation.  In-process shards record writes into the global SSI
+        tracker synchronously (``_record_write``), so the base engine has
+        nothing to do here; the process-per-shard engine overrides this
+        with the prepare round that pulls each worker's write set into
+        the coordinator-resident tracker."""
+        del ctx
+
+    def _recover_shard(
+        self, shard: StorageEngine, demote: set[int]
+    ) -> RecoveryReport:
+        """Replay one shard's WAL (restart recovery).  The process
+        engine overrides this with a recover RPC — single-engine
+        recovery mutates shard internals directly, which only works in
+        the process that owns them."""
+        return recover(shard, demote_to_loser=demote)
+
     def commit(self, txn: int, *, flush: bool = True) -> list[int]:
         """Ordered two-phase commit across the touched shards.
 
@@ -741,6 +769,7 @@ class ShardedStorageEngine:
         ctx = self._context(txn)
         with self._commit_lock:
             written = sorted(ctx.written)
+            self._prepare_shards(ctx)
             self.ssi.on_commit(
                 txn, self._commit_seq + 1 if written else self._commit_seq
             )
@@ -1380,9 +1409,8 @@ class ShardedStorageEngine:
                         txn, table_resource(table_name),
                         LockMode.INTENTION_EXCLUSIVE,
                     )
-                    view = SnapshotView(
-                        shard.db.table(table_name), txn,
-                        ctx.vector[shard_idx], mutex=shard.mutex,
+                    view = self._snapshot_view(
+                        shard_idx, table_name, txn, ctx.vector[shard_idx]
                     )
                     if is_pk:
                         row = view.lookup_pk(key)
@@ -1400,9 +1428,8 @@ class ShardedStorageEngine:
                         txn, table_resource(table_name),
                         LockMode.INTENTION_EXCLUSIVE,
                     )
-                    view = SnapshotView(
-                        shard.db.table(table_name), txn,
-                        ctx.vector[shard_idx], mutex=shard.mutex,
+                    view = self._snapshot_view(
+                        shard_idx, table_name, txn, ctx.vector[shard_idx]
                     )
                     rows.extend(view.scan())
             rows.sort(key=lambda r: r.rid)
@@ -1620,7 +1647,7 @@ def recover_sharded(
     demote = set(demote_to_loser) | torn
     merged = RecoveryReport()
     for shard in engine.shards:
-        report = recover(shard, demote_to_loser=demote)
+        report = engine._recover_shard(shard, demote)
         merged.winners |= report.winners
         merged.losers |= report.losers
         merged.redone += report.redone

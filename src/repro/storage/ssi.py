@@ -157,6 +157,11 @@ class SSITracker:
         #: sharding, so per-shard worker threads call in concurrently.
         self._mutex = Latch("ssi-tracker")
         self._txns: dict[int, _SSITxn] = {}
+        #: count of tracked SERIALIZABLE transactions (any status).  A
+        #: plain int maintained under the mutex but *read* without it:
+        #: :meth:`has_serializable` is an advisory fast path for writers
+        #: deciding whether recording their write set can matter at all.
+        self._serializable_tracked = 0
         #: inverted index item -> committed transactions that wrote it,
         #: so a read's sweep for superseding committed writers is
         #: O(per item) instead of O(tracked transactions).
@@ -181,6 +186,20 @@ class SSITracker:
     def begin(self, txn: int, read_ts: int, *, serializable: bool) -> None:
         with self._mutex:
             self._txns[txn] = _SSITxn(txn, read_ts, serializable)
+            if serializable:
+                self._serializable_tracked += 1
+
+    def has_serializable(self) -> bool:
+        """Whether any SERIALIZABLE transaction is tracked at all.
+
+        When false, no write set recorded *now* can ever form an rw
+        antidependency: every serializable transaction beginning later
+        gets a snapshot at or past the recorder's eventual commit, so it
+        reads the new versions and no edge exists.  Callers holding the
+        commit funnel (begins register under the same funnel) may use
+        this to skip write-set recording entirely.
+        """
+        return self._serializable_tracked > 0
 
     def refresh(self, txn: int, read_ts: int) -> None:
         """Follow ``StorageEngine.refresh_snapshot``: the transaction
@@ -206,6 +225,8 @@ class SSITracker:
             state = self._txns.pop(txn, None)
             if state is None:
                 return
+            if state.serializable:
+                self._serializable_tracked -= 1
             for other in state.in_rw:
                 peer = self._txns.get(other)
                 if peer is not None:
@@ -460,6 +481,8 @@ class SSITracker:
             )
         ]:
             dead = self._txns.pop(txn_id)
+            if dead.serializable:
+                self._serializable_tracked -= 1
             for other in dead.in_rw:
                 peer = self._txns.get(other)
                 if peer is not None:

@@ -141,6 +141,50 @@ class WriteAheadLog:
             self._next_lsn += 1
             return record
 
+    def install(
+        self,
+        records: "Iterable[LogRecord]",
+        *,
+        flushed_lsn: "int | None" = None,
+    ) -> None:
+        """Install already-stamped records shipped from another log.
+
+        The replication primitive behind the process-per-shard mirror
+        (:mod:`repro.transport`): the coordinator's replica appends the
+        worker's record deltas verbatim, keeping their LSNs.  Records at
+        or below the replica's current tail are ignored (idempotent
+        re-ship); ``flushed_lsn`` advances the watermark monotonically
+        without simulating an fsync — the worker already paid it.
+        """
+        with self._mutex:
+            last = self._records[-1].lsn if self._records else 0
+            for record in records:
+                if record.lsn <= last:
+                    continue
+                self._records.append(record)
+                last = record.lsn
+                self._next_lsn = max(self._next_lsn, record.lsn + 1)
+            if flushed_lsn is not None:
+                self._flushed_lsn = max(self._flushed_lsn, flushed_lsn)
+
+    def replace(
+        self,
+        records: "Iterable[LogRecord]",
+        *,
+        flushed_lsn: int,
+        next_lsn: int,
+    ) -> None:
+        """Wholesale resync: adopt another log's exact record list.
+
+        Used after a worker-side checkpoint truncates its log — an
+        incremental :meth:`install` cannot express truncation, so the
+        replica swaps in the worker's full post-truncation state.
+        """
+        with self._mutex:
+            self._records = list(records)
+            self._flushed_lsn = flushed_lsn
+            self._next_lsn = next_lsn
+
     def commit_timestamps(self, durable_only: bool = True) -> dict[int, int]:
         """``txn -> commit_ts`` for every (durable) stamped COMMIT record."""
         return {

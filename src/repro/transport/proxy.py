@@ -1,0 +1,659 @@
+"""Coordinator-side stand-ins for a shard engine living in another process.
+
+:class:`RemoteShardEngine` satisfies exactly the attribute surface
+:class:`~repro.storage.sharding.ShardedStorageEngine` uses on a shard
+(``oracle``, ``wal``, ``locks``, ``db``, ``mutex``, the transaction
+verbs, the maintenance verbs), so the whole coordinator layer —
+vector begins, ordered two-phase commit, query planning, vacuum,
+checkpointing, reporting — runs **unchanged** over process-backed
+shards.
+
+Two kinds of state answer locally, without a round trip:
+
+* **mirrors** — the shard's oracle timestamp, WAL contents and
+  commit/abort counters are replicated coordinator-side, folded in
+  from the envelope every synchronous response carries.  Because the
+  coordinator performs begins/commits under its commit funnel (each
+  enclosed RPC is awaited before the funnel is released) and worker
+  maintenance never moves these values on its own (auto-checkpoints
+  are disabled; auto-vacuum doesn't advance the oracle), a mirror read
+  under the funnel equals the worker's value.
+* **schema replicas** — pure schema-shape questions (``index_keys``,
+  ``has_index``, ``canonical_index``) are answered by an empty local
+  :class:`~repro.storage.table.Table` twin built from the same schema.
+
+Everything else is a synchronous RPC over the shard's
+:class:`~repro.transport.frames.FrameChannel`.  A per-connection
+receiver thread matches responses to callers: the pending table lives
+under the ``transport-state`` latch, frame writes are serialized by
+``transport-send`` — both rank *above* every engine latch, so a
+receiver folding an envelope (oracle, WAL) never inverts the lattice.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.latch import Latch, assert_may_block
+from repro.errors import TransactionStateError, TransportError, UnknownTableError
+from repro.storage.engine import WouldBlock
+from repro.storage.locks import LockMode
+from repro.storage.oracle import TimestampOracle
+from repro.storage.table import Table
+from repro.storage.wal import WriteAheadLog
+from repro.transport.frames import NOTIFY, FrameChannel, decode_error
+
+
+class RemoteWouldBlock(WouldBlock):
+    """A worker-side lock wait, annotated with who blocks the waiter.
+
+    The wait is already enqueued in the worker's lock manager when this
+    surfaces coordinator-side; ``blockers`` seeds the distributed
+    deadlock probe without an extra ``waits_edges`` round trip to the
+    shard that reported it.
+    """
+
+    def __init__(self, txn: int, resource, blockers):
+        super().__init__(txn, resource)
+        self.blockers = tuple(blockers)
+
+
+class _PendingCall:
+    __slots__ = ("done", "status", "payload")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.status = "closed"
+        self.payload = None
+
+
+#: per-thread reusable call slot.  A thread blocks on exactly one
+#: synchronous call at a time (calls never nest — even the deadlock
+#: probe's fan-out runs its peer requests sequentially), and by the time
+#: :meth:`ShardConnection.call` returns the slot has been popped from
+#: the pending table, so no late completion can touch a reused slot.
+#: Reuse keeps Event/Condition construction off the RPC hot path.
+_call_slots = threading.local()
+
+
+def _thread_slot() -> _PendingCall:
+    slot = getattr(_call_slots, "slot", None)
+    if slot is None:
+        slot = _PendingCall()
+        _call_slots.slot = slot
+    slot.done.clear()
+    slot.status = "closed"
+    slot.payload = None
+    return slot
+
+
+class ShardConnection:
+    """One shard worker's frame pipe plus its response receiver thread."""
+
+    def __init__(self, shard_idx: int, channel: FrameChannel):
+        self.shard_idx = shard_idx
+        self._channel = channel
+        self._state = Latch("transport-state", reentrant=False)
+        self._send_latch = Latch("transport-send", reentrant=False)
+        self._pending: dict[int, _PendingCall] = {}
+        self._next_req = 1
+        self._closed = False
+        #: installed by :class:`RemoteShardEngine` before :meth:`start`.
+        self.apply_envelope = None
+        self._receiver: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"shard{self.shard_idx}-recv",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    # -- sending ---------------------------------------------------------------------
+
+    def call(self, method: str, *args):
+        """Send a synchronous request; block until its response arrives."""
+        slot = _thread_slot()
+        with self._state:
+            if self._closed:
+                raise TransportError(
+                    f"shard {self.shard_idx} worker connection is closed"
+                )
+            req_id = self._next_req
+            self._next_req += 1
+            self._pending[req_id] = slot
+        with self._send_latch:
+            self._channel.send((req_id, method, args))
+        slot.done.wait()
+        if slot.status == "closed":
+            raise TransportError(
+                f"shard {self.shard_idx} worker died before answering "
+                f"{method!r}"
+            )
+        return slot.status, slot.payload
+
+    def notify(self, method: str, *args) -> None:
+        """Fire-and-forget; the worker sends no response frame."""
+        with self._send_latch:
+            self._channel.send((NOTIFY, method, args))
+
+    def request(self, method: str, *args):
+        """:meth:`call`, with remote failures re-raised as themselves."""
+        status, payload = self.call(method, *args)
+        if status == "ok":
+            return payload
+        if status == "would_block":
+            txn, resource, blockers = payload
+            raise RemoteWouldBlock(txn, resource, blockers)
+        raise decode_error(payload)
+
+    # -- receiving -------------------------------------------------------------------
+
+    def _receive_loop(self) -> None:
+        try:
+            while True:
+                frame = self._channel.recv()
+                if frame is None:
+                    return
+                req_id, status, payload, envelope = frame
+                with self._state:
+                    slot = self._pending.pop(req_id, None)
+                # Envelope first, completion second: when the caller
+                # wakes, the mirrors already reflect the response.
+                if envelope is not None and self.apply_envelope is not None:
+                    self.apply_envelope(envelope)
+                if slot is not None:
+                    slot.status = status
+                    slot.payload = payload
+                    slot.done.set()
+        except TransportError:
+            return  # worker died mid-frame; fail the callers below
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        with self._state:
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for slot in pending:
+            slot.done.set()  # status stays "closed"
+
+    # -- teardown --------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Ask the worker to exit its serve loop (best effort)."""
+        try:
+            self.call("shutdown")
+        except TransportError:
+            pass
+
+    def close(self) -> None:
+        self._fail_pending()
+        self._channel.close()
+        if self._receiver is not None:
+            self._receiver.join(timeout=2.0)
+
+
+# -- mirrors -------------------------------------------------------------------------
+
+
+class OracleMirror(TimestampOracle):
+    """The coordinator's replica of one worker's timestamp oracle.
+
+    ``last_commit_ts`` and ``oldest_active`` answer from local state:
+    the commit timestamp advances via response envelopes, the snapshot
+    registry via the coordinator's own register/release calls (which
+    are also forwarded to the worker as notifies, so the worker's
+    vacuum horizon respects coordinator-held snapshots — pipe FIFO
+    guarantees a registration outruns any later commit's auto-vacuum).
+    """
+
+    def __init__(self, connection: ShardConnection):
+        self._connection = connection
+        super().__init__()
+
+    def allocate(self) -> int:
+        raise TransactionStateError(
+            "remote shard oracles allocate timestamps worker-side"
+        )
+
+    def register_snapshot(self, txn: int, read_ts: int) -> None:
+        super().register_snapshot(txn, read_ts)
+        self._connection.notify("register_snapshot", txn, read_ts)
+
+    def release_snapshot(self, txn: int) -> None:
+        super().release_snapshot(txn)
+        self._connection.notify("release_snapshot", txn)
+
+
+class WalReplica(WriteAheadLog):
+    """The coordinator's replica of one worker's write-ahead log.
+
+    Record deltas arrive in response envelopes (:meth:`~repro.storage.
+    wal.WriteAheadLog.install`); checkpoint/recovery truncations arrive
+    as wholesale :meth:`~repro.storage.wal.WriteAheadLog.replace`
+    resyncs.  Reads (``last_lsn``, ``records`` — commit analysis,
+    durability reporting) answer locally; :meth:`flush` is the one
+    verb that must touch the worker, because the fsync it simulates
+    happens where the authoritative log lives.
+    """
+
+    def __init__(self, connection: ShardConnection):
+        # Set before super().__init__: the base constructor assigns
+        # ``flush_latency``, which our data descriptor forwards here.
+        self._connection = connection
+        self._flush_latency = 0.0
+        #: the worker's true log tail as of the last envelope.  The
+        #: replica's own record list holds only the *durable* prefix
+        #: (volatile records would be truncated on crash anyway), so the
+        #: tail watermark — which dependency vectors and flush targets
+        #: read — is mirrored as a plain int instead.
+        self._mirror_last_lsn = 0
+        super().__init__()
+
+    @property
+    def flush_latency(self) -> float:
+        return self._flush_latency
+
+    @flush_latency.setter
+    def flush_latency(self, value: float) -> None:
+        self._flush_latency = value
+        self._connection.notify("set_flush_latency", value)
+
+    @property
+    def last_lsn(self) -> int:
+        return self._mirror_last_lsn
+
+    def flush(self, upto_lsn: int | None = None) -> None:
+        assert_may_block("wal-flush")
+        self._connection.request("wal_flush", upto_lsn)
+
+
+class RemoteLocks:
+    """Lock-manager facade; the real manager lives in the worker."""
+
+    def __init__(self, connection: ShardConnection):
+        self._connection = connection
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return self._connection.request("lock_stats")
+
+    def waiting(self, txn: int) -> bool:
+        return self._connection.request("lock_waiting", txn)
+
+    def held_resources(self, txn: int):
+        return self._connection.request("lock_held", txn)
+
+    def waits_edges(self) -> dict[int, set[int]]:
+        return self._connection.request("waits_edges")
+
+    def cancel_wait(self, txn: int, resource) -> bool:
+        return self._connection.request("cancel_wait", txn, resource)
+
+    def share_waits_for(self, graph, mutex=None) -> None:
+        # Thread-mode shards share one waits-for graph so intra-process
+        # deadlock checks see cross-shard edges eagerly.  Across
+        # processes each worker keeps its own graph; cross-shard cycles
+        # are chased by the coordinator's probe detector instead.
+        del graph, mutex
+
+
+# -- catalog / tables ----------------------------------------------------------------
+
+
+class RemoteTable:
+    """One shard's fragment of a table, accessed over the pipe.
+
+    Schema-shape questions are answered by ``_twin``, an empty local
+    :class:`Table` built from the same schema — ``index_keys`` and
+    friends are pure schema computations, and answering them locally
+    keeps them off the statement hot path.  ``fallback_scans`` is a
+    plain attribute refreshed from response envelopes for the same
+    reason.  Instances are cached per name by :class:`RemoteCatalog`,
+    so those envelope updates land on the object callers hold.
+    """
+
+    def __init__(self, connection: ShardConnection, schema):
+        self._connection = connection
+        self._twin = Table(schema)
+        self.schema = schema
+        self.fallback_scans = 0
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    # -- schema-shape (local) ------------------------------------------------------
+
+    def has_index(self, column_names) -> bool:
+        return self._twin.has_index(column_names)
+
+    def has_ordered_index(self, column_names) -> bool:
+        return self._twin.has_ordered_index(column_names)
+
+    def canonical_index(self, column_names):
+        return self._twin.canonical_index(column_names)
+
+    def index_keys(self, values):
+        return self._twin.index_keys(values)
+
+    # -- data (remote) -------------------------------------------------------------
+
+    def scan(self):
+        return iter(self._connection.request("table_scan", self.name))
+
+    def lookup_pk(self, key):
+        return self._connection.request("table_lookup_pk", self.name, key)
+
+    def lookup_index(self, column_names, key):
+        return self._connection.request(
+            "table_lookup_index", self.name, tuple(column_names), key
+        )
+
+    def range_scan(
+        self, column_names, lo, hi, *,
+        lo_inc: bool = True, hi_inc: bool = True, reverse: bool = False,
+    ):
+        return self._connection.request(
+            "table_range_scan", self.name, tuple(column_names),
+            lo, hi, lo_inc, hi_inc, reverse,
+        )
+
+    def __len__(self) -> int:
+        return self._connection.request("table_len", self.name)
+
+    def snapshot(self):
+        return self._connection.request("table_snapshot", self.name)
+
+    def version_chains(self):
+        return self._connection.request("table_version_chains", self.name)
+
+    def set_rid_namespace(self, base: int, step: int) -> None:
+        self._connection.request("set_rid_namespace", self.name, base, step)
+
+
+class RemoteCatalog:
+    """Schema catalog of one remote shard; DDL round-trips, names don't."""
+
+    def __init__(self, connection: ShardConnection, name: str):
+        self._connection = connection
+        self.name = name
+        self._tables: dict[str, RemoteTable] = {}
+
+    def create_table(self, schema) -> RemoteTable:
+        if schema.name in self._tables:
+            raise UnknownTableError(f"table {schema.name!r} already exists")
+        self._connection.request("create_table", schema)
+        return self.adopt_table(schema)
+
+    def adopt_table(self, schema) -> RemoteTable:
+        """Register a table the worker already has (crash rebuilds)."""
+        table = RemoteTable(self._connection, schema)
+        self._tables[schema.name] = table
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> RemoteTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def schemas(self):
+        return [self._tables[n].schema for n in sorted(self._tables)]
+
+
+class RemoteSnapshotView:
+    """A shard-local MVCC snapshot view served over the pipe.
+
+    The worker rebuilds the (stateless) view per request from
+    ``(table, txn, read_ts)``; serveability is re-checked there, so
+    :class:`~repro.errors.SnapshotTooOldError` crosses back intact.
+    """
+
+    def __init__(self, connection: ShardConnection, table: RemoteTable,
+                 txn: int, read_ts: int):
+        self._connection = connection
+        self._table = table
+        self.txn = txn
+        self.read_ts = read_ts
+        self.schema = table.schema
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def scan(self):
+        return iter(
+            self._connection.request("snap_scan", self.name, self.txn, self.read_ts)
+        )
+
+    def lookup_pk(self, key):
+        return self._connection.request(
+            "snap_lookup_pk", self.name, self.txn, self.read_ts, key
+        )
+
+    def lookup_index(self, column_names, key):
+        return self._connection.request(
+            "snap_lookup_index", self.name, self.txn, self.read_ts,
+            tuple(column_names), key,
+        )
+
+    def range_scan(
+        self, column_names, lo, hi, *,
+        lo_inc: bool = True, hi_inc: bool = True, reverse: bool = False,
+    ):
+        return self._connection.request(
+            "snap_range_scan", self.name, self.txn, self.read_ts,
+            tuple(column_names), lo, hi, lo_inc, hi_inc, reverse,
+        )
+
+    def has_index(self, column_names) -> bool:
+        return self._table.has_index(column_names)
+
+    def has_ordered_index(self, column_names) -> bool:
+        return self._table.has_ordered_index(column_names)
+
+    def canonical_index(self, column_names):
+        return self._table.canonical_index(column_names)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+
+# -- the shard proxy -----------------------------------------------------------------
+
+
+def _shard_proxy_mutex() -> Latch:
+    # The proxy's engine mutex exists for the coordinator code that
+    # nests shard mutexes around reads (``with shard.mutex:``); the
+    # worker itself is single-threaded FIFO and needs no guarding.
+    return Latch("engine-mutex", ordered=True)
+
+
+def _no_probe(shard, exc) -> None:
+    """Default deadlock hook: no detector installed, just re-raise."""
+    del shard, exc
+
+
+class RemoteShardEngine:
+    """The :class:`~repro.storage.engine.StorageEngine` surface the
+    sharded coordinator uses, proxied to one worker process."""
+
+    def __init__(self, shard_idx: int, connection: ShardConnection, *,
+                 schemas=()):
+        self.shard_idx = shard_idx
+        self._connection = connection
+        self.mutex = _shard_proxy_mutex()
+        self.oracle = OracleMirror(connection)
+        self.wal = WalReplica(connection)
+        self.locks = RemoteLocks(connection)
+        self.db = RemoteCatalog(connection, f"shard{shard_idx}")
+        for schema in schemas:
+            self.db.adopt_table(schema)
+        self.commit_count = 0
+        self.abort_count = 0
+        self.checkpoint_stats = {"taken": 0, "skipped": 0}
+        self._vacuum_interval = 128
+        self._checkpoint_interval = 0
+        #: installed by the process engine: probes for cross-shard
+        #: deadlock when a request would block (raises DeadlockError).
+        self.deadlock_probe = _no_probe
+        connection.apply_envelope = self._apply_envelope
+
+    # -- envelope folding (receiver-thread context) --------------------------------
+
+    def _apply_envelope(self, envelope) -> None:
+        # Latch order: oracle (50) then wal (52), acquired separately,
+        # never nested; counter writes are plain attribute stores.
+        self.oracle.advance_to(envelope["ts"])
+        wal = self.wal
+        wal_full = envelope["wal_full"]
+        if wal_full is not None:
+            records, flushed_lsn, next_lsn = wal_full
+            wal.replace(records, flushed_lsn=flushed_lsn, next_lsn=next_lsn)
+            wal._mirror_last_lsn = envelope["last_lsn"]
+        else:
+            if envelope["wal"] or envelope["flushed"]:
+                wal.install(envelope["wal"], flushed_lsn=envelope["flushed"])
+            if envelope["last_lsn"] > wal._mirror_last_lsn:
+                wal._mirror_last_lsn = envelope["last_lsn"]
+        # The successor fleet after a crash must never reuse LSNs the
+        # lost volatile tail consumed (this thread is the only writer).
+        if envelope["last_lsn"] >= wal._next_lsn:
+            wal._next_lsn = envelope["last_lsn"] + 1
+        self.commit_count = envelope["commits"]
+        self.abort_count = envelope["aborts"]
+        for name, count in envelope["fallback"].items():
+            table = self.db._tables.get(name)
+            if table is not None:
+                table.fallback_scans = count
+
+    def _blocking(self, method: str, *args):
+        """A request that may hit a lock conflict worker-side.
+
+        On ``would_block`` the wait is already enqueued in the worker;
+        give the probe detector a chance to find (and break) a
+        cross-shard cycle before surfacing the wait to the scheduler.
+        """
+        try:
+            return self._connection.request(method, *args)
+        except RemoteWouldBlock as exc:
+            self.deadlock_probe(self, exc)  # may raise DeadlockError
+            raise
+
+    # -- transactions --------------------------------------------------------------
+
+    def begin(self, isolation, *, txn_id=None, read_ts=None) -> int:
+        return self._connection.request("begin", isolation, txn_id, read_ts)
+
+    def commit(self, txn: int, *, participants=None, flush: bool = True):
+        # The coordinator owns flush ordering (its reads-from dependency
+        # vector spans shards this worker cannot see), so the worker
+        # always commits with flush=False regardless of this flag.
+        del flush
+        return self._connection.request("commit", txn, participants)
+
+    def abort(self, txn: int):
+        return self._connection.request("abort", txn)
+
+    def prepare(self, txn: int):
+        """Phase one of 2PC: the shard's undo-derived write set."""
+        return self._connection.request("prepare", txn)
+
+    def run_recovery(self, demote):
+        """Run restart recovery inside the worker; mirrors resync via
+        the response envelope's wholesale WAL replacement."""
+        return self._connection.request("recover", set(demote))
+
+    # -- writes --------------------------------------------------------------------
+
+    def insert(self, txn: int, table_name: str, values, *, validated: bool = False):
+        del validated  # the coordinator validated against the shared schema
+        return self._blocking("insert", txn, table_name, tuple(values))
+
+    def update(self, txn: int, table_name: str, rid: int, values, *,
+               validated: bool = False):
+        del validated
+        return self._blocking("update", txn, table_name, rid, tuple(values))
+
+    def delete(self, txn: int, table_name: str, rid: int):
+        return self._blocking("delete", txn, table_name, rid)
+
+    # -- locking -------------------------------------------------------------------
+
+    def _lock(self, txn: int, resource, mode) -> None:
+        self._blocking("lock", txn, resource, mode)
+
+    def _lock_index_keys(self, txn: int, table_name: str, keys,
+                         mode=LockMode.INTENTION_EXCLUSIVE) -> None:
+        self._blocking("lock_index_keys", txn, table_name, list(keys), mode)
+
+    def lock_read_access(self, txn: int, access) -> None:
+        self._blocking("lock_read_access", txn, access)
+
+    def lock_table_shared(self, txn: int, table: str) -> None:
+        self._blocking("lock_table_shared", txn, table)
+
+    def release_read_locks(self, txn: int):
+        return self._connection.request("release_read_locks", txn)
+
+    # -- snapshots -----------------------------------------------------------------
+
+    def unpark_snapshot(self, txn: int) -> None:
+        self._connection.request("unpark_snapshot", txn)
+
+    def refresh_snapshot(self, txn: int) -> bool:
+        return self._connection.request("refresh_snapshot", txn)
+
+    # -- DDL / maintenance ---------------------------------------------------------
+
+    def create_table(self, schema) -> RemoteTable:
+        return self.db.create_table(schema)
+
+    def vacuum(self, horizon=None) -> int:
+        return self._connection.request("vacuum", horizon)
+
+    def checkpoint(self):
+        record = self._connection.request("checkpoint")
+        key = "taken" if record is not None else "skipped"
+        self.checkpoint_stats[key] += 1
+        return record
+
+    @property
+    def vacuum_interval(self) -> int:
+        return self._vacuum_interval
+
+    @vacuum_interval.setter
+    def vacuum_interval(self, value: int) -> None:
+        self._vacuum_interval = value
+        self._connection.notify("set_vacuum_interval", value)
+
+    @property
+    def checkpoint_interval(self) -> int:
+        return self._checkpoint_interval
+
+    @checkpoint_interval.setter
+    def checkpoint_interval(self, value: int) -> None:
+        self._checkpoint_interval = value
+        self._connection.notify("set_checkpoint_interval", value)
+
+    # -- stats ---------------------------------------------------------------------
+
+    def version_stats(self) -> dict[str, int]:
+        return self._connection.request("version_stats")
+
+    def chain_histograms(self) -> dict[str, dict[int, int]]:
+        return self._connection.request("chain_histograms")
+
+    @property
+    def mvcc_stats(self) -> dict[str, int]:
+        return self._connection.request("mvcc_stats")

@@ -6,10 +6,12 @@ the six NoSocial/Social/Entangled × {-T, -Q} workloads, the
 pending-transaction batch designs of Figure 6(b), and the Spoke-hub and
 Cycle coordination structures of Figure 6(c).
 
-Two further arms feed the open-workload traffic harness
+Three further arms feed the open-workload traffic harness
 (:mod:`repro.bench.traffic`): the low-contention payment ledger with
-temporal queries (:mod:`repro.workloads.payments`) and the hot-row
-flash-sale registration storm (:mod:`repro.workloads.flashsale`).
+temporal queries (:mod:`repro.workloads.payments`), the hot-row
+flash-sale registration storm (:mod:`repro.workloads.flashsale`), and
+the write-amplified social-feed fanout
+(:mod:`repro.workloads.socialfeed`).
 """
 
 from repro.workloads.batches import (
@@ -28,6 +30,7 @@ from repro.workloads.programs import (
     nosocial_program,
     social_program,
 )
+from repro.workloads.socialfeed import SocialFeed, socialfeed_schema
 from repro.workloads.socialnet import SocialNetwork
 from repro.workloads.structures import (
     StructureKind,
@@ -49,6 +52,7 @@ __all__ = [
     "FlashSale",
     "PaymentLedger",
     "PendingBatchPlan",
+    "SocialFeed",
     "SocialNetwork",
     "StructureKind",
     "TravelDatabase",
@@ -66,6 +70,7 @@ __all__ = [
     "paired_batch",
     "payment_schema",
     "social_program",
+    "socialfeed_schema",
     "spoke_hub_structure",
     "travel_schema",
 ]

@@ -1,0 +1,190 @@
+"""Social-feed fanout scenario: one post, N timeline writes.
+
+The fanout-on-write arm for the traffic harness
+(:mod:`repro.bench.traffic`): a poster's single logical action — publish
+a post — materializes as one ``Posts`` append plus one ``Timelines``
+insert *per follower*, the classic write-amplified feed shape.  Follower
+timelines are keyed by owner id, so under a sharded engine the fanout of
+one arrival lands on several shards inside one transaction — the
+cross-shard commit path (vector snapshot, ordered two-phase prepare) is
+on the critical path of every post.
+
+The follower graph is a deterministic **ring**: user ``u`` is followed
+by the ``fanout`` users after it (mod ``n_users``).  A ring keeps every
+fanout exactly the same size (clean service-rate calibration, no
+heavy-tailed stragglers) while still spreading each post's timeline
+writes across the whole id space — and therefore across shards.
+
+Two program shapes ride the arrival stream:
+
+* **post** — read the follower edge list, append the post, insert one
+  timeline row per follower;
+* **timeline read** — one user's recent feed, time-ordered with a
+  ``LIMIT``, served from the ``Timelines`` secondary indexes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType
+
+
+def socialfeed_schema() -> list[TableSchema]:
+    """The three tables of the scenario.
+
+    ``Followers.followee`` carries the index the fanout read rides;
+    ``Timelines.owner`` serves the per-user feed reads and ``at`` the
+    time ordering.
+    """
+    return [
+        TableSchema.build(
+            "Posts",
+            [("post", ColumnType.INTEGER), ("author", ColumnType.INTEGER),
+             ("at", ColumnType.FLOAT)],
+            primary_key=["post"],
+            indexes=[["author"]],
+        ),
+        TableSchema.build(
+            "Followers",
+            [("edge", ColumnType.INTEGER), ("followee", ColumnType.INTEGER),
+             ("follower", ColumnType.INTEGER)],
+            primary_key=["edge"],
+            indexes=[["followee"]],
+        ),
+        TableSchema.build(
+            "Timelines",
+            [("entry", ColumnType.INTEGER), ("owner", ColumnType.INTEGER),
+             ("post", ColumnType.INTEGER), ("author", ColumnType.INTEGER),
+             ("at", ColumnType.FLOAT)],
+            primary_key=["entry"],
+            indexes=[["owner"], ["at"]],
+        ),
+    ]
+
+
+@dataclass
+class SocialFeed:
+    """Deterministic generator for the social-feed fanout traffic arm.
+
+    Attributes:
+        n_users: size of the user ring.  Posters are drawn uniformly
+            from it, so contention stays low; the load signature is
+            write *amplification*, not hot rows.
+        fanout: followers per user — timeline inserts per post.  This
+            is the write-amplification factor and (under a sharded
+            engine) the cross-shard spread of each post transaction.
+        read_share: fraction of arrivals that are timeline reads
+            instead of posts.
+        feed_limit: rows per timeline read.
+        seed: RNG seed — the whole arrival stream is deterministic.
+    """
+
+    n_users: int = 64
+    fanout: int = 8
+    read_share: float = 0.5
+    feed_limit: int = 20
+    seed: int = 2011
+    _rng: random.Random = field(init=False, repr=False)
+    _post: int = field(init=False, repr=False, default=0)
+    _entry: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self):
+        if self.n_users < 2:
+            raise WorkloadError(
+                f"need at least 2 users, got {self.n_users}")
+        if not 1 <= self.fanout < self.n_users:
+            raise WorkloadError(
+                f"fanout must be in [1, n_users), got {self.fanout}")
+        if not 0.0 <= self.read_share <= 1.0:
+            raise WorkloadError(
+                f"read_share must be in [0, 1], got {self.read_share}")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def name(self) -> str:
+        return "social-feed"
+
+    def followers_of(self, uid: int) -> list[int]:
+        """The ring edge list: the ``fanout`` users after ``uid``."""
+        return [(uid + k) % self.n_users for k in range(1, self.fanout + 1)]
+
+    def install(self, client) -> None:
+        """Create the schema and load the ring follower graph."""
+        for schema in socialfeed_schema():
+            client.create_table(schema)
+        edges = []
+        for uid in range(self.n_users):
+            for follower in self.followers_of(uid):
+                edges.append((len(edges), uid, follower))
+        client.load("Followers", edges)
+
+    def program(self, at: float) -> str:
+        if self._rng.random() < self.read_share:
+            return self.timeline_read_program(at)
+        return self.post_program(at)
+
+    def post_program(self, at: float) -> str:
+        """One post fanned out to every follower's timeline.
+
+        The follower SELECT models the edge-list read a real fanout
+        service performs; the insert targets come from the same
+        (deterministic) ring, so the program needs no data-dependent
+        control flow the script language lacks.
+        """
+        author = self._rng.randrange(self.n_users)
+        self._post += 1
+        post = self._post
+        lines = [
+            "BEGIN TRANSACTION;",
+            f"SELECT follower FROM Followers WHERE followee={author};",
+            f"INSERT INTO Posts (post, author, at)"
+            f" VALUES ({post}, {author}, {at:.9f});",
+        ]
+        for owner in self.followers_of(author):
+            self._entry += 1
+            lines.append(
+                f"INSERT INTO Timelines (entry, owner, post, author, at)"
+                f" VALUES ({self._entry}, {owner}, {post}, {author},"
+                f" {at:.9f});"
+            )
+        lines.append("COMMIT;")
+        return "\n".join(lines)
+
+    def verify(self, client) -> None:
+        """Fanout integrity: every committed post reached every follower.
+
+        Atomic fanout is the point of publishing inside one transaction
+        — a committed post with fewer (or more) timeline rows than the
+        author has followers, or a timeline row whose post never
+        committed, would be a torn fanout.  The traffic harness calls
+        this after each measured point quiesces.
+        """
+        posts = {post for (post,) in client.query("SELECT post FROM Posts;")}
+        counts: dict[int, int] = {}
+        for (post,) in client.query("SELECT post FROM Timelines;"):
+            counts[post] = counts.get(post, 0) + 1
+        for post in sorted(posts):
+            if counts.get(post, 0) != self.fanout:
+                raise WorkloadError(
+                    f"post {post} fanned out to {counts.get(post, 0)} "
+                    f"timelines, expected {self.fanout}")
+        orphans = sorted(set(counts) - posts)
+        if orphans:
+            raise WorkloadError(
+                f"timeline rows for posts that never committed: {orphans}")
+
+    def timeline_read_program(self, at: float) -> str:
+        """One user's recent feed, time-ordered."""
+        del at
+        owner = self._rng.randrange(self.n_users)
+        return f"""
+            BEGIN TRANSACTION;
+            SELECT post, author, at FROM Timelines
+                WHERE owner={owner}
+                ORDER BY at LIMIT {self.feed_limit};
+            COMMIT;
+        """

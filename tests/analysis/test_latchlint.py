@@ -63,6 +63,48 @@ def test_ll001_bare_threading_lock(tmp_path):
     assert violations[0].target == "demo/mod.py::-"
 
 
+def test_ll001_bare_multiprocessing_lock(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        import multiprocessing
+
+        guard = multiprocessing.Lock()
+        """,
+    )
+    assert codes(violations) == ["LL001"]
+    assert "multiprocessing.Lock" in violations[0].message
+
+
+def test_ll001_multiprocessing_alias_and_context_locks(tmp_path):
+    violations, _ = lint(
+        tmp_path,
+        """
+        import multiprocessing
+        import multiprocessing as mp
+
+        a = mp.RLock()
+        b = multiprocessing.get_context("fork").Condition()
+        """,
+    )
+    assert codes(violations) == ["LL001", "LL001"]
+
+
+def test_ll001_allows_multiprocessing_process(tmp_path):
+    # Only the lock constructors are banned — spawning workers (the
+    # process-per-shard transport does) is fine.
+    violations, _ = lint(
+        tmp_path,
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        worker = ctx.Process(target=print)
+        """,
+    )
+    assert violations == []
+
+
 def test_ll002_rank_inversion_in_nested_with(tmp_path):
     violations, _ = lint(
         tmp_path,

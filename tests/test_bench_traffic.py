@@ -133,6 +133,83 @@ class TestRunTrafficPoint:
             run_traffic_point(
                 PaymentLedger(n_accounts=16), [], deadline=0.5)
 
+    def test_serializable_point_reports_ssi_tracker_counters(self):
+        """A write-skew-prone mix under ``isolation="serializable"``
+        must surface the tracker's abort counters on the point — the
+        raw data behind the ``ssi_precision`` table."""
+        point = run_traffic_point(
+            _WriteSkewScenario(),
+            [1.0 + i * 1e-6 for i in range(24)],   # maximal overlap
+            deadline=10.0,
+            isolation="serializable",
+        )
+        assert point.ssi_aborts > 0
+        assert point.ssi_aborts == \
+            point.pivot_aborts + point.conservative_aborts
+        assert 0.0 <= point.unproven_share <= 1.0
+        assert point.unproven_pivot_aborts <= point.ssi_aborts
+        doc = point.as_dict()
+        for key in ("ssi_aborts", "pivot_aborts", "conservative_aborts",
+                    "unproven_pivot_aborts", "unproven_share"):
+            assert doc[key] == getattr(point, key)
+
+    def test_default_isolation_never_counts_ssi_aborts(self):
+        point = run_traffic_point(
+            _WriteSkewScenario(),
+            [1.0 + i * 1e-6 for i in range(12)],
+            deadline=10.0,
+        )
+        assert point.ssi_aborts == 0
+        assert point.unproven_share == 0.0
+
+    def test_social_feed_point_runs_sharded_and_verifies_fanout(self):
+        from repro.bench.traffic import ARMS
+
+        arrivals = poisson_arrivals(30.0, 24, seed=11)
+        point = run_traffic_point(
+            ARMS["social-feed"]["make"](), arrivals, deadline=0.5,
+            shards=ARMS["social-feed"]["shards"],
+        )
+        # run_traffic_point calls the scenario's fanout-integrity
+        # verify() hook before returning, so reaching these assertions
+        # means every committed post reached every follower timeline.
+        assert point.committed + point.aborted == 24
+        assert point.goodput > 0
+
+
+class _WriteSkewScenario:
+    """Alternating guard-check programs on two rows: classic write
+    skew, the minimal mix that makes SSI validation fire."""
+
+    name = "write-skew"
+
+    def __init__(self):
+        self._turn = 0
+
+    def install(self, client):
+        from repro.storage.schema import TableSchema
+        from repro.storage.types import ColumnType
+
+        client.create_table(TableSchema.build(
+            "Guards",
+            [("id", ColumnType.INTEGER), ("v", ColumnType.INTEGER)],
+            primary_key=["id"],
+        ))
+        client.load("Guards", [(0, 1), (1, 1)])
+
+    def program(self, at):
+        del at
+        mine = self._turn % 2
+        self._turn += 1
+        other = 1 - mine
+        return f"""
+            BEGIN TRANSACTION;
+            SELECT v AS @a FROM Guards WHERE id={mine};
+            SELECT v AS @b FROM Guards WHERE id={other};
+            UPDATE Guards SET v = v - 1 WHERE id={mine};
+            COMMIT;
+        """
+
 
 class TestCalibrate:
     def test_service_rate_is_positive_and_stable(self):
@@ -161,6 +238,56 @@ def synthetic_groups(
     return {"arm": {
         "goodput": goodput, "latency": latency, "admission": admission,
     }}
+
+
+def add_precision(groups, shares, totals=None, unproven=None,
+                  serial_goodput=None, factors=(0.5, 1.0, 2.0, 4.0)):
+    """Augment synthetic groups with the serializable/SSI tables."""
+    tables = groups["arm"]
+    precision = Measurements("p", "x", "y")
+    for i, x in enumerate(factors):
+        total = totals[i] if totals else 10.0
+        npv = unproven[i] if unproven else shares[i] * total
+        precision.add("ssi-aborts", x, total)
+        precision.add("pivot-aborts", x, total)
+        precision.add("unproven-pivots", x, npv)
+        precision.add("unproven-share", x, shares[i])
+        tables["goodput"].add(
+            "serializable", x,
+            serial_goodput[i] if serial_goodput else 40.0)
+    tables["ssi_precision"] = precision
+    return groups
+
+
+class TestSSIPrecisionShapes:
+    def healthy(self):
+        return synthetic_groups(
+            shed_ys=[50, 95, 100, 98],
+            noadm_ys=[50, 95, 10, 5],
+            shed_shares=[0.0, 0.05, 0.5, 0.7],
+        )
+
+    def test_healthy_precision_passes(self):
+        groups = add_precision(self.healthy(), shares=[0.0, 0.2, 0.5, 1.0])
+        assert check_traffic_shapes(groups) == []
+
+    def test_flags_share_outside_unit_interval(self):
+        groups = add_precision(self.healthy(), shares=[0.0, 0.2, 1.4, 0.5])
+        assert any("outside" in p for p in check_traffic_shapes(groups))
+
+    def test_flags_unproven_exceeding_totals(self):
+        groups = add_precision(
+            self.healthy(), shares=[0.0, 0.2, 0.5, 0.5],
+            totals=[10, 10, 10, 10], unproven=[0, 2, 12, 5])
+        assert any("exceed" in p for p in check_traffic_shapes(groups))
+
+    def test_flags_serializable_arm_that_never_progresses(self):
+        groups = add_precision(
+            self.healthy(), shares=[0.0, 0.0, 0.0, 0.0],
+            serial_goodput=[0.0, 0.0, 0.0, 0.0])
+        assert any(
+            "never made timely progress" in p
+            for p in check_traffic_shapes(groups))
 
 
 class TestShapeChecks:

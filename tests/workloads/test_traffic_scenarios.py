@@ -1,5 +1,6 @@
-"""The two traffic-harness scenario arms: payment ledger (temporal
-queries) and flash sale (hot-row registration storm)."""
+"""The traffic-harness scenario arms: payment ledger (temporal
+queries), flash sale (hot-row registration storm) and social feed
+(write-amplified fanout)."""
 
 from __future__ import annotations
 
@@ -10,8 +11,10 @@ from repro.errors import WorkloadError
 from repro.workloads import (
     FlashSale,
     PaymentLedger,
+    SocialFeed,
     flashsale_schema,
     payment_schema,
+    socialfeed_schema,
 )
 
 
@@ -114,3 +117,69 @@ class TestFlashSale:
             FlashSale(n_hot=0)
         with pytest.raises(WorkloadError):
             FlashSale(initial_stock=0)
+
+
+class TestSocialFeed:
+    def test_schema_has_fanout_indexes(self):
+        tables = {s.name: s for s in socialfeed_schema()}
+        assert ("followee",) in tables["Followers"].indexes
+        assert ("owner",) in tables["Timelines"].indexes
+        assert ("at",) in tables["Timelines"].indexes
+
+    def test_programs_parse(self):
+        scen = SocialFeed(n_users=8, fanout=3)
+        for i in range(20):
+            parse_transaction(scen.program(at=i * 0.41))
+        parse_transaction(scen.post_program(at=6.4e-05))
+        parse_transaction(scen.timeline_read_program(at=1.0))
+
+    def test_ring_follower_graph_is_deterministic(self):
+        scen = SocialFeed(n_users=8, fanout=3)
+        assert scen.followers_of(0) == [1, 2, 3]
+        assert scen.followers_of(6) == [7, 0, 1]
+        a = SocialFeed(n_users=8, fanout=3, seed=5)
+        b = SocialFeed(n_users=8, fanout=3, seed=5)
+        assert [a.program(at=1.0) for _ in range(6)] \
+            == [b.program(at=1.0) for _ in range(6)]
+
+    def test_posts_fan_out_to_every_follower(self):
+        scen = SocialFeed(n_users=8, fanout=3, read_share=0.0, seed=3)
+        db = connect()
+        scen.install(db)
+        session = db.session("feed")
+        for i in range(10):
+            session.run_script(scen.program(at=float(i)))
+        db.drain()
+        posts = db.query("SELECT post FROM Posts")
+        timelines = db.query("SELECT post FROM Timelines")
+        assert len(posts) == 10
+        assert len(timelines) == 10 * 3
+        scen.verify(db)   # the harness's fanout-integrity hook
+        db.close()
+
+    def test_verify_flags_a_torn_fanout(self):
+        scen = SocialFeed(n_users=8, fanout=3, read_share=0.0, seed=3)
+        db = connect()
+        scen.install(db)
+        session = db.session("feed")
+        session.run_script(scen.program(at=1.0))
+        db.drain()
+        # An orphan timeline row — a post id that never committed.
+        session.run_script("""
+            BEGIN TRANSACTION;
+            INSERT INTO Timelines (entry, owner, post, author, at)
+                VALUES (999, 0, 777, 1, 2.0);
+            COMMIT;
+        """)
+        db.drain()
+        with pytest.raises(WorkloadError):
+            scen.verify(db)
+        db.close()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SocialFeed(n_users=1)
+        with pytest.raises(WorkloadError):
+            SocialFeed(n_users=4, fanout=4)
+        with pytest.raises(WorkloadError):
+            SocialFeed(read_share=1.5)
