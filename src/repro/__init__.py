@@ -89,9 +89,11 @@ from repro.errors import (
     EngineError,
     EntangledQueryError,
     EntanglementTimeout,
+    LeaderFailoverError,
     LockError,
     MiddlewareError,
     OverloadError,
+    ReplicationError,
     ReproError,
     SafetyViolationError,
     SerializationFailureError,
@@ -101,6 +103,7 @@ from repro.errors import (
     TransactionAborted,
     WriteConflictError,
 )
+from repro.replication import ReplicatedStorageEngine
 from repro.model import (
     IsolationLevel,
     Schedule,
@@ -160,9 +163,11 @@ __all__ = [
     "EngineError",
     "EntangledQueryError",
     "EntanglementTimeout",
+    "LeaderFailoverError",
     "LockError",
     "MiddlewareError",
     "OverloadError",
+    "ReplicationError",
     "ReproError",
     "SQLError",
     "SafetyViolationError",
@@ -184,6 +189,7 @@ __all__ = [
     # storage substrate
     "ColumnType",
     "Database",
+    "ReplicatedStorageEngine",
     "ShardedStorageEngine",
     "StorageEngine",
     "TableSchema",

@@ -13,6 +13,7 @@ the declared latch order (outermost first)::
 
     interactive-broker   10   session broker (group-commit matching)
     commit-funnel        20   ensemble-wide commit/abort/begin funnel
+    replication-ship     25   per-shard WAL shipping / follower apply
     engine-mutex         30   per-shard storage engine (ordered peers)
     lock-manager         40   transaction-lock tables + waits-for graph
     oracle               50 ┐
@@ -25,7 +26,8 @@ the declared latch order (outermost first)::
     deadlock-probe       57 ┘
     transport-state      58   coordinator RPC pending-table (process mode)
     transport-send       59   per-connection frame-write pipeline
-    answer-cond          60   client-side answer condvar (innermost)
+    answer-cond          60   client-side answer condvar
+    replication-meta     62   replica routing counters (innermost)
 
 With ``REPRO_LOCKDEP=1`` (or after :func:`enable_lockdep`), every
 acquire records edges from each latch the thread already holds into a
@@ -78,6 +80,7 @@ __all__ = [
 LATTICE: dict[str, int] = {
     "interactive-broker": 10,
     "commit-funnel": 20,
+    "replication-ship": 25,
     "engine-mutex": 30,
     "lock-manager": 40,
     "oracle": 50,
@@ -91,6 +94,7 @@ LATTICE: dict[str, int] = {
     "transport-state": 58,
     "transport-send": 59,
     "answer-cond": 60,
+    "replication-meta": 62,
 }
 
 #: Latches that must never be held across a blocking call.  The commit

@@ -7,9 +7,11 @@
   size, Spoke-hub vs. Cycle).
 
 Beyond the paper's figures: :mod:`repro.bench.contention` (locking /
-MVCC / SSI / sharding ablations, ``BENCH_contention.json``) and
+MVCC / SSI / sharding ablations, ``BENCH_contention.json``),
 :mod:`repro.bench.traffic` (the open-workload goodput-vs-offered-load
-harness with admission control, ``BENCH_traffic.json``).
+harness with admission control, ``BENCH_traffic.json``), and
+:mod:`repro.bench.replication` (follower-read scaling, replication-lag
+percentiles and leader failover, ``BENCH_replication.json``).
 
 Each module has a ``run()`` returning
 :class:`~repro.sim.metrics.Measurements`, a ``check_shapes()`` verifying

@@ -27,12 +27,16 @@ The curves this produces are the classic open-workload story:
   excess arrivals bounce before touching storage and the admitted
   remainder still commits in time: goodput *plateaus* at capacity.
 
-Three scenario arms ride the harness: the low-contention payment ledger
+Four scenario arms ride the harness: the low-contention payment ledger
 with temporal queries (:class:`repro.workloads.PaymentLedger`), the
-hot-row flash-sale storm (:class:`repro.workloads.FlashSale`), and the
+hot-row flash-sale storm (:class:`repro.workloads.FlashSale`), the
 write-amplified social-feed fanout
 (:class:`repro.workloads.SocialFeed`) over a sharded engine, where each
-post's timeline inserts spread across shards inside one transaction.
+post's timeline inserts spread across shards inside one transaction,
+and the guard-style write-skew on-call roster
+(:class:`repro.workloads.OnCallRoster`), whose serializable pass is the
+one that *must* show SSI aborts — snapshot isolation silently commits
+its write skew.
 
 Each (arm, load) point is measured three ways: without admission
 control, with shedding, and with shedding under ``SERIALIZABLE``
@@ -63,6 +67,7 @@ from repro.errors import OverloadError, WorkloadError
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.metrics import LatencySummary, Measurements
 from repro.workloads.flashsale import FlashSale
+from repro.workloads.oncall import OnCallRoster
 from repro.workloads.payments import PaymentLedger
 from repro.workloads.socialfeed import SocialFeed
 
@@ -474,7 +479,21 @@ ARMS = {
         # steady-state write load.
         "shards": 4,
     },
+    "doctor-oncall": {
+        "make": lambda: OnCallRoster(n_wards=4, doctors_per_ward=4),
+        "schedule": poisson_arrivals,
+        # Guard scans are cheap; the arm is about write skew, not
+        # queueing, so the default bound is fine.
+        "queue_depth": DEFAULT_QUEUE_DEPTH,
+        "shards": 1,
+    },
 }
+
+#: Arms whose whole point is guard-style write skew: the serializable
+#: pass must catch at least one dangerous structure somewhere on the
+#: load curve, or SSI validation is asleep (checked by
+#: :func:`check_traffic_shapes`).
+WRITE_SKEW_ARMS = frozenset({"doctor-oncall"})
 
 
 def run(
@@ -619,6 +638,9 @@ def check_traffic_shapes(
       a valid ratio in [0, 1] and unproven pivots never exceed total
       SSI aborts.  (Whether the share is *large* is the measurement,
       not an assertion.)
+    * write-skew arms (:data:`WRITE_SKEW_ARMS`) catch at least one SSI
+      abort somewhere on the load curve — their snapshot-silent skew is
+      precisely what serializable validation exists to break.
     """
     problems: list[str] = []
     for arm, tables in groups.items():
@@ -669,6 +691,12 @@ def check_traffic_shapes(
                     f"{arm}: serializable arm never made timely progress")
 
         precision = tables.get("ssi_precision")
+        if arm in WRITE_SKEW_ARMS and precision is not None:
+            aborts = precision.series_named("ssi-aborts").ys()
+            if not aborts or max(aborts) <= 0.0:
+                problems.append(
+                    f"{arm}: a write-skew arm's serializable pass caught "
+                    f"zero SSI aborts across the whole load curve")
         if precision is not None and "unproven-share" in precision.series:
             totals = dict(precision.series_named("ssi-aborts").points)
             unproven = dict(precision.series_named("unproven-pivots").points)

@@ -73,7 +73,13 @@ from repro.core.interactive import (
 from repro.core.policies import RunPolicy
 from repro.core.recovery import EntangledRecoveryReport, recover_entangled
 from repro.core.transaction import TxnPhase
-from repro.errors import EntanglementTimeout, MiddlewareError, OverloadError
+from repro.errors import (
+    EntanglementTimeout,
+    MiddlewareError,
+    OverloadError,
+    TransportError,
+)
+from repro.replication import ReplicatedStorageEngine
 from repro.sim.costs import CostModel
 from repro.sql.ast import SelectStmt, TransactionProgram
 from repro.sql.compiler import compile_select
@@ -172,21 +178,52 @@ class RetryPolicy:
             raise MiddlewareError(
                 f"jitter must be in [0, 1], got {self.jitter}")
 
+    #: substrings a dead-shard-worker TransportError message carries
+    #: (the frame transport has no structured cause taxonomy; these are
+    #: its stable phrasings for "the peer is gone").
+    _DEAD_WORKER_MARKERS = ("died", "dead", "closed", "gone")
+
     def should_retry(self, attempt: int) -> bool:
         """True while ``attempt`` (1-based, the try that just shed)
         leaves budget for another submission."""
         return attempt < self.max_attempts
 
+    def retryable(self, error: BaseException) -> bool:
+        """Is ``error`` a transient fault worth resubmitting at all?
+
+        Three families qualify: anything self-describing as retryable
+        (:class:`~repro.errors.OverloadError`,
+        :class:`~repro.errors.LeaderFailoverError` — overload clears and
+        a failover has already repointed routing at the successor by the
+        time it surfaces), and a
+        :class:`~repro.errors.TransportError` whose message or cause
+        says the shard worker died — the process-mode analogue of a
+        leader crash, transient once the fleet respawns or fails over.
+        Everything else (conflicts, deadlocks, programming errors) stays
+        with the engine-level retry machinery or the caller.
+        """
+        if getattr(error, "retryable", False):
+            return True
+        if isinstance(error, TransportError):
+            text = str(error).lower()
+            if any(marker in text for marker in self._DEAD_WORKER_MARKERS):
+                return True
+            if isinstance(error.__cause__, (EOFError, OSError)):
+                return True
+        return False
+
     def delay_for(
         self,
         attempt: int,
-        error: "OverloadError | None" = None,
+        error: "BaseException | None" = None,
         rng: "random.Random | None" = None,
     ) -> float:
         """Seconds to wait after shed number ``attempt`` (1-based).
 
         Exponential in the attempt, jittered, capped — and never less
-        than the shedding limiter's ``retry_after`` hint.
+        than the error's own ``retry_after`` hint when it carries one
+        (the shedding limiter, or a failing-over shard, knows when
+        capacity returns; backing off less is a guaranteed bounce).
         """
         if attempt < 1:
             raise MiddlewareError(
@@ -198,7 +235,7 @@ class RetryPolicy:
         if self.jitter > 0.0:
             draw = (rng or random).random()
             backoff *= 1.0 - self.jitter * draw
-        floor = error.retry_after if error is not None else 0.0
+        floor = getattr(error, "retry_after", 0.0) if error is not None else 0.0
         return max(backoff, floor)
 
 
@@ -229,6 +266,9 @@ def connect(
     config: EngineConfig | None = None,
     policy: RunPolicy | None = None,
     admission: AdmissionConfig | None = None,
+    replicas: "int | None" = None,
+    max_staleness: int = 0,
+    replica_lag: int = 0,
 ) -> "Client":
     """Open a :class:`Client` over a new (or supplied) storage ensemble.
 
@@ -263,6 +303,19 @@ def connect(
     pool, per-session rate limits, and queue-depth shedding with the
     retryable :class:`~repro.errors.OverloadError`.  See
     :class:`AdmissionConfig`; the default admits everything.
+
+    ``replicas`` (optional) builds a
+    :class:`~repro.replication.ReplicatedStorageEngine`: each shard's
+    leader ships its committed WAL to that many follower engines, and
+    SNAPSHOT reads route to any follower whose applied position covers
+    the reading transaction's cut.  ``max_staleness`` bounds (in global
+    commit ticks) how far behind the freshest cut such a transaction may
+    begin — 0 always reads fresh, which usually pins reads to the
+    leaders.  Sessions get read-your-writes regardless of the bound:
+    their direct transactions never begin on a cut older than their own
+    acknowledged commits.  ``replica_lag`` simulates lazy followers
+    (each holds back its newest N received commits).  Writes and
+    SERIALIZABLE transactions always execute against the leaders.
     """
     if isinstance(isolation, str):
         isolation = IsolationConfig(isolation)
@@ -286,7 +339,28 @@ def connect(
                 f"'pool', or 'process'"
             )
 
-    if prebuilt:
+    if replicas is None and (max_staleness or replica_lag):
+        raise MiddlewareError(
+            "max_staleness/replica_lag require connect(replicas=...)"
+        )
+    if replicas is not None:
+        if prebuilt or isinstance(database, Database):
+            raise MiddlewareError(
+                "connect(replicas=...) cannot adopt a prebuilt database or "
+                "engine; let connect() build the replicated ensemble"
+            )
+        if process_mode:
+            raise MiddlewareError(
+                "connect(replicas=...) runs in-process; executor='process' "
+                "is not supported with replication"
+            )
+        store = ReplicatedStorageEngine(
+            shards,
+            replicas=replicas,
+            max_staleness=max_staleness,
+            apply_lag=replica_lag,
+        )
+    elif prebuilt:
         store = database
         if shards != 1 and shards != store.n_shards:
             raise MiddlewareError(
@@ -594,6 +668,13 @@ class Session:
             admission.session_burst if admission is not None else 0
         )
         self._bucket_stamp = client.clock.now
+        #: read-your-writes floor (replicated stores): the per-shard
+        #: commit-timestamp vector as of this session's last
+        #: acknowledged writing commit.  Direct transactions never begin
+        #: on a cut below it, so a session always observes its own
+        #: writes even when served a bounded-staleness cut off a lagging
+        #: follower.
+        self._vector: "tuple[int, ...] | None" = None
 
     @property
     def closed(self) -> bool:
@@ -765,7 +846,25 @@ class Session:
             or self.isolation
             or self.client.broker.default_isolation
         )
-        return StorageTransaction(self.client.store, chosen)
+        return StorageTransaction(self.client.store, chosen, session=self)
+
+    def _observe_commit(self, store, txn: int) -> None:
+        """Advance the read-your-writes floor past an acknowledged
+        writing commit (replicated stores only).  Capturing the whole
+        current vector *overclaims* — it may include other sessions'
+        concurrent commits — which is safe: an inflated floor can only
+        force extra freshness, never staleness."""
+        if not isinstance(store, ReplicatedStorageEngine):
+            return
+        if not store.written_shards(txn):
+            return
+        vector = tuple(s.oracle.last_commit_ts for s in store.shards)
+        if self._vector is None:
+            self._vector = vector
+        else:
+            self._vector = tuple(
+                max(a, b) for a, b in zip(self._vector, vector)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Session({self.name!r}, state={self.state.value})"
@@ -1028,10 +1127,21 @@ class StorageTransaction:
     retries (cooperative protocol), it is never blocked on a thread.
     """
 
-    def __init__(self, store, isolation: TxnIsolation):
+    def __init__(
+        self,
+        store,
+        isolation: TxnIsolation,
+        *,
+        session: "Session | None" = None,
+    ):
         self._store = store
+        self._session = session
         self.isolation = isolation
-        self.txn = store.begin(isolation=isolation)
+        min_vector = session._vector if session is not None else None
+        if min_vector is not None and isinstance(store, ShardedStorageEngine):
+            self.txn = store.begin(isolation=isolation, min_vector=min_vector)
+        else:
+            self.txn = store.begin(isolation=isolation)
         self._finished = False
 
     # -- statements -----------------------------------------------------------------
@@ -1078,6 +1188,8 @@ class StorageTransaction:
     def commit(self) -> None:
         self._finished = True
         self._store.commit(self.txn)
+        if self._session is not None:
+            self._session._observe_commit(self._store, self.txn)
 
     def abort(self) -> None:
         self._finished = True

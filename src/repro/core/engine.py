@@ -220,6 +220,13 @@ class RunReport:
     #: :class:`~repro.errors.OverloadError`.
     admitted: int = 0
     shed: int = 0
+    #: replication deltas (zero on non-replicated stores): snapshot
+    #: probes served by follower replicas instead of leaders, the worst
+    #: follower lag (commit-timestamp ticks) at run end, and leader
+    #: failovers promoted during the run.
+    follower_reads: int = 0
+    replication_lag: int = 0
+    promotions: int = 0
 
 
 class DrainReports(list):
@@ -471,6 +478,14 @@ class EntangledTransactionEngine:
         fallback_before = fallback_counts() if fallback_counts else {}
         shard_stats_before = self.store.shard_stats()
         cross_shard_before = getattr(self.store, "cross_shard_commit_count", 0)
+        follower_reads_before = getattr(self.store, "follower_read_count", 0)
+        promotions_before = getattr(self.store, "promotion_count", 0)
+        #: per-server snapshot-probe accounting (replicated stores):
+        #: every leader/follower is a serial read-service pipeline; the
+        #: run pays the busiest server's accumulated service time, which
+        #: is what adding follower replicas divides down.
+        probe_counts = getattr(self.store, "read_probe_counts", None)
+        probes_before = probe_counts() if probe_counts else {}
         #: per-shard commit-flush accounting: each shard's WAL/group
         #: commit pipeline is a serial resource; the run pays the busiest
         #: shard's accumulated flush time (the shard ablation's subject).
@@ -654,6 +669,17 @@ class EntangledTransactionEngine:
         report.shed = self.admission_shed - shed_before
         self._admission_stamped = (self.admission_admitted, self.admission_shed)
 
+        report.follower_reads = (
+            getattr(self.store, "follower_read_count", 0)
+            - follower_reads_before
+        )
+        report.promotions = (
+            getattr(self.store, "promotion_count", 0) - promotions_before
+        )
+        lag = getattr(self.store, "replication_lag", None)
+        if lag is not None:
+            report.replication_lag = lag()
+
         # Advance the virtual clock by this run's elapsed time.
         if self.config.costs is not None:
             overhead = self.config.costs.run_overhead
@@ -663,8 +689,21 @@ class EntangledTransactionEngine:
             # Commit flushes serialize per shard but overlap across
             # shards: the run pays the busiest shard's pipeline.
             flush_time = max(self._shard_flush_loads, default=0.0)
+            # Snapshot probes serialize per server (leader or follower)
+            # but overlap across servers: the run pays the busiest one.
+            read_time = 0.0
+            if probe_counts and self.config.costs.read_service_cost > 0.0:
+                read_time = max(
+                    (
+                        (count - probes_before.get(server, 0))
+                        * self.config.costs.read_service_cost
+                        for server, count in probe_counts().items()
+                    ),
+                    default=0.0,
+                )
             report.elapsed = (
                 pool.elapsed() + eval_time + overhead + retry_tax + flush_time
+                + read_time
             )
             self.clock.advance(report.elapsed)
             self.total_eval_time += eval_time

@@ -105,6 +105,46 @@ class RecoveryError(StorageError):
 
 
 # ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(StorageError):
+    """Replication topology was configured or used incorrectly."""
+
+
+class LeaderFailoverError(StorageError):
+    """A shard leader crashed and a follower was promoted mid-flight.
+
+    Raised by the replicated coordinator for transactions that were
+    live when their shard's leader failed: their uncommitted state died
+    with the leader, so the only honest answer is an abort — but one
+    the client can transparently retry, because promotion has already
+    repointed the routing table at the successor by the time this
+    surfaces.
+
+    Attributes:
+        shard: index of the shard whose leader failed.
+        retry_after: hint — how long until the successor is serving.
+    """
+
+    #: promotion is complete when this is raised; retry hits the
+    #: successor, so failover is transient by construction.
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int = -1,
+        retry_after: float = 0.0,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+# ---------------------------------------------------------------------------
 # SQL frontend
 # ---------------------------------------------------------------------------
 

@@ -59,6 +59,13 @@ class CostModel:
     #: extra per-shard prepare charge for cross-shard commits (the
     #: two-phase coordination tax the adversarial ablation arm measures).
     cross_shard_prepare_cost: float = 0.0
+    #: service time per snapshot-read probe, charged to the *server*
+    #: (leader or follower replica) that answered it.  Each server is a
+    #: serial resource like a shard's flush pipeline: a run's read time
+    #: is the max over servers of the accumulated charges, which is what
+    #: the follower-read replica ablation scales.  0 (the default) keeps
+    #: every existing calibration untouched.
+    read_service_cost: float = 0.0
 
     def scaled(self, factor: float) -> "CostModel":
         """Uniformly scale all costs (used to match paper magnitudes when
@@ -75,6 +82,7 @@ class CostModel:
             txn_bracket_cost=self.txn_bracket_cost * factor,
             commit_flush_cost=self.commit_flush_cost * factor,
             cross_shard_prepare_cost=self.cross_shard_prepare_cost * factor,
+            read_service_cost=self.read_service_cost * factor,
         )
 
 

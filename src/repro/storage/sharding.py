@@ -564,6 +564,10 @@ class ShardedStorageEngine:
         shared_waits_mutex = Latch("lock-manager")
         for shard in self.shards:
             shard.locks.share_waits_for(shared_waits, shared_waits_mutex)
+        # Kept so topology changes (replication promotes a follower into
+        # ``self.shards``) can join the successor to the shared graph.
+        self._shared_waits = shared_waits
+        self._shared_waits_mutex = shared_waits_mutex
         self.locks = _AggregateLocks(self)
         self.db = ShardedDatabase(self)
         #: the single global SSI tracker (see module docstring) running
@@ -649,7 +653,12 @@ class ShardedStorageEngine:
 
     # -- transaction lifecycle ------------------------------------------------------
 
-    def begin(self, isolation: TxnIsolation = TxnIsolation.TWO_PL) -> int:
+    def begin(
+        self,
+        isolation: TxnIsolation = TxnIsolation.TWO_PL,
+        *,
+        min_vector: "tuple[int, ...] | None" = None,
+    ) -> int:
         # Under the commit funnel so the vector is a prefix-consistent
         # cut even while other threads run two-phase commits: no begin
         # can observe shard A past a cross-shard commit but shard B
@@ -657,10 +666,10 @@ class ShardedStorageEngine:
         with self._commit_lock:
             txn = self._next_txn
             self._next_txn += 1
-            vector = tuple(s.oracle.last_commit_ts for s in self.shards)
+            read_seq, vector, dep_lsns = self._begin_cut(isolation, min_vector)
             ctx = ShardedTxnContext(
-                txn, isolation, read_seq=self._commit_seq, vector=vector,
-                dep_lsns=tuple(s.wal.last_lsn for s in self.shards),
+                txn, isolation, read_seq=read_seq, vector=vector,
+                dep_lsns=dep_lsns,
             )
             self._contexts[txn] = ctx
             if isolation.uses_snapshot:
@@ -676,6 +685,27 @@ class ShardedStorageEngine:
                 serializable=isolation is TxnIsolation.SERIALIZABLE,
             )
             return txn
+
+    def _begin_cut(
+        self,
+        isolation: TxnIsolation,
+        min_vector: "tuple[int, ...] | None",
+    ) -> "tuple[int, tuple[int, ...], tuple[int, ...]]":
+        """The ``(read_seq, vector, dep_lsns)`` cut a transaction begins on.
+
+        Called under the commit funnel.  The base engine always serves
+        the freshest cut — which trivially dominates any ``min_vector``
+        a session derived from its own earlier commits — so the bound is
+        ignored here; the replicated engine overrides this to serve an
+        older recorded cut (bounded by ``max_staleness``) that followers
+        can satisfy, subject to the same domination requirement.
+        """
+        del isolation, min_vector
+        return (
+            self._commit_seq,
+            tuple(s.oracle.last_commit_ts for s in self.shards),
+            tuple(s.wal.last_lsn for s in self.shards),
+        )
 
     def _context(self, txn: int) -> ShardedTxnContext:
         try:

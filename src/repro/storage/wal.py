@@ -235,6 +235,30 @@ class WriteAheadLog:
                 return
             yield record
 
+    def tail(self, after_lsn: int, durable_only: bool = True) -> list[LogRecord]:
+        """Records with ``lsn > after_lsn``, capped at the flush watermark.
+
+        The per-ship unit of WAL shipping: a follower tracking the
+        highest LSN it has received asks the leader for everything
+        durable past it.  Binary-searches the (LSN-sorted) record list
+        so repeated ships over a long log stay O(delta), not O(log).
+        """
+        with self._mutex:
+            lo, hi = 0, len(self._records)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._records[mid].lsn <= after_lsn:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            flushed = self._flushed_lsn
+            out = []
+            for record in self._records[lo:]:
+                if durable_only and record.lsn > flushed:
+                    break
+                out.append(record)
+            return out
+
     def truncate_to_flushed(self) -> int:
         """Simulate a crash: drop the volatile tail.  Returns #records lost."""
         with self._mutex:

@@ -6,12 +6,13 @@ the six NoSocial/Social/Entangled × {-T, -Q} workloads, the
 pending-transaction batch designs of Figure 6(b), and the Spoke-hub and
 Cycle coordination structures of Figure 6(c).
 
-Three further arms feed the open-workload traffic harness
+Four further arms feed the open-workload traffic harness
 (:mod:`repro.bench.traffic`): the low-contention payment ledger with
 temporal queries (:mod:`repro.workloads.payments`), the hot-row
-flash-sale registration storm (:mod:`repro.workloads.flashsale`), and
-the write-amplified social-feed fanout
-(:mod:`repro.workloads.socialfeed`).
+flash-sale registration storm (:mod:`repro.workloads.flashsale`), the
+write-amplified social-feed fanout (:mod:`repro.workloads.socialfeed`),
+and the guard-style write-skew on-call roster
+(:mod:`repro.workloads.oncall`).
 """
 
 from repro.workloads.batches import (
@@ -20,6 +21,7 @@ from repro.workloads.batches import (
     paired_batch,
 )
 from repro.workloads.flashsale import FlashSale, flashsale_schema
+from repro.workloads.oncall import OnCallRoster, oncall_schema
 from repro.workloads.payments import PaymentLedger, payment_schema
 from repro.workloads.programs import (
     DEFAULT_TIMEOUT,
@@ -50,6 +52,7 @@ __all__ = [
     "AIRPORTS",
     "DEFAULT_TIMEOUT",
     "FlashSale",
+    "OnCallRoster",
     "PaymentLedger",
     "PendingBatchPlan",
     "SocialFeed",
@@ -67,6 +70,7 @@ __all__ = [
     "generate_structures",
     "generate_workload",
     "nosocial_program",
+    "oncall_schema",
     "paired_batch",
     "payment_schema",
     "social_program",

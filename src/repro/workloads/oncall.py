@@ -1,0 +1,116 @@
+"""Doctor-on-call scenario: guard-style write skew under snapshots.
+
+The textbook SSI adversary (Cahill et al.'s hospital roster): every
+doctor's sign-off transaction reads the *whole ward's* on-call rows as
+a guard, then updates only its own row::
+
+    SELECT oncall AS @o FROM Doctors WHERE ward=w;   -- the guard scan
+    UPDATE Doctors SET oncall = 0 WHERE doc=d;       -- own row only
+
+Two doctors of the same ward signing off concurrently each read the
+other's still-on-call row and each write a *different* row, so snapshot
+isolation commits both — leaving the ward unstaffed even though each
+transaction alone preserved the "someone stays on call" invariant.
+The rw-antidependencies are symmetric (each read what the other wrote),
+which is exactly the dangerous structure SSI's pivot detection exists
+to break: under ``isolation="serializable"`` one of the pair must
+abort, so this arm is the one where the traffic harness's serializable
+pass shows a *nonzero* SSI abort count at load — the write-skew rate is
+the measurement.
+
+Sign-ons (``UPDATE ... SET oncall = 1``) are mixed in so the roster
+replenishes and the skew pressure is sustained over an open-ended
+arrival schedule instead of draining after one round of sign-offs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType
+
+
+def oncall_schema() -> list[TableSchema]:
+    return [
+        TableSchema.build(
+            "Doctors",
+            [("doc", ColumnType.INTEGER), ("ward", ColumnType.INTEGER),
+             ("oncall", ColumnType.INTEGER)],
+            primary_key=["doc"],
+            indexes=[["ward"]],
+        ),
+    ]
+
+
+@dataclass
+class OnCallRoster:
+    """Deterministic generator for the write-skew traffic arm.
+
+    Attributes:
+        n_wards: number of wards.  Each is an independent skew hot spot;
+            fewer wards means more concurrent sign-offs collide.
+        doctors_per_ward: roster size per ward.  Two is the minimal
+            write-skew shape; a few more keeps the guard scan nontrivial.
+        signoff_share: fraction of arrivals that are guarded sign-offs
+            (the rest are sign-ons that replenish the roster).
+        seed: RNG seed for the ward/doctor draws.
+    """
+
+    n_wards: int = 4
+    doctors_per_ward: int = 4
+    signoff_share: float = 0.75
+    seed: int = 2471
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.n_wards < 1:
+            raise WorkloadError(f"need at least 1 ward, got {self.n_wards}")
+        if self.doctors_per_ward < 2:
+            raise WorkloadError(
+                "write skew needs at least 2 doctors per ward, got "
+                f"{self.doctors_per_ward}")
+        if not 0.0 <= self.signoff_share <= 1.0:
+            raise WorkloadError(
+                f"signoff share must be in [0, 1], got {self.signoff_share}")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def name(self) -> str:
+        return "doctor-oncall"
+
+    def install(self, client) -> None:
+        for schema in oncall_schema():
+            client.create_table(schema)
+        client.load("Doctors", [
+            (ward * self.doctors_per_ward + slot, ward, 1)
+            for ward in range(self.n_wards)
+            for slot in range(self.doctors_per_ward)
+        ])
+
+    def program(self, at: float) -> str:
+        ward = self._rng.randrange(self.n_wards)
+        doc = ward * self.doctors_per_ward + self._rng.randrange(
+            self.doctors_per_ward)
+        if self._rng.random() < self.signoff_share:
+            return self.signoff_program(ward, doc)
+        return self.signon_program(doc)
+
+    def signoff_program(self, ward: int, doc: int) -> str:
+        """Guarded sign-off: scan the ward roster, then leave it."""
+        return f"""
+            BEGIN TRANSACTION;
+            SELECT oncall AS @o FROM Doctors WHERE ward={ward};
+            UPDATE Doctors SET oncall = 0 WHERE doc={doc};
+            COMMIT;
+        """
+
+    def signon_program(self, doc: int) -> str:
+        """Unguarded sign-on: replenish the roster."""
+        return f"""
+            BEGIN TRANSACTION;
+            UPDATE Doctors SET oncall = 1 WHERE doc={doc};
+            COMMIT;
+        """

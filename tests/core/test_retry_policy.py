@@ -14,7 +14,12 @@ import pytest
 from repro import RetryPolicy
 from repro.bench.traffic import poisson_arrivals, run_traffic_point
 from repro.client import AdmissionConfig
-from repro.errors import MiddlewareError, OverloadError
+from repro.errors import (
+    LeaderFailoverError,
+    MiddlewareError,
+    OverloadError,
+    TransportError,
+)
 from repro.workloads.payments import PaymentLedger
 
 
@@ -61,6 +66,31 @@ def test_retry_after_hint_is_a_floor():
     assert policy.delay_for(1, slow) == 3.0
     fast = OverloadError("x", reason="rate-limit", retry_after=0.001)
     assert policy.delay_for(1, fast) == pytest.approx(0.01)
+
+
+def test_retryable_classification():
+    """Overloads, leader failovers and dead-worker transport errors are
+    worth resubmitting; anything else is not."""
+    policy = RetryPolicy()
+    assert policy.retryable(OverloadError("x", reason="queue-full"))
+    assert policy.retryable(LeaderFailoverError("x", shard=1))
+    # Dead-worker transport errors, by message marker ...
+    assert policy.retryable(TransportError("shard 2 worker died mid-call"))
+    assert policy.retryable(TransportError("connection to worker is closed"))
+    # ... or by cause, even with an unhelpful message.
+    chained = TransportError("frame decode failed")
+    chained.__cause__ = EOFError()
+    assert policy.retryable(chained)
+    # Not retryable: logic errors and transport errors with no
+    # dead-worker evidence (a malformed frame won't improve on retry).
+    assert not policy.retryable(ValueError("boom"))
+    assert not policy.retryable(TransportError("unknown frame kind 0x99"))
+
+
+def test_leader_failover_retry_after_floors_backoff():
+    policy = RetryPolicy(base_backoff=0.01, multiplier=2.0, jitter=0.0)
+    err = LeaderFailoverError("x", shard=0, retry_after=2.5)
+    assert policy.delay_for(1, err) == 2.5
 
 
 def test_attempt_budget():
